@@ -1,0 +1,58 @@
+//! Microbenchmark: engine overheads — the simulation engine's
+//! accounting cost per work item, the threaded engine's dispatch cost,
+//! and the cost-model arithmetic itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mn_comm::{Collective, CostModel, ParEngine, SerialEngine, SimEngine, ThreadEngine};
+use std::hint::black_box;
+
+fn work_item(i: usize) -> (u64, u64) {
+    // A deterministic few-nanosecond kernel.
+    let mut acc = i as u64;
+    for k in 0..8u64 {
+        acc = acc.wrapping_mul(0x9E37_79B9).wrapping_add(k);
+    }
+    (acc, 8)
+}
+
+fn bench_dist_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dist_map_4096_items");
+    group.sample_size(20);
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            let mut e = SerialEngine::new();
+            black_box(e.dist_map(4096, 1, &work_item))
+        })
+    });
+    for p in [16usize, 1024] {
+        group.bench_with_input(BenchmarkId::new("sim", p), &p, |b, &p| {
+            b.iter(|| {
+                let mut e = SimEngine::new(p);
+                black_box(e.dist_map(4096, 1, &work_item))
+            })
+        });
+    }
+    group.bench_function("threads_2", |b| {
+        b.iter(|| {
+            let mut e = ThreadEngine::new(2);
+            black_box(e.dist_map(4096, 1, &work_item))
+        })
+    });
+    group.finish();
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let model = CostModel::default();
+    c.bench_function("cost_model/collective_s", |b| {
+        b.iter(|| {
+            black_box(model.collective_s(
+                black_box(Collective::AllGather),
+                black_box(1_000_000),
+                black_box(4096),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_dist_map, bench_cost_model);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Microbenchmark: the four Gibbs sweeps of Algorithms 1–2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mn_comm::SerialEngine;
+use mn_data::synthetic;
+use mn_gibbs::{sweep, CoClustering};
+use mn_rand::MasterRng;
+use mn_score::{NormalGamma, ScoreMode};
+use std::hint::black_box;
+
+fn setup() -> (mn_data::Dataset, CoClustering, MasterRng) {
+    let data = synthetic::yeast_like(48, 32, 5).dataset;
+    let master = MasterRng::new(2);
+    let state = CoClustering::random_init(
+        &data,
+        8,
+        NormalGamma::default(),
+        ScoreMode::Incremental,
+        &master,
+        0,
+    );
+    (data, state, master)
+}
+
+fn bench_sweeps(c: &mut Criterion) {
+    let (data, state, master) = setup();
+    let mut group = c.benchmark_group("gibbs");
+    group.sample_size(10);
+    group.bench_function("reassign_vars_sweep", |b| {
+        b.iter(|| {
+            let mut s = state.clone();
+            let mut e = SerialEngine::new();
+            sweep::reassign_vars(&mut e, &mut s, &data, &master, 0, 0);
+            black_box(s.score())
+        })
+    });
+    group.bench_function("merge_vars_sweep", |b| {
+        b.iter(|| {
+            let mut s = state.clone();
+            let mut e = SerialEngine::new();
+            sweep::merge_vars(&mut e, &mut s, &data, &master, 0, 0);
+            black_box(s.n_active())
+        })
+    });
+    group.bench_function("obs_sweeps_one_cluster", |b| {
+        b.iter(|| {
+            let mut s = state.clone();
+            let mut e = SerialEngine::new();
+            let slot = s.active_slots()[0];
+            sweep::reassign_obs(&mut e, &mut s, &data, &master, 0, 0, slot);
+            sweep::merge_obs(&mut e, &mut s, &data, &master, 0, 0, slot);
+            black_box(s.score())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweeps);
+criterion_main!(benches);

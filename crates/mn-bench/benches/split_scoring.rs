@@ -1,0 +1,63 @@
+//! Microbenchmark: the split-assignment phase (Alg. 5) — the paper's
+//! dominant compute loop — under both scoring modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mn_comm::SerialEngine;
+use mn_data::synthetic;
+use mn_rand::MasterRng;
+use mn_score::ScoreMode;
+use mn_tree::{assign_splits, learn_module_trees, TreeParams};
+use std::hint::black_box;
+
+fn bench_assign(c: &mut Criterion) {
+    let data = synthetic::yeast_like(48, 40, 9).dataset;
+    let master = MasterRng::new(4);
+    let base = TreeParams::default();
+    let ensembles = vec![
+        learn_module_trees(
+            &mut SerialEngine::new(),
+            &data,
+            &master,
+            0,
+            &(0..24).collect::<Vec<_>>(),
+            &base,
+        ),
+        learn_module_trees(
+            &mut SerialEngine::new(),
+            &data,
+            &master,
+            1,
+            &(24..48).collect::<Vec<_>>(),
+            &base,
+        ),
+    ];
+    let parents: Vec<usize> = (0..48).collect();
+
+    let mut group = c.benchmark_group("assign_splits");
+    group.sample_size(10);
+    for mode in [ScoreMode::Incremental, ScoreMode::Reference] {
+        let mut params = base.clone();
+        params.mode = mode;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}")),
+            &params,
+            |b, params| {
+                b.iter(|| {
+                    let mut engine = SerialEngine::new();
+                    black_box(assign_splits(
+                        &mut engine,
+                        &data,
+                        &master,
+                        &ensembles,
+                        &parents,
+                        params,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assign);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! **Figure 3** — sequential runtime growth rate as the number of
+//! observations `m` grows, for data sets with different numbers of
+//! variables `n`.
+//!
+//! Paper: for every n, runtime grows ≈ quadratically in m (the dashed
+//! m² line of Fig. 3). This binary measures the optimized sequential
+//! implementation on the scaled grid, prints the growth rate relative
+//! to the smallest m (exactly the quantity Fig. 3 plots), and fits the
+//! power-law exponent.
+//!
+//! ```text
+//! cargo run --release -p mn-bench --bin fig3 [-- --quick]
+//! ```
+
+use mn_bench::{fit_power_law, time_it, write_record, Args, Table};
+use mn_comm::SerialEngine;
+use mn_data::synthetic;
+use monet::{learn_module_network, LearnerConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Series {
+    n: usize,
+    ms: Vec<usize>,
+    seconds: Vec<f64>,
+    growth_vs_first: Vec<f64>,
+    fitted_exponent: f64,
+}
+
+fn main() {
+    let args = Args::capture();
+    let (ns, ms): (Vec<usize>, Vec<usize>) = if args.has("quick") {
+        (vec![100], vec![25, 50, 100])
+    } else {
+        (vec![100, 200, 300], vec![25, 50, 75, 100, 125])
+    };
+    let full = synthetic::yeast_like(*ns.iter().max().unwrap(), *ms.iter().max().unwrap(), 1)
+        .dataset;
+
+    println!("Figure 3 — runtime growth with m (fixed n), optimized sequential:\n");
+    let mut table = Table::new(&["n", "m", "time (s)", "growth vs first", "m^2 reference"]);
+    let mut series = Vec::new();
+    for &n in &ns {
+        let mut seconds = Vec::new();
+        for &m in &ms {
+            let data = full.subsample(n, m);
+            let (_, t) = time_it(|| {
+                learn_module_network(
+                    &mut SerialEngine::new(),
+                    &data,
+                    &LearnerConfig::paper_minimum(1),
+                )
+            });
+            seconds.push(t);
+        }
+        let base_t = seconds[0];
+        let base_m = ms[0] as f64;
+        let growth: Vec<f64> = seconds.iter().map(|t| t / base_t).collect();
+        for (i, &m) in ms.iter().enumerate() {
+            let quad = (m as f64 / base_m).powi(2);
+            table.row(&[
+                n.to_string(),
+                m.to_string(),
+                format!("{:.3}", seconds[i]),
+                format!("{:.2}", growth[i]),
+                format!("{quad:.2}"),
+            ]);
+        }
+        let xs: Vec<f64> = ms.iter().map(|&m| m as f64).collect();
+        let exponent = fit_power_law(&xs, &seconds);
+        series.push(Series {
+            n,
+            ms: ms.clone(),
+            seconds,
+            growth_vs_first: growth,
+            fitted_exponent: exponent,
+        });
+    }
+    table.print();
+    println!();
+    for s in &series {
+        println!(
+            "n={}: fitted growth exponent in m = {:.2} (paper: ~2.0)",
+            s.n, s.fitted_exponent
+        );
+    }
+    write_record("fig3", &series);
+    // Shape claim: clearly super-linear growth in m for every n.
+    for s in &series {
+        assert!(
+            s.fitted_exponent > 1.3,
+            "n={}: growth in m unexpectedly mild ({:.2})",
+            s.n,
+            s.fitted_exponent
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! **Figure 4** — sequential runtime growth rate as the number of
+//! variables `n` grows, for data sets with different numbers of
+//! observations `m`.
+//!
+//! Paper: growth with n lies between n^1.8 and n² (slower than the
+//! quadratic reference), and the super-linear component is explained
+//! by the number of learned modules K growing with n (§5.2.2: K goes
+//! from 28–39 at n = 1000 to 111–170 at n = 5716). This binary prints
+//! the growth series, the fitted exponent, and the learned K per n.
+//!
+//! ```text
+//! cargo run --release -p mn-bench --bin fig4 [-- --quick]
+//! ```
+
+use mn_bench::{fit_power_law, time_it, write_record, Args, Table};
+use mn_comm::SerialEngine;
+use mn_data::synthetic;
+use monet::{learn_module_network, LearnerConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Series {
+    m: usize,
+    ns: Vec<usize>,
+    seconds: Vec<f64>,
+    growth_vs_first: Vec<f64>,
+    modules_learned: Vec<usize>,
+    fitted_exponent: f64,
+}
+
+fn main() {
+    let args = Args::capture();
+    let (ns, ms): (Vec<usize>, Vec<usize>) = if args.has("quick") {
+        (vec![100, 200, 300], vec![50])
+    } else {
+        (vec![100, 150, 200, 250, 300, 350], vec![25, 50, 75, 100])
+    };
+    let full = synthetic::yeast_like(*ns.iter().max().unwrap(), *ms.iter().max().unwrap(), 1)
+        .dataset;
+
+    println!("Figure 4 — runtime growth with n (fixed m), optimized sequential:\n");
+    let mut table = Table::new(&[
+        "m",
+        "n",
+        "time (s)",
+        "growth vs first",
+        "n^1.8 ref",
+        "n^2 ref",
+        "modules K",
+    ]);
+    let mut series = Vec::new();
+    for &m in &ms {
+        let mut seconds = Vec::new();
+        let mut modules = Vec::new();
+        for &n in &ns {
+            let data = full.subsample(n, m);
+            let (net, t) = time_it(|| {
+                learn_module_network(
+                    &mut SerialEngine::new(),
+                    &data,
+                    &LearnerConfig::paper_minimum(1),
+                )
+                .0
+            });
+            seconds.push(t);
+            modules.push(net.n_modules());
+        }
+        let base_t = seconds[0];
+        let base_n = ns[0] as f64;
+        let growth: Vec<f64> = seconds.iter().map(|t| t / base_t).collect();
+        for (i, &n) in ns.iter().enumerate() {
+            table.row(&[
+                m.to_string(),
+                n.to_string(),
+                format!("{:.3}", seconds[i]),
+                format!("{:.2}", growth[i]),
+                format!("{:.2}", (n as f64 / base_n).powf(1.8)),
+                format!("{:.2}", (n as f64 / base_n).powi(2)),
+                modules[i].to_string(),
+            ]);
+        }
+        let xs: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
+        let exponent = fit_power_law(&xs, &seconds);
+        series.push(Series {
+            m,
+            ns: ns.clone(),
+            seconds,
+            growth_vs_first: growth,
+            modules_learned: modules,
+            fitted_exponent: exponent,
+        });
+    }
+    table.print();
+    println!();
+    for s in &series {
+        println!(
+            "m={}: fitted growth exponent in n = {:.2} (paper: between 1.8 and 2.0); \
+             K grew {} -> {}",
+            s.m,
+            s.fitted_exponent,
+            s.modules_learned.first().unwrap(),
+            s.modules_learned.last().unwrap()
+        );
+    }
+    write_record("fig4", &series);
+    for s in &series {
+        assert!(
+            s.fitted_exponent > 1.0,
+            "m={}: growth in n not super-linear ({:.2})",
+            s.m,
+            s.fitted_exponent
+        );
+        assert!(
+            s.modules_learned.last() >= s.modules_learned.first(),
+            "module count should not shrink with n"
+        );
+    }
+}

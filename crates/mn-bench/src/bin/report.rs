@@ -1,0 +1,153 @@
+//! Summarize the experiment records under `results/` into one
+//! markdown digest — the quick way to compare a fresh reproduction run
+//! against EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p mn-bench --bin report
+//! ```
+
+use serde_json::Value;
+use std::path::Path;
+
+fn load(name: &str) -> Option<Value> {
+    let path = mn_bench::results_dir().join(format!("{name}.json"));
+    let text = std::fs::read_to_string(&path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn f(v: &Value, key: &str) -> f64 {
+    v.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN)
+}
+
+fn main() {
+    let dir = mn_bench::results_dir();
+    println!("# Reproduction digest ({})\n", dir.display());
+    if !Path::new(&dir).exists() {
+        eprintln!("no results directory; run the experiment binaries first");
+        std::process::exit(1);
+    }
+
+    if let Some(rows) = load("table1").as_ref().and_then(Value::as_array) {
+        let speedups: Vec<f64> = rows.iter().map(|r| f(r, "speedup")).collect();
+        let identical = rows
+            .iter()
+            .all(|r| r["identical_networks"].as_bool().unwrap_or(false));
+        let min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = speedups.iter().copied().fold(0.0, f64::max);
+        println!(
+            "- **Table 1**: reference/optimized speedup {min:.2}-{max:.2}x over {} cells; \
+             identical networks: {identical} (paper: 3.6-3.8x, identical)",
+            speedups.len()
+        );
+    }
+    if let Some(series) = load("fig3").as_ref().and_then(Value::as_array) {
+        let exps: Vec<String> = series
+            .iter()
+            .map(|s| format!("{:.2}", f(s, "fitted_exponent")))
+            .collect();
+        println!(
+            "- **Fig 3**: growth exponent in m = [{}] (paper: ~2.0)",
+            exps.join(", ")
+        );
+    }
+    if let Some(series) = load("fig4").as_ref().and_then(Value::as_array) {
+        let exps: Vec<String> = series
+            .iter()
+            .map(|s| format!("{:.2}", f(s, "fitted_exponent")))
+            .collect();
+        println!(
+            "- **Fig 4**: growth exponent in n = [{}] (paper: 1.8-2.0)",
+            exps.join(", ")
+        );
+    }
+    if let Some(rows) = load("fig5a").as_ref().and_then(Value::as_array) {
+        if let (Some(first), Some(last)) = (rows.first(), rows.last()) {
+            println!(
+                "- **Fig 5a**: module-learning share {:.1}% -> {:.1}% as m grows \
+                 (paper: 94.7% -> 99.4%)",
+                100.0 * f(first, "modules_share"),
+                100.0 * f(last, "modules_share")
+            );
+        }
+    }
+    if let Some(series) = load("fig5b").as_ref().and_then(Value::as_array) {
+        if let (Some(first), Some(last)) = (series.first(), series.last()) {
+            let peak = |s: &Value| {
+                s["speedups"]
+                    .as_array()
+                    .map(|a| a.iter().filter_map(Value::as_f64).fold(0.0, f64::max))
+                    .unwrap_or(f64::NAN)
+            };
+            println!(
+                "- **Fig 5b**: peak speedup {:.1}x (smallest m) to {:.1}x (largest m) \
+                 (paper: smallest diverges, largest reach 273-288x)",
+                peak(first),
+                peak(last)
+            );
+        }
+    }
+    if let Some(points) = load("fig6").as_ref().and_then(Value::as_array) {
+        let at = |p: u64| {
+            points
+                .iter()
+                .find(|pt| pt["p"].as_u64() == Some(p))
+                .map(|pt| {
+                    (
+                        f(pt, "relative_speedup"),
+                        f(pt, "relative_efficiency_pct"),
+                    )
+                })
+        };
+        if let (Some((s128, e128)), Some((s4096, e4096))) = (at(128), at(4096)) {
+            println!(
+                "- **Fig 6**: rel. speedup {s128:.1}x/{e128:.0}% at p=128, \
+                 {s4096:.1}x/{e4096:.1}% at p=4096 (paper: 22.6x/>70%, 239.3x/23.4%)"
+            );
+        }
+    }
+    if let Some(rows) = load("table2").as_ref().and_then(Value::as_array) {
+        if let Some(last) = rows.last() {
+            println!(
+                "- **Table 2**: thaliana-scale rel. speedup {:.1}x / {:.1}% at p=4096 vs p=256 \
+                 (paper: 11.2x / 69.9%)",
+                f(last, "relative_speedup"),
+                f(last, "relative_efficiency_pct")
+            );
+        }
+    }
+    if let Some(rows) = load("imbalance").as_ref().and_then(Value::as_array) {
+        let at = |p: u64| {
+            rows.iter()
+                .find(|r| r["p"].as_u64() == Some(p))
+                .map(|r| f(r, "imbalance"))
+        };
+        if let (Some(lo), Some(hi)) = (at(64), at(1024)) {
+            println!(
+                "- **Imbalance**: split-loop imbalance {lo:.2} at p=64 -> {hi:.2} at p=1024 \
+                 (paper: <0.3 -> 2.6)"
+            );
+        }
+    }
+    if let Some(rows) = load("ablation_partition").as_ref().and_then(Value::as_array) {
+        let time_of = |needle: &str| {
+            rows.iter()
+                .filter(|r| {
+                    r["strategy"].as_str().unwrap_or("").starts_with(needle)
+                        && r["p"].as_u64() == Some(1024)
+                })
+                .map(|r| f(r, "elapsed_s"))
+                .next()
+        };
+        if let (Some(owner), Some(block), Some(dynamic)) = (
+            time_of("per-node"),
+            time_of("block"),
+            time_of("self-scheduling"),
+        ) {
+            println!(
+                "- **Partitioning ablation (p=1024)**: per-node {owner:.4}s, \
+                 block {block:.4}s, self-scheduling {dynamic:.4}s"
+            );
+        }
+    }
+    println!("\nSee EXPERIMENTS.md for the full paper-vs-measured record.");
+}

@@ -1,0 +1,187 @@
+//! # mn-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (§5). Every
+//! binary prints the same rows/series the paper reports and writes a
+//! JSON record next to its stdout table (under `results/`), which
+//! EXPERIMENTS.md indexes.
+//!
+//! ## Workload scaling
+//!
+//! The paper's data sets (yeast 5716×2577, A. thaliana 18373×5102)
+//! take days-to-years sequentially; the experiments here run the same
+//! pipeline on synthetic data scaled down by roughly two orders of
+//! magnitude in each dimension, with the τ/μ communication constants
+//! scaled by [`COMM_SCALE`] to preserve the compute:communication
+//! ratio (see `CostModel::scaled_comm` and EXPERIMENTS.md §Calibration
+//! for the argument).
+
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::fmt::Display;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Communication scale-down factor used by all simulated experiments;
+/// matches the ~150× per-collective-step compute scale-down of the
+/// bench workloads relative to the paper's data sets.
+pub const COMM_SCALE: f64 = 150.0;
+
+/// The directory experiment records are written to.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("MONET_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Write a JSON experiment record and report where it went.
+pub fn write_record<T: Serialize>(name: &str, record: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let text = serde_json::to_string_pretty(record).expect("serialize record");
+    std::fs::write(&path, text).expect("write record");
+    println!("\n[record written to {}]", path.display());
+}
+
+/// Simple fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new<S: Display>(headers: &[S]) -> Self {
+        Self {
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (must match the header count).
+    pub fn row<S: Display>(&mut self, cells: &[S]) {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (w, cell) in widths.iter().zip(cells) {
+                s.push_str(&format!(" {cell:>w$} ", w = w));
+            }
+            s
+        };
+        println!("{}", line(&self.headers));
+        println!("{}", "-".repeat(widths.iter().map(|w| w + 2).sum()));
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+    }
+}
+
+/// Measure the wall-clock of a closure in seconds.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Least-squares power-law exponent fit: fits `y = c · x^e` through
+/// log-log linear regression and returns `e`. Used by the Fig. 3/4
+/// growth-rate analyses (the paper eyeballs the exponent against
+/// m² / n^1.8 / n² reference lines; we report the fitted value).
+pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least two points");
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    let n = lx.len() as f64;
+    let mx = lx.iter().sum::<f64>() / n;
+    let my = ly.iter().sum::<f64>() / n;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (x, y) in lx.iter().zip(&ly) {
+        num += (x - mx) * (y - my);
+        den += (x - mx) * (x - mx);
+    }
+    num / den
+}
+
+/// Parse a `--flag value` style argument list (tiny, dependency-free).
+pub struct Args {
+    args: Vec<String>,
+}
+
+impl Args {
+    /// Capture the process arguments (after the binary name).
+    pub fn capture() -> Self {
+        Self {
+            args: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// The value following `--name`, parsed, or `default`.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        let flag = format!("--{name}");
+        self.args
+            .iter()
+            .position(|a| a == &flag)
+            .and_then(|i| self.args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Whether the bare flag `--name` is present.
+    pub fn has(&self, name: &str) -> bool {
+        let flag = format!("--{name}");
+        self.args.iter().any(|a| a == &flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_law_fit_recovers_exponent() {
+        let xs = [1.0, 2.0, 4.0, 8.0];
+        let quad: Vec<f64> = xs.iter().map(|x| 3.0 * x * x).collect();
+        assert!((fit_power_law(&xs, &quad) - 2.0).abs() < 1e-9);
+        let lin: Vec<f64> = xs.iter().map(|x| 0.5 * x).collect();
+        assert!((fit_power_law(&xs, &lin) - 1.0).abs() < 1e-9);
+        let p18: Vec<f64> = xs.iter().map(|x| x.powf(1.8)).collect();
+        assert!((fit_power_law(&xs, &p18) - 1.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_renders_without_panicking() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(&["1", "2"]);
+        t.row(&["333", "4"]);
+        t.print();
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn table_checks_column_count() {
+        let mut t = Table::new(&["a"]);
+        t.row(&["1", "2"]);
+    }
+
+    #[test]
+    fn time_it_returns_value() {
+        let (v, s) = time_it(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(s >= 0.0);
+    }
+}

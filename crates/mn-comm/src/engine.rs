@@ -1,0 +1,116 @@
+//! The SPMD execution abstraction.
+//!
+//! The parallel algorithms of §3.2 all share one shape: a flat list of
+//! independent score computations is block-partitioned over ranks
+//! (Alg. 1 line 6, Alg. 2 line 6, Alg. 4 line 11, Alg. 5 line 5), every
+//! rank computes its block, and the results are made globally visible
+//! by a collective (all-gather / all-reduce), after which all ranks
+//! make the same sampling decision from a shared PRNG stream.
+//!
+//! [`ParEngine`] captures exactly that contract. Because every rank
+//! ends each step with identical state, an engine may execute the
+//! union of the work on however many physical resources it has, as
+//! long as it (a) partitions the work list the way the paper does and
+//! (b) accounts time per *virtual* rank. The three implementations:
+//!
+//! * [`crate::serial::SerialEngine`] — one rank, measured wall-clock;
+//!   this is the optimized sequential implementation of §4.1.
+//! * [`crate::thread::ThreadEngine`] — `p` OS threads with real
+//!   shared-memory collectives; validates that partitioned execution
+//!   produces identical results.
+//! * [`crate::sim::SimEngine`] — `p` *virtual* ranks with per-rank
+//!   clocks and the τ/μ collective cost model; reproduces the paper's
+//!   scaling experiments for `p` up to 4096 on one machine
+//!   (DESIGN.md §2 documents this substitution).
+
+use crate::cost::Collective;
+use crate::metrics::RunReport;
+
+/// A work item's result together with its cost in work units.
+pub type Costed<T> = (T, u64);
+
+/// The SPMD execution contract used by all parallel algorithms.
+///
+/// Implementations must guarantee: `dist_map` returns `f(i)` for every
+/// `i` in `0..n_items`, in item order, regardless of rank count —
+/// which, combined with the shared-stream sampling discipline of
+/// `mn-rand`, yields the paper's determinism property (the learned
+/// network is independent of `p`).
+pub trait ParEngine {
+    /// Number of (virtual) ranks.
+    fn nranks(&self) -> usize;
+
+    /// Block-partitioned map with all-gather semantics.
+    ///
+    /// `f(i)` computes item `i`'s result and reports its cost in work
+    /// units; `words_per_item` is the size of one result in 8-byte
+    /// words for communication accounting of the implied all-gather.
+    /// The `Clone + 'static` bounds exist because on message-passing
+    /// engines a result value genuinely fans out to every rank; all
+    /// result types in this workspace are plain data.
+    fn dist_map<T: Send + Clone + 'static>(
+        &mut self,
+        n_items: usize,
+        words_per_item: usize,
+        f: &(dyn Fn(usize) -> Costed<T> + Sync),
+    ) -> Vec<T>;
+
+    /// Like [`ParEngine::dist_map`], for work lists with a segment
+    /// structure (`segments[i]` = id of the tree node item `i` belongs
+    /// to, non-decreasing). The default ignores segments — the paper's
+    /// block split deliberately cuts across segments; engines may use
+    /// them for the ablation partitioning strategies.
+    fn dist_map_segmented<T: Send + Clone + 'static>(
+        &mut self,
+        segments: &[u32],
+        words_per_item: usize,
+        f: &(dyn Fn(usize) -> Costed<T> + Sync),
+    ) -> Vec<T> {
+        self.dist_map(segments.len(), words_per_item, f)
+    }
+
+    /// Charge a collective operation of `words` total payload (8-byte
+    /// words). No-op on single-rank engines.
+    fn collective(&mut self, op: Collective, words: usize);
+
+    /// Charge computation executed redundantly on every rank (e.g. the
+    /// sequential consensus-clustering task of §3.2.2, which the paper
+    /// runs "on all p processors").
+    fn replicated(&mut self, work_units: u64);
+
+    /// Mark the beginning of a named phase (for per-task breakdowns).
+    fn begin_phase(&mut self, name: &str);
+
+    /// Finish the run and produce the metrics report. Idempotent
+    /// engines may be reused after `report`; ours are consumed by
+    /// convention.
+    fn report(&mut self) -> RunReport;
+}
+
+/// Convenience: run `f` inside a named phase.
+pub fn with_phase<E: ParEngine + ?Sized, T>(
+    engine: &mut E,
+    name: &str,
+    f: impl FnOnce(&mut E) -> T,
+) -> T {
+    engine.begin_phase(name);
+    f(engine)
+}
+
+/// Re-export for implementors and callers.
+pub use crate::cost::Collective as CollectiveOp;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::SerialEngine;
+
+    #[test]
+    fn with_phase_passes_through() {
+        let mut e = SerialEngine::new();
+        let v = with_phase(&mut e, "x", |e| {
+            e.dist_map(3, 1, &|i| (i * 2, 1)) // trivial work
+        });
+        assert_eq!(v, vec![0, 2, 4]);
+    }
+}

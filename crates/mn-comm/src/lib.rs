@@ -1,0 +1,105 @@
+//! # mn-comm — the distributed-memory execution substrate
+//!
+//! Reproduces §3 of *Parallel Construction of Module Networks* (SC '21):
+//! the networked distributed-memory machine model (τ setup time, μ
+//! per-word transfer time, log-depth collectives) and the
+//! block-partitioned bulk-synchronous execution pattern shared by all
+//! of the paper's parallel algorithms.
+//!
+//! The paper runs on MPI over a 4096-core InfiniBand cluster. This
+//! crate substitutes three interchangeable engines behind one
+//! [`ParEngine`] trait (the substitution is documented in DESIGN.md §2):
+//!
+//! * [`SerialEngine`] — one rank, real wall-clock timing: the paper's
+//!   optimized sequential implementation (`T₁`).
+//! * [`ThreadEngine`] — real OS-thread SPMD over the identical block
+//!   partition, demonstrating genuinely parallel execution and the
+//!   p-independence of results.
+//! * [`SimEngine`] — virtual SPMD with per-rank clocks and the τ/μ
+//!   collective cost model, scaling to the paper's p = 4096 on a single
+//!   machine while preserving the load-imbalance behaviour that shapes
+//!   the paper's speedup curves.
+//!
+//! Partitioning strategies (the paper's block split, the sub-optimal
+//! per-node owner strawman it argues against, and the dynamic
+//! load-balancing scheme it proposes as future work) live in
+//! [`partition`] and are exercised by the ablation benches.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod engine;
+pub mod metrics;
+pub mod msg;
+pub mod partition;
+pub mod serial;
+pub mod sim;
+pub mod thread;
+
+pub use cost::{Collective, CostModel};
+pub use msg::{spmd_run, SpmdEngine};
+pub use engine::{with_phase, Costed, ParEngine};
+pub use metrics::{PhaseReport, RunReport};
+pub use partition::{
+    assign_owners, block_owner, block_range, load_imbalance, rank_loads, PartitionStrategy,
+};
+pub use serial::SerialEngine;
+pub use sim::SimEngine;
+pub use thread::ThreadEngine;
+
+/// The engines available to examples and the bench harness, as a
+/// parseable configuration value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineSpec {
+    /// `serial`
+    Serial,
+    /// `threads:<p>`
+    Threads(usize),
+    /// `sim:<p>`
+    Sim(usize),
+}
+
+impl std::str::FromStr for EngineSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s == "serial" {
+            return Ok(EngineSpec::Serial);
+        }
+        if let Some(rest) = s.strip_prefix("threads:") {
+            let p: usize = rest.parse().map_err(|e| format!("bad thread count: {e}"))?;
+            if p == 0 {
+                return Err("thread count must be >= 1".into());
+            }
+            return Ok(EngineSpec::Threads(p));
+        }
+        if let Some(rest) = s.strip_prefix("sim:") {
+            let p: usize = rest.parse().map_err(|e| format!("bad rank count: {e}"))?;
+            if p == 0 {
+                return Err("rank count must be >= 1".into());
+            }
+            return Ok(EngineSpec::Sim(p));
+        }
+        Err(format!(
+            "unknown engine {s:?}; expected serial | threads:<p> | sim:<p>"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_spec_parses() {
+        assert_eq!("serial".parse::<EngineSpec>().unwrap(), EngineSpec::Serial);
+        assert_eq!(
+            "threads:4".parse::<EngineSpec>().unwrap(),
+            EngineSpec::Threads(4)
+        );
+        assert_eq!("sim:1024".parse::<EngineSpec>().unwrap(), EngineSpec::Sim(1024));
+        assert!("sim:0".parse::<EngineSpec>().is_err());
+        assert!("gpu".parse::<EngineSpec>().is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! Per-phase execution metrics.
+//!
+//! The paper's evaluation reports (a) per-task runtime breakdowns
+//! (Fig. 5a/5c/6b/6c), (b) speedups and efficiencies (Fig. 5b/6a,
+//! Table 2), and (c) a load-imbalance metric for the split-posterior
+//! loop: "the deviation of the maximum run-time of the loop on any
+//! process from the average run-time of the loop across all the
+//! processes, normalized by the average run-time" (§5.3.1). Every
+//! engine produces a [`RunReport`] carrying exactly those quantities.
+
+use serde::{Deserialize, Serialize};
+
+/// Metrics of one named phase of a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseReport {
+    /// Phase name (e.g. `"ganesh"`, `"consensus"`, `"modules"`).
+    pub name: String,
+    /// Maximum per-rank busy (compute) time in the phase, seconds.
+    pub busy_max_s: f64,
+    /// Mean per-rank busy time, seconds.
+    pub busy_avg_s: f64,
+    /// Communication time charged during the phase, seconds.
+    pub comm_s: f64,
+    /// Simulated (or measured) elapsed time of the phase, seconds.
+    pub elapsed_s: f64,
+}
+
+impl PhaseReport {
+    /// The paper's load-imbalance metric: `(max - avg) / avg` of the
+    /// per-rank busy time. Zero for perfectly balanced phases (and for
+    /// empty ones).
+    pub fn imbalance(&self) -> f64 {
+        if self.busy_avg_s <= 0.0 {
+            0.0
+        } else {
+            (self.busy_max_s - self.busy_avg_s) / self.busy_avg_s
+        }
+    }
+}
+
+/// Metrics of one complete run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Number of ranks that executed the run.
+    pub nranks: usize,
+    /// Phases in execution order.
+    pub phases: Vec<PhaseReport>,
+}
+
+impl RunReport {
+    /// Total elapsed seconds across phases.
+    pub fn total_s(&self) -> f64 {
+        self.phases.iter().map(|p| p.elapsed_s).sum()
+    }
+
+    /// Total communication seconds across phases.
+    pub fn comm_s(&self) -> f64 {
+        self.phases.iter().map(|p| p.comm_s).sum()
+    }
+
+    /// Elapsed seconds of one phase by name (0 if absent).
+    pub fn phase_s(&self, name: &str) -> f64 {
+        self.phases
+            .iter()
+            .filter(|p| p.name == name)
+            .map(|p| p.elapsed_s)
+            .sum()
+    }
+
+    /// Imbalance of one phase by name (0 if absent).
+    pub fn phase_imbalance(&self, name: &str) -> f64 {
+        self.phases
+            .iter()
+            .find(|p| p.name == name)
+            .map_or(0.0, PhaseReport::imbalance)
+    }
+
+    /// Strong-scaling speedup of this run relative to a baseline time.
+    pub fn speedup_vs(&self, baseline_s: f64) -> f64 {
+        let t = self.total_s();
+        if t <= 0.0 {
+            0.0
+        } else {
+            baseline_s / t
+        }
+    }
+
+    /// Parallel efficiency (%) relative to a baseline time measured on
+    /// `baseline_ranks` ranks (the paper's relative-efficiency metric:
+    /// `p₁·T_{p₁} / (p₂·T_{p₂}) × 100`).
+    pub fn efficiency_vs(&self, baseline_s: f64, baseline_ranks: usize) -> f64 {
+        if self.nranks == 0 || self.total_s() <= 0.0 {
+            return 0.0;
+        }
+        100.0 * (baseline_ranks as f64 * baseline_s) / (self.nranks as f64 * self.total_s())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(name: &str, busy_max: f64, busy_avg: f64, comm: f64, elapsed: f64) -> PhaseReport {
+        PhaseReport {
+            name: name.into(),
+            busy_max_s: busy_max,
+            busy_avg_s: busy_avg,
+            comm_s: comm,
+            elapsed_s: elapsed,
+        }
+    }
+
+    #[test]
+    fn imbalance_matches_paper_definition() {
+        let p = phase("x", 3.0, 2.0, 0.0, 3.0);
+        assert!((p.imbalance() - 0.5).abs() < 1e-12);
+        let balanced = phase("x", 2.0, 2.0, 0.0, 2.0);
+        assert_eq!(balanced.imbalance(), 0.0);
+        let empty = phase("x", 0.0, 0.0, 0.0, 0.0);
+        assert_eq!(empty.imbalance(), 0.0);
+    }
+
+    #[test]
+    fn totals_and_lookup() {
+        let r = RunReport {
+            nranks: 4,
+            phases: vec![
+                phase("ganesh", 1.0, 0.9, 0.1, 1.1),
+                phase("consensus", 0.1, 0.1, 0.0, 0.1),
+                phase("modules", 8.0, 6.0, 0.4, 8.4),
+            ],
+        };
+        assert!((r.total_s() - 9.6).abs() < 1e-12);
+        assert!((r.comm_s() - 0.5).abs() < 1e-12);
+        assert_eq!(r.phase_s("consensus"), 0.1);
+        assert_eq!(r.phase_s("missing"), 0.0);
+        assert!((r.phase_imbalance("modules") - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_and_efficiency() {
+        let r = RunReport {
+            nranks: 8,
+            phases: vec![phase("all", 1.0, 1.0, 0.0, 2.0)],
+        };
+        assert!((r.speedup_vs(16.0) - 8.0).abs() < 1e-12);
+        // Relative to a 2-rank baseline of 6 s: eff = 2*6 / (8*2) = 75 %.
+        assert!((r.efficiency_vs(6.0, 2) - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_reports_do_not_divide_by_zero() {
+        let r = RunReport::default();
+        assert_eq!(r.total_s(), 0.0);
+        assert_eq!(r.speedup_vs(1.0), 0.0);
+        assert_eq!(r.efficiency_vs(1.0, 1), 0.0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Log-depth collective operations over the message fabric.
+//!
+//! These are the "standard parallel primitives such as bcast,
+//! all-reduce, all-gather, and scan" that §3.2 builds its algorithms
+//! from, implemented with the classic schedules whose costs the
+//! paper's analysis assumes:
+//!
+//! * [`bcast`] — binomial tree, `⌈log₂ p⌉` rounds;
+//! * [`reduce`] — mirror-image binomial tree;
+//! * [`allreduce`] — reduce to rank 0 + broadcast (correct for any p,
+//!   `2⌈log₂ p⌉` rounds — the textbook general-p schedule);
+//! * [`allgatherv`] — gather at rank 0 (rank-ordered concatenation)
+//!   + broadcast;
+//! * [`exscan`] — exclusive prefix scan via gather + broadcast of the
+//!   prefix array;
+//! * [`barrier`] — a payload-free allreduce.
+//!
+//! All protocols are deterministic and lock-step: every rank must call
+//! every collective in the same order with the same type parameters.
+
+use crate::msg::fabric::Endpoint;
+
+/// Binomial-tree broadcast of `value` from `root` to all ranks.
+pub fn bcast<T: Clone + Send + 'static>(ep: &Endpoint, root: usize, value: Option<T>) -> T {
+    let p = ep.nranks();
+    let rank = ep.rank();
+    assert!(root < p);
+    // Virtual ranks place the root at 0.
+    let vrank = (rank + p - root) % p;
+    let mut data: Option<T> = if rank == root {
+        Some(value.expect("root must supply the broadcast value"))
+    } else {
+        None
+    };
+    // MPICH-style binomial schedule: receive in the round given by the
+    // lowest set bit of the virtual rank, then forward to the virtual
+    // ranks obtained by setting each lower bit.
+    let mut mask = 1usize;
+    while mask < p {
+        if vrank & mask != 0 {
+            let src = (vrank - mask + root) % p;
+            data = Some(ep.recv_from::<T>(src));
+            break;
+        }
+        mask <<= 1;
+    }
+    mask >>= 1;
+    while mask > 0 {
+        if vrank + mask < p {
+            let dst = (vrank + mask + root) % p;
+            ep.send_to(dst, data.clone().expect("data present by schedule"));
+        }
+        mask >>= 1;
+    }
+    data.expect("broadcast did not reach this rank")
+}
+
+/// Binomial-tree reduction of per-rank `value`s to `root` with the
+/// associative combiner `op`. Non-root ranks return `None`.
+pub fn reduce<T: Send + 'static>(
+    ep: &Endpoint,
+    root: usize,
+    value: T,
+    op: impl Fn(T, T) -> T,
+) -> Option<T> {
+    let p = ep.nranks();
+    let rank = ep.rank();
+    let vrank = (rank + p - root) % p;
+    let mut acc = value;
+    let mut mask = 1usize;
+    while mask < p {
+        if vrank & mask != 0 {
+            // Send our partial to the partner and retire.
+            let dst_v = vrank - mask;
+            let dst = (dst_v + root) % p;
+            ep.send_to(dst, acc);
+            return None;
+        }
+        // We may receive from vrank + mask if it exists.
+        let src_v = vrank + mask;
+        if src_v < p {
+            let src = (src_v + root) % p;
+            let other = ep.recv_from::<T>(src);
+            acc = op(acc, other);
+        }
+        mask <<= 1;
+    }
+    Some(acc)
+}
+
+/// All-reduce: reduce to rank 0, broadcast the result.
+pub fn allreduce<T: Clone + Send + 'static>(
+    ep: &Endpoint,
+    value: T,
+    op: impl Fn(T, T) -> T,
+) -> T {
+    let reduced = reduce(ep, 0, value, op);
+    bcast(ep, 0, reduced)
+}
+
+/// Variable-length all-gather: every rank contributes a `Vec<T>`; all
+/// ranks receive the rank-ordered concatenation (the semantics the
+/// split-selection phase of Alg. 5 needs).
+pub fn allgatherv<T: Clone + Send + 'static>(ep: &Endpoint, local: Vec<T>) -> Vec<T> {
+    let p = ep.nranks();
+    let rank = ep.rank();
+    if p == 1 {
+        return local;
+    }
+    if rank == 0 {
+        let mut all = local;
+        for src in 1..p {
+            let part = ep.recv_from::<Vec<T>>(src);
+            all.extend(part);
+        }
+        bcast(ep, 0, Some(all))
+    } else {
+        ep.send_to(0, local);
+        bcast::<Vec<T>>(ep, 0, None)
+    }
+}
+
+/// Exclusive prefix scan: rank r receives `op` folded over the values
+/// of ranks `0..r` (`identity` for rank 0).
+pub fn exscan<T: Clone + Send + 'static>(
+    ep: &Endpoint,
+    value: T,
+    identity: T,
+    op: impl Fn(T, T) -> T,
+) -> T {
+    let contributions = allgatherv(ep, vec![value]);
+    let mut acc = identity;
+    for v in contributions.into_iter().take(ep.rank()) {
+        acc = op(acc, v);
+    }
+    acc
+}
+
+/// Barrier: a unit all-reduce.
+pub fn barrier(ep: &Endpoint) {
+    allreduce(ep, (), |(), ()| ());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::fabric::fabric;
+
+    /// Run `f` as SPMD over p ranks, collecting each rank's result.
+    fn spmd<R: Send>(p: usize, f: impl Fn(&Endpoint) -> R + Sync) -> Vec<R> {
+        let endpoints = fabric(p);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = endpoints
+                .iter()
+                .map(|ep| scope.spawn(|| f(ep)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    #[test]
+    fn bcast_reaches_everyone_from_any_root() {
+        for p in [1usize, 2, 3, 4, 5, 7, 8] {
+            for root in [0, p - 1, p / 2] {
+                let out = spmd(p, |ep| {
+                    let value = (ep.rank() == root).then(|| format!("msg-{root}"));
+                    bcast(ep, root, value)
+                });
+                assert!(out.iter().all(|v| v == &format!("msg-{root}")), "p={p} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sums_to_root() {
+        for p in [1usize, 2, 3, 5, 8] {
+            let out = spmd(p, |ep| reduce(ep, 0, ep.rank() as u64 + 1, |a, b| a + b));
+            let expected: u64 = (1..=p as u64).sum();
+            assert_eq!(out[0], Some(expected), "p={p}");
+            assert!(out[1..].iter().all(Option::is_none));
+        }
+    }
+
+    #[test]
+    fn allreduce_max_on_all_ranks() {
+        for p in [1usize, 2, 3, 6, 8] {
+            let out = spmd(p, |ep| {
+                allreduce(ep, (ep.rank() * 7 % 5, ep.rank()), |a, b| a.max(b))
+            });
+            let expected = (0..p).map(|r| (r * 7 % 5, r)).max().unwrap();
+            assert!(out.iter().all(|&v| v == expected), "p={p}");
+        }
+    }
+
+    #[test]
+    fn allgatherv_concatenates_in_rank_order() {
+        for p in [1usize, 2, 3, 4, 7] {
+            let out = spmd(p, |ep| {
+                // Rank r contributes r copies of r.
+                let local = vec![ep.rank(); ep.rank()];
+                allgatherv(ep, local)
+            });
+            let expected: Vec<usize> = (0..p).flat_map(|r| vec![r; r]).collect();
+            assert!(out.iter().all(|v| v == &expected), "p={p}");
+        }
+    }
+
+    #[test]
+    fn exscan_prefixes() {
+        for p in [1usize, 2, 3, 5, 8] {
+            let out = spmd(p, |ep| exscan(ep, ep.rank() as u64 + 1, 0u64, |a, b| a + b));
+            for (r, &v) in out.iter().enumerate() {
+                let expected: u64 = (1..=r as u64).sum();
+                assert_eq!(v, expected, "p={p} rank={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_completes() {
+        for p in [1usize, 2, 5, 8] {
+            spmd(p, |ep| {
+                for _ in 0..10 {
+                    barrier(ep);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn collectives_compose() {
+        // A mixed program exercising protocol lock-step across rounds.
+        let out = spmd(5, |ep| {
+            let sum: u32 = allreduce(ep, ep.rank() as u32, |a, b| a + b);
+            let all = allgatherv(ep, vec![sum + ep.rank() as u32]);
+            let max = allreduce(ep, all[ep.rank()], |a, b| a.max(b));
+            barrier(ep);
+            (sum, max)
+        });
+        assert!(out.iter().all(|&(s, m)| s == 10 && m == 14));
+    }
+}

@@ -1,0 +1,208 @@
+//! True SPMD execution: every rank runs the whole learner.
+//!
+//! [`spmd_run`] spawns `p` rank-threads over the message fabric and
+//! executes the same program on each, exactly as `mpirun` launches the
+//! paper's implementation. Each rank gets a [`SpmdEngine`] whose
+//! `dist_map` computes only the rank's own block and assembles the
+//! global result with a real [`allgatherv`]; everything outside
+//! `dist_map` — move application, consensus clustering, split
+//! selection — executes redundantly on every rank, which is precisely
+//! the paper's design (replicated state, distributed scoring,
+//! collective sampling).
+//!
+//! Combined with the shared-seed stream discipline of `mn-rand`, every
+//! rank finishes with the identical learned network; `spmd_run`
+//! returns all of them so callers can (and tests do) assert equality.
+
+use crate::cost::Collective;
+use crate::engine::{Costed, ParEngine};
+use crate::metrics::{PhaseReport, RunReport};
+use crate::msg::collectives::{allgatherv, allreduce, barrier};
+use crate::msg::fabric::{fabric, Endpoint};
+use crate::partition::block_range;
+use std::time::Instant;
+
+/// The per-rank engine handed to an SPMD program.
+pub struct SpmdEngine {
+    ep: Endpoint,
+    phases: Vec<PhaseReport>,
+    current: Option<(String, Instant)>,
+    /// Compute seconds of this rank in the current phase (time inside
+    /// `dist_map` closures); elapsed − busy approximates wait + comm.
+    busy: f64,
+}
+
+impl SpmdEngine {
+    fn new(ep: Endpoint) -> Self {
+        Self {
+            ep,
+            phases: Vec::new(),
+            current: None,
+            busy: 0.0,
+        }
+    }
+
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.ep.rank()
+    }
+
+    /// Direct access to the endpoint, for custom protocols.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.ep
+    }
+
+    fn close_phase(&mut self) {
+        if let Some((name, start)) = self.current.take() {
+            let elapsed = start.elapsed().as_secs_f64();
+            self.phases.push(PhaseReport {
+                name,
+                busy_max_s: self.busy,
+                busy_avg_s: self.busy,
+                comm_s: (elapsed - self.busy).max(0.0),
+                elapsed_s: elapsed,
+            });
+            self.busy = 0.0;
+        }
+    }
+}
+
+impl ParEngine for SpmdEngine {
+    fn nranks(&self) -> usize {
+        self.ep.nranks()
+    }
+
+    fn dist_map<T: Send + Clone + 'static>(
+        &mut self,
+        n_items: usize,
+        _words_per_item: usize,
+        f: &(dyn Fn(usize) -> Costed<T> + Sync),
+    ) -> Vec<T> {
+        let p = self.ep.nranks();
+        let (lo, hi) = block_range(n_items, p, self.ep.rank());
+        let start = Instant::now();
+        let local: Vec<T> = (lo..hi).map(|i| f(i).0).collect();
+        self.busy += start.elapsed().as_secs_f64();
+        allgatherv(&self.ep, local)
+    }
+
+    fn collective(&mut self, _op: Collective, _words: usize) {
+        // The sampling oracles of §3.1 are collective calls; keep the
+        // ranks lock-step with a real barrier.
+        barrier(&self.ep);
+    }
+
+    fn replicated(&mut self, _work_units: u64) {
+        // SPMD ranks genuinely execute replicated work inline.
+    }
+
+    fn begin_phase(&mut self, name: &str) {
+        self.close_phase();
+        self.current = Some((name.to_string(), Instant::now()));
+    }
+
+    fn report(&mut self) -> RunReport {
+        self.close_phase();
+        RunReport {
+            nranks: self.ep.nranks(),
+            phases: std::mem::take(&mut self.phases),
+        }
+    }
+}
+
+/// Run `program` as SPMD over `p` ranks; returns every rank's result
+/// in rank order (callers assert they are identical, as the paper's
+/// determinism property promises).
+pub fn spmd_run<R: Send>(p: usize, program: impl Fn(&mut SpmdEngine) -> R + Sync) -> Vec<R> {
+    let endpoints = fabric(p);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .map(|ep| {
+                let program = &program;
+                scope.spawn(move || {
+                    let mut engine = SpmdEngine::new(ep);
+                    let out = program(&mut engine);
+                    barrier(engine.endpoint());
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// All-reduce helper for SPMD programs.
+pub fn spmd_allreduce<T: Clone + Send + 'static>(
+    engine: &SpmdEngine,
+    value: T,
+    op: impl Fn(T, T) -> T,
+) -> T {
+    allreduce(engine.endpoint(), value, op)
+}
+
+/// All-gather helper for SPMD programs.
+pub fn spmd_allgatherv<T: Clone + Send + 'static>(engine: &SpmdEngine, local: Vec<T>) -> Vec<T> {
+    allgatherv(engine.endpoint(), local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_map_assembles_rank_ordered_results() {
+        for p in [1usize, 2, 3, 5] {
+            let outs = spmd_run(p, |engine| engine.dist_map(17, 1, &|i| (i * 3, 1)));
+            let expected: Vec<usize> = (0..17).map(|i| i * 3).collect();
+            for (r, out) in outs.iter().enumerate() {
+                assert_eq!(out, &expected, "p={p} rank={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn each_rank_computes_only_its_block() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        let outs = spmd_run(4, |engine| {
+            engine.dist_map(100, 1, &|i| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                (i, 1)
+            })
+        });
+        // Every item computed exactly once across all ranks.
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        assert_eq!(outs[0].len(), 100);
+    }
+
+    #[test]
+    fn phases_and_reports_work_per_rank() {
+        let reports = spmd_run(3, |engine| {
+            engine.begin_phase("a");
+            engine.dist_map(30, 1, &|i| (i, 1));
+            engine.collective(Collective::AllReduce, 1);
+            engine.begin_phase("b");
+            engine.dist_map(30, 1, &|i| (i, 1));
+            engine.report()
+        });
+        for r in &reports {
+            assert_eq!(r.nranks, 3);
+            assert_eq!(r.phases.len(), 2);
+            assert_eq!(r.phases[0].name, "a");
+        }
+    }
+
+    #[test]
+    fn helpers_allreduce_and_gather() {
+        let outs = spmd_run(4, |engine| {
+            let sum = spmd_allreduce(engine, engine.rank() as u32, |a, b| a + b);
+            let all = spmd_allgatherv(engine, vec![engine.rank()]);
+            (sum, all)
+        });
+        for (sum, all) in outs {
+            assert_eq!(sum, 6);
+            assert_eq!(all, vec![0, 1, 2, 3]);
+        }
+    }
+}

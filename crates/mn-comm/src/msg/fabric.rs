@@ -1,0 +1,150 @@
+//! Point-to-point message fabric.
+//!
+//! The machine model of §3.1: p processors with private memory that
+//! "communicate with the other processors using a communication
+//! network", where distinct pairs may communicate concurrently. The
+//! fabric is a full mesh of FIFO channels — one dedicated channel per
+//! ordered (source, destination) pair — so a deterministic protocol
+//! sees deterministic message order, exactly like MPI's non-overtaking
+//! guarantee on a single tag.
+//!
+//! Payloads travel as `Box<dyn Any + Send>`: ranks live in one
+//! process, so "sending" moves ownership instead of serializing. The
+//! typed [`Endpoint::recv_from`] downcasts and panics on a protocol
+//! mismatch (a bug, not a runtime condition).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+
+type Packet = Box<dyn Any + Send>;
+
+/// One rank's view of the fabric.
+pub struct Endpoint {
+    rank: usize,
+    /// `to[d]` sends to rank d (including self, for protocol symmetry).
+    to: Vec<Sender<Packet>>,
+    /// `from[s]` receives from rank s.
+    from: Vec<Receiver<Packet>>,
+}
+
+impl Endpoint {
+    /// This endpoint's rank.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the fabric.
+    #[inline]
+    pub fn nranks(&self) -> usize {
+        self.to.len()
+    }
+
+    /// Send `value` to rank `dst` (non-blocking; channels are
+    /// unbounded).
+    pub fn send_to<T: Send + 'static>(&self, dst: usize, value: T) {
+        self.to[dst]
+            .send(Box::new(value))
+            .expect("fabric channel closed: peer rank dropped its endpoint");
+    }
+
+    /// Receive the next message from rank `src`, blocking until it
+    /// arrives.
+    ///
+    /// # Panics
+    /// Panics if the message's type is not `T` — collective protocols
+    /// are lock-step, so a type mismatch is a protocol bug.
+    pub fn recv_from<T: Send + 'static>(&self, src: usize) -> T {
+        let packet = self.from[src]
+            .recv()
+            .expect("fabric channel closed: peer rank dropped its endpoint");
+        *packet.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "protocol mismatch: rank {} expected {} from rank {src}",
+                self.rank,
+                std::any::type_name::<T>()
+            )
+        })
+    }
+}
+
+/// Build a fully connected fabric of `p` endpoints.
+pub fn fabric(p: usize) -> Vec<Endpoint> {
+    assert!(p >= 1, "need at least one rank");
+    // senders[s][d] / receivers[d][s]
+    let mut senders: Vec<Vec<Sender<Packet>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
+    let mut receivers: Vec<Vec<Receiver<Packet>>> =
+        (0..p).map(|_| Vec::with_capacity(p)).collect();
+    #[allow(clippy::needless_range_loop)]
+    for s in 0..p {
+        for d in 0..p {
+            let (tx, rx) = unbounded();
+            senders[s].push(tx);
+            receivers[d].push(rx);
+        }
+    }
+    senders
+        .into_iter()
+        .zip(receivers)
+        .enumerate()
+        .map(|(rank, (to, from))| Endpoint { rank, to, from })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairwise_fifo_delivery() {
+        let endpoints = fabric(2);
+        let (a, b) = (&endpoints[0], &endpoints[1]);
+        a.send_to(1, 10u32);
+        a.send_to(1, 20u32);
+        assert_eq!(b.recv_from::<u32>(0), 10);
+        assert_eq!(b.recv_from::<u32>(0), 20);
+    }
+
+    #[test]
+    fn channels_are_per_pair() {
+        // A message from rank 2 never blocks or reorders the rank-1
+        // stream.
+        let endpoints = fabric(3);
+        endpoints[2].send_to(0, "from2");
+        endpoints[1].send_to(0, "from1");
+        assert_eq!(endpoints[0].recv_from::<&str>(1), "from1");
+        assert_eq!(endpoints[0].recv_from::<&str>(2), "from2");
+    }
+
+    #[test]
+    fn self_send_works() {
+        let endpoints = fabric(1);
+        endpoints[0].send_to(0, vec![1u8, 2, 3]);
+        assert_eq!(endpoints[0].recv_from::<Vec<u8>>(0), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cross_thread_exchange() {
+        let mut endpoints = fabric(2);
+        let b = endpoints.pop().unwrap();
+        let a = endpoints.pop().unwrap();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                a.send_to(1, 41u64);
+                assert_eq!(a.recv_from::<u64>(1), 42);
+            });
+            scope.spawn(move || {
+                let v = b.recv_from::<u64>(0);
+                b.send_to(0, v + 1);
+            });
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol mismatch")]
+    fn type_mismatch_is_a_bug() {
+        let endpoints = fabric(1);
+        endpoints[0].send_to(0, 1u32);
+        endpoints[0].recv_from::<String>(0);
+    }
+}

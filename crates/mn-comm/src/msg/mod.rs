@@ -1,0 +1,23 @@
+//! A real message-passing layer.
+//!
+//! The other engines in this crate either run on one rank
+//! ([`crate::serial`]), share memory ([`crate::thread`]), or simulate
+//! the machine ([`crate::sim`]). This module is the genuinely
+//! distributed-memory path: ranks own private state, exchange data
+//! only through explicit point-to-point messages ([`mod@fabric`]), and
+//! synchronize through log-depth collective algorithms
+//! ([`collectives`]) — the binomial broadcast, reduce+broadcast
+//! all-reduce, gather-based all-gather, and prefix scan whose cost
+//! shapes §3's analysis assumes. [`engine::spmd_run`] launches a full
+//! SPMD program (each rank runs the entire learner) over the fabric,
+//! the in-process equivalent of the paper's `mpirun` deployment.
+
+pub mod collectives;
+pub mod engine;
+pub mod fabric;
+pub mod sampling;
+
+pub use collectives::{allgatherv, allreduce, barrier, bcast, exscan, reduce};
+pub use sampling::{select_unif_rand_dist, select_wtd_log_dist, select_wtd_rand_dist};
+pub use engine::{spmd_allgatherv, spmd_allreduce, spmd_run, SpmdEngine};
+pub use fabric::{fabric, Endpoint};

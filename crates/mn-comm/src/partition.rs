@@ -1,0 +1,234 @@
+//! Work partitioning strategies.
+//!
+//! §3.2.3 of the paper motivates the central partitioning decision: "A
+//! simple parallelization scheme for this phase may assign all the
+//! probability computations for a module, a tree, or a node to one
+//! processor ... However, such a scheme is sub-optimal because the
+//! total number of splits assigned to different processors will vary
+//! significantly". The paper therefore block-partitions the flat list
+//! of candidate splits. We implement the paper's block split, the
+//! strawman per-segment owner scheme (for the ablation bench), and the
+//! dynamic self-scheduling scheme the paper proposes as future work.
+
+use serde::{Deserialize, Serialize};
+
+/// How a list of work items is distributed over ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PartitionStrategy {
+    /// The paper's scheme: contiguous equal blocks of the flat item
+    /// list (Alg. 5 line 5).
+    #[default]
+    Block,
+    /// The strawman of §3.2.3: all items of a segment (node / tree /
+    /// module) go to one owner, segments dealt round-robin.
+    SegmentOwner,
+    /// The paper's future-work proposal: dynamic load balancing,
+    /// modeled as greedy self-scheduling — each chunk of items goes to
+    /// the currently least-loaded rank.
+    SelfScheduling,
+}
+
+/// The half-open item range `[lo, hi)` owned by `rank` under a block
+/// partition of `n` items over `p` ranks. Ranges differ in size by at
+/// most one item.
+#[inline]
+pub fn block_range(n: usize, p: usize, rank: usize) -> (usize, usize) {
+    debug_assert!(rank < p);
+    (rank * n / p, (rank + 1) * n / p)
+}
+
+/// The owning rank of `item` under a block partition. Inverse of
+/// [`block_range`].
+#[inline]
+pub fn block_owner(n: usize, p: usize, item: usize) -> usize {
+    debug_assert!(item < n);
+    // owner = floor((item+1)*p - 1 / n) computed carefully: find r with
+    // r*n/p <= item < (r+1)*n/p. Direct formula:
+    let r = (item * p + p - 1) / n.max(1);
+    // The formula can overshoot by one at block boundaries; clamp and
+    // correct deterministically.
+    let mut r = r.min(p - 1);
+    loop {
+        let (lo, hi) = block_range(n, p, r);
+        if item < lo {
+            r -= 1;
+        } else if item >= hi {
+            r += 1;
+        } else {
+            return r;
+        }
+    }
+}
+
+/// Assign each item to a rank according to `strategy`.
+///
+/// * `costs[i]` — the work units of item `i` (used by self-scheduling).
+/// * `segments[i]` — the segment id of item `i`, non-decreasing (used
+///   by the segment-owner strawman).
+///
+/// Returns `owner[i]` for every item.
+pub fn assign_owners(
+    strategy: PartitionStrategy,
+    p: usize,
+    costs: &[u64],
+    segments: &[u32],
+) -> Vec<usize> {
+    let n = costs.len();
+    assert_eq!(n, segments.len());
+    match strategy {
+        PartitionStrategy::Block => (0..n).map(|i| block_owner(n, p, i)).collect(),
+        PartitionStrategy::SegmentOwner => {
+            // Segment k is owned by rank k mod p.
+            let mut owners = Vec::with_capacity(n);
+            let mut seg_index = 0usize;
+            let mut prev_seg: Option<u32> = None;
+            for &seg in segments {
+                if prev_seg != Some(seg) {
+                    if prev_seg.is_some() {
+                        seg_index += 1;
+                    }
+                    prev_seg = Some(seg);
+                }
+                owners.push(seg_index % p);
+            }
+            owners
+        }
+        PartitionStrategy::SelfScheduling => {
+            // Greedy: deal items (in order, mimicking a chunk queue of
+            // size 1) to the least-loaded rank so far. Deterministic.
+            let mut load = vec![0u128; p];
+            let mut owners = Vec::with_capacity(n);
+            for &c in costs {
+                let r = (0..p).min_by_key(|&r| (load[r], r)).unwrap();
+                owners.push(r);
+                load[r] += u128::from(c);
+            }
+            owners
+        }
+    }
+}
+
+/// Per-rank total cost implied by an owner assignment.
+pub fn rank_loads(p: usize, owners: &[usize], costs: &[u64]) -> Vec<u64> {
+    let mut loads = vec![0u64; p];
+    for (&o, &c) in owners.iter().zip(costs) {
+        loads[o] += c;
+    }
+    loads
+}
+
+/// `(max - avg) / avg` over per-rank loads — the paper's imbalance
+/// metric applied to an assignment.
+pub fn load_imbalance(loads: &[u64]) -> f64 {
+    if loads.is_empty() {
+        return 0.0;
+    }
+    let max = *loads.iter().max().unwrap() as f64;
+    let avg = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+    if avg <= 0.0 {
+        0.0
+    } else {
+        (max - avg) / avg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn block_ranges_tile_the_list() {
+        for &(n, p) in &[(10usize, 3usize), (7, 7), (5, 8), (100, 1), (0, 4)] {
+            let mut covered = 0;
+            for r in 0..p {
+                let (lo, hi) = block_range(n, p, r);
+                assert_eq!(lo, covered, "n={n} p={p} r={r}");
+                covered = hi;
+                assert!(hi - lo <= n / p + 1);
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    fn block_owner_inverts_block_range() {
+        for &(n, p) in &[(10usize, 3usize), (7, 7), (13, 4), (100, 8), (5, 8)] {
+            for i in 0..n {
+                let r = block_owner(n, p, i);
+                let (lo, hi) = block_range(n, p, r);
+                assert!(i >= lo && i < hi, "n={n} p={p} i={i} -> r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn segment_owner_keeps_segments_whole() {
+        let segments = vec![0, 0, 0, 1, 1, 2, 2, 2, 2, 3];
+        let costs = vec![1u64; segments.len()];
+        let owners = assign_owners(PartitionStrategy::SegmentOwner, 3, &costs, &segments);
+        // Items of one segment share an owner.
+        for w in segments.windows(2).zip(owners.windows(2)) {
+            let (seg, own) = w;
+            if seg[0] == seg[1] {
+                assert_eq!(own[0], own[1]);
+            }
+        }
+        // Four segments over three ranks: round robin 0,1,2,0.
+        assert_eq!(owners[0], 0);
+        assert_eq!(owners[3], 1);
+        assert_eq!(owners[5], 2);
+        assert_eq!(owners[9], 0);
+    }
+
+    #[test]
+    fn self_scheduling_balances_skewed_costs() {
+        // One huge item followed by many small ones: block split puts
+        // the huge item plus a share of small ones on rank 0, while
+        // self-scheduling gives rank 0 only the huge item.
+        let mut costs = vec![1000u64];
+        costs.extend(std::iter::repeat_n(10, 99));
+        let segments = vec![0u32; costs.len()];
+        let p = 4;
+
+        let block = rank_loads(p, &assign_owners(PartitionStrategy::Block, p, &costs, &segments), &costs);
+        let dynamic = rank_loads(
+            p,
+            &assign_owners(PartitionStrategy::SelfScheduling, p, &costs, &segments),
+            &costs,
+        );
+        assert!(
+            load_imbalance(&dynamic) <= load_imbalance(&block),
+            "dynamic {dynamic:?} vs block {block:?}"
+        );
+    }
+
+    #[test]
+    fn imbalance_zero_for_uniform_loads() {
+        assert_eq!(load_imbalance(&[5, 5, 5, 5]), 0.0);
+        assert_eq!(load_imbalance(&[]), 0.0);
+        assert_eq!(load_imbalance(&[0, 0]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_every_item_owned_by_valid_rank(
+            n in 1usize..200,
+            p in 1usize..32,
+            strategy in prop_oneof![
+                Just(PartitionStrategy::Block),
+                Just(PartitionStrategy::SegmentOwner),
+                Just(PartitionStrategy::SelfScheduling),
+            ],
+        ) {
+            let costs: Vec<u64> = (0..n).map(|i| (i % 7 + 1) as u64).collect();
+            let segments: Vec<u32> = (0..n).map(|i| (i / 5) as u32).collect();
+            let owners = assign_owners(strategy, p, &costs, &segments);
+            prop_assert_eq!(owners.len(), n);
+            prop_assert!(owners.iter().all(|&o| o < p));
+            // Loads account for every unit of cost.
+            let loads = rank_loads(p, &owners, &costs);
+            prop_assert_eq!(loads.iter().sum::<u64>(), costs.iter().sum::<u64>());
+        }
+    }
+}

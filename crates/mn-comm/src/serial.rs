@@ -1,0 +1,151 @@
+//! The single-rank engine: the optimized sequential implementation.
+//!
+//! Executes every work item inline and measures *real wall-clock time*
+//! per phase. This is the `T₁` of the paper's strong-scaling metrics
+//! ("We use the run-time of our optimized sequential implementation as
+//! T₁ in all the cases", §5.3) and the engine behind Table 1 and
+//! Figures 3–4.
+
+use crate::cost::Collective;
+use crate::engine::{Costed, ParEngine};
+use crate::metrics::{PhaseReport, RunReport};
+use std::time::Instant;
+
+/// Sequential engine with wall-clock phase timing.
+#[derive(Debug)]
+pub struct SerialEngine {
+    phases: Vec<PhaseReport>,
+    current: Option<(String, Instant)>,
+    /// Total work units reported by kernels (exposed for calibration
+    /// and for cross-checking SimEngine's accounting in tests).
+    work_units: u64,
+}
+
+impl SerialEngine {
+    /// New engine; phase timing starts at the first `begin_phase`.
+    pub fn new() -> Self {
+        Self {
+            phases: Vec::new(),
+            current: None,
+            work_units: 0,
+        }
+    }
+
+    /// Work units accumulated so far.
+    pub fn work_units(&self) -> u64 {
+        self.work_units
+    }
+
+    fn close_phase(&mut self) {
+        if let Some((name, start)) = self.current.take() {
+            let elapsed = start.elapsed().as_secs_f64();
+            self.phases.push(PhaseReport {
+                name,
+                busy_max_s: elapsed,
+                busy_avg_s: elapsed,
+                comm_s: 0.0,
+                elapsed_s: elapsed,
+            });
+        }
+    }
+}
+
+impl Default for SerialEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ParEngine for SerialEngine {
+    fn nranks(&self) -> usize {
+        1
+    }
+
+    fn dist_map<T: Send + Clone + 'static>(
+        &mut self,
+        n_items: usize,
+        _words_per_item: usize,
+        f: &(dyn Fn(usize) -> Costed<T> + Sync),
+    ) -> Vec<T> {
+        let mut out = Vec::with_capacity(n_items);
+        for i in 0..n_items {
+            let (value, cost) = f(i);
+            self.work_units += cost;
+            out.push(value);
+        }
+        out
+    }
+
+    fn collective(&mut self, _op: Collective, _words: usize) {
+        // One rank: nothing to communicate.
+    }
+
+    fn replicated(&mut self, work_units: u64) {
+        self.work_units += work_units;
+    }
+
+    fn begin_phase(&mut self, name: &str) {
+        self.close_phase();
+        self.current = Some((name.to_string(), Instant::now()));
+    }
+
+    fn report(&mut self) -> RunReport {
+        self.close_phase();
+        RunReport {
+            nranks: 1,
+            phases: std::mem::take(&mut self.phases),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_item_order() {
+        let mut e = SerialEngine::new();
+        let out = e.dist_map(5, 1, &|i| (10 - i, 1));
+        assert_eq!(out, vec![10, 9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn work_units_accumulate() {
+        let mut e = SerialEngine::new();
+        e.dist_map(4, 1, &|i| (i, i as u64));
+        assert_eq!(e.work_units(), 1 + 2 + 3);
+        e.replicated(10);
+        assert_eq!(e.work_units(), 16);
+    }
+
+    #[test]
+    fn phases_are_recorded_in_order() {
+        let mut e = SerialEngine::new();
+        e.begin_phase("a");
+        e.dist_map(10, 1, &|i| (i, 1));
+        e.begin_phase("b");
+        e.dist_map(10, 1, &|i| (i, 1));
+        let r = e.report();
+        assert_eq!(r.nranks, 1);
+        assert_eq!(r.phases.len(), 2);
+        assert_eq!(r.phases[0].name, "a");
+        assert_eq!(r.phases[1].name, "b");
+        assert!(r.phases.iter().all(|p| p.comm_s == 0.0));
+        assert!(r.phases.iter().all(|p| p.elapsed_s >= 0.0));
+    }
+
+    #[test]
+    fn work_without_phase_is_tolerated() {
+        let mut e = SerialEngine::new();
+        e.dist_map(3, 1, &|i| (i, 1));
+        let r = e.report();
+        assert!(r.phases.is_empty());
+    }
+
+    #[test]
+    fn empty_map_is_empty() {
+        let mut e = SerialEngine::new();
+        let out: Vec<usize> = e.dist_map(0, 1, &|i| (i, 1));
+        assert!(out.is_empty());
+    }
+}

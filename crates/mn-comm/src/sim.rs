@@ -1,0 +1,350 @@
+//! The virtual-SPMD simulation engine.
+//!
+//! Reproduces the paper's cluster-scale experiments on one machine:
+//! `p` *virtual* ranks each own the block of every work list that the
+//! paper's Algorithms 1–5 would assign them; the engine executes the
+//! union of the work once and advances each virtual rank's clock by
+//! the work units its block reported. Collectives synchronize all
+//! clocks to the maximum and add the τ/μ model cost of
+//! [`CostModel::collective_s`]. The simulated elapsed time of a phase
+//! is therefore
+//!
+//! ```text
+//! T_phase = Σ_steps ( max_r busy_r(step) + comm(step) )
+//! ```
+//!
+//! — the bulk-synchronous execution time of the real algorithm, with
+//! load imbalance arising from exactly the same source as on the real
+//! cluster: data-dependent per-item costs inside equal-sized blocks
+//! (§5.3.1: "the time required for this phase cannot be estimated a
+//! priori and varies significantly across splits").
+//!
+//! Because results never depend on `p`, the network learned under
+//! `SimEngine` is identical to the sequential one — the determinism
+//! property the paper engineers via block-split PRNG streams, which
+//! integration tests assert across engines.
+
+use crate::cost::{Collective, CostModel};
+use crate::engine::{Costed, ParEngine};
+use crate::metrics::{PhaseReport, RunReport};
+use crate::partition::{assign_owners, block_range, PartitionStrategy};
+
+/// Virtual-SPMD engine with per-rank clocks and τ/μ collective costs.
+#[derive(Debug, Clone)]
+pub struct SimEngine {
+    p: usize,
+    cost: CostModel,
+    strategy: PartitionStrategy,
+    /// Per-rank busy seconds accumulated in the current phase.
+    busy: Vec<f64>,
+    /// Communication seconds accumulated in the current phase (charged
+    /// to every rank equally — collectives are synchronizing).
+    comm: f64,
+    /// Elapsed simulated seconds accumulated in the current phase.
+    elapsed: f64,
+    phases: Vec<PhaseReport>,
+    current_phase: Option<String>,
+}
+
+impl SimEngine {
+    /// A `p`-rank engine with the default cost model and the paper's
+    /// block partitioning.
+    pub fn new(p: usize) -> Self {
+        Self::with_model(p, CostModel::default())
+    }
+
+    /// A `p`-rank engine with an explicit cost model.
+    pub fn with_model(p: usize, cost: CostModel) -> Self {
+        assert!(p >= 1, "need at least one rank");
+        Self {
+            p,
+            cost,
+            strategy: PartitionStrategy::Block,
+            busy: vec![0.0; p],
+            comm: 0.0,
+            elapsed: 0.0,
+            phases: Vec::new(),
+            current_phase: None,
+        }
+    }
+
+    /// Select the partitioning strategy (ablation hook; the default is
+    /// the paper's block split).
+    pub fn with_strategy(mut self, strategy: PartitionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The active cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    fn close_phase(&mut self) {
+        if let Some(name) = self.current_phase.take() {
+            let busy_max = self.busy.iter().copied().fold(0.0, f64::max);
+            let busy_avg = self.busy.iter().sum::<f64>() / self.p as f64;
+            self.phases.push(PhaseReport {
+                name,
+                busy_max_s: busy_max,
+                busy_avg_s: busy_avg,
+                comm_s: self.comm,
+                elapsed_s: self.elapsed,
+            });
+            self.busy.iter_mut().for_each(|b| *b = 0.0);
+            self.comm = 0.0;
+            self.elapsed = 0.0;
+        }
+    }
+
+    /// Account one bulk-synchronous step: per-rank busy seconds plus a
+    /// synchronizing collective of `comm_s` seconds.
+    fn account_step(&mut self, step_busy: &[f64], comm_s: f64) {
+        debug_assert_eq!(step_busy.len(), self.p);
+        let step_max = step_busy.iter().copied().fold(0.0, f64::max);
+        for (b, &s) in self.busy.iter_mut().zip(step_busy) {
+            *b += s;
+        }
+        self.comm += comm_s;
+        self.elapsed += step_max + comm_s;
+    }
+
+    fn map_with_owners<T: Send>(
+        &mut self,
+        owners: Option<&[usize]>,
+        n_items: usize,
+        words_per_item: usize,
+        f: &(dyn Fn(usize) -> Costed<T> + Sync),
+    ) -> Vec<T> {
+        let mut out = Vec::with_capacity(n_items);
+        let mut step_busy = vec![0.0f64; self.p];
+        match owners {
+            None => {
+                // Paper's block partition: contiguous ranges.
+                for (r, busy) in step_busy.iter_mut().enumerate() {
+                    let (lo, hi) = block_range(n_items, self.p, r);
+                    for i in lo..hi {
+                        let (value, units) = f(i);
+                        *busy += self.cost.compute_s(units);
+                        out.push(value);
+                    }
+                }
+            }
+            Some(owners) => {
+                for (i, &owner) in owners.iter().enumerate() {
+                    let (value, units) = f(i);
+                    step_busy[owner] += self.cost.compute_s(units);
+                    out.push(value);
+                }
+            }
+        }
+        let comm = self
+            .cost
+            .collective_s(Collective::AllGather, n_items * words_per_item, self.p);
+        self.account_step(&step_busy, comm);
+        out
+    }
+}
+
+impl ParEngine for SimEngine {
+    fn nranks(&self) -> usize {
+        self.p
+    }
+
+    fn dist_map<T: Send + Clone + 'static>(
+        &mut self,
+        n_items: usize,
+        words_per_item: usize,
+        f: &(dyn Fn(usize) -> Costed<T> + Sync),
+    ) -> Vec<T> {
+        self.map_with_owners(None, n_items, words_per_item, f)
+    }
+
+    fn dist_map_segmented<T: Send + Clone + 'static>(
+        &mut self,
+        segments: &[u32],
+        words_per_item: usize,
+        f: &(dyn Fn(usize) -> Costed<T> + Sync),
+    ) -> Vec<T> {
+        match self.strategy {
+            PartitionStrategy::Block => self.dist_map(segments.len(), words_per_item, f),
+            PartitionStrategy::SegmentOwner | PartitionStrategy::SelfScheduling => {
+                // Both non-default strategies need item costs before the
+                // assignment, so evaluate first (costs are deterministic
+                // functions of the item), then attribute.
+                let n = segments.len();
+                let mut values = Vec::with_capacity(n);
+                let mut costs = Vec::with_capacity(n);
+                for i in 0..n {
+                    let (v, c) = f(i);
+                    values.push(v);
+                    costs.push(c);
+                }
+                let owners = assign_owners(self.strategy, self.p, &costs, segments);
+                let mut step_busy = vec![0.0f64; self.p];
+                for (&owner, &c) in owners.iter().zip(&costs) {
+                    step_busy[owner] += self.cost.compute_s(c);
+                }
+                let comm =
+                    self.cost
+                        .collective_s(Collective::AllGather, n * words_per_item, self.p);
+                self.account_step(&step_busy, comm);
+                values
+            }
+        }
+    }
+
+    fn collective(&mut self, op: Collective, words: usize) {
+        let comm = self.cost.collective_s(op, words, self.p);
+        let zeros = vec![0.0; self.p];
+        self.account_step(&zeros, comm);
+    }
+
+    fn replicated(&mut self, work_units: u64) {
+        let s = self.cost.compute_s(work_units);
+        let busy = vec![s; self.p];
+        self.account_step(&busy, 0.0);
+    }
+
+    fn begin_phase(&mut self, name: &str) {
+        self.close_phase();
+        self.current_phase = Some(name.to_string());
+    }
+
+    fn report(&mut self) -> RunReport {
+        self.close_phase();
+        RunReport {
+            nranks: self.p,
+            phases: std::mem::take(&mut self.phases),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A map whose item costs are uniform.
+    fn uniform_run(p: usize, items: usize, unit: u64) -> RunReport {
+        let mut e = SimEngine::with_model(p, CostModel::free_comm());
+        e.begin_phase("work");
+        e.dist_map(items, 1, &|i| (i, unit));
+        e.report()
+    }
+
+    #[test]
+    fn results_identical_to_serial_order() {
+        let mut e = SimEngine::new(7);
+        let out = e.dist_map(10, 1, &|i| (i * i, 1));
+        assert_eq!(out, (0..10).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn perfect_speedup_for_uniform_work_and_free_comm() {
+        let t1 = uniform_run(1, 1024, 100).total_s();
+        let t16 = uniform_run(16, 1024, 100).total_s();
+        let t256 = uniform_run(256, 1024, 100).total_s();
+        assert!((t1 / t16 - 16.0).abs() < 1e-6, "speedup {}", t1 / t16);
+        assert!((t1 / t256 - 256.0).abs() < 1e-6, "speedup {}", t1 / t256);
+    }
+
+    #[test]
+    fn skewed_costs_create_imbalance() {
+        // One block of items is 100x more expensive; with block
+        // partitioning the owning rank dominates.
+        let make = |p: usize| {
+            let mut e = SimEngine::with_model(p, CostModel::free_comm());
+            e.begin_phase("work");
+            e.dist_map(64, 1, &|i| (i, if i < 8 { 1000 } else { 10 }));
+            e.report()
+        };
+        let r8 = make(8);
+        assert!(
+            r8.phase_imbalance("work") > 1.0,
+            "imbalance {}",
+            r8.phase_imbalance("work")
+        );
+        // Elapsed is bounded by the slowest rank, not the average.
+        assert!(r8.phases[0].busy_max_s > r8.phases[0].busy_avg_s);
+        assert!((r8.phases[0].elapsed_s - r8.phases[0].busy_max_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn communication_grows_with_ranks() {
+        let run = |p: usize| {
+            let mut e = SimEngine::new(p);
+            e.begin_phase("c");
+            for _ in 0..100 {
+                e.collective(Collective::AllReduce, 4);
+            }
+            e.report().comm_s()
+        };
+        assert_eq!(run(1), 0.0);
+        assert!(run(4) > 0.0);
+        assert!(run(1024) > run(4));
+    }
+
+    #[test]
+    fn replicated_work_does_not_scale() {
+        let run = |p: usize| {
+            let mut e = SimEngine::with_model(p, CostModel::free_comm());
+            e.begin_phase("r");
+            e.replicated(1_000_000);
+            e.report().total_s()
+        };
+        assert!((run(1) - run(64)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_scheduling_beats_block_on_skewed_segments() {
+        let segments: Vec<u32> = (0..64).map(|i| (i / 8) as u32).collect();
+        // Expensive items are clustered at the front of the list, so the
+        // block partition loads rank 0 heavily while self-scheduling
+        // spreads them.
+        let cost_of = |i: usize| if i < 8 { 500u64 } else { 5 };
+        let run = |strategy: PartitionStrategy| {
+            let mut e =
+                SimEngine::with_model(8, CostModel::free_comm()).with_strategy(strategy);
+            e.begin_phase("w");
+            e.dist_map_segmented(&segments, 1, &|i| (i, cost_of(i)));
+            e.report()
+        };
+        let block = run(PartitionStrategy::Block);
+        let dynamic = run(PartitionStrategy::SelfScheduling);
+        let owner = run(PartitionStrategy::SegmentOwner);
+        assert!(dynamic.total_s() <= block.total_s());
+        // All strategies compute the same results (already checked by
+        // types); all account the same total busy work.
+        let busy = |r: &RunReport| r.phases[0].busy_avg_s * r.nranks as f64;
+        assert!((busy(&block) - busy(&dynamic)).abs() < 1e-9);
+        assert!((busy(&block) - busy(&owner)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phases_partition_the_timeline() {
+        let mut e = SimEngine::with_model(4, CostModel::free_comm());
+        e.begin_phase("a");
+        e.dist_map(16, 1, &|i| (i, 10));
+        e.begin_phase("b");
+        e.dist_map(16, 1, &|i| (i, 30));
+        let r = e.report();
+        assert_eq!(r.phases.len(), 2);
+        assert!(r.phases[1].elapsed_s > r.phases[0].elapsed_s);
+        assert!((r.total_s() - (r.phases[0].elapsed_s + r.phases[1].elapsed_s)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn more_ranks_never_slower_on_uniform_work() {
+        // Sanity for the scaling figures: with comm enabled, runtime
+        // decreases monotonically until comm dominates.
+        let t = |p: usize| {
+            let mut e = SimEngine::new(p);
+            e.begin_phase("w");
+            e.dist_map(4096, 1, &|i| (i, 1000));
+            e.report().total_s()
+        };
+        assert!(t(2) < t(1));
+        assert!(t(8) < t(2));
+        assert!(t(64) < t(8));
+    }
+}

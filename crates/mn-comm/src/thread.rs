@@ -1,0 +1,189 @@
+//! The real-thread engine.
+//!
+//! `p` OS threads execute the same block partition of every work list
+//! that the MPI ranks of the paper (and the virtual ranks of
+//! [`crate::sim::SimEngine`]) would, with shared-memory "collectives"
+//! (results are concatenated in rank order, so the all-gather is a
+//! no-op). This engine exists to demonstrate genuine parallel
+//! execution of the partitioned algorithms and to validate, with real
+//! concurrency, the determinism contract: the learned network is
+//! byte-identical for any thread count.
+//!
+//! Wall-clock phase timing plus measured per-rank busy time give the
+//! same report shape as the other engines, so the bench harness can
+//! drive any engine uniformly.
+
+use crate::cost::Collective;
+use crate::engine::{Costed, ParEngine};
+use crate::metrics::{PhaseReport, RunReport};
+use crate::partition::block_range;
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// Multi-threaded engine over `p` rank-threads.
+#[derive(Debug)]
+pub struct ThreadEngine {
+    p: usize,
+    /// Per-rank busy seconds in the current phase.
+    busy: Vec<f64>,
+    phases: Vec<PhaseReport>,
+    current: Option<(String, Instant)>,
+}
+
+impl ThreadEngine {
+    /// Engine with `p` rank-threads (`p ≥ 1`).
+    pub fn new(p: usize) -> Self {
+        assert!(p >= 1, "need at least one rank");
+        Self {
+            p,
+            busy: vec![0.0; p],
+            phases: Vec::new(),
+            current: None,
+        }
+    }
+
+    fn close_phase(&mut self) {
+        if let Some((name, start)) = self.current.take() {
+            let elapsed = start.elapsed().as_secs_f64();
+            let busy_max = self.busy.iter().copied().fold(0.0, f64::max);
+            let busy_avg = self.busy.iter().sum::<f64>() / self.p as f64;
+            self.phases.push(PhaseReport {
+                name,
+                busy_max_s: busy_max,
+                busy_avg_s: busy_avg,
+                comm_s: 0.0,
+                elapsed_s: elapsed,
+            });
+            self.busy.iter_mut().for_each(|b| *b = 0.0);
+        }
+    }
+}
+
+impl ParEngine for ThreadEngine {
+    fn nranks(&self) -> usize {
+        self.p
+    }
+
+    fn dist_map<T: Send + Clone + 'static>(
+        &mut self,
+        n_items: usize,
+        _words_per_item: usize,
+        f: &(dyn Fn(usize) -> Costed<T> + Sync),
+    ) -> Vec<T> {
+        if self.p == 1 || n_items <= 1 {
+            let mut out = Vec::with_capacity(n_items);
+            let start = Instant::now();
+            for i in 0..n_items {
+                out.push(f(i).0);
+            }
+            self.busy[0] += start.elapsed().as_secs_f64();
+            return out;
+        }
+
+        let p = self.p;
+        let busy_acc: Mutex<Vec<f64>> = Mutex::new(vec![0.0; p]);
+        let mut blocks: Vec<Vec<T>> = Vec::with_capacity(p);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for r in 0..p {
+                let (lo, hi) = block_range(n_items, p, r);
+                let busy_acc = &busy_acc;
+                handles.push(scope.spawn(move || {
+                    let start = Instant::now();
+                    let mut block = Vec::with_capacity(hi - lo);
+                    for i in lo..hi {
+                        block.push(f(i).0);
+                    }
+                    busy_acc.lock()[r] = start.elapsed().as_secs_f64();
+                    block
+                }));
+            }
+            for handle in handles {
+                blocks.push(handle.join().expect("rank thread panicked"));
+            }
+        });
+        for (b, extra) in self.busy.iter_mut().zip(busy_acc.into_inner()) {
+            *b += extra;
+        }
+        // Rank-order concatenation = the all-gather of Alg. 5.
+        blocks.into_iter().flatten().collect()
+    }
+
+    fn collective(&mut self, _op: Collective, _words: usize) {
+        // Shared memory: collectives are free.
+    }
+
+    fn replicated(&mut self, _work_units: u64) {
+        // Real engines do the replicated work inline in the caller.
+    }
+
+    fn begin_phase(&mut self, name: &str) {
+        self.close_phase();
+        self.current = Some((name.to_string(), Instant::now()));
+    }
+
+    fn report(&mut self) -> RunReport {
+        self.close_phase();
+        RunReport {
+            nranks: self.p,
+            phases: std::mem::take(&mut self.phases),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_match_serial_for_any_thread_count() {
+        let f = |i: usize| (i * 31 % 97, 1u64);
+        let expected: Vec<usize> = (0..100).map(|i| f(i).0).collect();
+        for p in [1usize, 2, 3, 4, 7] {
+            let mut e = ThreadEngine::new(p);
+            let out = e.dist_map(100, 1, &f);
+            assert_eq!(out, expected, "p={p}");
+        }
+    }
+
+    #[test]
+    fn every_item_computed_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let mut e = ThreadEngine::new(4);
+        let out = e.dist_map(53, 1, &|i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            (i, 1)
+        });
+        assert_eq!(out.len(), 53);
+        assert_eq!(counter.load(Ordering::Relaxed), 53);
+    }
+
+    #[test]
+    fn phase_report_has_wall_times() {
+        let mut e = ThreadEngine::new(2);
+        e.begin_phase("work");
+        e.dist_map(64, 1, &|i| {
+            // Small but nonzero work.
+            let mut acc = 0u64;
+            for k in 0..500 {
+                acc = acc.wrapping_add((i as u64).wrapping_mul(k));
+            }
+            (acc, 1)
+        });
+        let r = e.report();
+        assert_eq!(r.nranks, 2);
+        assert_eq!(r.phases.len(), 1);
+        assert!(r.phases[0].elapsed_s > 0.0);
+        assert!(r.phases[0].busy_max_s >= r.phases[0].busy_avg_s);
+    }
+
+    #[test]
+    fn empty_and_tiny_maps() {
+        let mut e = ThreadEngine::new(8);
+        let empty: Vec<usize> = e.dist_map(0, 1, &|i| (i, 1));
+        assert!(empty.is_empty());
+        let one = e.dist_map(1, 1, &|i| (i + 5, 1));
+        assert_eq!(one, vec![5]);
+    }
+}

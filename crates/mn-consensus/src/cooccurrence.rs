@@ -1,0 +1,131 @@
+//! The co-occurrence frequency matrix of §2.2.2.
+//!
+//! "A symmetric co-occurrence frequency matrix A of size n × n. The
+//! entry A(i,j) of the matrix is set to the number of times the
+//! variables X_i and X_j occur in the same cluster in the ensemble, as
+//! a fraction of the total number of sampled clusters. Note that
+//! A(i,j) is set to zero if the co-occurrence weight is below a
+//! user-provided threshold."
+
+use crate::symmatrix::SymMatrix;
+
+/// Build the thresholded co-occurrence matrix from an ensemble of
+/// variable clusterings.
+///
+/// * `n` — number of variables,
+/// * `ensemble[s]` — the variable clusters of sample `s` (lists of
+///   variable indices),
+/// * `threshold` — co-occurrence fractions strictly below this are
+///   zeroed (0.0 keeps everything).
+///
+/// The diagonal is set to 1 (every variable always co-occurs with
+/// itself), which keeps the matrix's Perron eigenvector strictly
+/// positive on unclustered-but-present variables.
+pub fn cooccurrence_matrix(
+    n: usize,
+    ensemble: &[Vec<Vec<usize>>],
+    threshold: f64,
+) -> SymMatrix {
+    assert!(!ensemble.is_empty(), "need at least one cluster sample");
+    assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0,1]");
+    let mut counts = SymMatrix::zeros(n);
+    for sample in ensemble {
+        for cluster in sample {
+            for (a_pos, &i) in cluster.iter().enumerate() {
+                for &j in &cluster[a_pos + 1..] {
+                    counts.add(i, j, 1.0);
+                }
+            }
+        }
+    }
+    let total = ensemble.len() as f64;
+    counts.map_in_place(|v| {
+        let f = v / total;
+        if f < threshold {
+            0.0
+        } else {
+            f
+        }
+    });
+    for i in 0..n {
+        counts.set(i, i, 1.0);
+    }
+    counts
+}
+
+/// The work units of building the matrix (for the engines' replicated
+/// cost accounting): `O(G n²)` in the paper's notation.
+pub fn cooccurrence_work(n: usize, g_samples: usize) -> u64 {
+    (g_samples as u64) * (n as u64) * (n as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement_gives_ones() {
+        let ensemble = vec![
+            vec![vec![0, 1], vec![2, 3]],
+            vec![vec![0, 1], vec![2, 3]],
+        ];
+        let a = cooccurrence_matrix(4, &ensemble, 0.0);
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.get(2, 3), 1.0);
+        assert_eq!(a.get(0, 2), 0.0);
+        assert_eq!(a.get(1, 3), 0.0);
+        assert_eq!(a.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn fractions_reflect_disagreement() {
+        let ensemble = vec![
+            vec![vec![0, 1], vec![2]],
+            vec![vec![0], vec![1, 2]],
+            vec![vec![0, 1], vec![2]],
+            vec![vec![0, 1, 2]],
+        ];
+        let a = cooccurrence_matrix(3, &ensemble, 0.0);
+        assert!((a.get(0, 1) - 0.75).abs() < 1e-12);
+        assert!((a.get(1, 2) - 0.5).abs() < 1e-12);
+        assert!((a.get(0, 2) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_zeroes_weak_entries() {
+        let ensemble = vec![
+            vec![vec![0, 1], vec![2]],
+            vec![vec![0], vec![1, 2]],
+            vec![vec![0, 1], vec![2]],
+            vec![vec![0, 1, 2]],
+        ];
+        let a = cooccurrence_matrix(3, &ensemble, 0.6);
+        assert!((a.get(0, 1) - 0.75).abs() < 1e-12);
+        assert_eq!(a.get(1, 2), 0.0, "0.5 < 0.6 must be zeroed");
+        assert_eq!(a.get(0, 2), 0.0);
+        // Diagonal survives any threshold.
+        assert_eq!(a.get(2, 2), 1.0);
+    }
+
+    #[test]
+    fn symmetric_by_construction() {
+        let ensemble = vec![vec![vec![0, 2, 4], vec![1, 3]]];
+        let a = cooccurrence_matrix(5, &ensemble, 0.0);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(a.get(i, j), a.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_ensemble_panics() {
+        cooccurrence_matrix(2, &[], 0.0);
+    }
+
+    #[test]
+    fn work_formula() {
+        assert_eq!(cooccurrence_work(10, 3), 300);
+    }
+}

@@ -1,0 +1,27 @@
+//! # mn-consensus — consensus clustering (Lemon-Tree task 2)
+//!
+//! Builds the thresholded co-occurrence frequency matrix from the
+//! ensemble of GaneSH variable-cluster samples (§2.2.2 of the paper)
+//! and extracts consensus clusters with iterative spectral extraction
+//! in the style of Michoel & Nachtergaele (2012): dominant eigenvector
+//! by power iteration, cluster = heavy components, deflate, repeat.
+//!
+//! Per §3.2.2 the paper leaves this task *sequential* (it is < 0.04 %
+//! of the total runtime) and executes it redundantly on all ranks; the
+//! orchestrator in `monet` charges engines accordingly via
+//! `ParEngine::replicated` with [`cooccurrence_work`].
+
+#![warn(missing_docs)]
+
+pub mod cooccurrence;
+pub mod rand_index;
+pub mod spectral;
+pub mod symmatrix;
+
+pub use cooccurrence::{cooccurrence_matrix, cooccurrence_work};
+pub use rand_index::{adjusted_rand_index, labels_from_clusters};
+pub use spectral::{
+    consensus_clustering, power_iteration, spectral_clusters, spectral_clusters_counted,
+    SpectralParams,
+};
+pub use symmatrix::SymMatrix;

@@ -1,0 +1,114 @@
+//! Adjusted Rand index for comparing clusterings.
+//!
+//! Used by tests and the ensemble example to score recovery of the
+//! planted module structure — the quality check that makes the
+//! synthetic-data substitution auditable (DESIGN.md §2).
+
+/// Adjusted Rand index between two label vectors (same length;
+/// arbitrary label values). Returns a value in `[-1, 1]`, where 1 is
+/// identical partitions and ~0 is chance agreement.
+pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "label vectors must align");
+    let n = a.len();
+    if n <= 1 {
+        return 1.0;
+    }
+    let ka = 1 + *a.iter().max().unwrap();
+    let kb = 1 + *b.iter().max().unwrap();
+    let mut table = vec![0u64; ka * kb];
+    let mut rows = vec![0u64; ka];
+    let mut cols = vec![0u64; kb];
+    for (&x, &y) in a.iter().zip(b) {
+        table[x * kb + y] += 1;
+        rows[x] += 1;
+        cols[y] += 1;
+    }
+    let choose2 = |x: u64| -> f64 { (x * x.saturating_sub(1)) as f64 / 2.0 };
+    let sum_table: f64 = table.iter().map(|&v| choose2(v)).sum();
+    let sum_rows: f64 = rows.iter().map(|&v| choose2(v)).sum();
+    let sum_cols: f64 = cols.iter().map(|&v| choose2(v)).sum();
+    let total = choose2(n as u64);
+    let expected = sum_rows * sum_cols / total;
+    let max_index = 0.5 * (sum_rows + sum_cols);
+    if (max_index - expected).abs() < 1e-15 {
+        return 1.0;
+    }
+    (sum_table - expected) / (max_index - expected)
+}
+
+/// Convert cluster member-lists over `n` items into a label vector;
+/// items in no cluster get a fresh singleton label each.
+pub fn labels_from_clusters(n: usize, clusters: &[Vec<usize>]) -> Vec<usize> {
+    let mut labels = vec![usize::MAX; n];
+    for (k, cluster) in clusters.iter().enumerate() {
+        for &i in cluster {
+            assert!(i < n, "cluster member {i} out of range");
+            assert_eq!(labels[i], usize::MAX, "item {i} in two clusters");
+            labels[i] = k;
+        }
+    }
+    let mut next = clusters.len();
+    for label in labels.iter_mut() {
+        if *label == usize::MAX {
+            *label = next;
+            next += 1;
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = [0, 0, 1, 1, 2, 2];
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+        // Relabeling does not matter.
+        let b = [2, 2, 0, 0, 1, 1];
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_partitions_score_near_zero() {
+        // a splits by half, b alternates: agreement is chance-level.
+        let a = [0, 0, 0, 0, 1, 1, 1, 1];
+        let b = [0, 1, 0, 1, 0, 1, 0, 1];
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari.abs() < 0.3, "ari {ari}");
+    }
+
+    #[test]
+    fn partial_agreement_is_between() {
+        let a = [0, 0, 0, 1, 1, 1];
+        let b = [0, 0, 1, 1, 1, 1];
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari > 0.2 && ari < 1.0, "ari {ari}");
+    }
+
+    #[test]
+    fn known_value() {
+        // Hand-computed: contingency table pair-counts give
+        // sum_table = 4, sum_rows = 13, sum_cols = 12, total = 45,
+        // so ARI = (4 - 52/15) / (25/2 - 52/15) = 16/271.
+        let a = [0, 0, 1, 1, 0, 0, 1, 1, 2, 2];
+        let b = [0, 0, 0, 1, 1, 1, 2, 2, 2, 2];
+        let ari = adjusted_rand_index(&a, &b);
+        assert!((ari - 16.0 / 271.0).abs() < 1e-9, "ari {ari}");
+    }
+
+    #[test]
+    fn labels_from_clusters_fills_gaps() {
+        let labels = labels_from_clusters(5, &[vec![0, 2], vec![3]]);
+        assert_eq!(labels[0], labels[2]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[1], labels[4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two clusters")]
+    fn overlapping_clusters_rejected() {
+        labels_from_clusters(3, &[vec![0, 1], vec![1, 2]]);
+    }
+}

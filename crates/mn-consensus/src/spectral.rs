@@ -1,0 +1,332 @@
+//! Spectral consensus clustering.
+//!
+//! §2.2.2: the thresholded co-occurrence matrix is fed to "the spectral
+//! clustering algorithm proposed by Michoel and Nachtergaele" (Phys.
+//! Rev. E 86, 2012). That algorithm iteratively extracts the dominant
+//! eigenvector of the (non-negative, symmetric) matrix — by
+//! Perron–Frobenius it can be taken entrywise non-negative — reads the
+//! tightest cluster off its largest components, removes those
+//! variables, and repeats until no structure remains.
+//!
+//! Our implementation follows that extraction loop with plain power
+//! iteration and deflation-by-removal. The membership cutoff (take the
+//! variables whose eigenvector weight is at least `membership_frac` of
+//! the maximum) is the standard reading of the hypergraph method's
+//! cluster-extraction step; DESIGN.md records it as a behavioural
+//! equivalent. The consensus task is < 0.04 % of total sequential
+//! runtime in the paper's experiments, so it is run *sequentially,
+//! replicated on every rank*, exactly as §3.2.2 does.
+
+use crate::symmatrix::SymMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the spectral extraction loop.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpectralParams {
+    /// A variable joins the current cluster when its eigenvector
+    /// weight is ≥ this fraction of the maximum weight.
+    pub membership_frac: f64,
+    /// Clusters smaller than this are discarded (their variables stay
+    /// unassigned), mirroring Lemon-Tree's minimum-cluster-size option.
+    pub min_cluster_size: usize,
+    /// Power-iteration convergence tolerance on the eigenvector.
+    pub tol: f64,
+    /// Power-iteration cap.
+    pub max_iters: usize,
+    /// Stop extracting once the dominant eigenvalue falls below this.
+    pub min_eigenvalue: f64,
+}
+
+impl Default for SpectralParams {
+    fn default() -> Self {
+        Self {
+            membership_frac: 0.5,
+            min_cluster_size: 2,
+            tol: 1e-4,
+            max_iters: 50,
+            min_eigenvalue: 1e-6,
+        }
+    }
+}
+
+/// Result of power iteration: dominant eigenvalue and eigenvector.
+#[derive(Debug, Clone)]
+pub struct DominantPair {
+    /// Rayleigh-quotient estimate of the largest eigenvalue.
+    pub value: f64,
+    /// Unit-norm, entrywise non-negative eigenvector.
+    pub vector: Vec<f64>,
+    /// Iterations actually executed (for work accounting).
+    pub iterations: usize,
+}
+
+/// Power iteration for the dominant eigenpair of a non-negative
+/// symmetric matrix, restricted to `active` indices (inactive entries
+/// stay exactly zero). The matrix-vector product touches only the
+/// active rows and columns, so late extractions (few remaining
+/// variables) are cheap. Deterministic: starts from the uniform vector.
+pub fn power_iteration(
+    a: &SymMatrix,
+    active: &[bool],
+    tol: f64,
+    max_iters: usize,
+) -> DominantPair {
+    let n = a.n();
+    assert_eq!(active.len(), n);
+    let active_list: Vec<usize> = (0..n).filter(|&i| active[i]).collect();
+    if active_list.is_empty() {
+        return DominantPair {
+            value: 0.0,
+            vector: vec![0.0; n],
+            iterations: 0,
+        };
+    }
+    let init = 1.0 / (active_list.len() as f64).sqrt();
+    let mut v: Vec<f64> = active
+        .iter()
+        .map(|&b| if b { init } else { 0.0 })
+        .collect();
+    let mut next = vec![0.0; n];
+    let mut value = 0.0;
+    let mut iterations = 0;
+    for _ in 0..max_iters {
+        iterations += 1;
+        // Compressed matvec over active indices only.
+        for &i in &active_list {
+            let row = a.row(i);
+            let mut acc = 0.0;
+            for &j in &active_list {
+                acc += row[j] * v[j];
+            }
+            next[i] = acc;
+        }
+        let norm = active_list
+            .iter()
+            .map(|&i| next[i] * next[i])
+            .sum::<f64>()
+            .sqrt();
+        if norm == 0.0 {
+            return DominantPair {
+                value: 0.0,
+                vector: vec![0.0; n],
+                iterations,
+            };
+        }
+        let mut delta: f64 = 0.0;
+        for &i in &active_list {
+            next[i] /= norm;
+            delta = delta.max((next[i] - v[i]).abs());
+        }
+        std::mem::swap(&mut v, &mut next);
+        // For a non-negative matrix and non-negative start the iterates
+        // stay non-negative; the norm is the eigenvalue estimate.
+        value = norm;
+        if delta < tol {
+            break;
+        }
+    }
+    DominantPair {
+        value,
+        vector: v,
+        iterations,
+    }
+}
+
+/// Extract consensus clusters from a co-occurrence matrix.
+///
+/// Returns the clusters (lists of variable indices, each sorted), in
+/// extraction order (strongest first). Variables in no returned
+/// cluster were either isolated by the threshold or fell in clusters
+/// smaller than `min_cluster_size`.
+pub fn spectral_clusters(matrix: &SymMatrix, params: &SpectralParams) -> Vec<Vec<usize>> {
+    spectral_clusters_counted(matrix, params).0
+}
+
+/// [`spectral_clusters`] with a work-unit estimate (matrix-vector
+/// products dominate: one unit per matrix cell per power-iteration
+/// step), used to charge the engines for the replicated consensus task.
+pub fn spectral_clusters_counted(
+    matrix: &SymMatrix,
+    params: &SpectralParams,
+) -> (Vec<Vec<usize>>, u64) {
+    let n = matrix.n();
+    let mut a = matrix.clone();
+    let mut active = vec![true; n];
+    let mut clusters = Vec::new();
+    let mut work: u64 = 0;
+    loop {
+        let remaining = active.iter().filter(|&&b| b).count();
+        if remaining == 0 {
+            break;
+        }
+        let pair = power_iteration(&a, &active, params.tol, params.max_iters);
+        // Matvec work actually performed by this extraction; one
+        // multiply-add is far cheaper than a scoring cell visit, so
+        // four madds are charged as one work unit.
+        work += pair.iterations as u64 * (remaining as u64) * (remaining as u64) / 4;
+        if pair.value < params.min_eigenvalue {
+            break;
+        }
+        let max_w = pair.vector.iter().copied().fold(0.0, f64::max);
+        if max_w <= 0.0 {
+            break;
+        }
+        let cutoff = params.membership_frac * max_w;
+        let candidates: Vec<usize> = (0..n)
+            .filter(|&i| active[i] && pair.vector[i] >= cutoff)
+            .collect();
+        let argmax = (0..n)
+            .filter(|&i| active[i])
+            .max_by(|&i, &j| pair.vector[i].total_cmp(&pair.vector[j]))
+            .unwrap();
+        // When the spectrum is degenerate (e.g. two equally strong
+        // blocks), the dominant eigenvector can mix several blocks.
+        // Restrict the extracted cluster to the connected component of
+        // the strongest variable within the candidate set, which is
+        // exactly one block of the co-occurrence graph.
+        let cluster = connected_component(&a, &candidates, argmax);
+        for &i in &cluster {
+            active[i] = false;
+            a.clear_index(i);
+        }
+        if cluster.len() >= params.min_cluster_size {
+            clusters.push(cluster);
+        }
+    }
+    (clusters, work)
+}
+
+/// The connected component of `seed` in the subgraph of `a` induced by
+/// `candidates` (edges where `a(i,j) > 0`). Returns a sorted list;
+/// contains at least `seed`.
+fn connected_component(a: &SymMatrix, candidates: &[usize], seed: usize) -> Vec<usize> {
+    if !candidates.contains(&seed) {
+        return vec![seed];
+    }
+    let mut in_component = vec![false; a.n()];
+    in_component[seed] = true;
+    let mut queue = vec![seed];
+    while let Some(i) = queue.pop() {
+        for &j in candidates {
+            if !in_component[j] && a.get(i, j) > 0.0 {
+                in_component[j] = true;
+                queue.push(j);
+            }
+        }
+    }
+    (0..a.n()).filter(|&i| in_component[i]).collect()
+}
+
+/// Convenience: the full consensus-clustering task (§2.2.2) from an
+/// ensemble of variable clusterings.
+pub fn consensus_clustering(
+    n: usize,
+    ensemble: &[Vec<Vec<usize>>],
+    threshold: f64,
+    params: &SpectralParams,
+) -> Vec<Vec<usize>> {
+    let a = crate::cooccurrence::cooccurrence_matrix(n, ensemble, threshold);
+    spectral_clusters(&a, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block_matrix() -> SymMatrix {
+        // Two perfect blocks {0,1,2} and {3,4} with no cross terms.
+        let mut a = SymMatrix::zeros(5);
+        for &(i, j) in &[(0, 1), (0, 2), (1, 2), (3, 4)] {
+            a.set(i, j, 1.0);
+        }
+        for i in 0..5 {
+            a.set(i, i, 1.0);
+        }
+        a
+    }
+
+    #[test]
+    fn power_iteration_finds_known_eigenpair() {
+        // [[2,1],[1,2]] has dominant eigenvalue 3, eigenvector (1,1)/√2.
+        let mut a = SymMatrix::zeros(2);
+        a.set(0, 0, 2.0);
+        a.set(1, 1, 2.0);
+        a.set(0, 1, 1.0);
+        let pair = power_iteration(&a, &[true, true], 1e-12, 1000);
+        assert!((pair.value - 3.0).abs() < 1e-9, "value {}", pair.value);
+        let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((pair.vector[0] - inv_sqrt2).abs() < 1e-6);
+        assert!((pair.vector[1] - inv_sqrt2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_iteration_respects_active_mask() {
+        let a = block_matrix();
+        let active = [false, false, false, true, true];
+        let pair = power_iteration(&a, &active, 1e-12, 1000);
+        assert_eq!(pair.vector[0], 0.0);
+        assert!(pair.vector[3] > 0.0);
+        // Dominant eigenvalue of the {3,4} block (1 on diag, 1 off) is 2.
+        assert!((pair.value - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocks_are_recovered_in_size_order() {
+        let clusters = spectral_clusters(&block_matrix(), &SpectralParams::default());
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0], vec![0, 1, 2]);
+        assert_eq!(clusters[1], vec![3, 4]);
+    }
+
+    #[test]
+    fn min_cluster_size_discards_singletons() {
+        let mut a = SymMatrix::zeros(3);
+        a.set(0, 1, 1.0);
+        for i in 0..3 {
+            a.set(i, i, 1.0);
+        }
+        // Variable 2 is isolated.
+        let clusters = spectral_clusters(&a, &SpectralParams::default());
+        assert_eq!(clusters, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn consensus_from_noisy_ensemble() {
+        // 10 samples agreeing on {0,1,2} / {3,4,5}, with one dissenting
+        // sample mixing them. Threshold 0.3 removes the noise.
+        let mut ensemble = vec![vec![vec![0, 1, 2], vec![3, 4, 5]]; 9];
+        ensemble.push(vec![vec![0, 3], vec![1, 4], vec![2, 5]]);
+        let clusters = consensus_clustering(6, &ensemble, 0.3, &SpectralParams::default());
+        assert_eq!(clusters.len(), 2);
+        let mut sets: Vec<Vec<usize>> = clusters;
+        sets.sort();
+        assert_eq!(sets, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = block_matrix();
+        let p = SpectralParams::default();
+        assert_eq!(spectral_clusters(&a, &p), spectral_clusters(&a, &p));
+    }
+
+    #[test]
+    fn empty_matrix_yields_no_clusters() {
+        let a = SymMatrix::zeros(4);
+        let clusters = spectral_clusters(&a, &SpectralParams::default());
+        assert!(clusters.is_empty());
+    }
+
+    #[test]
+    fn clusters_are_disjoint_and_within_range() {
+        let clusters = spectral_clusters(&block_matrix(), &SpectralParams::default());
+        let mut seen = [false; 5];
+        for c in &clusters {
+            for &v in c {
+                assert!(v < 5);
+                assert!(!seen[v], "variable {v} in two clusters");
+                seen[v] = true;
+            }
+        }
+    }
+}

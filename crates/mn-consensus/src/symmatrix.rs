@@ -1,0 +1,150 @@
+//! Dense symmetric matrix used for co-occurrence counts.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense symmetric `n × n` matrix of `f64` (full storage; the
+/// consensus task is a negligible fraction of total runtime — §3.2.2 —
+/// so simplicity wins over a packed layout).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SymMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SymMatrix {
+    /// Zero matrix of size `n`.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Dimension.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Symmetric element update: sets `(i,j)` and `(j,i)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+        self.data[j * self.n + i] = v;
+    }
+
+    /// Symmetric element increment.
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] += v;
+        if i != j {
+            self.data[j * self.n + i] += v;
+        }
+    }
+
+    /// One row as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// `y = A x` into a caller-provided buffer.
+    pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        for (i, out) in y.iter_mut().enumerate() {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            *out = acc;
+        }
+    }
+
+    /// Zero out row and column `i` (the deflation step of iterative
+    /// spectral extraction).
+    pub fn clear_index(&mut self, i: usize) {
+        for j in 0..self.n {
+            self.set(i, j, 0.0);
+        }
+    }
+
+    /// Apply `f` to every stored element (used to threshold).
+    pub fn map_in_place(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Maximum absolute element.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |acc, v| acc.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_is_symmetric() {
+        let mut m = SymMatrix::zeros(3);
+        m.set(0, 2, 5.0);
+        assert_eq!(m.get(0, 2), 5.0);
+        assert_eq!(m.get(2, 0), 5.0);
+    }
+
+    #[test]
+    fn add_does_not_double_count_diagonal() {
+        let mut m = SymMatrix::zeros(2);
+        m.add(1, 1, 3.0);
+        assert_eq!(m.get(1, 1), 3.0);
+        m.add(0, 1, 2.0);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 2.0);
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let mut m = SymMatrix::zeros(2);
+        m.set(0, 0, 1.0);
+        m.set(0, 1, 2.0);
+        m.set(1, 1, 3.0);
+        let mut y = vec![0.0; 2];
+        m.mul_vec(&[1.0, 1.0], &mut y);
+        assert_eq!(y, vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn clear_index_zeros_row_and_col() {
+        let mut m = SymMatrix::zeros(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                m.set(i, j, 1.0);
+            }
+        }
+        m.clear_index(1);
+        for j in 0..3 {
+            assert_eq!(m.get(1, j), 0.0);
+            assert_eq!(m.get(j, 1), 0.0);
+        }
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(2, 0), 1.0);
+    }
+
+    #[test]
+    fn map_and_max_abs() {
+        let mut m = SymMatrix::zeros(2);
+        m.set(0, 1, -4.0);
+        assert_eq!(m.max_abs(), 4.0);
+        m.map_in_place(|v| if v.abs() < 5.0 { 0.0 } else { v });
+        assert_eq!(m.max_abs(), 0.0);
+    }
+}

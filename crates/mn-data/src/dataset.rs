@@ -1,0 +1,140 @@
+//! A named expression data set.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// An `n × m` data set: `n` named variables (genes) observed in `m`
+/// named conditions (experiments).
+///
+/// This is the input to every task of the learner. Per §5.3 of the
+/// paper, the complete data set is replicated on every processor ("we
+/// assume that the complete data set D is available on all the
+/// processors"), so `Dataset` is freely shareable and read-only during
+/// learning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Variable (gene) names; `var_names.len() == matrix.rows()`.
+    pub var_names: Vec<String>,
+    /// Observation (condition) names; `obs_names.len() == matrix.cols()`.
+    pub obs_names: Vec<String>,
+    /// The expression matrix (variables × observations).
+    pub matrix: Matrix,
+}
+
+impl Dataset {
+    /// Build a data set, generating default names where `None`.
+    pub fn new(
+        matrix: Matrix,
+        var_names: Option<Vec<String>>,
+        obs_names: Option<Vec<String>>,
+    ) -> Self {
+        let var_names =
+            var_names.unwrap_or_else(|| (0..matrix.rows()).map(|i| format!("G{i}")).collect());
+        let obs_names =
+            obs_names.unwrap_or_else(|| (0..matrix.cols()).map(|j| format!("E{j}")).collect());
+        assert_eq!(var_names.len(), matrix.rows(), "variable name count");
+        assert_eq!(obs_names.len(), matrix.cols(), "observation name count");
+        Self {
+            var_names,
+            obs_names,
+            matrix,
+        }
+    }
+
+    /// Number of variables `n`.
+    #[inline]
+    pub fn n_vars(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// Number of observations `m`.
+    #[inline]
+    pub fn n_obs(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    /// The observations of one variable.
+    #[inline]
+    pub fn values(&self, var: usize) -> &[f64] {
+        self.matrix.row(var)
+    }
+
+    /// The paper's subsampling protocol: the data set restricted to the
+    /// first `n` variables and first `m` observations (Table 1, Fig. 3/4:
+    /// "combinations of the first n = {...} variables and the first
+    /// m = {...} observations in the data set").
+    pub fn subsample(&self, n: usize, m: usize) -> Dataset {
+        assert!(
+            n <= self.n_vars() && m <= self.n_obs(),
+            "subsample {n}x{m} exceeds data set {}x{}",
+            self.n_vars(),
+            self.n_obs()
+        );
+        Dataset {
+            var_names: self.var_names[..n].to_vec(),
+            obs_names: self.obs_names[..m].to_vec(),
+            matrix: self.matrix.top_left(n, m),
+        }
+    }
+
+    /// Standardize each variable to zero mean / unit variance.
+    pub fn standardized(mut self) -> Dataset {
+        self.matrix.standardize_rows();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset::new(Matrix::from_fn(3, 4, |r, c| (r + c) as f64), None, None)
+    }
+
+    #[test]
+    fn default_names() {
+        let d = tiny();
+        assert_eq!(d.var_names, vec!["G0", "G1", "G2"]);
+        assert_eq!(d.obs_names, vec!["E0", "E1", "E2", "E3"]);
+    }
+
+    #[test]
+    fn explicit_names() {
+        let d = Dataset::new(
+            Matrix::zeros(2, 1),
+            Some(vec!["a".into(), "b".into()]),
+            Some(vec!["x".into()]),
+        );
+        assert_eq!(d.var_names[1], "b");
+        assert_eq!(d.obs_names[0], "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "variable name count")]
+    fn name_count_checked() {
+        Dataset::new(Matrix::zeros(2, 1), Some(vec!["a".into()]), None);
+    }
+
+    #[test]
+    fn subsample_takes_prefix() {
+        let d = tiny();
+        let s = d.subsample(2, 2);
+        assert_eq!(s.n_vars(), 2);
+        assert_eq!(s.n_obs(), 2);
+        assert_eq!(s.var_names, vec!["G0", "G1"]);
+        assert_eq!(s.values(1), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn subsample_bounds_checked() {
+        tiny().subsample(10, 1);
+    }
+
+    #[test]
+    fn values_accessor() {
+        let d = tiny();
+        assert_eq!(d.values(2), &[2.0, 3.0, 4.0, 5.0]);
+    }
+}

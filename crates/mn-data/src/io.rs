@@ -1,0 +1,204 @@
+//! Tab-separated expression-matrix I/O.
+//!
+//! The Zenodo data sets the paper uses (yeast: 10.5281/zenodo.3355524,
+//! A. thaliana: 10.5281/zenodo.4672797) are plain numeric tables with a
+//! header row of condition names and a leading column of gene names —
+//! the format read and written here. If a user has the real data, it
+//! can be dropped in directly; our experiments use the synthetic
+//! generator (see [`crate::synthetic`]) as documented in DESIGN.md.
+
+use crate::dataset::Dataset;
+use crate::matrix::Matrix;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors raised while reading an expression table.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem in the table, with a 1-based line number.
+    Parse {
+        /// 1-based line number of the offending line (0 = whole file).
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "i/o error: {e}"),
+            ReadError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Read a TSV expression table from a reader.
+///
+/// Expected shape:
+/// ```text
+/// <corner>\t<obs name>\t<obs name>...
+/// <gene>\t<value>\t<value>...
+/// ```
+/// Empty lines and lines starting with `#` are ignored.
+pub fn read_tsv<R: Read>(reader: R) -> Result<Dataset, ReadError> {
+    let reader = BufReader::new(reader);
+    let mut obs_names: Option<Vec<String>> = None;
+    let mut var_names: Vec<String> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+    let mut width = 0usize;
+
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split('\t');
+        let first = fields.next().unwrap_or_default();
+        if obs_names.is_none() {
+            let names: Vec<String> = fields.map(|s| s.to_string()).collect();
+            if names.is_empty() {
+                return Err(ReadError::Parse {
+                    line: lineno,
+                    message: "header row has no observation names".into(),
+                });
+            }
+            width = names.len();
+            obs_names = Some(names);
+            continue;
+        }
+        var_names.push(first.to_string());
+        let mut count = 0usize;
+        for field in fields {
+            let v: f64 = field.trim().parse().map_err(|e| ReadError::Parse {
+                line: lineno,
+                message: format!("bad numeric value {field:?}: {e}"),
+            })?;
+            values.push(v);
+            count += 1;
+        }
+        if count != width {
+            return Err(ReadError::Parse {
+                line: lineno,
+                message: format!("expected {width} values, found {count}"),
+            });
+        }
+    }
+
+    let obs_names = obs_names.ok_or(ReadError::Parse {
+        line: 0,
+        message: "empty table".into(),
+    })?;
+    let matrix = Matrix::from_vec(var_names.len(), width, values);
+    Ok(Dataset::new(matrix, Some(var_names), Some(obs_names)))
+}
+
+/// Read a TSV expression table from a file path.
+pub fn read_tsv_file<P: AsRef<Path>>(path: P) -> Result<Dataset, ReadError> {
+    read_tsv(File::open(path)?)
+}
+
+/// Write a data set as a TSV expression table.
+pub fn write_tsv<W: Write>(dataset: &Dataset, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    write!(w, "gene")?;
+    for name in &dataset.obs_names {
+        write!(w, "\t{name}")?;
+    }
+    writeln!(w)?;
+    for (i, name) in dataset.var_names.iter().enumerate() {
+        write!(w, "{name}")?;
+        for v in dataset.values(i) {
+            write!(w, "\t{v}")?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Write a data set as a TSV expression table to a file path.
+pub fn write_tsv_file<P: AsRef<Path>>(dataset: &Dataset, path: P) -> io::Result<()> {
+    write_tsv(dataset, File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "gene\tc1\tc2\tc3\n# a comment\ng1\t1.0\t2.0\t3.0\ng2\t-1.5\t0\t4e-2\n";
+
+    #[test]
+    fn roundtrip() {
+        let d = read_tsv(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(d.n_vars(), 2);
+        assert_eq!(d.n_obs(), 3);
+        assert_eq!(d.var_names, vec!["g1", "g2"]);
+        assert_eq!(d.obs_names, vec!["c1", "c2", "c3"]);
+        assert_eq!(d.values(1), &[-1.5, 0.0, 0.04]);
+
+        let mut buf = Vec::new();
+        write_tsv(&d, &mut buf).unwrap();
+        let d2 = read_tsv(buf.as_slice()).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let err = read_tsv("g\tc1\tc2\ng1\t1.0\n".as_bytes()).unwrap_err();
+        match err {
+            ReadError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("expected 2"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let err = read_tsv("g\tc1\ng1\tbanana\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ReadError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(read_tsv("".as_bytes()).is_err());
+        assert!(read_tsv("\n\n# only comments\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let d = read_tsv("g\tc1\n\ng1\t1\n\n".as_bytes()).unwrap();
+        assert_eq!(d.n_vars(), 1);
+    }
+
+    #[test]
+    fn crlf_tolerated() {
+        let d = read_tsv("g\tc1\r\ng1\t5\r\n".as_bytes()).unwrap();
+        assert_eq!(d.values(0), &[5.0]);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let d = read_tsv(SAMPLE.as_bytes()).unwrap();
+        let path = std::env::temp_dir().join("mn_data_io_test.tsv");
+        write_tsv_file(&d, &path).unwrap();
+        let d2 = read_tsv_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(d, d2);
+    }
+}

@@ -1,0 +1,213 @@
+//! Dense row-major matrix of observations.
+//!
+//! The learner views a data set as an `n × m` matrix (n variables/genes
+//! as rows, m observations/experiments as columns), matching §2.1 of the
+//! paper ("MoNets are learned from multiple (m) observations of the n
+//! random variables, represented as an n × m matrix"). Row-major layout
+//! is chosen because the innermost loops of the Gibbs sampler and the
+//! split scorer stream over the observations of one variable at a time.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major `rows × cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a row-major buffer. Panics if `data.len() != rows*cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Build from a closure evaluated at every (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows (variables).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (observations).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One full row as a slice — the hot accessor for per-variable loops.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy one column into a fresh vector (cold path; used by I/O).
+    pub fn col_to_vec(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols);
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// The raw row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Submatrix of the first `rows` rows and first `cols` columns —
+    /// the paper's subsampling protocol ("using the first n variables
+    /// and m observations of the yeast data set", Table 1).
+    pub fn top_left(&self, rows: usize, cols: usize) -> Matrix {
+        assert!(rows <= self.rows && cols <= self.cols);
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            out.data[r * cols..(r + 1) * cols].copy_from_slice(&self.row(r)[..cols]);
+        }
+        out
+    }
+
+    /// Mean of one row.
+    pub fn row_mean(&self, r: usize) -> f64 {
+        let row = self.row(r);
+        if row.is_empty() {
+            return 0.0;
+        }
+        row.iter().sum::<f64>() / row.len() as f64
+    }
+
+    /// Population variance of one row.
+    pub fn row_variance(&self, r: usize) -> f64 {
+        let row = self.row(r);
+        if row.is_empty() {
+            return 0.0;
+        }
+        let mean = self.row_mean(r);
+        row.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / row.len() as f64
+    }
+
+    /// Standardize every row to zero mean and unit variance in place
+    /// (constant rows are left at zero mean, zero variance). Expression
+    /// pre-processing commonly applied before module-network learning.
+    pub fn standardize_rows(&mut self) {
+        for r in 0..self.rows {
+            let mean = self.row_mean(r);
+            let var = self.row_variance(r);
+            let sd = var.sqrt();
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            if sd > 0.0 {
+                for x in row.iter_mut() {
+                    *x = (*x - mean) / sd;
+                }
+            } else {
+                for x in row.iter_mut() {
+                    *x -= mean;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_fn(3, 4, |r, c| (r * 10 + c) as f64);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.get(2, 3), 23.0);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0, 13.0]);
+        assert_eq!(m.col_to_vec(2), vec![2.0, 12.0, 22.0]);
+    }
+
+    #[test]
+    fn set_updates_value() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(1, 0, 5.5);
+        assert_eq!(m.get(1, 0), 5.5);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_checks_length() {
+        Matrix::from_vec(2, 3, vec![1.0; 5]);
+    }
+
+    #[test]
+    fn top_left_matches_paper_subsampling() {
+        let m = Matrix::from_fn(4, 5, |r, c| (r * 100 + c) as f64);
+        let s = m.top_left(2, 3);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.cols(), 3);
+        for r in 0..2 {
+            for c in 0..3 {
+                assert_eq!(s.get(r, c), m.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn row_stats() {
+        let m = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.row_mean(0), 2.5);
+        assert!((m.row_variance(0) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standardize_rows_gives_unit_stats() {
+        let mut m = Matrix::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, 7.0, 7.0, 7.0, 7.0]);
+        m.standardize_rows();
+        assert!(m.row_mean(0).abs() < 1e-12);
+        assert!((m.row_variance(0) - 1.0).abs() < 1e-12);
+        // Constant row becomes all zeros, not NaN.
+        assert!(m.row(1).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let m = Matrix::zeros(0, 0);
+        assert_eq!(m.rows(), 0);
+        assert_eq!(m.as_slice().len(), 0);
+    }
+}

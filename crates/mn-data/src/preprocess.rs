@@ -1,0 +1,173 @@
+//! Preprocessing for real expression compendia.
+//!
+//! The paper's inputs are aggregated public data sets (yeast RNA-seq
+//! from Tchourine et al., A. thaliana microarrays): before module
+//! learning such compendia are routinely log-transformed, filtered to
+//! the most variable genes, and cleaned of missing values. These are
+//! the standard steps, provided so a user can go from a raw TSV to
+//! learner-ready data without leaving this crate.
+
+use crate::dataset::Dataset;
+use crate::matrix::Matrix;
+
+/// Replace non-finite cells (NaN/±inf — the usual encodings of missing
+/// measurements after a join of studies) by the mean of the finite
+/// values in the same row. A row with no finite values becomes all
+/// zeros. Returns the number of imputed cells.
+pub fn impute_missing(data: &mut Dataset) -> usize {
+    let n = data.n_vars();
+    let m = data.n_obs();
+    let mut imputed = 0;
+    for v in 0..n {
+        let row = data.matrix.row(v);
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for &x in row {
+            if x.is_finite() {
+                sum += x;
+                count += 1;
+            }
+        }
+        let mean = if count > 0 { sum / count as f64 } else { 0.0 };
+        for o in 0..m {
+            if !data.matrix.get(v, o).is_finite() {
+                data.matrix.set(v, o, mean);
+                imputed += 1;
+            }
+        }
+    }
+    imputed
+}
+
+/// `log2(x + pseudocount)` transform of every cell — the standard
+/// variance-stabilizing transform for count-like expression data.
+/// Panics if any cell would make the argument non-positive.
+pub fn log2_transform(data: &mut Dataset, pseudocount: f64) {
+    let n = data.n_vars();
+    let m = data.n_obs();
+    for v in 0..n {
+        for o in 0..m {
+            let x = data.matrix.get(v, o) + pseudocount;
+            assert!(
+                x > 0.0,
+                "log2 transform of non-positive value {x} at ({v}, {o})"
+            );
+            data.matrix.set(v, o, x.log2());
+        }
+    }
+}
+
+/// Keep the `top` most variable genes (by row variance), preserving
+/// their original relative order — the usual gene-filtering step
+/// before network learning. Returns the filtered data set and the
+/// kept original indices.
+pub fn filter_most_variable(data: &Dataset, top: usize) -> (Dataset, Vec<usize>) {
+    let n = data.n_vars();
+    let top = top.min(n);
+    let mut by_variance: Vec<(usize, f64)> = (0..n)
+        .map(|v| (v, data.matrix.row_variance(v)))
+        .collect();
+    by_variance.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut keep: Vec<usize> = by_variance[..top].iter().map(|&(v, _)| v).collect();
+    keep.sort_unstable();
+
+    let matrix = Matrix::from_fn(keep.len(), data.n_obs(), |r, c| {
+        data.matrix.get(keep[r], c)
+    });
+    let names = keep.iter().map(|&v| data.var_names[v].clone()).collect();
+    (
+        Dataset::new(matrix, Some(names), Some(data.obs_names.clone())),
+        keep,
+    )
+}
+
+/// The full standard pipeline: impute, optionally log-transform,
+/// filter to the `top` most variable genes, standardize rows.
+pub fn standard_pipeline(mut data: Dataset, log2_pseudocount: Option<f64>, top: usize) -> Dataset {
+    impute_missing(&mut data);
+    if let Some(pc) = log2_pseudocount {
+        log2_transform(&mut data, pc);
+    }
+    let (filtered, _) = filter_most_variable(&data, top);
+    filtered.standardized()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imputation_fills_row_means() {
+        let mut d = Dataset::new(
+            Matrix::from_vec(2, 3, vec![1.0, f64::NAN, 3.0, f64::NAN, f64::NAN, f64::NAN]),
+            None,
+            None,
+        );
+        let imputed = impute_missing(&mut d);
+        assert_eq!(imputed, 4);
+        assert_eq!(d.values(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(d.values(1), &[0.0, 0.0, 0.0], "all-missing row becomes zeros");
+    }
+
+    #[test]
+    fn log2_transform_is_exact_on_powers_of_two() {
+        let mut d = Dataset::new(Matrix::from_vec(1, 3, vec![0.0, 1.0, 3.0]), None, None);
+        log2_transform(&mut d, 1.0);
+        assert_eq!(d.values(0), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive")]
+    fn log2_transform_rejects_negative() {
+        let mut d = Dataset::new(Matrix::from_vec(1, 1, vec![-2.0]), None, None);
+        log2_transform(&mut d, 1.0);
+    }
+
+    #[test]
+    fn variance_filter_keeps_most_variable_in_order() {
+        let d = Dataset::new(
+            Matrix::from_vec(
+                3,
+                4,
+                vec![
+                    0.0, 0.0, 0.0, 0.0, // constant
+                    0.0, 10.0, -10.0, 0.0, // most variable
+                    1.0, 2.0, 1.0, 2.0, // mildly variable
+                ],
+            ),
+            None,
+            None,
+        );
+        let (filtered, keep) = filter_most_variable(&d, 2);
+        assert_eq!(keep, vec![1, 2], "original order preserved");
+        assert_eq!(filtered.n_vars(), 2);
+        assert_eq!(filtered.var_names, vec!["G1", "G2"]);
+        assert_eq!(filtered.values(0), d.values(1));
+    }
+
+    #[test]
+    fn filter_handles_top_larger_than_n() {
+        let d = Dataset::new(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]), None, None);
+        let (filtered, keep) = filter_most_variable(&d, 10);
+        assert_eq!(filtered.n_vars(), 2);
+        assert_eq!(keep, vec![0, 1]);
+    }
+
+    #[test]
+    fn standard_pipeline_produces_learner_ready_data() {
+        let mut cells = vec![0.0; 4 * 6];
+        for (i, c) in cells.iter_mut().enumerate() {
+            *c = (i as f64 * 7.3) % 11.0;
+        }
+        cells[5] = f64::NAN;
+        let d = Dataset::new(Matrix::from_vec(4, 6, cells), None, None);
+        let out = standard_pipeline(d, Some(1.0), 3);
+        assert_eq!(out.n_vars(), 3);
+        for v in 0..3 {
+            assert!(out.matrix.row_mean(v).abs() < 1e-9);
+            let var = out.matrix.row_variance(v);
+            assert!((var - 1.0).abs() < 1e-9 || var == 0.0);
+            assert!(out.values(v).iter().all(|x| x.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Fuzz-style robustness tests of the TSV reader: arbitrary input must
+//! never panic — it either parses or returns a structured error — and
+//! every generated data set must survive a write/read roundtrip.
+
+use mn_data::{read_tsv, write_tsv, Dataset, Matrix};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn reader_never_panics_on_arbitrary_text(input in ".{0,400}") {
+        let _ = read_tsv(input.as_bytes());
+    }
+
+    #[test]
+    fn reader_never_panics_on_arbitrary_bytes(input in prop::collection::vec(any::<u8>(), 0..400)) {
+        let _ = read_tsv(input.as_slice());
+    }
+
+    #[test]
+    fn roundtrip_holds_for_arbitrary_tables(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        cells in prop::collection::vec(-1e6f64..1e6, 36),
+    ) {
+        let matrix = Matrix::from_fn(rows, cols, |r, c| cells[(r * cols + c) % cells.len()]);
+        let data = Dataset::new(matrix, None, None);
+        let mut buffer = Vec::new();
+        write_tsv(&data, &mut buffer).unwrap();
+        let back = read_tsv(buffer.as_slice()).unwrap();
+        prop_assert_eq!(back.n_vars(), rows);
+        prop_assert_eq!(back.n_obs(), cols);
+        for v in 0..rows {
+            for (a, b) in data.values(v).iter().zip(back.values(v)) {
+                prop_assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn subsample_then_roundtrip(
+        n in 2usize..8,
+        m in 2usize..8,
+        sub_n in 1usize..8,
+        sub_m in 1usize..8,
+    ) {
+        let data = mn_data::synthetic::yeast_like(n, m, 1).dataset;
+        let sub = data.subsample(sub_n.min(n), sub_m.min(m));
+        let mut buffer = Vec::new();
+        write_tsv(&sub, &mut buffer).unwrap();
+        let back = read_tsv(buffer.as_slice()).unwrap();
+        prop_assert_eq!(back, sub);
+    }
+}

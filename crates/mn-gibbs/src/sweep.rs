@@ -1,0 +1,341 @@
+//! The parallel update sweeps of Algorithms 1 and 2.
+//!
+//! Each sweep follows the paper's structure exactly:
+//!
+//! * `Reassign-Var-Cluster` (Alg. 1 lines 3–11): `n` iterations; each
+//!   picks a variable uniformly at random (`Select-Unif-Rand`),
+//!   computes the reassignment score for every candidate cluster — the
+//!   candidate list is block-partitioned over ranks — and moves the
+//!   variable to a cluster drawn with probability ∝ exp(Δscore)
+//!   (`Select-Wtd-Rand`).
+//! * `Merge-Var-Cluster` (lines 12–20): for each cluster, scores
+//!   merging into every other cluster in parallel and merges into a
+//!   weighted-random choice (or keeps it, the `stay` candidate).
+//! * `Reassign-Obs-Cluster` / `Merge-Obs-Cluster` (Alg. 2): the same
+//!   two moves applied to the observation partition of one variable
+//!   cluster with the variable clusters held fixed.
+//!
+//! Candidate-list convention: existing clusters in slot order followed
+//! by one "fresh cluster" candidate; the *stay* choice is the current
+//! cluster's own entry (Δ = 0). A variable's fresh-cluster candidate
+//! starts with a single observation cluster over all observations (the
+//! paper leaves the fresh partition unspecified; this choice is the
+//! simplest that keeps the score decomposable, and is applied
+//! identically in sequential and parallel execution).
+//!
+//! Randomness discipline: each sweep consumes one named stream
+//! (`Domain::{ReassignVar, MergeVar, ReassignObs, MergeObs}` keyed by
+//! GaneSH run and update step), with a fixed number of draws per
+//! iteration, so every engine and rank count replays the identical
+//! decision sequence.
+
+use crate::moves::MoveTarget;
+use crate::state::CoClustering;
+use mn_comm::{Collective, ParEngine};
+use mn_data::Dataset;
+use mn_rand::{select_unif_rand, select_wtd_log, Domain, MasterRng};
+
+/// Composite stream key for (run, step) pairs.
+#[inline]
+pub fn step_key(run: u64, step: u64) -> u64 {
+    run.wrapping_mul(0x1_0000_0000).wrapping_add(step)
+}
+
+/// One full variable-reassignment sweep (Alg. 1, `Reassign-Var-Cluster`).
+pub fn reassign_vars<E: ParEngine>(
+    engine: &mut E,
+    state: &mut CoClustering,
+    data: &Dataset,
+    master: &MasterRng,
+    run: u64,
+    step: u64,
+) {
+    let n = data.n_vars();
+    let mut stream = master.stream(Domain::ReassignVar, step_key(run, step));
+    for _ in 0..n {
+        let x = select_unif_rand(&mut stream, n);
+        let cur = state.slot_of_var(x);
+
+        let slots = state.active_slots();
+        let n_cand = slots.len() + 1; // + fresh cluster
+        let state_ref: &CoClustering = state;
+        // Alg. 1 line 8: each candidate's full reassignment score
+        // (removal from the current cluster + addition to the
+        // candidate) is computed inside the block-partitioned loop, so
+        // no component of the score is replicated serial work.
+        let weights: Vec<f64> = engine.dist_map(n_cand, 1, &|i| {
+            if i < slots.len() {
+                let slot = slots[i];
+                if slot == cur {
+                    (0.0, 1)
+                } else {
+                    let (rem, rem_work) = state_ref.var_removal_delta(data, x);
+                    let (add, work) = state_ref.var_addition_delta(data, x, slot);
+                    (rem + add, rem_work + work)
+                }
+            } else {
+                let (rem, rem_work) = state_ref.var_removal_delta(data, x);
+                let (add, work) = state_ref.var_new_cluster_delta(data, x);
+                (rem + add, rem_work + work)
+            }
+        });
+        // The collective part of Select-Wtd-Rand (§3.1).
+        engine.collective(Collective::AllReduce, 1);
+        let choice = select_wtd_log(&mut stream, &weights);
+        let target = if choice < slots.len() {
+            MoveTarget::Existing(slots[choice])
+        } else {
+            MoveTarget::New
+        };
+        if target != MoveTarget::Existing(cur) {
+            state.move_var(data, x, target);
+        }
+    }
+}
+
+/// One full variable-merge sweep (Alg. 1, `Merge-Var-Cluster`).
+pub fn merge_vars<E: ParEngine>(
+    engine: &mut E,
+    state: &mut CoClustering,
+    data: &Dataset,
+    master: &MasterRng,
+    run: u64,
+    step: u64,
+) {
+    let mut stream = master.stream(Domain::MergeVar, step_key(run, step));
+    let snapshot = state.active_slots();
+    for &slot in &snapshot {
+        // The cluster may have been absorbed by an earlier merge in
+        // this very sweep.
+        if !state.is_active(slot) {
+            continue;
+        }
+        let candidates = state.active_slots();
+        let state_ref: &CoClustering = state;
+        let weights: Vec<f64> = engine.dist_map(candidates.len(), 1, &|i| {
+            let t = candidates[i];
+            if t == slot {
+                (0.0, 1)
+            } else {
+                state_ref.merge_delta(data, slot, t)
+            }
+        });
+        engine.collective(Collective::AllReduce, 1);
+        let choice = select_wtd_log(&mut stream, &weights);
+        let target = candidates[choice];
+        if target != slot {
+            state.merge_var_clusters(data, slot, target);
+        }
+    }
+}
+
+/// One observation-reassignment sweep inside variable cluster `slot`
+/// (Alg. 2, `Reassign-Obs-Cluster`).
+pub fn reassign_obs<E: ParEngine>(
+    engine: &mut E,
+    state: &mut CoClustering,
+    data: &Dataset,
+    master: &MasterRng,
+    run: u64,
+    step: u64,
+    slot: usize,
+) {
+    let m = data.n_obs();
+    let mut stream =
+        master.stream2(Domain::ReassignObs, step_key(run, step), slot as u64);
+    for _ in 0..m {
+        let o = select_unif_rand(&mut stream, m);
+        let cur = state.cluster(slot).obs.slot_of(o);
+
+        let oslots = state.cluster(slot).obs.active_slots();
+        let n_cand = oslots.len() + 1;
+        let state_ref: &CoClustering = state;
+        // As in the variable sweep, the removal component is computed
+        // per candidate inside the parallel loop (Alg. 2 line 8).
+        let weights: Vec<f64> = engine.dist_map(n_cand, 1, &|i| {
+            if i < oslots.len() {
+                let t = oslots[i];
+                if t == cur {
+                    (0.0, 1)
+                } else {
+                    let (rem, rem_work) = state_ref.obs_removal_delta(data, slot, o);
+                    let (add, work) = state_ref.obs_addition_delta(data, slot, o, t);
+                    (rem + add, rem_work + work)
+                }
+            } else {
+                let (rem, rem_work) = state_ref.obs_removal_delta(data, slot, o);
+                let (add, work) = state_ref.obs_new_cluster_delta(data, slot, o);
+                (rem + add, rem_work + work)
+            }
+        });
+        engine.collective(Collective::AllReduce, 1);
+        let choice = select_wtd_log(&mut stream, &weights);
+        let target = if choice < oslots.len() {
+            Some(oslots[choice])
+        } else {
+            None
+        };
+        match target {
+            Some(t) if t == cur => {}
+            other => {
+                state.move_obs(data, slot, o, other);
+            }
+        }
+    }
+}
+
+/// One observation-merge sweep inside variable cluster `slot`
+/// (Alg. 2, `Merge-Obs-Cluster`).
+pub fn merge_obs<E: ParEngine>(
+    engine: &mut E,
+    state: &mut CoClustering,
+    data: &Dataset,
+    master: &MasterRng,
+    run: u64,
+    step: u64,
+    slot: usize,
+) {
+    let mut stream = master.stream2(Domain::MergeObs, step_key(run, step), slot as u64);
+    let snapshot = state.cluster(slot).obs.active_slots();
+    for &oslot in &snapshot {
+        if !state
+            .cluster(slot)
+            .obs
+            .active_slots()
+            .contains(&oslot)
+        {
+            continue;
+        }
+        let candidates = state.cluster(slot).obs.active_slots();
+        let state_ref: &CoClustering = state;
+        let weights: Vec<f64> = engine.dist_map(candidates.len(), 1, &|i| {
+            let t = candidates[i];
+            if t == oslot {
+                (0.0, 1)
+            } else {
+                state_ref.obs_merge_delta(data, slot, oslot, t)
+            }
+        });
+        engine.collective(Collective::AllReduce, 1);
+        let choice = select_wtd_log(&mut stream, &weights);
+        let target = candidates[choice];
+        if target != oslot {
+            state.merge_obs_clusters(slot, oslot, target);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_comm::{SerialEngine, SimEngine, ThreadEngine};
+    use mn_data::synthetic;
+    use mn_score::{NormalGamma, ScoreMode};
+
+    fn setup() -> (Dataset, CoClustering, MasterRng) {
+        let d = synthetic::yeast_like(18, 12, 21).dataset;
+        let master = MasterRng::new(4);
+        let s = CoClustering::random_init(
+            &d,
+            5,
+            NormalGamma::default(),
+            ScoreMode::Incremental,
+            &master,
+            0,
+        );
+        (d, s, master)
+    }
+
+    #[test]
+    fn sweeps_preserve_invariants() {
+        let (d, mut s, master) = setup();
+        let mut e = SerialEngine::new();
+        reassign_vars(&mut e, &mut s, &d, &master, 0, 0);
+        s.validate(&d);
+        merge_vars(&mut e, &mut s, &d, &master, 0, 0);
+        s.validate(&d);
+        for slot in s.active_slots() {
+            reassign_obs(&mut e, &mut s, &d, &master, 0, 0, slot);
+            s.validate(&d);
+            merge_obs(&mut e, &mut s, &d, &master, 0, 0, slot);
+            s.validate(&d);
+        }
+    }
+
+    #[test]
+    fn sweeps_identical_across_engines() {
+        let (d, s0, master) = setup();
+
+        let run = |mut engine: Box<dyn FnMut(&mut CoClustering)>| {
+            let mut s = s0.clone();
+            engine(&mut s);
+            s
+        };
+
+        let serial = run(Box::new(|s| {
+            let mut e = SerialEngine::new();
+            reassign_vars(&mut e, s, &d, &master, 0, 0);
+            merge_vars(&mut e, s, &d, &master, 0, 0);
+        }));
+        let threads = run(Box::new(|s| {
+            let mut e = ThreadEngine::new(3);
+            reassign_vars(&mut e, s, &d, &master, 0, 0);
+            merge_vars(&mut e, s, &d, &master, 0, 0);
+        }));
+        let sim = run(Box::new(|s| {
+            let mut e = SimEngine::new(64);
+            reassign_vars(&mut e, s, &d, &master, 0, 0);
+            merge_vars(&mut e, s, &d, &master, 0, 0);
+        }));
+        assert_eq!(serial, threads, "thread engine diverged");
+        assert_eq!(serial, sim, "sim engine diverged");
+    }
+
+    #[test]
+    fn reassign_sweep_tends_to_improve_score() {
+        // A Gibbs sweep is stochastic, but starting from a random
+        // assignment of strongly structured data, several sweeps should
+        // improve the score substantially more often than not.
+        let (d, mut s, master) = setup();
+        let before = s.score();
+        let mut e = SerialEngine::new();
+        for step in 0..3 {
+            reassign_vars(&mut e, &mut s, &d, &master, 0, step);
+            merge_vars(&mut e, &mut s, &d, &master, 0, step);
+        }
+        let after = s.score();
+        assert!(after > before, "score went from {before} to {after}");
+    }
+
+    #[test]
+    fn obs_sweeps_respect_cluster_scope() {
+        let (d, mut s, master) = setup();
+        let mut e = SerialEngine::new();
+        let slots = s.active_slots();
+        let other_clusters_before: Vec<_> = slots[1..]
+            .iter()
+            .map(|&sl| s.cluster(sl).clone())
+            .collect();
+        reassign_obs(&mut e, &mut s, &d, &master, 0, 0, slots[0]);
+        merge_obs(&mut e, &mut s, &d, &master, 0, 0, slots[0]);
+        // Observation moves in cluster 0 must not touch other clusters.
+        for (cluster, before) in slots[1..]
+            .iter()
+            .map(|&sl| s.cluster(sl))
+            .zip(&other_clusters_before)
+        {
+            assert_eq!(cluster, before);
+        }
+        s.validate(&d);
+    }
+
+    #[test]
+    fn merge_sweep_reduces_or_keeps_cluster_count() {
+        let (d, mut s, master) = setup();
+        let mut e = SerialEngine::new();
+        let before = s.n_active();
+        merge_vars(&mut e, &mut s, &d, &master, 0, 0);
+        assert!(s.n_active() <= before);
+        assert!(s.n_active() >= 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests: arbitrary valid move sequences keep the
+//! co-clustering state consistent, its cached score equal to the
+//! from-scratch score, and every predicted delta equal to the realized
+//! change.
+
+use mn_data::synthetic;
+use mn_gibbs::{CoClustering, MoveTarget};
+use mn_rand::MasterRng;
+use mn_score::{NormalGamma, ScoreMode};
+use proptest::prelude::*;
+
+/// A symbolic move, resolved against the current state when applied.
+#[derive(Debug, Clone)]
+enum Move {
+    /// Move variable (index modulo n) to the target cluster (choice
+    /// modulo the candidate count; the last choice means "fresh").
+    Var(usize, usize),
+    /// Merge two variable clusters (indices modulo active count).
+    MergeVars(usize, usize),
+    /// Move an observation within a cluster.
+    Obs(usize, usize, usize),
+    /// Merge two observation clusters within a cluster.
+    MergeObs(usize, usize, usize),
+}
+
+fn arb_move() -> impl Strategy<Value = Move> {
+    prop_oneof![
+        (0usize..64, 0usize..64).prop_map(|(a, b)| Move::Var(a, b)),
+        (0usize..64, 0usize..64).prop_map(|(a, b)| Move::MergeVars(a, b)),
+        (0usize..64, 0usize..64, 0usize..64).prop_map(|(a, b, c)| Move::Obs(a, b, c)),
+        (0usize..64, 0usize..64, 0usize..64).prop_map(|(a, b, c)| Move::MergeObs(a, b, c)),
+    ]
+}
+
+fn apply(state: &mut CoClustering, data: &mn_data::Dataset, mv: &Move) {
+    match *mv {
+        Move::Var(v, t) => {
+            let v = v % data.n_vars();
+            let slots = state.active_slots();
+            let choice = t % (slots.len() + 1);
+            let target = if choice < slots.len() {
+                MoveTarget::Existing(slots[choice])
+            } else {
+                MoveTarget::New
+            };
+            if target != MoveTarget::Existing(state.slot_of_var(v)) {
+                state.move_var(data, v, target);
+            }
+        }
+        Move::MergeVars(a, b) => {
+            let slots = state.active_slots();
+            if slots.len() < 2 {
+                return;
+            }
+            let from = slots[a % slots.len()];
+            let to = slots[b % slots.len()];
+            if from != to {
+                state.merge_var_clusters(data, from, to);
+            }
+        }
+        Move::Obs(s, o, t) => {
+            let slots = state.active_slots();
+            let slot = slots[s % slots.len()];
+            let o = o % data.n_obs();
+            let oslots = state.cluster(slot).obs.active_slots();
+            let choice = t % (oslots.len() + 1);
+            let cur = state.cluster(slot).obs.slot_of(o);
+            if choice < oslots.len() {
+                if oslots[choice] != cur {
+                    state.move_obs(data, slot, o, Some(oslots[choice]));
+                }
+            } else {
+                state.move_obs(data, slot, o, None);
+            }
+        }
+        Move::MergeObs(s, a, b) => {
+            let slots = state.active_slots();
+            let slot = slots[s % slots.len()];
+            let oslots = state.cluster(slot).obs.active_slots();
+            if oslots.len() < 2 {
+                return;
+            }
+            let from = oslots[a % oslots.len()];
+            let to = oslots[b % oslots.len()];
+            if from != to {
+                state.merge_obs_clusters(slot, from, to);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn arbitrary_move_sequences_keep_state_valid(
+        seed in 0u64..500,
+        moves in prop::collection::vec(arb_move(), 1..40),
+    ) {
+        let data = synthetic::yeast_like(12, 10, seed).dataset;
+        let mut state = CoClustering::random_init(
+            &data,
+            4,
+            NormalGamma::default(),
+            ScoreMode::Incremental,
+            &MasterRng::new(seed),
+            0,
+        );
+        for mv in &moves {
+            apply(&mut state, &data, mv);
+        }
+        state.validate(&data);
+        let cached = state.score();
+        let scratch = state.score_from_scratch(&data);
+        prop_assert!(
+            (cached - scratch).abs() < 1e-6 * scratch.abs().max(1.0),
+            "cached {cached} vs scratch {scratch}"
+        );
+    }
+
+    #[test]
+    fn var_move_deltas_always_predict_score_change(
+        seed in 0u64..200,
+        v in 0usize..12,
+        t in 0usize..8,
+    ) {
+        let data = synthetic::yeast_like(12, 10, seed).dataset;
+        let mut state = CoClustering::random_init(
+            &data,
+            4,
+            NormalGamma::default(),
+            ScoreMode::Incremental,
+            &MasterRng::new(seed),
+            0,
+        );
+        let cur = state.slot_of_var(v);
+        let slots = state.active_slots();
+        let choice = t % (slots.len() + 1);
+        let before = state.score_from_scratch(&data);
+        let (rem, _) = state.var_removal_delta(&data, v);
+        let delta = if choice < slots.len() {
+            if slots[choice] == cur {
+                return Ok(());
+            }
+            let (add, _) = state.var_addition_delta(&data, v, slots[choice]);
+            state.move_var(&data, v, MoveTarget::Existing(slots[choice]));
+            rem + add
+        } else {
+            let (add, _) = state.var_new_cluster_delta(&data, v);
+            state.move_var(&data, v, MoveTarget::New);
+            rem + add
+        };
+        let after = state.score_from_scratch(&data);
+        prop_assert!(
+            ((after - before) - delta).abs() < 1e-7 * after.abs().max(1.0),
+            "predicted {delta}, got {}",
+            after - before
+        );
+    }
+}

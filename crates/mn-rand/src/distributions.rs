@@ -1,0 +1,191 @@
+//! Continuous distributions needed by the synthetic data generator and
+//! by tests.
+//!
+//! Implemented from first principles (Box–Muller, Marsaglia–Tsang)
+//! rather than pulling in `rand_distr`, both to keep the dependency
+//! footprint at the pre-approved list and because the synthetic
+//! generator needs strict control over how many draws each sample
+//! consumes for reproducibility audits.
+
+use crate::stream::Stream;
+
+/// Standard normal sampler (Box–Muller, polar-free form).
+///
+/// Produces one N(0,1) variate per call; caches the second Box–Muller
+/// output so consecutive calls consume on average one draw-pair per two
+/// samples.
+#[derive(Debug, Clone, Default)]
+pub struct Normal {
+    cached: Option<f64>,
+}
+
+impl Normal {
+    /// New sampler with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draw one standard-normal variate.
+    pub fn sample(&mut self, stream: &mut Stream) -> f64 {
+        if let Some(z) = self.cached.take() {
+            return z;
+        }
+        // Draw u1 in (0, 1] to avoid ln(0).
+        let mut u1 = stream.next_f64();
+        if u1 <= f64::MIN_POSITIVE {
+            u1 = f64::MIN_POSITIVE;
+        }
+        let u2 = stream.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        let (s, c) = theta.sin_cos();
+        self.cached = Some(r * s);
+        r * c
+    }
+
+    /// Draw a normal variate with the given mean and standard deviation.
+    pub fn sample_with(&mut self, stream: &mut Stream, mean: f64, sd: f64) -> f64 {
+        debug_assert!(sd >= 0.0);
+        mean + sd * self.sample(stream)
+    }
+}
+
+/// Gamma(shape, scale) sampler using Marsaglia & Tsang's squeeze method
+/// (2000), with the standard shape<1 boost.
+#[derive(Debug, Clone, Copy)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Construct a sampler; `shape > 0`, `scale > 0`.
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(shape > 0.0 && scale > 0.0, "gamma parameters must be positive");
+        Self { shape, scale }
+    }
+
+    /// Draw one Gamma(shape, scale) variate.
+    pub fn sample(&self, stream: &mut Stream, normal: &mut Normal) -> f64 {
+        if self.shape < 1.0 {
+            // Boost: X ~ Gamma(a+1), U^(1/a) * X ~ Gamma(a).
+            let boosted = Gamma::new(self.shape + 1.0, self.scale);
+            let x = boosted.sample(stream, normal);
+            let mut u = stream.next_f64();
+            if u <= f64::MIN_POSITIVE {
+                u = f64::MIN_POSITIVE;
+            }
+            return x * u.powf(1.0 / self.shape);
+        }
+        let d = self.shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let z = normal.sample(stream);
+            let v = 1.0 + c * z;
+            if v <= 0.0 {
+                continue;
+            }
+            let v3 = v * v * v;
+            let u = stream.next_f64();
+            // Squeeze check, then full check.
+            if u < 1.0 - 0.0331 * (z * z) * (z * z) {
+                return d * v3 * self.scale;
+            }
+            if u > 0.0 && u.ln() < 0.5 * z * z + d * (1.0 - v3 + v3.ln()) {
+                return d * v3 * self.scale;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{Domain, MasterRng};
+
+    fn stream(k: u64) -> Stream {
+        MasterRng::new(777).stream(Domain::User, k)
+    }
+
+    fn mean_var(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut s = stream(0);
+        let mut n = Normal::new();
+        let xs: Vec<f64> = (0..100_000).map(|_| n.sample(&mut s)).collect();
+        let (mean, var) = mean_var(&xs);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn normal_with_params() {
+        let mut s = stream(1);
+        let mut n = Normal::new();
+        let xs: Vec<f64> = (0..100_000)
+            .map(|_| n.sample_with(&mut s, 5.0, 2.0))
+            .collect();
+        let (mean, var) = mean_var(&xs);
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn gamma_moments_shape_above_one() {
+        let mut s = stream(2);
+        let mut n = Normal::new();
+        let g = Gamma::new(3.0, 2.0); // mean 6, var 12
+        let xs: Vec<f64> = (0..100_000).map(|_| g.sample(&mut s, &mut n)).collect();
+        let (mean, var) = mean_var(&xs);
+        assert!((mean - 6.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 12.0).abs() < 0.6, "var {var}");
+    }
+
+    #[test]
+    fn gamma_moments_shape_below_one() {
+        let mut s = stream(3);
+        let mut n = Normal::new();
+        let g = Gamma::new(0.5, 1.0); // mean 0.5, var 0.5
+        let xs: Vec<f64> = (0..200_000).map(|_| g.sample(&mut s, &mut n)).collect();
+        let (mean, var) = mean_var(&xs);
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        assert!((var - 0.5).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn gamma_is_positive() {
+        let mut s = stream(4);
+        let mut n = Normal::new();
+        for &(a, b) in &[(0.3, 1.0), (1.0, 0.5), (10.0, 3.0)] {
+            let g = Gamma::new(a, b);
+            for _ in 0..1000 {
+                assert!(g.sample(&mut s, &mut n) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn gamma_rejects_bad_params() {
+        Gamma::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn samplers_are_deterministic() {
+        let mut s1 = stream(5);
+        let mut s2 = stream(5);
+        let mut n1 = Normal::new();
+        let mut n2 = Normal::new();
+        let g = Gamma::new(2.0, 1.0);
+        for _ in 0..100 {
+            assert_eq!(n1.sample(&mut s1), n2.sample(&mut s2));
+            assert_eq!(g.sample(&mut s1, &mut n1), g.sample(&mut s2, &mut n2));
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # mn-rand — deterministic parallel randomness for `monet`
+//!
+//! This crate is the reproduction of §3.1 and §4.2 of *Parallel
+//! Construction of Module Networks* (SC '21): the random-sampling
+//! oracles (`Select-Unif-Rand`, `Select-Wtd-Rand`) and the parallel PRNG
+//! discipline that makes the learned network **identical for every
+//! processor count** and identical to a sequential run.
+//!
+//! The paper uses the TRNG library's multiple recursive generators,
+//! whose streams can be *block split* in O(1) time so that the block
+//! distribution of work matches the block distribution of random draws.
+//! We provide the same contract on top of ChaCha12 (a counter-based
+//! generator with O(1) seek) via [`Stream::jump_to_draw`], plus named
+//! stream derivation ([`MasterRng::stream`]) so that every logical
+//! source of randomness in the learner has its own independent stream.
+//!
+//! ## Layout
+//! * [`stream`] — master seed, named-stream derivation, O(1) jump.
+//! * [`sampling`] — the collective sampling oracles of §3.1, including a
+//!   log-space weighted variant for Bayesian scores.
+//! * [`distributions`] — Normal and Gamma samplers for the synthetic
+//!   data generator.
+//! * [`splitmix`] — seed derivation + an independent O(1)-jump LCG used
+//!   to cross-check the block-splitting contract.
+
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod sampling;
+pub mod splitmix;
+pub mod stream;
+
+pub use distributions::{Gamma, Normal};
+pub use sampling::{select_unif_rand, select_wtd_log, select_wtd_rand, select_wtd_rand_distinct};
+pub use splitmix::{Lcg128, SplitMix64};
+pub use stream::{Domain, MasterRng, Stream};

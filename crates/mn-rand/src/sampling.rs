@@ -1,0 +1,249 @@
+//! The random sampling oracles of §3.1.
+//!
+//! The paper assumes two collective sampling functions:
+//!
+//! * `Select-Unif-Rand(B)` — pick an element of a distributed list
+//!   uniformly at random;
+//! * `Select-Wtd-Rand(B, W)` — pick an element with probability
+//!   proportional to its weight.
+//!
+//! Both are *collective*: every processor participates and every
+//! processor learns the same chosen element. In this codebase the
+//! weights have always been allgathered (or are computed redundantly on
+//! every rank), so the oracles reduce to: every rank holds the full
+//! weight list and consumes the same draw from a shared [`Stream`] —
+//! which trivially yields identical choices on all ranks. The
+//! communication cost the paper charges for these calls is modeled by
+//! `mn-comm`'s cost accounting, not here.
+//!
+//! Scores in the Gibbs sampler are *log*-probabilities with a huge
+//! dynamic range, so the weighted oracle comes in a log-space variant
+//! using the standard max-shift trick.
+
+use crate::stream::Stream;
+
+/// Uniform selection from a list of `len` elements (Select-Unif-Rand).
+///
+/// Consumes exactly one draw, so block-split callers stay aligned.
+#[inline]
+pub fn select_unif_rand(stream: &mut Stream, len: usize) -> usize {
+    assert!(len > 0, "cannot sample from an empty list");
+    stream.index_one_draw(len)
+}
+
+/// Weighted selection with non-negative linear weights (Select-Wtd-Rand).
+///
+/// Returns the index of the chosen element. Elements with weight 0 are
+/// never chosen. Panics if the weight sum is not positive and finite.
+/// Consumes exactly one draw.
+pub fn select_wtd_rand(stream: &mut Stream, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "cannot sample from an empty list");
+    let total: f64 = weights.iter().sum();
+    assert!(
+        total > 0.0 && total.is_finite(),
+        "weight sum must be positive and finite, got {total}"
+    );
+    let target = stream.next_f64() * total;
+    pick_by_prefix(weights, target)
+}
+
+/// Weighted selection with log-space weights.
+///
+/// `log_weights[i] = ln w_i` (may be any finite float, or `-inf` for an
+/// impossible choice). This is the form used for Gibbs reassignment and
+/// merge moves, whose weights are Bayesian log-score differences
+/// (§2.2.1): the probability of choice `i` is
+/// `exp(lw_i - max) / Σ_j exp(lw_j - max)`.
+/// Consumes exactly one draw.
+pub fn select_wtd_log(stream: &mut Stream, log_weights: &[f64]) -> usize {
+    assert!(!log_weights.is_empty(), "cannot sample from an empty list");
+    let max = log_weights
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        max > f64::NEG_INFINITY,
+        "all choices have zero probability"
+    );
+    // Shift by the max so the largest term is exp(0) = 1; with at least
+    // one term equal to 1 the sum is well-conditioned.
+    let mut total = 0.0;
+    for &lw in log_weights {
+        total += (lw - max).exp();
+    }
+    let target = stream.next_f64() * total;
+    let mut acc = 0.0;
+    let mut last_valid = 0;
+    for (i, &lw) in log_weights.iter().enumerate() {
+        let w = (lw - max).exp();
+        if w > 0.0 {
+            last_valid = i;
+        }
+        acc += w;
+        if target < acc {
+            return i;
+        }
+    }
+    // Floating-point slack: fall back to the last element with nonzero
+    // probability.
+    last_valid
+}
+
+/// Shared prefix-walk for linear weights.
+fn pick_by_prefix(weights: &[f64], target: f64) -> usize {
+    let mut acc = 0.0;
+    let mut last_valid = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        debug_assert!(w >= 0.0, "negative weight {w} at index {i}");
+        if w > 0.0 {
+            last_valid = i;
+        }
+        acc += w;
+        if target < acc {
+            return i;
+        }
+    }
+    last_valid
+}
+
+/// Reservoir-free weighted selection of `k` *distinct* indices, used by
+/// tests and the ensemble tooling. Weights of already-chosen elements
+/// are zeroed between draws. Consumes exactly `k` draws.
+pub fn select_wtd_rand_distinct(stream: &mut Stream, weights: &[f64], k: usize) -> Vec<usize> {
+    assert!(k <= weights.len(), "cannot choose {k} of {}", weights.len());
+    let mut w = weights.to_vec();
+    let mut chosen = Vec::with_capacity(k);
+    for _ in 0..k {
+        let i = select_wtd_rand(stream, &w);
+        chosen.push(i);
+        w[i] = 0.0;
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{Domain, MasterRng};
+
+    fn stream() -> Stream {
+        MasterRng::new(2024).stream(Domain::User, 0)
+    }
+
+    #[test]
+    fn unif_is_uniform_enough() {
+        let mut s = stream();
+        let n = 5;
+        let trials = 50_000;
+        let mut counts = vec![0usize; n];
+        for _ in 0..trials {
+            counts[select_unif_rand(&mut s, n)] += 1;
+        }
+        let expect = trials as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.05, "bucket {i}: count {c}, expected ~{expect}");
+        }
+    }
+
+    #[test]
+    fn weighted_matches_weights() {
+        let mut s = stream();
+        let weights = [1.0, 3.0, 0.0, 6.0];
+        let trials = 60_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..trials {
+            counts[select_wtd_rand(&mut s, &weights)] += 1;
+        }
+        assert_eq!(counts[2], 0, "zero-weight element must never be chosen");
+        let total: f64 = weights.iter().sum();
+        for i in [0usize, 1, 3] {
+            let want = weights[i] / total;
+            let got = counts[i] as f64 / trials as f64;
+            assert!(
+                (got - want).abs() < 0.01,
+                "index {i}: got {got:.4}, want {want:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn log_weighted_matches_linear_weighted() {
+        // select_wtd_log over ln(w) must produce the same distribution as
+        // select_wtd_rand over w — and, since both consume a single draw
+        // and use the same prefix walk, the *same choices* for the same
+        // stream position.
+        let weights = [0.5f64, 2.5, 4.0, 1.0];
+        let logw: Vec<f64> = weights.iter().map(|w| w.ln()).collect();
+        let mut s1 = stream();
+        let mut s2 = stream();
+        for _ in 0..1000 {
+            let a = select_wtd_rand(&mut s1, &weights);
+            let b = select_wtd_log(&mut s2, &logw);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn log_weighted_handles_huge_magnitudes() {
+        let mut s = stream();
+        // Raw scores around -1e6: naive exponentiation would underflow
+        // to all-zeros; the max-shift keeps the ratios exact.
+        let logw = [-1_000_000.0, -1_000_000.0 + (2.0f64).ln(), -1_000_020.0];
+        let trials = 30_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..trials {
+            counts[select_wtd_log(&mut s, &logw)] += 1;
+        }
+        // Ratios ~ 1 : 2 : e^-20 (≈ 0).
+        let got = counts[1] as f64 / counts[0] as f64;
+        assert!((got - 2.0).abs() < 0.15, "ratio {got}");
+        assert!(counts[2] < trials / 100);
+    }
+
+    #[test]
+    fn log_weighted_neg_infinity_excluded() {
+        let mut s = stream();
+        let logw = [f64::NEG_INFINITY, 0.0, f64::NEG_INFINITY];
+        for _ in 0..100 {
+            assert_eq!(select_wtd_log(&mut s, &logw), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero probability")]
+    fn log_weighted_all_impossible_panics() {
+        let mut s = stream();
+        select_wtd_log(&mut s, &[f64::NEG_INFINITY, f64::NEG_INFINITY]);
+    }
+
+    #[test]
+    fn distinct_selection_is_distinct() {
+        let mut s = stream();
+        let weights = [1.0, 2.0, 3.0, 4.0, 5.0];
+        for k in 0..=5 {
+            let chosen = select_wtd_rand_distinct(&mut s, &weights, k);
+            assert_eq!(chosen.len(), k);
+            let mut sorted = chosen.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), k, "duplicates in {chosen:?}");
+        }
+    }
+
+    #[test]
+    fn oracles_consume_exactly_one_draw() {
+        // Alignment property needed for O(1) block splitting: every
+        // oracle call advances the stream by exactly one draw.
+        let mut s = stream();
+        let w = [1.0, 2.0];
+        let lw = [0.0, 0.7];
+        assert_eq!(s.draw_pos(), 0);
+        select_unif_rand(&mut s, 10);
+        assert_eq!(s.draw_pos(), 1);
+        select_wtd_rand(&mut s, &w);
+        assert_eq!(s.draw_pos(), 2);
+        select_wtd_log(&mut s, &lw);
+        assert_eq!(s.draw_pos(), 3);
+    }
+}

@@ -1,0 +1,254 @@
+//! Small auxiliary generators used for key derivation and as a
+//! leapfrog-capable reference generator.
+//!
+//! The paper's implementation uses the TRNG library's multiple recursive
+//! generator with a Sophie-Germain prime modulus, chosen because TRNG
+//! supports *block splitting* of a logical random stream in O(1) time.
+//! We provide two equivalents:
+//!
+//! * [`SplitMix64`] — a tiny, fast, full-period generator used only to
+//!   derive independent seeds for named streams (never for sampling
+//!   decisions directly), and
+//! * [`Lcg128`] — a 128-bit multiplicative LCG with O(1) `jump`, used in
+//!   tests as an independent cross-check of the O(1)-jump contract that
+//!   the ChaCha-based streams rely on.
+
+/// SplitMix64: the seed-expansion generator from Steele et al.,
+/// "Fast Splittable Pseudorandom Number Generators" (OOPSLA 2014).
+///
+/// Used exclusively to derive high-entropy sub-seeds from a master seed
+/// plus a domain tag; its statistical quality is more than sufficient for
+/// seed derivation, and its simplicity makes the derivation scheme easy
+/// to document and reproduce in other languages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator whose first outputs are determined by `seed`.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Produce the next 64-bit value and advance the state.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Fill `out` with derived bytes (little-endian words).
+    pub fn fill_bytes(&mut self, out: &mut [u8]) {
+        for chunk in out.chunks_mut(8) {
+            let w = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+    }
+}
+
+/// A 128-bit truncated multiplicative-congruential generator with O(1)
+/// jump-ahead.
+///
+/// `state_{k+1} = a * state_k + c (mod 2^128)`, output = high 64 bits.
+/// Because the transition is affine, `jump(n)` composes the map `n` times
+/// in O(log n) multiplications (O(1) for fixed-width n), mirroring the
+/// "block splitting ... takes O(1) time" property of TRNG generators
+/// quoted in §4.2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lcg128 {
+    state: u128,
+}
+
+/// Multiplier from Pierre L'Ecuyer's tables of good MCG multipliers
+/// (128-bit, spectral-test vetted).
+const LCG_MUL: u128 = 0x2360_ed05_1fc6_5da4_4385_df64_9fcc_f645;
+const LCG_INC: u128 = 0x5851_f42d_4c95_7f2d_1405_7b7e_f767_814f;
+
+impl Lcg128 {
+    /// Create a generator from a 64-bit seed (expanded via SplitMix64).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let lo = sm.next_u64() as u128;
+        let hi = sm.next_u64() as u128;
+        Self {
+            state: (hi << 64) | lo,
+        }
+    }
+
+    /// Create an independent per-item generator from `(seed, tag, key)`.
+    ///
+    /// This is the light-weight counterpart of
+    /// [`crate::MasterRng::stream`] for inner loops that derive one
+    /// generator *per work item* (millions of candidate splits in
+    /// Algorithm 5): construction costs a handful of multiplies, versus
+    /// a full ChaCha key schedule. The derivation runs each component
+    /// through SplitMix64, so distinct `(tag, key)` pairs give
+    /// decorrelated sequences.
+    #[inline]
+    pub fn from_key(seed: u64, tag: u64, key: u64) -> Self {
+        let a = SplitMix64::new(seed ^ tag.rotate_left(32)).next_u64();
+        let b = SplitMix64::new(a ^ key).next_u64();
+        let c = SplitMix64::new(b.wrapping_add(key).rotate_left(17)).next_u64();
+        Self {
+            state: ((b as u128) << 64) | c as u128,
+        }
+    }
+
+    /// Uniform index in `[0, bound)` consuming one draw (fixed-point
+    /// multiply; bias ≤ `bound / 2^64`).
+    #[inline]
+    pub fn index_one_draw(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        let wide = (self.next_u64() as u128) * (bound as u128);
+        (wide >> 64) as usize
+    }
+
+    /// Next 64-bit output (high half of the 128-bit state).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(LCG_MUL).wrapping_add(LCG_INC);
+        (self.state >> 64) as u64
+    }
+
+    /// Advance the generator by `n` steps in O(log n) time.
+    ///
+    /// Uses the standard affine-composition ("jump-ahead") identity:
+    /// applying `x -> a x + c` n times equals `x -> a^n x + c (a^n - 1)/(a - 1)`,
+    /// computed by binary decomposition without division.
+    pub fn jump(&mut self, mut n: u64) {
+        // Running composition g(x) = cur_a * x + cur_c.
+        let mut cur_a: u128 = 1;
+        let mut cur_c: u128 = 0;
+        // Step composition h(x) = a x + c, squared each round.
+        let mut a = LCG_MUL;
+        let mut c = LCG_INC;
+        while n > 0 {
+            if n & 1 == 1 {
+                cur_a = cur_a.wrapping_mul(a);
+                cur_c = cur_c.wrapping_mul(a).wrapping_add(c);
+            }
+            c = c.wrapping_mul(a).wrapping_add(c);
+            a = a.wrapping_mul(a);
+            n >>= 1;
+        }
+        self.state = self.state.wrapping_mul(cur_a).wrapping_add(cur_c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_known_vector() {
+        // Reference values for seed 0, from the canonical C
+        // implementation of SplitMix64 (also used as the xoshiro seeding
+        // test vector): e220a8397b1dcdaf, 6e789e6aa1b965f4, 06c45d188009454f.
+        let mut g = SplitMix64::new(0);
+        assert_eq!(g.next_u64(), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(g.next_u64(), 0x6e78_9e6a_a1b9_65f4);
+        assert_eq!(g.next_u64(), 0x06c4_5d18_8009_454f);
+    }
+
+    #[test]
+    fn splitmix_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn splitmix_fill_bytes_partial_chunk() {
+        let mut g = SplitMix64::new(7);
+        let mut buf = [0u8; 13];
+        g.fill_bytes(&mut buf);
+        let mut g2 = SplitMix64::new(7);
+        let w0 = g2.next_u64().to_le_bytes();
+        assert_eq!(&buf[..8], &w0);
+    }
+
+    #[test]
+    fn lcg_jump_matches_iteration() {
+        for n in [0u64, 1, 2, 3, 17, 100, 1000, 65537] {
+            let mut a = Lcg128::new(99);
+            let mut b = Lcg128::new(99);
+            for _ in 0..n {
+                a.next_u64();
+            }
+            b.jump(n);
+            assert_eq!(a.next_u64(), b.next_u64(), "jump({n}) mismatch");
+        }
+    }
+
+    #[test]
+    fn from_key_is_deterministic_and_key_sensitive() {
+        let mut a = Lcg128::from_key(1, 2, 3);
+        let mut b = Lcg128::from_key(1, 2, 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = Lcg128::from_key(1, 2, 4);
+        let mut d = Lcg128::from_key(1, 3, 3);
+        let mut e = Lcg128::from_key(2, 2, 3);
+        let base = Lcg128::from_key(1, 2, 3).next_u64();
+        assert_ne!(base, c.next_u64());
+        assert_ne!(base, d.next_u64());
+        assert_ne!(base, e.next_u64());
+    }
+
+    #[test]
+    fn from_key_sequential_keys_decorrelated() {
+        // Adjacent item indices must not produce obviously correlated
+        // first draws (the per-split MC loops key by item index).
+        let draws: Vec<u64> = (0..64u64)
+            .map(|k| Lcg128::from_key(7, 1, k).next_u64())
+            .collect();
+        let mut sorted = draws.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), draws.len(), "collisions in first draws");
+        // Crude uniformity check on the top bit.
+        let ones = draws.iter().filter(|&&d| d >> 63 == 1).count();
+        assert!((16..=48).contains(&ones), "top-bit bias: {ones}/64");
+    }
+
+    #[test]
+    fn lcg_index_one_draw_in_range() {
+        let mut g = Lcg128::from_key(5, 5, 5);
+        for _ in 0..1000 {
+            assert!(g.index_one_draw(13) < 13);
+        }
+    }
+
+    #[test]
+    fn lcg_block_split_partitions_stream() {
+        // Block-splitting contract: p ranks each jumping to their block
+        // start collectively reproduce the single sequential stream.
+        let total = 96usize;
+        let p = 4usize;
+        let mut seq = Lcg128::new(5);
+        let sequential: Vec<u64> = (0..total).map(|_| seq.next_u64()).collect();
+
+        let mut stitched = Vec::new();
+        for r in 0..p {
+            let mut g = Lcg128::new(5);
+            g.jump((r * total / p) as u64);
+            for _ in 0..total / p {
+                stitched.push(g.next_u64());
+            }
+        }
+        assert_eq!(sequential, stitched);
+    }
+}

@@ -1,0 +1,244 @@
+//! Learning module parents from the assigned splits (Algorithm 6's
+//! `Learn-Parents` phase, §2.2.3 step 3).
+//!
+//! "The score for a parent variable X_i is computed as the average of
+//! the posterior probabilities for the splits containing X_i, weighted
+//! by the number of observations at the node that the splits are
+//! assigned to. Further, the scores of the parents from splits chosen
+//! uniformly at random for every node are also computed."
+//!
+//! The parallelization is a segmented scan over the chosen-split list
+//! followed by an all-gather (§3.2.3, "the parallelization of this
+//! phase is trivial"); engines are charged accordingly.
+
+use crate::splits::SplitAssignment;
+use crate::tree::ModuleEnsemble;
+use mn_comm::{Collective, ParEngine};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Parent scores of one module.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ModuleParents {
+    /// Scores from the posterior-weighted split picks:
+    /// variable → observation-weighted mean posterior.
+    pub weighted: BTreeMap<usize, f64>,
+    /// Scores from the uniform random picks (the significance baseline
+    /// used for downstream analysis in the paper).
+    pub uniform: BTreeMap<usize, f64>,
+}
+
+impl ModuleParents {
+    /// Parents ranked by weighted score (descending, ties by variable
+    /// index for determinism).
+    pub fn ranked(&self) -> Vec<(usize, f64)> {
+        let mut v: Vec<(usize, f64)> = self.weighted.iter().map(|(&k, &s)| (k, s)).collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+/// Observation-weighted mean accumulator.
+#[derive(Default, Clone, Copy)]
+struct WeightedMean {
+    num: f64,
+    den: f64,
+}
+
+impl WeightedMean {
+    fn push(&mut self, value: f64, weight: f64) {
+        self.num += value * weight;
+        self.den += weight;
+    }
+
+    fn mean(&self) -> f64 {
+        if self.den > 0.0 {
+            self.num / self.den
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Compute per-module parent scores from the split assignment
+/// (`Learn-Parents`).
+pub fn learn_parents<E: ParEngine>(
+    engine: &mut E,
+    ensembles: &[ModuleEnsemble],
+    assignment: &SplitAssignment,
+) -> Vec<ModuleParents> {
+    let mut weighted: Vec<BTreeMap<usize, WeightedMean>> =
+        vec![BTreeMap::new(); ensembles.len()];
+    let mut uniform: Vec<BTreeMap<usize, WeightedMean>> = vec![BTreeMap::new(); ensembles.len()];
+
+    let mut total_splits = 0usize;
+    for ns in &assignment.node_splits {
+        let entry = &assignment.index.nodes[ns.entry];
+        let node_weight = entry.n_obs as f64;
+        for s in &ns.weighted {
+            weighted[entry.module]
+                .entry(s.var)
+                .or_default()
+                .push(s.posterior, node_weight);
+            total_splits += 1;
+        }
+        for s in &ns.uniform {
+            uniform[entry.module]
+                .entry(s.var)
+                .or_default()
+                .push(s.posterior, node_weight);
+            total_splits += 1;
+        }
+    }
+
+    // Segmented scan + all-gather of the (variable, score) pairs.
+    engine.replicated(total_splits as u64);
+    engine.collective(Collective::Scan, 1);
+    engine.collective(Collective::AllGather, total_splits * 2);
+
+    weighted
+        .into_iter()
+        .zip(uniform)
+        .map(|(w, u)| ModuleParents {
+            weighted: w.into_iter().map(|(k, v)| (k, v.mean())).collect(),
+            uniform: u.into_iter().map(|(k, v)| (k, v.mean())).collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::TreeParams;
+    use crate::splits::assign_splits;
+    use crate::tree::learn_module_trees;
+    use mn_comm::{SerialEngine, SimEngine};
+    use mn_data::synthetic;
+    use mn_rand::MasterRng;
+
+    fn setup() -> (mn_data::Dataset, Vec<ModuleEnsemble>, SplitAssignment) {
+        let d = synthetic::yeast_like(12, 16, 55).dataset;
+        let master = MasterRng::new(21);
+        let mut e = SerialEngine::new();
+        let params = TreeParams::default();
+        let ensembles = vec![
+            learn_module_trees(&mut e, &d, &master, 0, &(0..6).collect::<Vec<_>>(), &params),
+            learn_module_trees(&mut e, &d, &master, 1, &(6..12).collect::<Vec<_>>(), &params),
+        ];
+        let parents: Vec<usize> = (0..d.n_vars()).collect();
+        let assignment = assign_splits(&mut e, &d, &master, &ensembles, &parents, &params);
+        (d, ensembles, assignment)
+    }
+
+    #[test]
+    fn scores_are_normalized_posterior_means() {
+        let (_, ensembles, assignment) = setup();
+        let parents = learn_parents(&mut SerialEngine::new(), &ensembles, &assignment);
+        assert_eq!(parents.len(), 2);
+        for mp in &parents {
+            for (&var, &score) in mp.weighted.iter().chain(mp.uniform.iter()) {
+                assert!(var < 12);
+                assert!(
+                    (0.0..=1.0).contains(&score),
+                    "score {score} out of range"
+                );
+            }
+            // Weighted picks have positive posterior, so positive means.
+            for &score in mp.weighted.values() {
+                assert!(score > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn identical_across_engines() {
+        let (_, ensembles, assignment) = setup();
+        let a = learn_parents(&mut SerialEngine::new(), &ensembles, &assignment);
+        let b = learn_parents(&mut SimEngine::new(256), &ensembles, &assignment);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ranked_is_descending_and_deterministic() {
+        let (_, ensembles, assignment) = setup();
+        let parents = learn_parents(&mut SerialEngine::new(), &ensembles, &assignment);
+        for mp in &parents {
+            let ranked = mp.ranked();
+            for w in ranked.windows(2) {
+                assert!(w[0].1 >= w[1].1);
+            }
+            assert_eq!(ranked.len(), mp.weighted.len());
+        }
+    }
+
+    #[test]
+    fn hand_computed_example() {
+        // One module, one node of 4 observations with two weighted
+        // splits on the same variable: score = obs-weighted mean of the
+        // posteriors = (0.8*4 + 0.4*4) / (4 + 4) = 0.6.
+        use crate::splits::{ChosenSplit, NodeSplits, SplitIndex};
+        use crate::tree::{RegTree, TreeNode};
+        let tree = RegTree {
+            nodes: vec![
+                TreeNode {
+                    obs: vec![0, 1],
+                    stats: Default::default(),
+                    left: None,
+                    right: None,
+                },
+                TreeNode {
+                    obs: vec![2, 3],
+                    stats: Default::default(),
+                    left: None,
+                    right: None,
+                },
+                TreeNode {
+                    obs: vec![0, 1, 2, 3],
+                    stats: Default::default(),
+                    left: Some(0),
+                    right: Some(1),
+                },
+            ],
+            root: 2,
+        };
+        let ensembles = vec![ModuleEnsemble {
+            module: 0,
+            vars: vec![5],
+            trees: vec![tree],
+        }];
+        let index = SplitIndex::build(&ensembles, 1);
+        let assignment = SplitAssignment {
+            node_splits: vec![NodeSplits {
+                entry: 0,
+                weighted: vec![
+                    ChosenSplit {
+                        var: 7,
+                        value: 0.0,
+                        posterior: 0.8,
+                    },
+                    ChosenSplit {
+                        var: 7,
+                        value: 1.0,
+                        posterior: 0.4,
+                    },
+                ],
+                uniform: vec![],
+            }],
+            index,
+        };
+        let parents = learn_parents(&mut SerialEngine::new(), &ensembles, &assignment);
+        assert!((parents[0].weighted[&7] - 0.6).abs() < 1e-12);
+        assert!(parents[0].uniform.is_empty());
+    }
+
+    #[test]
+    fn empty_assignment_gives_empty_scores() {
+        let ensembles: Vec<ModuleEnsemble> = vec![];
+        let assignment = SplitAssignment {
+            index: crate::splits::SplitIndex::build(&ensembles, 0),
+            node_splits: vec![],
+        };
+        let parents = learn_parents(&mut SerialEngine::new(), &ensembles, &assignment);
+        assert!(parents.is_empty());
+    }
+}

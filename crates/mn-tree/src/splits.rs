@@ -1,0 +1,569 @@
+//! Parallel assignment of parent splits to tree nodes (Algorithm 5).
+//!
+//! This is the phase that dominates the paper's runtime (>90 % of
+//! sequential time, §5.3.1) and whose data-dependent per-split cost is
+//! the source of the load imbalance that caps scaling at large `p`.
+//!
+//! ## The candidate-split list
+//!
+//! For every module `M_i`, tree `T ∈ T(M_i)`, internal node `N`,
+//! candidate parent `X_i ∈ P`, and observation `D_j ∈ obs(N)`, the
+//! tuple `⟨M_i, T, N, X_i, D_j⟩` is a candidate split: "is `X_i`'s
+//! value above or below its value in observation `D_j`?". Rather than
+//! materializing the tuples (the paper's `cand-splits` list), we index
+//! them arithmetically: [`SplitIndex`] stores one entry per node with
+//! a base offset, so item `i` of the flat list maps to its tuple in
+//! O(log #nodes). Tuples of one node are contiguous — the property the
+//! paper relies on for the segmented-scan selection step — and the
+//! flat list is block-partitioned over ranks for load balance.
+//!
+//! ## Split posteriors
+//!
+//! A split's quality is how well the predicate `X_i ≤ v` separates the
+//! node's two children (the tree structure is already fixed). Per
+//! §2.2.3 the posterior is "computed by sampling from a discrete
+//! distribution" with at most `S` steps, and "the candidate splits
+//! with zero posterior probability are discarded". Concretely (a
+//! behavioural equivalent documented in DESIGN.md):
+//!
+//! 1. an exact pass over the node's observations computes the
+//!    separation score `σ ∈ [-1, 1]` (fraction correctly separated
+//!    minus fraction misclassified);
+//! 2. a Monte-Carlo confirmation loop draws `s_eff = 1 +
+//!    ⌊S·(1-|σ|)⌋` rounds, each examining `|obs(N)|` sampled
+//!    observations (the O(m)-per-step cost the paper's O(Sm)-per-split
+//!    bound states) — ambiguous splits need more sampling steps, which
+//!    reproduces the paper's "time ... cannot be estimated a priori
+//!    and varies significantly across splits" — and discards the split
+//!    when the sampled estimate does not confirm the exact score's
+//!    direction;
+//! 3. the posterior weight is `|σ|` — a regression-tree child order is
+//!    an artifact of the merge order, so a predicate that cleanly
+//!    separates the children in *either* orientation is a good split.
+
+use crate::params::TreeParams;
+use crate::tree::ModuleEnsemble;
+use mn_comm::{Collective, ParEngine};
+use mn_data::Dataset;
+use mn_rand::{select_unif_rand, select_wtd_rand, Domain, Lcg128, MasterRng};
+use mn_score::{ScoreMode, COST_CELL};
+use serde::{Deserialize, Serialize};
+
+/// One node's entry in the flat candidate-split index.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeEntry {
+    /// Module position in the ensemble list.
+    pub module: usize,
+    /// Tree position within the module's ensemble.
+    pub tree: usize,
+    /// Node index within the tree's arena.
+    pub node: usize,
+    /// Offset of this node's first candidate split in the flat list.
+    pub base: usize,
+    /// Observations at the node (`|obs(N)|`).
+    pub n_obs: usize,
+}
+
+/// Arithmetic index over the global candidate-split list
+/// (all modules × trees × internal nodes × parents × observations).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitIndex {
+    /// Per-node entries in (module, tree, node-arena) order.
+    pub nodes: Vec<NodeEntry>,
+    /// Number of candidate parents `|P|`.
+    pub n_parents: usize,
+    /// Total number of candidate splits.
+    pub total: usize,
+}
+
+impl SplitIndex {
+    /// Build the index for an ensemble list and `n_parents` candidate
+    /// parents.
+    pub fn build(ensembles: &[ModuleEnsemble], n_parents: usize) -> Self {
+        let mut nodes = Vec::new();
+        let mut base = 0usize;
+        for (mi, ens) in ensembles.iter().enumerate() {
+            for (ti, tree) in ens.trees.iter().enumerate() {
+                for node in tree.internal_nodes() {
+                    let n_obs = tree.nodes[node].obs.len();
+                    nodes.push(NodeEntry {
+                        module: mi,
+                        tree: ti,
+                        node,
+                        base,
+                        n_obs,
+                    });
+                    base += n_parents * n_obs;
+                }
+            }
+        }
+        Self {
+            nodes,
+            n_parents,
+            total: base,
+        }
+    }
+
+    /// Map flat item `i` to `(node-entry position, parent position,
+    /// observation position within the node)`.
+    pub fn locate(&self, i: usize) -> (usize, usize, usize) {
+        debug_assert!(i < self.total);
+        // Binary search for the node whose [base, base+span) contains i.
+        let pos = self
+            .nodes
+            .partition_point(|e| e.base <= i)
+            .checked_sub(1)
+            .expect("item before first node");
+        let entry = &self.nodes[pos];
+        let within = i - entry.base;
+        (pos, within / entry.n_obs, within % entry.n_obs)
+    }
+
+    /// The `(start, end)` item range of node-entry `pos`.
+    pub fn node_range(&self, pos: usize) -> (usize, usize) {
+        let entry = &self.nodes[pos];
+        (entry.base, entry.base + self.n_parents * entry.n_obs)
+    }
+
+    /// Segment ids (node-entry position) for every item — the segment
+    /// structure handed to `dist_map_segmented` for the partitioning
+    /// ablation.
+    pub fn segments(&self) -> Vec<u32> {
+        let mut segments = Vec::with_capacity(self.total);
+        for (pos, entry) in self.nodes.iter().enumerate() {
+            segments.extend(std::iter::repeat_n(pos as u32, self.n_parents * entry.n_obs));
+        }
+        segments
+    }
+}
+
+/// A chosen split: parent variable, split value, and its posterior.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChosenSplit {
+    /// Candidate parent variable index (into the data set).
+    pub var: usize,
+    /// Split value (the parent's value in the chosen observation).
+    pub value: f64,
+    /// Posterior weight of the split (0 for discarded uniform picks).
+    pub posterior: f64,
+}
+
+/// The splits chosen for one tree node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSplits {
+    /// Which node (index into `SplitIndex::nodes`).
+    pub entry: usize,
+    /// `J` splits chosen by posterior-weighted sampling (empty if every
+    /// candidate at the node was discarded).
+    pub weighted: Vec<ChosenSplit>,
+    /// `J` splits chosen uniformly at random.
+    pub uniform: Vec<ChosenSplit>,
+}
+
+/// Result of the split-assignment phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitAssignment {
+    /// The index the posteriors refer to.
+    pub index: SplitIndex,
+    /// Chosen splits per node, in node-entry order.
+    pub node_splits: Vec<NodeSplits>,
+}
+
+/// The separation score σ of the predicate `parent ≤ value` against a
+/// node's two children. Exactly one pass over the node's observations;
+/// `left_mask[i]` marks whether `node_obs[i]` belongs to the left child.
+fn separation_score(row: &[f64], value: f64, node_obs: &[usize], left_mask: &[bool]) -> f64 {
+    let total = node_obs.len();
+    debug_assert!(total > 0);
+    debug_assert_eq!(total, left_mask.len());
+    let mut correct = 0usize;
+    for (&o, &on_left) in node_obs.iter().zip(left_mask) {
+        if (row[o] <= value) == on_left {
+            correct += 1;
+        }
+    }
+    (2.0 * correct as f64 - total as f64) / total as f64
+}
+
+/// Posterior of one candidate split, with work accounting.
+///
+/// Deterministic: the Monte-Carlo confirmation generator is keyed by
+/// the flat item index (a cheap O(1)-construction `Lcg128`; millions
+/// of per-item streams make a full ChaCha key schedule per item the
+/// dominant cost otherwise), so every engine, rank count, and scoring
+/// mode draws the same values.
+#[allow(clippy::too_many_arguments)]
+fn split_posterior(
+    row: &[f64],
+    seed: u64,
+    params: &TreeParams,
+    item: usize,
+    value: f64,
+    node_obs: &[usize],
+    left_mask: &[bool],
+) -> (f64, u64) {
+    let n = node_obs.len();
+    let sigma = separation_score(row, value, node_obs, left_mask);
+    let s_eff = 1 + (params.max_sampling_steps as f64 * (1.0 - sigma.abs())).floor() as usize;
+
+    // Monte-Carlo confirmation: sample chunks of observations and check
+    // the predicate against child membership; a split whose sampled
+    // estimate is not positive has zero posterior (§2.2.3's discard).
+    let mut rng = Lcg128::from_key(seed, Domain::SplitPosterior.tag(), item as u64);
+    let mut agree: i64 = 0;
+    let mut work = n as u64 * COST_CELL; // the exact pass
+    for _ in 0..s_eff {
+        // One O(m) sampling step: examine |obs(N)| sampled observations.
+        for _ in 0..n {
+            let pick = rng.index_one_draw(n);
+            let consistent = (row[node_obs[pick]] <= value) == left_mask[pick];
+            agree += if consistent { 1 } else { -1 };
+        }
+        if params.mode == ScoreMode::Reference {
+            // The Java cost profile: no caching of the exact pass — the
+            // reference implementation re-materializes the node's value
+            // list (per-candidate object churn) and re-derives the
+            // separation score every sampling round.
+            let values: Vec<f64> = node_obs.iter().map(|&o| row[o]).collect();
+            std::hint::black_box(&values);
+            std::hint::black_box(separation_score(row, value, node_obs, left_mask));
+            work += 2 * n as u64 * COST_CELL;
+        }
+    }
+    work += (s_eff * n) as u64 * COST_CELL;
+    // Orientation-free quality: the MC estimate must agree with the
+    // exact score's direction, otherwise the split is discarded
+    // (§2.2.3's zero-posterior discard).
+    let confirmed = agree != 0 && (agree > 0) == (sigma > 0.0);
+    let posterior = if confirmed { sigma.abs() } else { 0.0 };
+    (posterior, work)
+}
+
+/// Compute posteriors for the full candidate list and choose `J`
+/// weighted plus `J` uniform splits per node (Algorithm 5).
+///
+/// `candidate_parents` is the paper's `P` (§5.1 uses all variables).
+pub fn assign_splits<E: ParEngine>(
+    engine: &mut E,
+    data: &Dataset,
+    master: &MasterRng,
+    ensembles: &[ModuleEnsemble],
+    candidate_parents: &[usize],
+    params: &TreeParams,
+) -> SplitAssignment {
+    let index = SplitIndex::build(ensembles, candidate_parents.len());
+    let segments = index.segments();
+
+    // Precompute each node's left-child membership mask so the hot
+    // per-split loops test membership in O(1).
+    let left_masks: Vec<Vec<bool>> = index
+        .nodes
+        .iter()
+        .map(|entry| {
+            let tree = &ensembles[entry.module].trees[entry.tree];
+            let node = &tree.nodes[entry.node];
+            let left = &tree.nodes[node.left.expect("internal node")].obs;
+            node.obs
+                .iter()
+                .map(|o| left.binary_search(o).is_ok())
+                .collect()
+        })
+        .collect();
+
+    // Lines 6–7: block-partitioned posterior computation over the flat
+    // candidate list — the phase whose imbalance the paper measures.
+    let index_ref = &index;
+    let left_masks_ref = &left_masks;
+    let seed = master.seed();
+    let posteriors: Vec<f64> = engine.dist_map_segmented(&segments, 1, &|item| {
+        let (pos, parent_pos, obs_pos) = index_ref.locate(item);
+        let entry = &index_ref.nodes[pos];
+        let node = &ensembles[entry.module].trees[entry.tree].nodes[entry.node];
+        let var = candidate_parents[parent_pos];
+        let row = data.values(var);
+        let value = row[node.obs[obs_pos]];
+        split_posterior(
+            row,
+            seed,
+            params,
+            item,
+            value,
+            &node.obs,
+            &left_masks_ref[pos],
+        )
+    });
+
+    // Segmented-scan + local selection + all-gather (§3.2.3's
+    // implementation note). The scan's payload is one word per item;
+    // the gather carries 3 words per chosen split.
+    engine.collective(Collective::Scan, 1);
+
+    let j = params.splits_per_node;
+    let mut node_splits = Vec::with_capacity(index.nodes.len());
+    for pos in 0..index.nodes.len() {
+        let (start, end) = index.node_range(pos);
+        let weights = &posteriors[start..end];
+        let entry = &index.nodes[pos];
+        let resolve = |within: usize, posterior: f64| -> ChosenSplit {
+            let parent_pos = within / entry.n_obs;
+            let obs_pos = within % entry.n_obs;
+            let var = candidate_parents[parent_pos];
+            let node = &ensembles[entry.module].trees[entry.tree].nodes[entry.node];
+            ChosenSplit {
+                var,
+                value: data.values(var)[node.obs[obs_pos]],
+                posterior,
+            }
+        };
+
+        let mut wstream = master.stream(Domain::SplitSelectWeighted, pos as u64);
+        let total_weight: f64 = weights.iter().sum();
+        let weighted: Vec<ChosenSplit> = if total_weight > 0.0 {
+            (0..j)
+                .map(|_| {
+                    let within = select_wtd_rand(&mut wstream, weights);
+                    resolve(within, weights[within])
+                })
+                .collect()
+        } else {
+            // Every candidate was discarded: the node gets no weighted
+            // splits (Alg. 5 keeps only positive-posterior splits).
+            Vec::new()
+        };
+
+        let mut ustream = master.stream(Domain::SplitSelectUniform, pos as u64);
+        let uniform: Vec<ChosenSplit> = (0..j)
+            .map(|_| {
+                let within = select_unif_rand(&mut ustream, weights.len());
+                resolve(within, weights[within])
+            })
+            .collect();
+
+        node_splits.push(NodeSplits {
+            entry: pos,
+            weighted,
+            uniform,
+        });
+    }
+    engine.collective(
+        Collective::AllGather,
+        node_splits.len() * j * 2 * 3,
+    );
+
+    SplitAssignment { index, node_splits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::learn_module_trees;
+    use mn_comm::{SerialEngine, SimEngine, ThreadEngine};
+    use mn_data::synthetic;
+
+    fn setup() -> (Dataset, Vec<ModuleEnsemble>, MasterRng) {
+        let d = synthetic::yeast_like(14, 18, 77).dataset;
+        let master = MasterRng::new(13);
+        let mut e = SerialEngine::new();
+        let params = TreeParams::default();
+        let ensembles = vec![
+            learn_module_trees(&mut e, &d, &master, 0, &(0..5).collect::<Vec<_>>(), &params),
+            learn_module_trees(&mut e, &d, &master, 1, &(5..10).collect::<Vec<_>>(), &params),
+        ];
+        (d, ensembles, master)
+    }
+
+    #[test]
+    fn index_is_contiguous_and_locatable() {
+        let (_, ensembles, _) = setup();
+        let index = SplitIndex::build(&ensembles, 14);
+        assert!(index.total > 0);
+        // Every item locates into a consistent node range.
+        for i in (0..index.total).step_by(7) {
+            let (pos, parent_pos, obs_pos) = index.locate(i);
+            let (start, end) = index.node_range(pos);
+            assert!(i >= start && i < end);
+            assert!(parent_pos < 14);
+            assert!(obs_pos < index.nodes[pos].n_obs);
+            // Reconstruct the flat index.
+            assert_eq!(
+                start + parent_pos * index.nodes[pos].n_obs + obs_pos,
+                i
+            );
+        }
+        // Ranges tile [0, total).
+        let mut cursor = 0;
+        for pos in 0..index.nodes.len() {
+            let (start, end) = index.node_range(pos);
+            assert_eq!(start, cursor);
+            cursor = end;
+        }
+        assert_eq!(cursor, index.total);
+    }
+
+    #[test]
+    fn segments_match_node_ranges() {
+        let (_, ensembles, _) = setup();
+        let index = SplitIndex::build(&ensembles, 3);
+        let segments = index.segments();
+        assert_eq!(segments.len(), index.total);
+        for (i, &segment) in segments.iter().enumerate() {
+            let (pos, _, _) = index.locate(i);
+            assert_eq!(segment, pos as u32);
+        }
+    }
+
+    #[test]
+    fn separation_score_limits() {
+        let row = [0.0, 1.0, 2.0, 3.0];
+        let obs = [0usize, 1, 2, 3];
+        // Perfect split: left = low values.
+        assert_eq!(
+            separation_score(&row, 1.5, &obs, &[true, true, false, false]),
+            1.0
+        );
+        // Anti-perfect.
+        assert_eq!(
+            separation_score(&row, 1.5, &obs, &[false, false, true, true]),
+            -1.0
+        );
+        // Useless value (everything on one side): half correct.
+        assert_eq!(
+            separation_score(&row, 10.0, &obs, &[true, true, false, false]),
+            0.0
+        );
+    }
+
+    #[test]
+    fn assignment_is_deterministic_across_engines() {
+        let (d, ensembles, master) = setup();
+        let parents: Vec<usize> = (0..d.n_vars()).collect();
+        let params = TreeParams::default();
+        let a = assign_splits(
+            &mut SerialEngine::new(),
+            &d,
+            &master,
+            &ensembles,
+            &parents,
+            &params,
+        );
+        let b = assign_splits(
+            &mut ThreadEngine::new(4),
+            &d,
+            &master,
+            &ensembles,
+            &parents,
+            &params,
+        );
+        let c = assign_splits(
+            &mut SimEngine::new(1024),
+            &d,
+            &master,
+            &ensembles,
+            &parents,
+            &params,
+        );
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn modes_choose_identical_splits() {
+        let (d, ensembles, master) = setup();
+        let parents: Vec<usize> = (0..d.n_vars()).collect();
+        let pi = TreeParams {
+            mode: ScoreMode::Incremental,
+            ..TreeParams::default()
+        };
+        let pr = TreeParams {
+            mode: ScoreMode::Reference,
+            ..TreeParams::default()
+        };
+        let a = assign_splits(&mut SerialEngine::new(), &d, &master, &ensembles, &parents, &pi);
+        let b = assign_splits(&mut SerialEngine::new(), &d, &master, &ensembles, &parents, &pr);
+        assert_eq!(a.node_splits, b.node_splits);
+    }
+
+    #[test]
+    fn reference_mode_costs_more() {
+        let (d, ensembles, master) = setup();
+        let parents: Vec<usize> = (0..d.n_vars()).collect();
+        let pi = TreeParams {
+            mode: ScoreMode::Incremental,
+            ..TreeParams::default()
+        };
+        let pr = TreeParams {
+            mode: ScoreMode::Reference,
+            ..TreeParams::default()
+        };
+        let mut ei = SerialEngine::new();
+        let mut er = SerialEngine::new();
+        assign_splits(&mut ei, &d, &master, &ensembles, &parents, &pi);
+        assign_splits(&mut er, &d, &master, &ensembles, &parents, &pr);
+        assert!(
+            er.work_units() as f64 > 1.8 * ei.work_units() as f64,
+            "reference {} vs incremental {}",
+            er.work_units(),
+            ei.work_units()
+        );
+    }
+
+    #[test]
+    fn chosen_splits_have_valid_fields() {
+        let (d, ensembles, master) = setup();
+        let parents: Vec<usize> = (0..d.n_vars()).collect();
+        let params = TreeParams::default();
+        let out = assign_splits(
+            &mut SerialEngine::new(),
+            &d,
+            &master,
+            &ensembles,
+            &parents,
+            &params,
+        );
+        assert_eq!(out.node_splits.len(), out.index.nodes.len());
+        for ns in &out.node_splits {
+            assert!(ns.weighted.len() == params.splits_per_node || ns.weighted.is_empty());
+            assert_eq!(ns.uniform.len(), params.splits_per_node);
+            for s in ns.weighted.iter().chain(&ns.uniform) {
+                assert!(s.var < d.n_vars());
+                assert!(s.value.is_finite());
+                assert!(s.posterior >= 0.0 && s.posterior <= 1.0);
+            }
+            // Weighted picks always carry positive posterior.
+            for s in &ns.weighted {
+                assert!(s.posterior > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn planted_regulator_wins_on_engineered_node() {
+        // Engineer a module whose two children are exactly separated by
+        // variable 0's values: candidate splits on variable 0 must get
+        // high posteriors and dominate the weighted picks.
+        let n_obs = 20;
+        let mut values = vec![0.0; 2 * n_obs];
+        for o in 0..n_obs {
+            values[o] = if o < 10 { -1.0 } else { 1.0 }; // regulator
+            values[n_obs + o] = if o < 10 { -2.0 } else { 2.0 }; // member
+        }
+        let d = Dataset::new(mn_data::Matrix::from_vec(2, n_obs, values), None, None);
+        let master = MasterRng::new(3);
+        let mut e = SerialEngine::new();
+        let params = TreeParams {
+            splits_per_node: 4,
+            ..TreeParams::default()
+        };
+        let ens = learn_module_trees(&mut e, &d, &master, 0, &[1], &params);
+        let parents = vec![0usize];
+        let out = assign_splits(&mut e, &d, &master, &[ens], &parents, &params);
+        // At least one node has weighted splits, and all name var 0.
+        let any_weighted = out
+            .node_splits
+            .iter()
+            .flat_map(|ns| &ns.weighted)
+            .collect::<Vec<_>>();
+        assert!(!any_weighted.is_empty());
+        assert!(any_weighted.iter().all(|s| s.var == 0));
+    }
+}

@@ -1,0 +1,187 @@
+//! Acyclicity post-processing (extension).
+//!
+//! §2.2.3 of the paper notes that "the algorithm does not enforce the
+//! acyclicity constraint. Therefore, the MoNets learned by the
+//! algorithm may need to be post-processed using an existing method to
+//! get the DAG for the learned network", and §5.1 declares that step
+//! out of scope. We implement it as an extension: a deterministic
+//! weighted feedback-edge heuristic that removes the cheapest
+//! module-graph edges until the graph is a DAG.
+//!
+//! Edge weight = the strongest parent score that induces the edge, so
+//! the heuristic preferentially keeps high-confidence regulation.
+
+use crate::model::{ModuleEdge, ModuleNetwork};
+use std::collections::BTreeMap;
+
+/// A module-level edge with its supporting evidence weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedEdge {
+    /// The edge.
+    pub edge: ModuleEdge,
+    /// Max parent score inducing the edge.
+    pub weight: f64,
+}
+
+/// The weighted module-graph edges of a network (self-loops included —
+/// they are trivially cyclic and always dropped first by
+/// [`enforce_acyclicity`]).
+pub fn weighted_edges(network: &ModuleNetwork) -> Vec<WeightedEdge> {
+    let mut weights: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    for module in &network.modules {
+        for (&parent_var, &score) in &module.parents.weighted {
+            if let Some(src) = network.assignment[parent_var] {
+                let w = weights.entry((src, module.index)).or_insert(f64::MIN);
+                *w = w.max(score);
+            }
+        }
+    }
+    weights
+        .into_iter()
+        .map(|((from, to), weight)| WeightedEdge {
+            edge: ModuleEdge { from, to },
+            weight,
+        })
+        .collect()
+}
+
+/// Whether a set of directed edges over `n` vertices is acyclic
+/// (Kahn's algorithm).
+pub fn is_acyclic(n: usize, edges: &[ModuleEdge]) -> bool {
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for e in edges {
+        if e.from == e.to {
+            return false;
+        }
+        adj[e.from].push(e.to);
+        indeg[e.to] += 1;
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut seen = 0;
+    while let Some(v) = queue.pop() {
+        seen += 1;
+        for &w in &adj[v] {
+            indeg[w] -= 1;
+            if indeg[w] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    seen == n
+}
+
+/// Remove a minimum-weight-first set of edges so the remaining module
+/// graph is a DAG. Returns `(kept, removed)`, both sorted.
+///
+/// Greedy: insert edges in descending weight (ties: edge order),
+/// skipping any edge that would close a cycle — the classic
+/// maximum-weight acyclic subgraph heuristic. Deterministic.
+pub fn enforce_acyclicity(
+    n_modules: usize,
+    edges: &[WeightedEdge],
+) -> (Vec<ModuleEdge>, Vec<ModuleEdge>) {
+    let mut order: Vec<&WeightedEdge> = edges.iter().collect();
+    order.sort_by(|a, b| {
+        b.weight
+            .total_cmp(&a.weight)
+            .then(a.edge.cmp(&b.edge))
+    });
+    let mut kept: Vec<ModuleEdge> = Vec::new();
+    let mut removed: Vec<ModuleEdge> = Vec::new();
+    for we in order {
+        if we.edge.from == we.edge.to {
+            removed.push(we.edge);
+            continue;
+        }
+        kept.push(we.edge);
+        if is_acyclic(n_modules, &kept) {
+            continue;
+        }
+        kept.pop();
+        removed.push(we.edge);
+    }
+    kept.sort();
+    removed.sort();
+    (kept, removed)
+}
+
+/// Convenience: the DAG edges of a network after post-processing.
+pub fn dag_edges(network: &ModuleNetwork) -> Vec<ModuleEdge> {
+    enforce_acyclicity(network.n_modules(), &weighted_edges(network)).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(from: usize, to: usize) -> ModuleEdge {
+        ModuleEdge { from, to }
+    }
+
+    fn we(from: usize, to: usize, weight: f64) -> WeightedEdge {
+        WeightedEdge {
+            edge: e(from, to),
+            weight,
+        }
+    }
+
+    #[test]
+    fn acyclicity_detection() {
+        assert!(is_acyclic(3, &[e(0, 1), e(1, 2)]));
+        assert!(!is_acyclic(3, &[e(0, 1), e(1, 2), e(2, 0)]));
+        assert!(!is_acyclic(2, &[e(0, 0)]), "self-loop is a cycle");
+        assert!(is_acyclic(1, &[]));
+    }
+
+    #[test]
+    fn two_cycle_drops_weaker_edge() {
+        let edges = [we(0, 1, 0.9), we(1, 0, 0.3)];
+        let (kept, removed) = enforce_acyclicity(2, &edges);
+        assert_eq!(kept, vec![e(0, 1)]);
+        assert_eq!(removed, vec![e(1, 0)]);
+    }
+
+    #[test]
+    fn long_cycle_broken_at_minimum_weight() {
+        let edges = [we(0, 1, 0.9), we(1, 2, 0.8), we(2, 0, 0.1)];
+        let (kept, removed) = enforce_acyclicity(3, &edges);
+        assert_eq!(removed, vec![e(2, 0)]);
+        assert_eq!(kept.len(), 2);
+        assert!(is_acyclic(3, &kept));
+    }
+
+    #[test]
+    fn self_loops_always_removed() {
+        let edges = [we(0, 0, 1.0), we(0, 1, 0.5)];
+        let (kept, removed) = enforce_acyclicity(2, &edges);
+        assert_eq!(kept, vec![e(0, 1)]);
+        assert_eq!(removed, vec![e(0, 0)]);
+    }
+
+    #[test]
+    fn dag_input_is_untouched() {
+        let edges = [we(0, 1, 0.5), we(0, 2, 0.4), we(1, 2, 0.3)];
+        let (kept, removed) = enforce_acyclicity(3, &edges);
+        assert_eq!(kept.len(), 3);
+        assert!(removed.is_empty());
+    }
+
+    #[test]
+    fn result_is_always_acyclic_on_dense_cycles() {
+        // Complete directed graph on 4 vertices (all 12 edges).
+        let mut edges = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    edges.push(we(i, j, ((i * 4 + j) as f64) / 16.0));
+                }
+            }
+        }
+        let (kept, removed) = enforce_acyclicity(4, &edges);
+        assert!(is_acyclic(4, &kept));
+        assert_eq!(kept.len() + removed.len(), 12);
+        // A tournament on 4 vertices can keep at most 6 edges.
+        assert_eq!(kept.len(), 6);
+    }
+}

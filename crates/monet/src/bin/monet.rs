@@ -1,0 +1,233 @@
+//! `monet` — command-line module-network learner.
+//!
+//! ```text
+//! monet --input expression.tsv [--engine serial|threads:<p>|sim:<p>]
+//!       [--seed N] [--ganesh-runs G] [--update-steps U]
+//!       [--init-clusters K0] [--trees R] [--splits-per-node J]
+//!       [--sampling-steps S] [--threshold T] [--reference]
+//!       [--candidates file.txt] [--xml out.xml] [--json out.json]
+//!       [--dag] [--quiet]
+//! monet --synthetic n,m [--engine ...]   # demo without an input file
+//! ```
+//!
+//! The defaults reproduce the paper's minimum-runtime configuration
+//! (§5.1): one GaneSH run, one update step, one regression tree per
+//! module, every gene a candidate regulator.
+
+use mn_comm::{EngineSpec, RunReport, SerialEngine, SimEngine, ThreadEngine};
+use mn_data::Dataset;
+use mn_score::ScoreMode;
+use monet::{learn_module_network, LearnerConfig, ModuleNetwork};
+use std::process::ExitCode;
+
+struct Options {
+    input: Option<String>,
+    synthetic: Option<(usize, usize)>,
+    engine: EngineSpec,
+    seed: u64,
+    ganesh_runs: usize,
+    update_steps: usize,
+    init_clusters: Option<usize>,
+    trees: usize,
+    splits_per_node: usize,
+    sampling_steps: usize,
+    threshold: f64,
+    reference: bool,
+    candidates: Option<String>,
+    xml: Option<String>,
+    json: Option<String>,
+    dag: bool,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: monet --input <expression.tsv> | --synthetic <n,m>\n\
+         \x20      [--engine serial|threads:<p>|sim:<p>] [--seed N]\n\
+         \x20      [--ganesh-runs G] [--update-steps U] [--init-clusters K0]\n\
+         \x20      [--trees R] [--splits-per-node J] [--sampling-steps S]\n\
+         \x20      [--threshold T] [--reference] [--candidates file]\n\
+         \x20      [--xml out.xml] [--json out.json] [--dag] [--quiet]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_options() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Options {
+        input: None,
+        synthetic: None,
+        engine: EngineSpec::Serial,
+        seed: 0,
+        ganesh_runs: 1,
+        update_steps: 1,
+        init_clusters: None,
+        trees: 1,
+        splits_per_node: 2,
+        sampling_steps: 8,
+        threshold: 0.0,
+        reference: false,
+        candidates: None,
+        xml: None,
+        json: None,
+        dag: false,
+        quiet: false,
+    };
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--input" => opts.input = Some(value(&args, &mut i)),
+            "--synthetic" => {
+                let v = value(&args, &mut i);
+                let parts: Vec<&str> = v.split(',').collect();
+                if parts.len() != 2 {
+                    usage();
+                }
+                let n = parts[0].parse().unwrap_or_else(|_| usage());
+                let m = parts[1].parse().unwrap_or_else(|_| usage());
+                opts.synthetic = Some((n, m));
+            }
+            "--engine" => {
+                opts.engine = value(&args, &mut i).parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
+            "--seed" => opts.seed = value(&args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--ganesh-runs" => {
+                opts.ganesh_runs = value(&args, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--update-steps" => {
+                opts.update_steps = value(&args, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--init-clusters" => {
+                opts.init_clusters =
+                    Some(value(&args, &mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--trees" => opts.trees = value(&args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--splits-per-node" => {
+                opts.splits_per_node = value(&args, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--sampling-steps" => {
+                opts.sampling_steps = value(&args, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--threshold" => {
+                opts.threshold = value(&args, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--reference" => opts.reference = true,
+            "--candidates" => opts.candidates = Some(value(&args, &mut i)),
+            "--xml" => opts.xml = Some(value(&args, &mut i)),
+            "--json" => opts.json = Some(value(&args, &mut i)),
+            "--dag" => opts.dag = true,
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    if opts.input.is_none() == opts.synthetic.is_none() {
+        eprintln!("exactly one of --input / --synthetic is required");
+        usage();
+    }
+    opts
+}
+
+fn load_data(opts: &Options) -> Result<Dataset, String> {
+    if let Some(path) = &opts.input {
+        return mn_data::read_tsv_file(path).map_err(|e| format!("reading {path}: {e}"));
+    }
+    let (n, m) = opts.synthetic.unwrap();
+    Ok(mn_data::synthetic::yeast_like(n, m, opts.seed).dataset)
+}
+
+fn build_config(opts: &Options, data: &Dataset) -> Result<LearnerConfig, String> {
+    let mut config = LearnerConfig::paper_minimum(opts.seed);
+    config.ganesh_runs = opts.ganesh_runs;
+    config.ganesh.update_steps = opts.update_steps;
+    config.ganesh.init_clusters = opts.init_clusters;
+    config.consensus_threshold = opts.threshold;
+    config.tree.update_steps = opts.trees + 1;
+    config.tree.burn_in = 1;
+    config.tree.splits_per_node = opts.splits_per_node;
+    config.tree.max_sampling_steps = opts.sampling_steps;
+    if opts.reference {
+        config = config.with_mode(ScoreMode::Reference);
+    }
+    if let Some(path) = &opts.candidates {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let names: Vec<String> = text.split_whitespace().map(String::from).collect();
+        let mut indices = Vec::with_capacity(names.len());
+        for name in &names {
+            match data.var_names.iter().position(|v| v == name) {
+                Some(idx) => indices.push(idx),
+                None => return Err(format!("candidate regulator {name:?} not in data set")),
+            }
+        }
+        config.candidate_parents = Some(indices);
+    }
+    config.validated()
+}
+
+fn run(opts: &Options, data: &Dataset, config: &LearnerConfig) -> (ModuleNetwork, RunReport) {
+    match opts.engine {
+        EngineSpec::Serial => learn_module_network(&mut SerialEngine::new(), data, config),
+        EngineSpec::Threads(p) => learn_module_network(&mut ThreadEngine::new(p), data, config),
+        EngineSpec::Sim(p) => learn_module_network(&mut SimEngine::new(p), data, config),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_options();
+    let data = match load_data(&opts) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = match build_config(&opts, &data) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (network, report) = run(&opts, &data, &config);
+
+    if !opts.quiet {
+        let summary = network.summary();
+        println!(
+            "learned {} modules over {} genes ({} assigned), {} module edges",
+            summary.n_modules, summary.n_vars, summary.n_assigned_vars, summary.n_edges
+        );
+        for phase in &report.phases {
+            println!("  task {:<10} {:.4}s", phase.name, phase.elapsed_s);
+        }
+        println!("total: {:.4}s on {} rank(s)", report.total_s(), report.nranks);
+        if opts.dag {
+            let dag = monet::acyclic::dag_edges(&network);
+            println!("acyclic module graph: {} edges", dag.len());
+        }
+    }
+    if let Some(path) = &opts.xml {
+        if let Err(e) = monet::write_xml_file(&network, path) {
+            eprintln!("error writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &opts.json {
+        if let Err(e) = monet::write_json_file(&network, path) {
+            eprintln!("error writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,214 @@
+//! The learned module-network model (§2.1).
+//!
+//! A module network is a DAG over module variables: a vertex per
+//! module and an edge `M_j → M_k` iff some variable assigned to `M_j`
+//! is a parent of `M_k` (Fig. 1 of the paper). The learner additionally
+//! retains each module's regression-tree ensemble and parent scores,
+//! which is what Lemon-Tree writes out for downstream analysis.
+
+use mn_tree::{ModuleEnsemble, ModuleParents};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One learned module.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Module {
+    /// Module index (vertex id in the module graph).
+    pub index: usize,
+    /// Sorted member variables.
+    pub vars: Vec<usize>,
+    /// The regression-tree ensemble (R trees).
+    pub ensemble: ModuleEnsemble,
+    /// Parent scores (weighted + uniform baselines).
+    pub parents: ModuleParents,
+}
+
+/// The learned module network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleNetwork {
+    /// Variable names from the data set.
+    pub var_names: Vec<String>,
+    /// The modules, in extraction order.
+    pub modules: Vec<Module>,
+    /// `assignment[v]` = module index of variable `v`, or `None` for
+    /// variables not placed in any consensus module.
+    pub assignment: Vec<Option<usize>>,
+    /// The master seed the network was learned with.
+    pub seed: u64,
+}
+
+/// A directed edge between modules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ModuleEdge {
+    /// Source module (the module containing the parent variable).
+    pub from: usize,
+    /// Target module (the module the parent regulates).
+    pub to: usize,
+}
+
+impl ModuleNetwork {
+    /// Number of modules (the paper's K).
+    pub fn n_modules(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// The module-level edges implied by the parent sets (§2.1's
+    /// definition: `M_j → M_k` iff `A(X) = M_j` and `X ∈ Pa(M_k)`).
+    /// Deduplicated and sorted. Self-loops are retained — the raw
+    /// Lemon-Tree output may contain cycles (§2.2.3's closing note);
+    /// see [`crate::acyclic`] for the post-processing.
+    pub fn module_edges(&self) -> Vec<ModuleEdge> {
+        let mut edges = BTreeSet::new();
+        for module in &self.modules {
+            for &parent_var in module.parents.weighted.keys() {
+                if let Some(src) = self.assignment[parent_var] {
+                    edges.insert(ModuleEdge {
+                        from: src,
+                        to: module.index,
+                    });
+                }
+            }
+        }
+        edges.into_iter().collect()
+    }
+
+    /// The parent variables of one module, ranked by score.
+    pub fn ranked_parents(&self, module: usize) -> Vec<(usize, f64)> {
+        self.modules[module].parents.ranked()
+    }
+
+    /// Summary statistics used by the examples and experiment logs.
+    pub fn summary(&self) -> NetworkSummary {
+        let assigned = self.assignment.iter().filter(|a| a.is_some()).count();
+        let edges = self.module_edges();
+        NetworkSummary {
+            n_vars: self.n_vars(),
+            n_modules: self.n_modules(),
+            n_assigned_vars: assigned,
+            n_edges: edges.len(),
+            mean_module_size: if self.n_modules() == 0 {
+                0.0
+            } else {
+                assigned as f64 / self.n_modules() as f64
+            },
+        }
+    }
+
+    /// Structural invariants: member lists sorted and consistent with
+    /// the assignment, module indices contiguous.
+    pub fn validate(&self) {
+        for (k, module) in self.modules.iter().enumerate() {
+            assert_eq!(module.index, k, "module indices must be contiguous");
+            assert!(
+                module.vars.windows(2).all(|w| w[0] < w[1]),
+                "module {k} vars not sorted"
+            );
+            for &v in &module.vars {
+                assert_eq!(self.assignment[v], Some(k), "assignment of var {v}");
+            }
+            assert_eq!(module.ensemble.vars, module.vars);
+        }
+        for (v, &a) in self.assignment.iter().enumerate() {
+            if let Some(k) = a {
+                assert!(
+                    self.modules[k].vars.binary_search(&v).is_ok(),
+                    "var {v} missing from module {k}"
+                );
+            }
+        }
+    }
+}
+
+/// Compact description of a learned network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSummary {
+    /// Total variables in the data set.
+    pub n_vars: usize,
+    /// Number of modules.
+    pub n_modules: usize,
+    /// Variables placed in some module.
+    pub n_assigned_vars: usize,
+    /// Module-level edges.
+    pub n_edges: usize,
+    /// Mean module size.
+    pub mean_module_size: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_tree::ModuleParents;
+
+    fn tiny_network() -> ModuleNetwork {
+        // Two modules over 4 vars; var 0 (module 0) regulates module 1.
+        let mk_ensemble = |module: usize, vars: Vec<usize>| ModuleEnsemble {
+            module,
+            vars,
+            trees: vec![],
+        };
+        let mut parents1 = ModuleParents::default();
+        parents1.weighted.insert(0, 0.9);
+        ModuleNetwork {
+            var_names: (0..4).map(|i| format!("G{i}")).collect(),
+            modules: vec![
+                Module {
+                    index: 0,
+                    vars: vec![0, 1],
+                    ensemble: mk_ensemble(0, vec![0, 1]),
+                    parents: ModuleParents::default(),
+                },
+                Module {
+                    index: 1,
+                    vars: vec![2, 3],
+                    ensemble: mk_ensemble(1, vec![2, 3]),
+                    parents: parents1,
+                },
+            ],
+            assignment: vec![Some(0), Some(0), Some(1), Some(1)],
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn edges_follow_paper_definition() {
+        let net = tiny_network();
+        net.validate();
+        assert_eq!(
+            net.module_edges(),
+            vec![ModuleEdge { from: 0, to: 1 }]
+        );
+    }
+
+    #[test]
+    fn unassigned_parent_vars_make_no_edges() {
+        let mut net = tiny_network();
+        net.assignment[0] = None;
+        net.modules[0].vars = vec![1];
+        net.modules[0].ensemble.vars = vec![1];
+        net.validate();
+        assert!(net.module_edges().is_empty());
+    }
+
+    #[test]
+    fn summary_counts() {
+        let s = tiny_network().summary();
+        assert_eq!(s.n_vars, 4);
+        assert_eq!(s.n_modules, 2);
+        assert_eq!(s.n_assigned_vars, 4);
+        assert_eq!(s.n_edges, 1);
+        assert!((s.mean_module_size - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn validate_catches_bad_indices() {
+        let mut net = tiny_network();
+        net.modules[1].index = 5;
+        net.validate();
+    }
+}

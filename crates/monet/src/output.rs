@@ -1,0 +1,143 @@
+//! Serialization of learned networks.
+//!
+//! The paper's implementation writes "the final MoNet structure in XML
+//! format" (§5.3) — the Lemon-Tree convention. We provide that XML
+//! layout plus a JSON form (serde) that the experiment harness uses
+//! for machine-readable records.
+
+use crate::model::ModuleNetwork;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Serialize the network as pretty JSON.
+pub fn to_json(network: &ModuleNetwork) -> String {
+    serde_json::to_string_pretty(network).expect("network serialization cannot fail")
+}
+
+/// Parse a network from JSON.
+pub fn from_json(text: &str) -> Result<ModuleNetwork, serde_json::Error> {
+    serde_json::from_str(text)
+}
+
+/// Minimal XML escaping for names.
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Render the network in a Lemon-Tree-style XML layout:
+/// `<ModuleNetwork>` with one `<Module>` per module, listing member
+/// genes, ranked regulators, and the module-level edges.
+pub fn to_xml(network: &ModuleNetwork) -> String {
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    let _ = writeln!(
+        out,
+        "<ModuleNetwork seed=\"{}\" modules=\"{}\" variables=\"{}\">",
+        network.seed,
+        network.n_modules(),
+        network.n_vars()
+    );
+    for module in &network.modules {
+        let _ = writeln!(
+            out,
+            "  <Module id=\"{}\" size=\"{}\">",
+            module.index,
+            module.vars.len()
+        );
+        for &v in &module.vars {
+            let _ = writeln!(
+                out,
+                "    <Gene name=\"{}\" index=\"{v}\"/>",
+                escape(&network.var_names[v])
+            );
+        }
+        for (var, score) in module.parents.ranked() {
+            let _ = writeln!(
+                out,
+                "    <Regulator name=\"{}\" index=\"{var}\" score=\"{score:.6}\"/>",
+                escape(&network.var_names[var])
+            );
+        }
+        let _ = writeln!(out, "    <Trees count=\"{}\"/>", module.ensemble.trees.len());
+        let _ = writeln!(out, "  </Module>");
+    }
+    for edge in network.module_edges() {
+        let _ = writeln!(out, "  <Edge from=\"{}\" to=\"{}\"/>", edge.from, edge.to);
+    }
+    out.push_str("</ModuleNetwork>\n");
+    out
+}
+
+/// Write the XML form to a file.
+pub fn write_xml_file<P: AsRef<Path>>(network: &ModuleNetwork, path: P) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_xml(network).as_bytes())
+}
+
+/// Write the JSON form to a file.
+pub fn write_json_file<P: AsRef<Path>>(network: &ModuleNetwork, path: P) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_json(network).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LearnerConfig;
+    use crate::learn::learn_module_network;
+    use mn_comm::SerialEngine;
+    use mn_data::synthetic;
+
+    fn network() -> ModuleNetwork {
+        let d = synthetic::yeast_like(18, 12, 8).dataset;
+        let mut e = SerialEngine::new();
+        learn_module_network(&mut e, &d, &LearnerConfig::paper_minimum(2)).0
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let net = network();
+        let text = to_json(&net);
+        let back = from_json(&text).unwrap();
+        assert_eq!(net, back);
+    }
+
+    #[test]
+    fn xml_contains_all_modules_and_genes() {
+        let net = network();
+        let xml = to_xml(&net);
+        assert!(xml.starts_with("<?xml"));
+        assert_eq!(xml.matches("<Module ").count(), net.n_modules());
+        let genes = xml.matches("<Gene ").count();
+        let assigned = net.assignment.iter().filter(|a| a.is_some()).count();
+        assert_eq!(genes, assigned);
+        assert_eq!(xml.matches("<Edge ").count(), net.module_edges().len());
+    }
+
+    #[test]
+    fn xml_escapes_names() {
+        let mut net = network();
+        net.var_names[net.modules[0].vars[0]] = "a<b&\"c\">".to_string();
+        let xml = to_xml(&net);
+        assert!(xml.contains("a&lt;b&amp;&quot;c&quot;&gt;"));
+        assert!(!xml.contains("a<b&"));
+    }
+
+    #[test]
+    fn file_writers_produce_readable_output() {
+        let net = network();
+        let dir = std::env::temp_dir();
+        let xml_path = dir.join("monet_test_net.xml");
+        let json_path = dir.join("monet_test_net.json");
+        write_xml_file(&net, &xml_path).unwrap();
+        write_json_file(&net, &json_path).unwrap();
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert_eq!(from_json(&json).unwrap(), net);
+        std::fs::remove_file(xml_path).ok();
+        std::fs::remove_file(json_path).ok();
+    }
+}

@@ -1,0 +1,291 @@
+//! The pipeline as resumable stages, with checkpointing.
+//!
+//! §5.3 of the paper: "any intermediate files and the final MoNet
+//! structure ... are written to the disk by the process with rank 0".
+//! This module exposes the three Lemon-Tree tasks as separate stage
+//! functions with serializable outputs, plus a [`Checkpoint`] that
+//! persists completed stages so a long run (the paper's runs last
+//! hours even on 4096 cores) can resume after an interruption without
+//! repeating finished work.
+//!
+//! [`crate::learn_module_network`] is the one-shot composition of
+//! these stages; [`learn_with_checkpoint`] is the resumable one.
+
+use crate::config::LearnerConfig;
+use crate::learn::phases;
+use crate::model::{Module, ModuleNetwork};
+use mn_comm::ParEngine;
+use mn_consensus::{cooccurrence_matrix, cooccurrence_work, spectral_clusters_counted};
+use mn_data::Dataset;
+use mn_gibbs::ganesh_ensemble;
+use mn_rand::MasterRng;
+use mn_tree::{assign_splits, learn_module_trees, learn_parents};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Output of task 1 (GaneSH): the sampled variable-cluster ensemble.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaneshOutput {
+    /// `ensemble[g]` = the variable clusters of run `g`.
+    pub ensemble: Vec<Vec<Vec<usize>>>,
+}
+
+/// Output of task 2 (consensus): the module member lists.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConsensusOutput {
+    /// `modules[k]` = sorted variables of module `k`.
+    pub modules: Vec<Vec<usize>>,
+}
+
+/// Task 1: sample the GaneSH co-clustering ensemble.
+pub fn run_ganesh<E: ParEngine>(
+    engine: &mut E,
+    data: &Dataset,
+    config: &LearnerConfig,
+) -> GaneshOutput {
+    let master = MasterRng::new(config.seed);
+    engine.begin_phase(phases::GANESH);
+    GaneshOutput {
+        ensemble: ganesh_ensemble(engine, data, &master, config.ganesh_runs, &config.ganesh),
+    }
+}
+
+/// Task 2: consensus clustering of the ensemble (sequential,
+/// replicated on all ranks per §3.2.2).
+pub fn run_consensus<E: ParEngine>(
+    engine: &mut E,
+    data: &Dataset,
+    config: &LearnerConfig,
+    ganesh: &GaneshOutput,
+) -> ConsensusOutput {
+    engine.begin_phase(phases::CONSENSUS);
+    let matrix = cooccurrence_matrix(
+        data.n_vars(),
+        &ganesh.ensemble,
+        config.consensus_threshold,
+    );
+    let (modules, spectral_work) = spectral_clusters_counted(&matrix, &config.spectral);
+    engine.replicated(
+        cooccurrence_work(data.n_vars(), ganesh.ensemble.len()) + spectral_work,
+    );
+    ConsensusOutput { modules }
+}
+
+/// Task 3: learn trees, assign splits, score parents, and assemble the
+/// network.
+pub fn run_module_learning<E: ParEngine>(
+    engine: &mut E,
+    data: &Dataset,
+    config: &LearnerConfig,
+    consensus: &ConsensusOutput,
+) -> ModuleNetwork {
+    let master = MasterRng::new(config.seed);
+    engine.begin_phase(phases::MODULES);
+    let ensembles: Vec<_> = consensus
+        .modules
+        .iter()
+        .enumerate()
+        .map(|(k, vars)| learn_module_trees(engine, data, &master, k, vars, &config.tree))
+        .collect();
+    let parents_list = config.resolved_parents(data.n_vars());
+    let assignment = assign_splits(
+        engine,
+        data,
+        &master,
+        &ensembles,
+        &parents_list,
+        &config.tree,
+    );
+    let parents = learn_parents(engine, &ensembles, &assignment);
+
+    let mut var_assignment: Vec<Option<usize>> = vec![None; data.n_vars()];
+    let mut modules = Vec::with_capacity(ensembles.len());
+    for ((k, ensemble), parents) in ensembles.into_iter().enumerate().zip(parents) {
+        for &v in &ensemble.vars {
+            var_assignment[v] = Some(k);
+        }
+        modules.push(Module {
+            index: k,
+            vars: ensemble.vars.clone(),
+            ensemble,
+            parents,
+        });
+    }
+    let network = ModuleNetwork {
+        var_names: data.var_names.clone(),
+        modules,
+        assignment: var_assignment,
+        seed: config.seed,
+    };
+    network.validate();
+    network
+}
+
+/// A persisted pipeline state: completed stage outputs plus the
+/// fingerprint that guards against resuming with a different problem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Data fingerprint: (n, m, sum of all cells) — cheap and
+    /// sufficient to catch "resumed against the wrong matrix".
+    pub fingerprint: (usize, usize, f64),
+    /// Completed task 1, if any.
+    pub ganesh: Option<GaneshOutput>,
+    /// Completed task 2, if any.
+    pub consensus: Option<ConsensusOutput>,
+}
+
+impl Checkpoint {
+    /// Fresh checkpoint for a (data, config) pair.
+    pub fn new(data: &Dataset, config: &LearnerConfig) -> Self {
+        Self {
+            seed: config.seed,
+            fingerprint: Self::fingerprint(data),
+            ganesh: None,
+            consensus: None,
+        }
+    }
+
+    fn fingerprint(data: &Dataset) -> (usize, usize, f64) {
+        (
+            data.n_vars(),
+            data.n_obs(),
+            data.matrix.as_slice().iter().sum(),
+        )
+    }
+
+    /// Whether this checkpoint belongs to the given problem.
+    pub fn matches(&self, data: &Dataset, config: &LearnerConfig) -> bool {
+        self.seed == config.seed && self.fingerprint == Self::fingerprint(data)
+    }
+
+    /// Persist as JSON.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        let text = serde_json::to_string(self).expect("checkpoint serialization");
+        std::fs::write(path, text)
+    }
+
+    /// Load from JSON.
+    pub fn load<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Run the pipeline, resuming from (and updating) the checkpoint file
+/// at `path`. A checkpoint that does not match the problem is ignored
+/// and overwritten. Returns the network and the engine report covering
+/// only the stages that actually executed.
+pub fn learn_with_checkpoint<E: ParEngine, P: AsRef<Path>>(
+    engine: &mut E,
+    data: &Dataset,
+    config: &LearnerConfig,
+    path: P,
+) -> std::io::Result<(ModuleNetwork, mn_comm::RunReport)> {
+    let path = path.as_ref();
+    let mut checkpoint = match Checkpoint::load(path) {
+        Ok(cp) if cp.matches(data, config) => cp,
+        _ => Checkpoint::new(data, config),
+    };
+
+    if checkpoint.ganesh.is_none() {
+        checkpoint.ganesh = Some(run_ganesh(engine, data, config));
+        checkpoint.save(path)?;
+    }
+    if checkpoint.consensus.is_none() {
+        let ganesh = checkpoint.ganesh.as_ref().expect("stage 1 present");
+        checkpoint.consensus = Some(run_consensus(engine, data, config, ganesh));
+        checkpoint.save(path)?;
+    }
+    let consensus = checkpoint.consensus.as_ref().expect("stage 2 present");
+    let network = run_module_learning(engine, data, config, consensus);
+    Ok((network, engine.report()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learn::learn_module_network;
+    use mn_comm::SerialEngine;
+    use mn_data::synthetic;
+
+    fn setup() -> (Dataset, LearnerConfig) {
+        (
+            synthetic::yeast_like(20, 14, 31).dataset,
+            LearnerConfig::paper_minimum(6),
+        )
+    }
+
+    #[test]
+    fn staged_run_equals_one_shot_run() {
+        let (d, c) = setup();
+        let (oneshot, _) = learn_module_network(&mut SerialEngine::new(), &d, &c);
+
+        let mut engine = SerialEngine::new();
+        let t1 = run_ganesh(&mut engine, &d, &c);
+        let t2 = run_consensus(&mut engine, &d, &c, &t1);
+        let staged = run_module_learning(&mut engine, &d, &c, &t2);
+        assert_eq!(oneshot, staged);
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_and_resumes() {
+        let (d, c) = setup();
+        let path = std::env::temp_dir().join("monet_checkpoint_test.json");
+        std::fs::remove_file(&path).ok();
+
+        // First run writes stage outputs.
+        let (first, report1) =
+            learn_with_checkpoint(&mut SerialEngine::new(), &d, &c, &path).unwrap();
+        assert!(report1.phases.iter().any(|p| p.name == phases::GANESH));
+
+        // Second run resumes: tasks 1-2 are skipped (no such phases in
+        // the report), the network is identical.
+        let (second, report2) =
+            learn_with_checkpoint(&mut SerialEngine::new(), &d, &c, &path).unwrap();
+        assert_eq!(first, second);
+        assert!(
+            !report2.phases.iter().any(|p| p.name == phases::GANESH),
+            "GaneSH should have been resumed from the checkpoint"
+        );
+        assert!(report2.phases.iter().any(|p| p.name == phases::MODULES));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_ignored() {
+        let (d, c) = setup();
+        let path = std::env::temp_dir().join("monet_checkpoint_mismatch.json");
+        std::fs::remove_file(&path).ok();
+        learn_with_checkpoint(&mut SerialEngine::new(), &d, &c, &path).unwrap();
+
+        // Different seed: stale checkpoint must not be reused.
+        let mut c2 = c.clone();
+        c2.seed = 999;
+        let (net2, report) =
+            learn_with_checkpoint(&mut SerialEngine::new(), &d, &c2, &path).unwrap();
+        assert!(
+            report.phases.iter().any(|p| p.name == phases::GANESH),
+            "stale checkpoint should have been discarded"
+        );
+        let (reference, _) = learn_module_network(&mut SerialEngine::new(), &d, &c2);
+        assert_eq!(net2, reference);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_serialization_roundtrip() {
+        let (d, c) = setup();
+        let mut cp = Checkpoint::new(&d, &c);
+        cp.ganesh = Some(GaneshOutput {
+            ensemble: vec![vec![vec![0, 1], vec![2]]],
+        });
+        let path = std::env::temp_dir().join("monet_checkpoint_serde.json");
+        cp.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(cp, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+}

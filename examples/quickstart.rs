@@ -1,0 +1,76 @@
+//! Quickstart: learn a module network from synthetic expression data
+//! and print the modules, their regulators, and the module graph.
+//!
+//! ```text
+//! cargo run --release -p monet --example quickstart
+//! ```
+
+use mn_comm::SerialEngine;
+use mn_data::synthetic;
+use monet::{learn_module_network, LearnerConfig};
+
+fn main() {
+    // A small module-structured expression data set with planted
+    // ground truth (stand-in for a real TSV compendium; see
+    // mn_data::read_tsv_file for loading your own).
+    let synth = synthetic::yeast_like(40, 30, 42);
+    let data = &synth.dataset;
+    println!(
+        "data set: {} genes x {} observations ({} planted modules)",
+        data.n_vars(),
+        data.n_obs(),
+        synth.truth.n_modules()
+    );
+
+    // The paper's minimum configuration: one GaneSH run, one update
+    // step, one regression tree per module.
+    let config = LearnerConfig::paper_minimum(42);
+    let mut engine = SerialEngine::new();
+    let (network, report) = learn_module_network(&mut engine, data, &config);
+
+    println!(
+        "\nlearned {} modules covering {}/{} genes in {:.3}s",
+        network.n_modules(),
+        network.summary().n_assigned_vars,
+        network.n_vars(),
+        report.total_s()
+    );
+    for phase in &report.phases {
+        println!("  task {:<10} {:.4}s", phase.name, phase.elapsed_s);
+    }
+
+    for module in &network.modules {
+        let members: Vec<&str> = module
+            .vars
+            .iter()
+            .take(6)
+            .map(|&v| network.var_names[v].as_str())
+            .collect();
+        println!(
+            "\nmodule {} ({} genes): {}{}",
+            module.index,
+            module.vars.len(),
+            members.join(", "),
+            if module.vars.len() > 6 { ", ..." } else { "" }
+        );
+        for (var, score) in network.ranked_parents(module.index).iter().take(3) {
+            println!(
+                "  regulator {:<6} score {:.3}",
+                network.var_names[*var], score
+            );
+        }
+    }
+
+    let edges = network.module_edges();
+    println!("\nmodule graph: {} edges", edges.len());
+    for e in edges.iter().take(10) {
+        println!("  M{} -> M{}", e.from, e.to);
+    }
+    let dag = monet::acyclic::dag_edges(&network);
+    println!("after acyclicity post-processing: {} edges (DAG)", dag.len());
+
+    // Persist in both formats the paper's tooling uses.
+    let out = std::env::temp_dir().join("monet_quickstart.xml");
+    monet::write_xml_file(&network, &out).expect("write XML");
+    println!("\nwrote {}", out.display());
+}

@@ -1,0 +1,142 @@
+//! End-to-end tests of the `monet` command-line binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn monet_bin() -> PathBuf {
+    // Integration tests live next to the binary in target/<profile>/.
+    let mut path = std::env::current_exe().expect("test exe path");
+    path.pop(); // the deps/ directory
+    if path.ends_with("deps") {
+        path.pop();
+    }
+    path.join("monet")
+}
+
+#[test]
+fn cli_learns_from_synthetic_and_writes_outputs() {
+    let dir = std::env::temp_dir();
+    let xml = dir.join("monet_cli_test.xml");
+    let json = dir.join("monet_cli_test.json");
+    let output = Command::new(monet_bin())
+        .args([
+            "--synthetic",
+            "24,16",
+            "--seed",
+            "5",
+            "--xml",
+            xml.to_str().unwrap(),
+            "--json",
+            json.to_str().unwrap(),
+            "--dag",
+        ])
+        .output()
+        .expect("run monet");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("learned"), "stdout: {stdout}");
+    assert!(stdout.contains("acyclic module graph"));
+
+    let xml_text = std::fs::read_to_string(&xml).unwrap();
+    assert!(xml_text.starts_with("<?xml"));
+    let json_text = std::fs::read_to_string(&json).unwrap();
+    let network = monet::from_json(&json_text).unwrap();
+    network.validate();
+    std::fs::remove_file(xml).ok();
+    std::fs::remove_file(json).ok();
+}
+
+#[test]
+fn cli_reads_tsv_and_respects_candidates() {
+    let dir = std::env::temp_dir();
+    let tsv = dir.join("monet_cli_data.tsv");
+    let cand = dir.join("monet_cli_cands.txt");
+    let data = mn_data::synthetic::yeast_like(20, 14, 9).dataset;
+    mn_data::write_tsv_file(&data, &tsv).unwrap();
+    std::fs::write(&cand, "G0 G1 G2\n").unwrap();
+
+    let output = Command::new(monet_bin())
+        .args([
+            "--input",
+            tsv.to_str().unwrap(),
+            "--candidates",
+            cand.to_str().unwrap(),
+            "--engine",
+            "sim:64",
+            "--quiet",
+            "--json",
+            dir.join("monet_cli_net2.json").to_str().unwrap(),
+        ])
+        .output()
+        .expect("run monet");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let network =
+        monet::from_json(&std::fs::read_to_string(dir.join("monet_cli_net2.json")).unwrap())
+            .unwrap();
+    // Only G0..G2 may appear as parents.
+    for module in &network.modules {
+        for &var in module.parents.weighted.keys() {
+            assert!(var < 3, "unexpected parent {var}");
+        }
+    }
+    std::fs::remove_file(tsv).ok();
+    std::fs::remove_file(cand).ok();
+    std::fs::remove_file(dir.join("monet_cli_net2.json")).ok();
+}
+
+#[test]
+fn cli_engine_choice_does_not_change_the_network() {
+    let dir = std::env::temp_dir();
+    let mut outputs = Vec::new();
+    for (engine, tag) in [("serial", "a"), ("threads:3", "b"), ("sim:512", "c")] {
+        let json = dir.join(format!("monet_cli_det_{tag}.json"));
+        let output = Command::new(monet_bin())
+            .args([
+                "--synthetic",
+                "20,14",
+                "--seed",
+                "7",
+                "--engine",
+                engine,
+                "--quiet",
+                "--json",
+                json.to_str().unwrap(),
+            ])
+            .output()
+            .expect("run monet");
+        assert!(output.status.success());
+        outputs.push(std::fs::read_to_string(&json).unwrap());
+        std::fs::remove_file(json).ok();
+    }
+    assert_eq!(outputs[0], outputs[1]);
+    assert_eq!(outputs[0], outputs[2]);
+}
+
+#[test]
+fn cli_rejects_bad_usage() {
+    // No input source.
+    let output = Command::new(monet_bin()).output().expect("run monet");
+    assert!(!output.status.success());
+    // Bad engine.
+    let output = Command::new(monet_bin())
+        .args(["--synthetic", "10,10", "--engine", "gpu"])
+        .output()
+        .expect("run monet");
+    assert!(!output.status.success());
+    // Missing file.
+    let output = Command::new(monet_bin())
+        .args(["--input", "/nonexistent/file.tsv"])
+        .output()
+        .expect("run monet");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("error"), "stderr: {stderr}");
+}
