@@ -1,0 +1,173 @@
+//! **Split-kernel speedup record** — measures the batched prefix-sum
+//! kernel against the naive per-candidate pass it replaced and writes
+//! `BENCH_splits.json` so the performance trajectory of the dominant
+//! phase accumulates across revisions.
+//!
+//! Two views are recorded:
+//!
+//! * the exact-pass stage in isolation (all n separation scores of one
+//!   (node, parent) segment) across growing n — the O(n²) → O(n log n)
+//!   change, expected ≥ 3× from n = 100 and growing with n;
+//! * the full split-assignment phase, where the (path-independent)
+//!   Monte-Carlo confirmation dilutes the stage-level win.
+//!
+//! ```text
+//! cargo run --release -p mn-bench --bin bench_splits [-- --quick]
+//! ```
+
+use mn_bench::{time_it, Args, Table};
+use mn_comm::SerialEngine;
+use mn_data::synthetic;
+use mn_rand::MasterRng;
+use mn_score::{naive_sigmas, SplitScoring, SplitScratch};
+use mn_tree::{assign_splits, learn_module_trees, TreeParams};
+use serde::Serialize;
+use std::hint::black_box;
+
+#[derive(Serialize)]
+struct ExactPassRow {
+    n_obs: usize,
+    naive_s: f64,
+    kernel_s: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct PhaseRow {
+    label: String,
+    naive_s: f64,
+    kernel_s: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Record {
+    exact_pass: Vec<ExactPassRow>,
+    full_phase: PhaseRow,
+}
+
+/// Median of `reps` timings of `f` (seconds per call, amortized over
+/// `inner` calls per timing).
+fn median_time(reps: usize, inner: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let (_, t) = time_it(|| {
+                for _ in 0..inner {
+                    f();
+                }
+            });
+            t / inner as f64
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    let args = Args::capture();
+    let (grid, reps): (Vec<usize>, usize) = if args.has("quick") {
+        (vec![100, 400], 5)
+    } else {
+        (vec![100, 200, 400, 800, 1600], 9)
+    };
+
+    // --- Exact-pass stage in isolation -------------------------------
+    let mut table = Table::new(&["n_obs", "naive (µs)", "kernel (µs)", "speedup"]);
+    let mut exact_pass = Vec::new();
+    for &n_obs in &grid {
+        let vals: Vec<f64> = (0..n_obs).map(|i| ((i * 37) % 97) as f64 / 7.0).collect();
+        let obs: Vec<usize> = (0..n_obs).collect();
+        let mask: Vec<bool> = (0..n_obs).map(|i| (i * 13) % 3 == 0).collect();
+        // Amortize timer resolution over enough inner calls.
+        let inner = (200_000 / n_obs).max(8);
+
+        let mut out = Vec::new();
+        let naive_s = median_time(reps, inner, || {
+            naive_sigmas(black_box(&vals), black_box(&mask), &mut out);
+            black_box(out.last().copied());
+        });
+        let mut scratch = SplitScratch::new();
+        let kernel_s = median_time(reps, inner, || {
+            let sigmas = scratch.compute(black_box(&vals), black_box(&obs), black_box(&mask));
+            black_box(sigmas.last().copied());
+        });
+        let speedup = naive_s / kernel_s;
+        table.row(&[
+            format!("{n_obs}"),
+            format!("{:.2}", naive_s * 1e6),
+            format!("{:.2}", kernel_s * 1e6),
+            format!("{speedup:.1}×"),
+        ]);
+        exact_pass.push(ExactPassRow {
+            n_obs,
+            naive_s,
+            kernel_s,
+            speedup,
+        });
+    }
+    table.print();
+
+    // --- Full phase ---------------------------------------------------
+    let data = synthetic::yeast_like(48, 40, 9).dataset;
+    let master = MasterRng::new(4);
+    let base = TreeParams::default();
+    let ensembles = vec![
+        learn_module_trees(
+            &mut SerialEngine::new(),
+            &data,
+            &master,
+            0,
+            &(0..24).collect::<Vec<_>>(),
+            &base,
+        ),
+        learn_module_trees(
+            &mut SerialEngine::new(),
+            &data,
+            &master,
+            1,
+            &(24..48).collect::<Vec<_>>(),
+            &base,
+        ),
+    ];
+    let parents: Vec<usize> = (0..48).collect();
+    let phase_reps = if args.has("quick") { 3 } else { 7 };
+    let run_phase = |scoring: SplitScoring| {
+        let params = TreeParams {
+            split_scoring: scoring,
+            ..base.clone()
+        };
+        median_time(phase_reps, 1, || {
+            let mut engine = SerialEngine::new();
+            black_box(assign_splits(
+                &mut engine,
+                &data,
+                &master,
+                &ensembles,
+                &parents,
+                &params,
+            ));
+        })
+    };
+    let naive_s = run_phase(SplitScoring::Naive);
+    let kernel_s = run_phase(SplitScoring::Kernel);
+    let full_phase = PhaseRow {
+        label: "assign_splits (serial, yeast-like 48×40)".into(),
+        naive_s,
+        kernel_s,
+        speedup: naive_s / kernel_s,
+    };
+    println!(
+        "\nfull phase: naive {:.1} ms, kernel {:.1} ms — {:.2}×",
+        naive_s * 1e3,
+        kernel_s * 1e3,
+        full_phase.speedup
+    );
+
+    let record = Record {
+        exact_pass,
+        full_phase,
+    };
+    let text = serde_json::to_string_pretty(&record).expect("serialize record");
+    std::fs::write("BENCH_splits.json", &text).expect("write BENCH_splits.json");
+    println!("\n[record written to BENCH_splits.json]");
+}

@@ -25,9 +25,20 @@
 
 use crate::cost::Collective;
 use crate::metrics::RunReport;
+use crate::segments::Segments;
+use std::ops::Range;
 
 /// A work item's result together with its cost in work units.
 pub type Costed<T> = (T, u64);
+
+/// A segment-batched kernel: called with `(segment, item range)` where
+/// the range is a sub-range of the segment's items (engines cut
+/// segments at block-partition boundaries), it must push exactly one
+/// costed result per item of the range, in item order. Batching lets a
+/// kernel amortize per-segment setup (gather, sort, prefix sums)
+/// across the items it is handed, while per-item costs keep the
+/// engines' accounting identical to the per-item map.
+pub type SegmentBatchFn<'a, T> = &'a (dyn Fn(usize, Range<usize>, &mut Vec<Costed<T>>) + Sync);
 
 /// The SPMD execution contract used by all parallel algorithms.
 ///
@@ -56,18 +67,35 @@ pub trait ParEngine {
     ) -> Vec<T>;
 
     /// Like [`ParEngine::dist_map`], for work lists with a segment
-    /// structure (`segments[i]` = id of the tree node item `i` belongs
-    /// to, non-decreasing). The default ignores segments — the paper's
-    /// block split deliberately cuts across segments; engines may use
-    /// them for the ablation partitioning strategies.
+    /// structure (all items of one tree node are contiguous). The
+    /// default ignores segments — the paper's block split deliberately
+    /// cuts across segments; engines may use them for the ablation
+    /// partitioning strategies.
     fn dist_map_segmented<T: Send + Clone + 'static>(
         &mut self,
-        segments: &[u32],
+        segments: &Segments,
         words_per_item: usize,
         f: &(dyn Fn(usize) -> Costed<T> + Sync),
     ) -> Vec<T> {
-        self.dist_map(segments.len(), words_per_item, f)
+        self.dist_map(segments.n_items(), words_per_item, f)
     }
+
+    /// Segment-batched map with all-gather semantics.
+    ///
+    /// Each call of `f` covers a contiguous sub-range of one segment's
+    /// items (see [`SegmentBatchFn`]); engines partition the flat item
+    /// list exactly as [`ParEngine::dist_map`] does — block boundaries
+    /// may bisect a segment, in which case the kernel is invoked on
+    /// the partial range on each side — and attribute each item's
+    /// reported cost to the rank that owns the item. Results are
+    /// returned in item order; determinism therefore matches the
+    /// per-item map as long as the kernel's per-item results do.
+    fn dist_map_segmented_batch<T: Send + Clone + 'static>(
+        &mut self,
+        segments: &Segments,
+        words_per_item: usize,
+        f: SegmentBatchFn<'_, T>,
+    ) -> Vec<T>;
 
     /// Charge a collective operation of `words` total payload (8-byte
     /// words). No-op on single-rank engines.

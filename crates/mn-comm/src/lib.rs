@@ -32,14 +32,16 @@ pub mod engine;
 pub mod metrics;
 pub mod msg;
 pub mod partition;
+pub mod segments;
 pub mod serial;
 pub mod sim;
 pub mod thread;
 
 pub use cost::{Collective, CostModel};
 pub use msg::{spmd_run, SpmdEngine};
-pub use engine::{with_phase, Costed, ParEngine};
+pub use engine::{with_phase, Costed, ParEngine, SegmentBatchFn};
 pub use metrics::{PhaseReport, RunReport};
+pub use segments::Segments;
 pub use partition::{
     assign_owners, block_owner, block_range, load_imbalance, rank_loads, PartitionStrategy,
 };

@@ -15,11 +15,12 @@
 //! returns all of them so callers can (and tests do) assert equality.
 
 use crate::cost::Collective;
-use crate::engine::{Costed, ParEngine};
+use crate::engine::{Costed, ParEngine, SegmentBatchFn};
 use crate::metrics::{PhaseReport, RunReport};
 use crate::msg::collectives::{allgatherv, allreduce, barrier};
 use crate::msg::fabric::{fabric, Endpoint};
 use crate::partition::block_range;
+use crate::segments::Segments;
 use std::time::Instant;
 
 /// The per-rank engine handed to an SPMD program.
@@ -82,6 +83,25 @@ impl ParEngine for SpmdEngine {
         let (lo, hi) = block_range(n_items, p, self.ep.rank());
         let start = Instant::now();
         let local: Vec<T> = (lo..hi).map(|i| f(i).0).collect();
+        self.busy += start.elapsed().as_secs_f64();
+        allgatherv(&self.ep, local)
+    }
+
+    fn dist_map_segmented_batch<T: Send + Clone + 'static>(
+        &mut self,
+        segments: &Segments,
+        _words_per_item: usize,
+        f: SegmentBatchFn<'_, T>,
+    ) -> Vec<T> {
+        let p = self.ep.nranks();
+        let (lo, hi) = block_range(segments.n_items(), p, self.ep.rank());
+        let start = Instant::now();
+        let mut local = Vec::with_capacity(hi - lo);
+        let mut buf: Vec<Costed<T>> = Vec::new();
+        for (seg, range) in segments.overlapping(lo, hi) {
+            f(seg, range, &mut buf);
+            local.extend(buf.drain(..).map(|(v, _)| v));
+        }
         self.busy += start.elapsed().as_secs_f64();
         allgatherv(&self.ep, local)
     }

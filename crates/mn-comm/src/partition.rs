@@ -10,6 +10,7 @@
 //! strawman per-segment owner scheme (for the ablation bench), and the
 //! dynamic self-scheduling scheme the paper proposes as future work.
 
+use crate::segments::Segments;
 use serde::{Deserialize, Serialize};
 
 /// How a list of work items is distributed over ranks.
@@ -63,33 +64,26 @@ pub fn block_owner(n: usize, p: usize, item: usize) -> usize {
 /// Assign each item to a rank according to `strategy`.
 ///
 /// * `costs[i]` — the work units of item `i` (used by self-scheduling).
-/// * `segments[i]` — the segment id of item `i`, non-decreasing (used
-///   by the segment-owner strawman).
+/// * `segments` — the boundary structure of the item list (used by the
+///   segment-owner strawman).
 ///
 /// Returns `owner[i]` for every item.
 pub fn assign_owners(
     strategy: PartitionStrategy,
     p: usize,
     costs: &[u64],
-    segments: &[u32],
+    segments: &Segments,
 ) -> Vec<usize> {
     let n = costs.len();
-    assert_eq!(n, segments.len());
+    assert_eq!(n, segments.n_items());
     match strategy {
         PartitionStrategy::Block => (0..n).map(|i| block_owner(n, p, i)).collect(),
         PartitionStrategy::SegmentOwner => {
-            // Segment k is owned by rank k mod p.
-            let mut owners = Vec::with_capacity(n);
-            let mut seg_index = 0usize;
-            let mut prev_seg: Option<u32> = None;
-            for &seg in segments {
-                if prev_seg != Some(seg) {
-                    if prev_seg.is_some() {
-                        seg_index += 1;
-                    }
-                    prev_seg = Some(seg);
-                }
-                owners.push(seg_index % p);
+            // Non-empty segment k (in order of appearance) is owned by
+            // rank k mod p.
+            let mut owners = vec![0usize; n];
+            for (k, (_, range)) in segments.iter().enumerate() {
+                owners[range].fill(k % p);
             }
             owners
         }
@@ -164,11 +158,12 @@ mod tests {
 
     #[test]
     fn segment_owner_keeps_segments_whole() {
-        let segments = vec![0, 0, 0, 1, 1, 2, 2, 2, 2, 3];
-        let costs = vec![1u64; segments.len()];
+        let segments = Segments::from_lens([3, 2, 4, 1]);
+        let costs = vec![1u64; segments.n_items()];
         let owners = assign_owners(PartitionStrategy::SegmentOwner, 3, &costs, &segments);
         // Items of one segment share an owner.
-        for w in segments.windows(2).zip(owners.windows(2)) {
+        let ids: Vec<u32> = segments.ids().collect();
+        for w in ids.windows(2).zip(owners.windows(2)) {
             let (seg, own) = w;
             if seg[0] == seg[1] {
                 assert_eq!(own[0], own[1]);
@@ -188,7 +183,7 @@ mod tests {
         // self-scheduling gives rank 0 only the huge item.
         let mut costs = vec![1000u64];
         costs.extend(std::iter::repeat_n(10, 99));
-        let segments = vec![0u32; costs.len()];
+        let segments = Segments::whole(costs.len());
         let p = 4;
 
         let block = rank_loads(p, &assign_owners(PartitionStrategy::Block, p, &costs, &segments), &costs);
@@ -222,7 +217,8 @@ mod tests {
             ],
         ) {
             let costs: Vec<u64> = (0..n).map(|i| (i % 7 + 1) as u64).collect();
-            let segments: Vec<u32> = (0..n).map(|i| (i / 5) as u32).collect();
+            let segments =
+                Segments::from_lens((0..n.div_ceil(5)).map(|k| 5.min(n - k * 5)));
             let owners = assign_owners(strategy, p, &costs, &segments);
             prop_assert_eq!(owners.len(), n);
             prop_assert!(owners.iter().all(|&o| o < p));

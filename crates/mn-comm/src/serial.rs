@@ -7,8 +7,9 @@
 //! Figures 3–4.
 
 use crate::cost::Collective;
-use crate::engine::{Costed, ParEngine};
+use crate::engine::{Costed, ParEngine, SegmentBatchFn};
 use crate::metrics::{PhaseReport, RunReport};
+use crate::segments::Segments;
 use std::time::Instant;
 
 /// Sequential engine with wall-clock phase timing.
@@ -72,6 +73,26 @@ impl ParEngine for SerialEngine {
             let (value, cost) = f(i);
             self.work_units += cost;
             out.push(value);
+        }
+        out
+    }
+
+    fn dist_map_segmented_batch<T: Send + Clone + 'static>(
+        &mut self,
+        segments: &Segments,
+        _words_per_item: usize,
+        f: SegmentBatchFn<'_, T>,
+    ) -> Vec<T> {
+        let mut out = Vec::with_capacity(segments.n_items());
+        let mut buf: Vec<Costed<T>> = Vec::new();
+        for (seg, range) in segments.iter() {
+            let expect = range.len();
+            f(seg, range, &mut buf);
+            debug_assert_eq!(buf.len(), expect, "kernel must emit one result per item");
+            for (value, cost) in buf.drain(..) {
+                self.work_units += cost;
+                out.push(value);
+            }
         }
         out
     }

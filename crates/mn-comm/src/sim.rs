@@ -25,9 +25,10 @@
 //! integration tests assert across engines.
 
 use crate::cost::{Collective, CostModel};
-use crate::engine::{Costed, ParEngine};
+use crate::engine::{Costed, ParEngine, SegmentBatchFn};
 use crate::metrics::{PhaseReport, RunReport};
 use crate::partition::{assign_owners, block_range, PartitionStrategy};
+use crate::segments::Segments;
 
 /// Virtual-SPMD engine with per-rank clocks and τ/μ collective costs.
 #[derive(Debug, Clone)]
@@ -144,6 +145,20 @@ impl SimEngine {
         self.account_step(&step_busy, comm);
         out
     }
+
+    /// Charge one bulk-synchronous step in which each item's cost goes
+    /// to the rank the active (non-block) strategy assigns it to.
+    fn attribute_by_owner(&mut self, costs: &[u64], segments: &Segments, words_per_item: usize) {
+        let owners = assign_owners(self.strategy, self.p, costs, segments);
+        let mut step_busy = vec![0.0f64; self.p];
+        for (&owner, &c) in owners.iter().zip(costs) {
+            step_busy[owner] += self.cost.compute_s(c);
+        }
+        let comm = self
+            .cost
+            .collective_s(Collective::AllGather, costs.len() * words_per_item, self.p);
+        self.account_step(&step_busy, comm);
+    }
 }
 
 impl ParEngine for SimEngine {
@@ -162,17 +177,17 @@ impl ParEngine for SimEngine {
 
     fn dist_map_segmented<T: Send + Clone + 'static>(
         &mut self,
-        segments: &[u32],
+        segments: &Segments,
         words_per_item: usize,
         f: &(dyn Fn(usize) -> Costed<T> + Sync),
     ) -> Vec<T> {
         match self.strategy {
-            PartitionStrategy::Block => self.dist_map(segments.len(), words_per_item, f),
+            PartitionStrategy::Block => self.dist_map(segments.n_items(), words_per_item, f),
             PartitionStrategy::SegmentOwner | PartitionStrategy::SelfScheduling => {
                 // Both non-default strategies need item costs before the
                 // assignment, so evaluate first (costs are deterministic
                 // functions of the item), then attribute.
-                let n = segments.len();
+                let n = segments.n_items();
                 let mut values = Vec::with_capacity(n);
                 let mut costs = Vec::with_capacity(n);
                 for i in 0..n {
@@ -180,15 +195,59 @@ impl ParEngine for SimEngine {
                     values.push(v);
                     costs.push(c);
                 }
-                let owners = assign_owners(self.strategy, self.p, &costs, segments);
+                self.attribute_by_owner(&costs, segments, words_per_item);
+                values
+            }
+        }
+    }
+
+    fn dist_map_segmented_batch<T: Send + Clone + 'static>(
+        &mut self,
+        segments: &Segments,
+        words_per_item: usize,
+        f: SegmentBatchFn<'_, T>,
+    ) -> Vec<T> {
+        let n = segments.n_items();
+        match self.strategy {
+            PartitionStrategy::Block => {
+                // The paper's block partition of the flat list. A block
+                // boundary bisecting a segment is honored: each virtual
+                // rank executes the kernel on its clipped sub-ranges
+                // and is charged its items' reported costs, exactly as
+                // with the per-item map.
+                let mut out = Vec::with_capacity(n);
+                let mut buf: Vec<Costed<T>> = Vec::new();
                 let mut step_busy = vec![0.0f64; self.p];
-                for (&owner, &c) in owners.iter().zip(&costs) {
-                    step_busy[owner] += self.cost.compute_s(c);
+                for (r, busy) in step_busy.iter_mut().enumerate() {
+                    let (lo, hi) = block_range(n, self.p, r);
+                    for (seg, range) in segments.overlapping(lo, hi) {
+                        f(seg, range, &mut buf);
+                        for (value, units) in buf.drain(..) {
+                            *busy += self.cost.compute_s(units);
+                            out.push(value);
+                        }
+                    }
                 }
-                let comm =
-                    self.cost
-                        .collective_s(Collective::AllGather, n * words_per_item, self.p);
+                let comm = self
+                    .cost
+                    .collective_s(Collective::AllGather, n * words_per_item, self.p);
                 self.account_step(&step_busy, comm);
+                out
+            }
+            PartitionStrategy::SegmentOwner | PartitionStrategy::SelfScheduling => {
+                // Evaluate whole segments once, then attribute each
+                // item's cost to its strategy-assigned owner.
+                let mut values = Vec::with_capacity(n);
+                let mut costs = Vec::with_capacity(n);
+                let mut buf: Vec<Costed<T>> = Vec::new();
+                for (seg, range) in segments.iter() {
+                    f(seg, range, &mut buf);
+                    for (v, c) in buf.drain(..) {
+                        values.push(v);
+                        costs.push(c);
+                    }
+                }
+                self.attribute_by_owner(&costs, segments, words_per_item);
                 values
             }
         }
@@ -297,7 +356,7 @@ mod tests {
 
     #[test]
     fn self_scheduling_beats_block_on_skewed_segments() {
-        let segments: Vec<u32> = (0..64).map(|i| (i / 8) as u32).collect();
+        let segments = Segments::from_lens(vec![8usize; 8]);
         // Expensive items are clustered at the front of the list, so the
         // block partition loads rank 0 heavily while self-scheduling
         // spreads them.
@@ -318,6 +377,56 @@ mod tests {
         let busy = |r: &RunReport| r.phases[0].busy_avg_s * r.nranks as f64;
         assert!((busy(&block) - busy(&dynamic)).abs() < 1e-9);
         assert!((busy(&block) - busy(&owner)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_map_matches_per_item_accounting() {
+        // The batched segment map must charge the same per-item costs
+        // to the same ranks as the per-item map, for every strategy —
+        // the property that keeps the imbalance figures identical.
+        let segments = Segments::from_lens(vec![5usize, 9, 2, 16]);
+        let cost_of = |i: usize| (i as u64 % 11) * 10 + 1;
+        for strategy in [
+            PartitionStrategy::Block,
+            PartitionStrategy::SegmentOwner,
+            PartitionStrategy::SelfScheduling,
+        ] {
+            for p in [1usize, 3, 7, 32] {
+                let mut per_item = SimEngine::new(p).with_strategy(strategy);
+                per_item.begin_phase("w");
+                let a = per_item.dist_map_segmented(&segments, 1, &|i| (i * 3, cost_of(i)));
+                let ra = per_item.report();
+
+                let mut batched = SimEngine::new(p).with_strategy(strategy);
+                batched.begin_phase("w");
+                let b = batched.dist_map_segmented_batch(&segments, 1, &|_seg, range, out| {
+                    out.extend(range.map(|i| (i * 3, cost_of(i))));
+                });
+                let rb = batched.report();
+
+                assert_eq!(a, b, "{strategy:?} p={p}");
+                assert_eq!(ra, rb, "{strategy:?} p={p} accounting diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_map_cuts_segments_at_block_boundaries() {
+        // One 10-item segment over 4 ranks: the kernel must see the
+        // clipped sub-ranges of each rank's block, not whole segments.
+        use std::sync::Mutex;
+        let calls = Mutex::new(Vec::new());
+        let segments = Segments::whole(10);
+        let mut e = SimEngine::with_model(4, CostModel::free_comm());
+        let out = e.dist_map_segmented_batch(&segments, 1, &|seg, range, out| {
+            calls.lock().unwrap().push((seg, range.clone()));
+            out.extend(range.map(|i| (i, 1)));
+        });
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        assert_eq!(
+            calls.into_inner().unwrap(),
+            vec![(0, 0..2), (0, 2..5), (0, 5..7), (0, 7..10)]
+        );
     }
 
     #[test]

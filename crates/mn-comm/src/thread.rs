@@ -14,9 +14,10 @@
 //! drive any engine uniformly.
 
 use crate::cost::Collective;
-use crate::engine::{Costed, ParEngine};
+use crate::engine::{Costed, ParEngine, SegmentBatchFn};
 use crate::metrics::{PhaseReport, RunReport};
 use crate::partition::block_range;
+use crate::segments::Segments;
 use parking_lot::Mutex;
 use std::time::Instant;
 
@@ -106,6 +107,58 @@ impl ParEngine for ThreadEngine {
             *b += extra;
         }
         // Rank-order concatenation = the all-gather of Alg. 5.
+        blocks.into_iter().flatten().collect()
+    }
+
+    fn dist_map_segmented_batch<T: Send + Clone + 'static>(
+        &mut self,
+        segments: &Segments,
+        _words_per_item: usize,
+        f: SegmentBatchFn<'_, T>,
+    ) -> Vec<T> {
+        let n_items = segments.n_items();
+        if self.p == 1 || n_items <= 1 {
+            let start = Instant::now();
+            let mut out = Vec::with_capacity(n_items);
+            let mut buf: Vec<Costed<T>> = Vec::new();
+            for (seg, range) in segments.iter() {
+                f(seg, range, &mut buf);
+                out.extend(buf.drain(..).map(|(v, _)| v));
+            }
+            self.busy[0] += start.elapsed().as_secs_f64();
+            return out;
+        }
+
+        let p = self.p;
+        let busy_acc: Mutex<Vec<f64>> = Mutex::new(vec![0.0; p]);
+        let mut blocks: Vec<Vec<T>> = Vec::with_capacity(p);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for r in 0..p {
+                // The paper's block split of the flat list; block
+                // boundaries may bisect a segment, so the kernel is
+                // handed the clipped sub-ranges.
+                let (lo, hi) = block_range(n_items, p, r);
+                let busy_acc = &busy_acc;
+                handles.push(scope.spawn(move || {
+                    let start = Instant::now();
+                    let mut block = Vec::with_capacity(hi - lo);
+                    let mut buf: Vec<Costed<T>> = Vec::new();
+                    for (seg, range) in segments.overlapping(lo, hi) {
+                        f(seg, range, &mut buf);
+                        block.extend(buf.drain(..).map(|(v, _)| v));
+                    }
+                    busy_acc.lock()[r] = start.elapsed().as_secs_f64();
+                    block
+                }));
+            }
+            for handle in handles {
+                blocks.push(handle.join().expect("rank thread panicked"));
+            }
+        });
+        for (b, extra) in self.busy.iter_mut().zip(busy_acc.into_inner()) {
+            *b += extra;
+        }
         blocks.into_iter().flatten().collect()
     }
 

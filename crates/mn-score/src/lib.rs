@@ -14,11 +14,13 @@ pub mod categorical;
 pub mod mode;
 pub mod normal_gamma;
 pub mod special;
+pub mod split_kernel;
 pub mod suffstats;
 pub mod tile;
 
 pub use categorical::{discrete_tile_score, CatStats, DirichletMultinomial};
-pub use mode::{ScoreMode, COST_CELL, COST_LOGMARG};
+pub use mode::{ScoreMode, SplitScoring, COST_CELL, COST_LOGMARG};
+pub use split_kernel::{naive_sigmas, ScratchPool, SplitScratch};
 pub use normal_gamma::NormalGamma;
 pub use special::{ln_beta, ln_gamma, ln_gamma_ratio};
 pub use suffstats::SuffStats;

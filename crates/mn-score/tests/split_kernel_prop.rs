@@ -1,0 +1,78 @@
+//! Property-based equivalence of the batched prefix-sum separation
+//! kernel against the per-candidate naive pass: for arbitrary value
+//! vectors (including heavy duplicates and degenerate all-one-side
+//! masks) every candidate's σ must be bit-identical between the two
+//! paths — the invariant DESIGN.md §7 relies on for byte-identical
+//! learned networks.
+
+use mn_score::{naive_sigmas, SplitScratch};
+use proptest::prelude::*;
+
+fn assert_bitwise_equal(vals: &[f64], left_mask: &[bool]) -> Result<(), TestCaseError> {
+    let n = vals.len();
+    let obs: Vec<usize> = (0..n).collect();
+    let mut scratch = SplitScratch::new();
+    let kernel = scratch.compute(vals, &obs, left_mask).to_vec();
+    let mut naive = Vec::new();
+    naive_sigmas(vals, left_mask, &mut naive);
+    prop_assert_eq!(kernel.len(), n);
+    for j in 0..n {
+        prop_assert!(
+            kernel[j].to_bits() == naive[j].to_bits(),
+            "candidate {} diverged: kernel {} vs naive {} (vals {:?}, mask {:?})",
+            j,
+            kernel[j],
+            naive[j],
+            vals,
+            left_mask
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary finite values, arbitrary mask.
+    #[test]
+    fn prop_kernel_matches_naive_on_random_values(
+        pairs in prop::collection::vec((-100.0f64..100.0, prop::bool::ANY), 1..60),
+    ) {
+        let (vals, mask): (Vec<f64>, Vec<bool>) = pairs.into_iter().unzip();
+        assert_bitwise_equal(&vals, &mask)?;
+    }
+
+    /// Values drawn from a tiny alphabet so long tied runs are the
+    /// norm, not the exception — the case where a wrong tie-resolution
+    /// policy (`<` instead of `≤`) would diverge.
+    #[test]
+    fn prop_kernel_matches_naive_on_heavy_duplicates(
+        pairs in prop::collection::vec((0u8..4, prop::bool::ANY), 1..60),
+    ) {
+        let (raw, mask): (Vec<u8>, Vec<bool>) = pairs.into_iter().unzip();
+        let vals: Vec<f64> = raw.into_iter().map(f64::from).collect();
+        assert_bitwise_equal(&vals, &mask)?;
+    }
+
+    /// Degenerate masks: every observation on one side. The prefix
+    /// formula's `total_right - (k - left_le)` term must not underflow.
+    #[test]
+    fn prop_kernel_matches_naive_when_all_on_one_side(
+        vals in prop::collection::vec(-10.0f64..10.0, 1..40),
+        side in prop::bool::ANY,
+    ) {
+        let mask = vec![side; vals.len()];
+        assert_bitwise_equal(&vals, &mask)?;
+    }
+
+    /// Signed zeros mixed into the value set: −0.0 and +0.0 sort apart
+    /// under `total_cmp` but compare equal under the naive `≤`; the
+    /// kernel must merge them into one run.
+    #[test]
+    fn prop_kernel_matches_naive_with_signed_zeros(
+        pairs in prop::collection::vec((prop::sample::select(vec![-1.0f64, -0.0, 0.0, 1.0]), prop::bool::ANY), 1..40),
+    ) {
+        let (vals, mask): (Vec<f64>, Vec<bool>) = pairs.into_iter().unzip();
+        assert_bitwise_equal(&vals, &mask)?;
+    }
+}

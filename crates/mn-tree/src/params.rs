@@ -1,6 +1,6 @@
 //! Parameters of the module-learning task.
 
-use mn_score::{NormalGamma, ScoreMode};
+use mn_score::{NormalGamma, ScoreMode, SplitScoring};
 use serde::{Deserialize, Serialize};
 
 /// Parameters for Algorithms 4–6 (tree structures, split assignment,
@@ -26,6 +26,9 @@ pub struct TreeParams {
     pub prior: NormalGamma,
     /// Scoring implementation mode (cost profile; decisions identical).
     pub mode: ScoreMode,
+    /// Execution path of the exact separation pass in split assignment
+    /// (results bit-identical; the naive path is the A/B baseline).
+    pub split_scoring: SplitScoring,
 }
 
 impl Default for TreeParams {
@@ -37,6 +40,7 @@ impl Default for TreeParams {
             max_sampling_steps: 8,
             prior: NormalGamma::default(),
             mode: ScoreMode::Incremental,
+            split_scoring: SplitScoring::Kernel,
         }
     }
 }

@@ -43,10 +43,10 @@
 
 use crate::params::TreeParams;
 use crate::tree::ModuleEnsemble;
-use mn_comm::{Collective, ParEngine};
+use mn_comm::{Collective, ParEngine, Segments};
 use mn_data::Dataset;
 use mn_rand::{select_unif_rand, select_wtd_rand, Domain, Lcg128, MasterRng};
-use mn_score::{ScoreMode, COST_CELL};
+use mn_score::{ScoreMode, ScratchPool, SplitScoring, COST_CELL};
 use serde::{Deserialize, Serialize};
 
 /// One node's entry in the flat candidate-split index.
@@ -125,15 +125,12 @@ impl SplitIndex {
         (entry.base, entry.base + self.n_parents * entry.n_obs)
     }
 
-    /// Segment ids (node-entry position) for every item — the segment
-    /// structure handed to `dist_map_segmented` for the partitioning
-    /// ablation.
-    pub fn segments(&self) -> Vec<u32> {
-        let mut segments = Vec::with_capacity(self.total);
-        for (pos, entry) in self.nodes.iter().enumerate() {
-            segments.extend(std::iter::repeat_n(pos as u32, self.n_parents * entry.n_obs));
-        }
-        segments
+    /// The boundary structure of the flat list (segment = node entry),
+    /// handed to the segmented engine maps for the partitioning
+    /// ablation and the batched scoring kernel. O(#nodes) memory —
+    /// per-item segment ids are never materialized.
+    pub fn segments(&self) -> Segments {
+        Segments::from_lens(self.nodes.iter().map(|entry| self.n_parents * entry.n_obs))
     }
 }
 
@@ -169,6 +166,26 @@ pub struct SplitAssignment {
     pub node_splits: Vec<NodeSplits>,
 }
 
+/// The left-child membership mask of a node: `mask[i]` is true iff
+/// `node_obs[i]` appears in `left_obs`. Both observation lists are
+/// maintained in sorted order by the tree builder — the
+/// `binary_search` below silently returns garbage on unsorted input,
+/// so the assumption is checked in debug builds.
+fn left_membership_mask(node_obs: &[usize], left_obs: &[usize]) -> Vec<bool> {
+    debug_assert!(
+        node_obs.windows(2).all(|w| w[0] < w[1]),
+        "node observation list must be sorted and duplicate-free"
+    );
+    debug_assert!(
+        left_obs.windows(2).all(|w| w[0] < w[1]),
+        "left-child observation list must be sorted and duplicate-free"
+    );
+    node_obs
+        .iter()
+        .map(|o| left_obs.binary_search(o).is_ok())
+        .collect()
+}
+
 /// The separation score σ of the predicate `parent ≤ value` against a
 /// node's two children. Exactly one pass over the node's observations;
 /// `left_mask[i]` marks whether `node_obs[i]` belongs to the left child.
@@ -185,7 +202,8 @@ fn separation_score(row: &[f64], value: f64, node_obs: &[usize], left_mask: &[bo
     (2.0 * correct as f64 - total as f64) / total as f64
 }
 
-/// Posterior of one candidate split, with work accounting.
+/// Posterior of one candidate split, with work accounting — the naive
+/// path: one exact separation pass per candidate.
 ///
 /// Deterministic: the Monte-Carlo confirmation generator is keyed by
 /// the flat item index (a cheap O(1)-construction `Lcg128`; millions
@@ -202,8 +220,29 @@ fn split_posterior(
     node_obs: &[usize],
     left_mask: &[bool],
 ) -> (f64, u64) {
-    let n = node_obs.len();
     let sigma = separation_score(row, value, node_obs, left_mask);
+    mc_confirm(row, seed, params, item, value, node_obs, left_mask, sigma)
+}
+
+/// The Monte-Carlo confirmation shared by the naive and the batched
+/// kernel paths: given the exact separation score σ of a candidate
+/// (however it was computed), draw `s_eff` sampling rounds from the
+/// candidate's own PRNG stream and derive the posterior. The reported
+/// work includes the exact pass (`n` cells) so that per-item
+/// accounting — and therefore every simulated-imbalance figure — is
+/// identical between the two paths.
+#[allow(clippy::too_many_arguments)]
+fn mc_confirm(
+    row: &[f64],
+    seed: u64,
+    params: &TreeParams,
+    item: usize,
+    value: f64,
+    node_obs: &[usize],
+    left_mask: &[bool],
+    sigma: f64,
+) -> (f64, u64) {
+    let n = node_obs.len();
     let s_eff = 1 + (params.max_sampling_steps as f64 * (1.0 - sigma.abs())).floor() as usize;
 
     // Monte-Carlo confirmation: sample chunks of observations and check
@@ -263,35 +302,79 @@ pub fn assign_splits<E: ParEngine>(
             let tree = &ensembles[entry.module].trees[entry.tree];
             let node = &tree.nodes[entry.node];
             let left = &tree.nodes[node.left.expect("internal node")].obs;
-            node.obs
-                .iter()
-                .map(|o| left.binary_search(o).is_ok())
-                .collect()
+            left_membership_mask(&node.obs, left)
         })
         .collect();
 
     // Lines 6–7: block-partitioned posterior computation over the flat
     // candidate list — the phase whose imbalance the paper measures.
+    // Both execution paths produce bit-identical posteriors and report
+    // identical per-item costs; the kernel amortizes the exact
+    // separation pass over each (node, parent) run it is handed.
     let index_ref = &index;
     let left_masks_ref = &left_masks;
     let seed = master.seed();
-    let posteriors: Vec<f64> = engine.dist_map_segmented(&segments, 1, &|item| {
-        let (pos, parent_pos, obs_pos) = index_ref.locate(item);
-        let entry = &index_ref.nodes[pos];
-        let node = &ensembles[entry.module].trees[entry.tree].nodes[entry.node];
-        let var = candidate_parents[parent_pos];
-        let row = data.values(var);
-        let value = row[node.obs[obs_pos]];
-        split_posterior(
-            row,
-            seed,
-            params,
-            item,
-            value,
-            &node.obs,
-            &left_masks_ref[pos],
-        )
-    });
+    let posteriors: Vec<f64> = match params.split_scoring {
+        SplitScoring::Naive => engine.dist_map_segmented(&segments, 1, &|item| {
+            let (pos, parent_pos, obs_pos) = index_ref.locate(item);
+            let entry = &index_ref.nodes[pos];
+            let node = &ensembles[entry.module].trees[entry.tree].nodes[entry.node];
+            let var = candidate_parents[parent_pos];
+            let row = data.values(var);
+            let value = row[node.obs[obs_pos]];
+            split_posterior(
+                row,
+                seed,
+                params,
+                item,
+                value,
+                &node.obs,
+                &left_masks_ref[pos],
+            )
+        }),
+        SplitScoring::Kernel => {
+            let pool = ScratchPool::new();
+            engine.dist_map_segmented_batch(&segments, 1, &|pos, range, out| {
+                let entry = &index_ref.nodes[pos];
+                let node = &ensembles[entry.module].trees[entry.tree].nodes[entry.node];
+                let mask = &left_masks_ref[pos];
+                let n = entry.n_obs;
+                let mut scratch = pool.acquire();
+                // The range may start or end mid-run when a block
+                // boundary bisects the segment; each overlapped
+                // (node, parent) run still needs the full sorted pass
+                // (a candidate's σ depends on all of the node's
+                // observations), after which only the owned items are
+                // emitted.
+                let first_parent = (range.start - entry.base) / n;
+                let last_parent = (range.end - 1 - entry.base) / n;
+                for (off, &var) in candidate_parents[first_parent..=last_parent]
+                    .iter()
+                    .enumerate()
+                {
+                    let run_start = entry.base + (first_parent + off) * n;
+                    let lo = range.start.max(run_start);
+                    let hi = range.end.min(run_start + n);
+                    let row = data.values(var);
+                    let sigmas = scratch.compute(row, &node.obs, mask);
+                    for item in lo..hi {
+                        let obs_pos = item - run_start;
+                        let value = row[node.obs[obs_pos]];
+                        out.push(mc_confirm(
+                            row,
+                            seed,
+                            params,
+                            item,
+                            value,
+                            &node.obs,
+                            mask,
+                            sigmas[obs_pos],
+                        ));
+                    }
+                }
+            })
+        }
+    };
 
     // Segmented-scan + local selection + all-gather (§3.2.3's
     // implementation note). The scan's payload is one word per item;
@@ -405,11 +488,33 @@ mod tests {
         let (_, ensembles, _) = setup();
         let index = SplitIndex::build(&ensembles, 3);
         let segments = index.segments();
-        assert_eq!(segments.len(), index.total);
-        for (i, &segment) in segments.iter().enumerate() {
+        assert_eq!(segments.n_items(), index.total);
+        assert_eq!(segments.n_segments(), index.nodes.len());
+        for (i, segment) in segments.ids().enumerate() {
             let (pos, _, _) = index.locate(i);
-            assert_eq!(segment, pos as u32);
+            assert_eq!(segment as usize, pos);
         }
+        // Boundary structure matches the node ranges exactly.
+        for pos in 0..index.nodes.len() {
+            let (start, end) = index.node_range(pos);
+            assert_eq!(segments.range(pos), start..end);
+        }
+    }
+
+    #[test]
+    fn left_membership_mask_marks_members() {
+        assert_eq!(
+            left_membership_mask(&[1, 4, 7, 9], &[4, 9]),
+            vec![false, true, false, true]
+        );
+        assert_eq!(left_membership_mask(&[2, 3], &[]), vec![false, false]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "must be sorted")]
+    fn left_membership_mask_rejects_unsorted_input() {
+        left_membership_mask(&[5, 1, 3], &[1]);
     }
 
     #[test]

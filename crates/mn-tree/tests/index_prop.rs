@@ -93,12 +93,17 @@ proptest! {
             prop_assert!(seen.insert((pos, parent, obs)));
         }
 
-        // Segment ids agree with node ranges.
+        // Segment boundaries agree with node ranges.
         let segments = index.segments();
-        prop_assert_eq!(segments.len(), index.total);
-        for (i, &seg) in segments.iter().enumerate() {
+        prop_assert_eq!(segments.n_items(), index.total);
+        prop_assert_eq!(segments.n_segments(), index.nodes.len());
+        for (i, seg) in segments.ids().enumerate() {
             let (pos, _, _) = index.locate(i);
             prop_assert_eq!(seg as usize, pos);
+        }
+        for (pos, entry) in index.nodes.iter().enumerate() {
+            let span = n_parents * entry.n_obs;
+            prop_assert_eq!(segments.range(pos), entry.base..entry.base + span);
         }
     }
 

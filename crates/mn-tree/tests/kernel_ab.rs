@@ -1,0 +1,152 @@
+//! A/B determinism of the split-assignment execution paths: the
+//! batched prefix-sum kernel and the naive per-candidate pass must
+//! produce byte-identical serialized [`SplitAssignment`]s for every
+//! engine, rank count, and scoring mode — and (on the simulated
+//! machine) identical per-item work accounting, so all imbalance
+//! figures are path-independent.
+
+use mn_comm::{ParEngine, SerialEngine, SimEngine, ThreadEngine};
+use mn_data::{synthetic, Dataset};
+use mn_rand::MasterRng;
+use mn_score::{ScoreMode, SplitScoring};
+use mn_tree::{assign_splits, learn_module_trees, ModuleEnsemble, TreeParams};
+
+fn setup() -> (Dataset, Vec<ModuleEnsemble>, MasterRng) {
+    let d = synthetic::yeast_like(14, 18, 77).dataset;
+    let master = MasterRng::new(13);
+    let mut e = SerialEngine::new();
+    let params = TreeParams::default();
+    let ensembles = vec![
+        learn_module_trees(&mut e, &d, &master, 0, &(0..5).collect::<Vec<_>>(), &params),
+        learn_module_trees(&mut e, &d, &master, 1, &(5..10).collect::<Vec<_>>(), &params),
+    ];
+    (d, ensembles, master)
+}
+
+fn assignment_json<E: ParEngine>(
+    engine: &mut E,
+    d: &Dataset,
+    master: &MasterRng,
+    ensembles: &[ModuleEnsemble],
+    scoring: SplitScoring,
+    mode: ScoreMode,
+) -> String {
+    let parents: Vec<usize> = (0..d.n_vars()).collect();
+    let params = TreeParams {
+        split_scoring: scoring,
+        mode,
+        ..TreeParams::default()
+    };
+    let out = assign_splits(engine, d, master, ensembles, &parents, &params);
+    serde_json::to_string(&out).expect("assignment serializes")
+}
+
+#[test]
+fn kernel_matches_naive_byte_identically_across_engines_and_modes() {
+    let (d, ensembles, master) = setup();
+    for mode in [ScoreMode::Incremental, ScoreMode::Reference] {
+        let reference = assignment_json(
+            &mut SerialEngine::new(),
+            &d,
+            &master,
+            &ensembles,
+            SplitScoring::Naive,
+            mode,
+        );
+        // Serial kernel.
+        assert_eq!(
+            assignment_json(
+                &mut SerialEngine::new(),
+                &d,
+                &master,
+                &ensembles,
+                SplitScoring::Kernel,
+                mode
+            ),
+            reference,
+            "serial kernel diverged ({mode:?})"
+        );
+        // Threaded kernel at several worker counts.
+        for p in [2usize, 4] {
+            assert_eq!(
+                assignment_json(
+                    &mut ThreadEngine::new(p),
+                    &d,
+                    &master,
+                    &ensembles,
+                    SplitScoring::Kernel,
+                    mode
+                ),
+                reference,
+                "thread kernel p={p} diverged ({mode:?})"
+            );
+        }
+        // Simulated machine at rank counts that slice segments finely
+        // (p=1024 makes most blocks smaller than a segment, so the
+        // kernel constantly handles partial runs).
+        for p in [1usize, 16, 1024] {
+            assert_eq!(
+                assignment_json(
+                    &mut SimEngine::new(p),
+                    &d,
+                    &master,
+                    &ensembles,
+                    SplitScoring::Kernel,
+                    mode
+                ),
+                reference,
+                "sim kernel p={p} diverged ({mode:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn kernel_reports_identical_work_accounting() {
+    // The kernel charges each item the same cost the naive path does
+    // (exact pass + MC rounds), so the simulated-machine report —
+    // busy times, imbalance, comm — is bit-identical between paths.
+    let (d, ensembles, master) = setup();
+    for p in [1usize, 16, 1024] {
+        let mut ea = SimEngine::new(p);
+        let mut eb = SimEngine::new(p);
+        let a = assignment_json(
+            &mut ea,
+            &d,
+            &master,
+            &ensembles,
+            SplitScoring::Naive,
+            ScoreMode::Incremental,
+        );
+        let b = assignment_json(
+            &mut eb,
+            &d,
+            &master,
+            &ensembles,
+            SplitScoring::Kernel,
+            ScoreMode::Incremental,
+        );
+        assert_eq!(a, b);
+        assert_eq!(ea.report(), eb.report(), "sim report diverged at p={p}");
+    }
+    // Serial work-unit totals agree as well.
+    let mut ea = SerialEngine::new();
+    let mut eb = SerialEngine::new();
+    assignment_json(
+        &mut ea,
+        &d,
+        &master,
+        &ensembles,
+        SplitScoring::Naive,
+        ScoreMode::Incremental,
+    );
+    assignment_json(
+        &mut eb,
+        &d,
+        &master,
+        &ensembles,
+        SplitScoring::Kernel,
+        ScoreMode::Incremental,
+    );
+    assert_eq!(ea.work_units(), eb.work_units());
+}

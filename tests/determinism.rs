@@ -103,6 +103,31 @@ fn identical_across_cost_models() {
 }
 
 #[test]
+fn identical_across_split_scoring_paths() {
+    // The batched prefix-sum kernel and the naive per-candidate pass
+    // compute bit-identical separation scores (DESIGN.md §7), so the
+    // end-to-end learned network must be byte-identical too — under
+    // both score-computation modes and across engines.
+    let d = dataset();
+    let mut naive_cfg = config();
+    naive_cfg.tree.split_scoring = mn_score::SplitScoring::Naive;
+    let mut kernel_cfg = config();
+    kernel_cfg.tree.split_scoring = mn_score::SplitScoring::Kernel;
+    for mode in [mn_score::ScoreMode::Incremental, mn_score::ScoreMode::Reference] {
+        naive_cfg.tree.mode = mode;
+        kernel_cfg.tree.mode = mode;
+        let (a, _) = learn_module_network(&mut SerialEngine::new(), &d, &naive_cfg);
+        let expected = to_json(&a);
+        let (b, _) = learn_module_network(&mut SerialEngine::new(), &d, &kernel_cfg);
+        assert_eq!(to_json(&b), expected, "serial kernel diverged ({mode:?})");
+        let (c, _) = learn_module_network(&mut ThreadEngine::new(4), &d, &kernel_cfg);
+        assert_eq!(to_json(&c), expected, "thread kernel diverged ({mode:?})");
+        let (e, _) = learn_module_network(&mut SimEngine::new(1024), &d, &kernel_cfg);
+        assert_eq!(to_json(&e), expected, "sim kernel diverged ({mode:?})");
+    }
+}
+
+#[test]
 fn different_seeds_learn_different_networks() {
     let d = dataset();
     let (a, _) = learn_module_network(&mut SerialEngine::new(), &d, &LearnerConfig::paper_minimum(1));

@@ -1,0 +1,254 @@
+//! Vendored offline subset of the `criterion` crate API.
+//!
+//! A lightweight measurement harness exposing the Criterion call
+//! surface this workspace's benches use (`criterion_group!`,
+//! `criterion_main!`, benchmark groups, `BenchmarkId`,
+//! `bench_with_input`, `Bencher::iter`). Each benchmark is warmed up,
+//! auto-scaled to a small per-sample budget, and reported as the
+//! median time per iteration. Statistical machinery (outlier
+//! detection, HTML reports) is intentionally absent; budgets are kept
+//! small so accidentally running benches under `cargo test` stays
+//! cheap. Set `CRITERION_SAMPLE_MS` / `CRITERION_SAMPLES` to rescale.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Times a routine over a chosen number of iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its output alive via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Run one benchmark to completion and report the median ns/iter.
+fn run_benchmark(label: &str, samples: usize, mut routine: impl FnMut(&mut Bencher)) {
+    // Warm-up / calibration pass.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let budget = Duration::from_millis(env_u64("CRITERION_SAMPLE_MS", 20));
+    let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
+
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        times.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    let median = times[times.len() / 2];
+    let (lo, hi) = (times[0], times[times.len() - 1]);
+    println!(
+        "{label:<50} time: [{} {} {}] ({iters} iters x {samples} samples)",
+        fmt_time(lo),
+        fmt_time(median),
+        fmt_time(hi)
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (the group supplies the function name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion accepted wherever a benchmark id is expected.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            samples: env_u64("CRITERION_SAMPLES", 5) as usize,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for `criterion_group!` compatibility; CLI configuration
+    /// is limited to the environment variables documented above.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(&id.into_id(), self.samples, routine);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.samples,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Keep accidental `cargo test` executions of bench binaries
+        // cheap: the stub caps per-benchmark samples.
+        self.samples = n.min(env_u64("CRITERION_SAMPLES_MAX", 10) as usize).max(2);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_benchmark(&label, self.samples, routine);
+        self
+    }
+
+    /// Run a parameterized benchmark in this group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        run_benchmark(&label, self.samples, |b| routine(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export for benches that import `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_end_to_end() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        let mut c = Criterion::default();
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("group");
+        group.sample_size(10);
+        group.bench_function("inner", |b| b.iter(|| 2 * 2));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &p| {
+            b.iter(|| p * p)
+        });
+        group.finish();
+    }
+}

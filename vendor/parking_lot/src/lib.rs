@@ -1,0 +1,42 @@
+//! Vendored offline subset of the `parking_lot` crate API.
+//!
+//! A thin non-poisoning facade over `std::sync::Mutex` — the only
+//! surface this workspace uses. Panics inside a critical section abort
+//! the owning test anyway, so poison recovery is not needed.
+
+use std::sync::MutexGuard;
+
+/// Non-poisoning mutex (subset of `parking_lot::Mutex`).
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Create a mutex guarding `value`.
+    pub fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Lock, ignoring poison (parking_lot mutexes do not poison).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(vec![0.0f64; 3]);
+        m.lock()[1] = 2.5;
+        assert_eq!(m.into_inner(), vec![0.0, 2.5, 0.0]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Vendored offline subset of the `rand` crate API.
+//!
+//! This workspace builds in a hermetic environment with no registry
+//! access, so the handful of external crates it names are vendored as
+//! minimal, behaviour-compatible subsets under `vendor/`. Only the
+//! items actually used by the workspace are provided.
+
+/// The core generator trait (subset of `rand::RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}

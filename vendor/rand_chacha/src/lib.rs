@@ -1,0 +1,180 @@
+//! Vendored offline subset of the `rand_chacha` crate API.
+//!
+//! Provides [`ChaCha12Rng`]: a from-scratch ChaCha implementation with
+//! 12 rounds, a 64-bit block counter and O(1) `set_word_pos` /
+//! `get_word_pos` seeking — the counter-mode contract `mn-rand`'s
+//! block-splittable streams are built on. The keystream is a faithful
+//! ChaCha permutation; the workspace's determinism tests compare runs
+//! against each other (never against external golden vectors), so the
+//! only hard requirements are statistical quality and exact
+//! seek-position semantics (one 64-bit draw = two 32-bit words).
+
+use rand::RngCore;
+
+/// Subset of `rand_core` re-exported the way `rand_chacha` does.
+pub mod rand_core {
+    /// Seedable construction (subset of `rand_core::SeedableRng`).
+    pub trait SeedableRng: Sized {
+        /// The seed type (a byte array).
+        type Seed;
+
+        /// Construct from a full seed.
+        fn from_seed(seed: Self::Seed) -> Self;
+    }
+}
+
+const BLOCK_WORDS: usize = 16;
+const ROUNDS: usize = 12;
+
+/// ChaCha with 12 rounds and O(1) word-position seeking.
+#[derive(Debug, Clone)]
+pub struct ChaCha12Rng {
+    /// Key words (state[4..12]).
+    key: [u32; 8],
+    /// Block counter of the block currently in `buf`.
+    block: u64,
+    /// Current output block.
+    buf: [u32; BLOCK_WORDS],
+    /// Next word index within `buf` (0..=16; 16 means exhausted).
+    idx: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha12Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[0] = 0x6170_7865; // "expa"
+        state[1] = 0x3320_646e; // "nd 3"
+        state[2] = 0x7962_2d32; // "2-by"
+        state[3] = 0x6b20_6574; // "te k"
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.block as u32;
+        state[13] = (self.block >> 32) as u32;
+        state[14] = 0;
+        state[15] = 0;
+        let mut working = state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self.buf.iter_mut().zip(working.iter().zip(&state)) {
+            *out = w.wrapping_add(s);
+        }
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.idx >= BLOCK_WORDS {
+            self.block = self.block.wrapping_add(1);
+            self.idx = 0;
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    /// Seek so the next output word is keystream word `pos`
+    /// (32-bit-word granularity, counted from the start of the stream).
+    pub fn set_word_pos(&mut self, pos: u128) {
+        self.block = (pos / BLOCK_WORDS as u128) as u64;
+        self.idx = (pos % BLOCK_WORDS as u128) as usize;
+        self.refill();
+    }
+
+    /// The current keystream word position (words consumed so far).
+    pub fn get_word_pos(&self) -> u128 {
+        self.block as u128 * BLOCK_WORDS as u128 + self.idx as u128
+    }
+}
+
+impl rand_core::SeedableRng for ChaCha12Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        let mut rng = Self {
+            key,
+            block: 0,
+            buf: [0; BLOCK_WORDS],
+            idx: 0,
+        };
+        rng.refill();
+        rng
+    }
+}
+
+impl RngCore for ChaCha12Rng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // Low word first, matching rand_chacha's little-endian pairing,
+        // so one u64 draw consumes exactly two keystream words.
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rand_core::SeedableRng;
+    use super::*;
+
+    #[test]
+    fn word_pos_roundtrips_and_seeks() {
+        let mut a = ChaCha12Rng::from_seed([7u8; 32]);
+        assert_eq!(a.get_word_pos(), 0);
+        let first: Vec<u64> = (0..40).map(|_| a.next_u64()).collect();
+        assert_eq!(a.get_word_pos(), 80);
+        a.set_word_pos(20);
+        let again: Vec<u64> = (0..30).map(|_| a.next_u64()).collect();
+        assert_eq!(&first[10..], &again[..]);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha12Rng::from_seed([1u8; 32]);
+        let mut b = ChaCha12Rng::from_seed([2u8; 32]);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn output_is_not_degenerate() {
+        let mut a = ChaCha12Rng::from_seed([0u8; 32]);
+        let draws: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let mut sorted = draws.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), draws.len(), "collisions in 64 draws");
+        let ones: u32 = draws.iter().map(|d| d.count_ones()).sum();
+        let frac = ones as f64 / (64.0 * 64.0);
+        assert!((0.4..0.6).contains(&frac), "bit bias {frac}");
+    }
+}

@@ -1,0 +1,444 @@
+//! Vendored offline subset of the `serde` crate API.
+//!
+//! Instead of serde's zero-copy visitor architecture, this subset uses
+//! a concrete value tree ([`Content`]): `Serialize` lowers a type into
+//! the tree, `Deserialize` lifts it back. `serde_json` (also vendored)
+//! re-exports [`Content`] as its `Value` and adds the JSON text layer.
+//! The derive macros in `serde_derive` generate impls of these traits
+//! for named-field structs and C-like enums — the only shapes this
+//! workspace derives.
+//!
+//! Determinism note: objects preserve insertion order (a `Vec` of
+//! pairs), so serialized output is a pure function of field
+//! declaration order — which the workspace's byte-identity tests rely
+//! on.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialized value tree (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object, in insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+static NULL: Content = Content::Null;
+
+impl Content {
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Content)>> {
+        match self {
+            Content::Map(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64` (integers coerce).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::F64(f) => Some(f),
+            Content::U64(u) => Some(u as f64),
+            Content::I64(i) => Some(i as f64),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64` if non-negative integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(u) => Some(u),
+            Content::I64(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::I64(i) => Some(i),
+            Content::U64(u) if u <= i64::MAX as u64 => Some(u as i64),
+            _ => None,
+        }
+    }
+
+    /// Boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// String value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    /// Object member by key (linear scan; objects here are small).
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.as_object()
+            .and_then(|pairs| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// Array element by position.
+    pub fn get_index(&self, index: usize) -> Option<&Content> {
+        self.as_array().and_then(|items| items.get(index))
+    }
+}
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+
+    fn index(&self, key: &str) -> &Content {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+
+    fn index(&self, index: usize) -> &Content {
+        self.get_index(index).unwrap_or(&NULL)
+    }
+}
+
+/// Deserialization error: a message describing the mismatch.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// A new error with the given message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Lower `self` into the value tree.
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn serialize_value(&self) -> Content;
+}
+
+/// Lift a value back out of the value tree.
+pub trait Deserialize: Sized {
+    /// Parse `value` into `Self`.
+    fn deserialize_value(value: &Content) -> Result<Self, DeError>;
+}
+
+/// Derive-support helper: fetch and deserialize an object field.
+pub fn map_field<T: Deserialize>(value: &Content, name: &str) -> Result<T, DeError> {
+    let field = value
+        .get(name)
+        .ok_or_else(|| DeError::msg(format!("missing field `{name}`")))?;
+    T::deserialize_value(field)
+        .map_err(|e| DeError::msg(format!("field `{name}`: {}", e.0)))
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Content {
+        (**self).serialize_value()
+    }
+}
+
+impl Serialize for Content {
+    fn serialize_value(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn deserialize_value(value: &Content) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(value: &Content) -> Result<Self, DeError> {
+        value.as_bool().ok_or_else(|| DeError::msg("expected bool"))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Content) -> Result<Self, DeError> {
+                let u = value
+                    .as_u64()
+                    .ok_or_else(|| DeError::msg("expected unsigned integer"))?;
+                <$t>::try_from(u).map_err(|_| DeError::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Content) -> Result<Self, DeError> {
+                let i = value
+                    .as_i64()
+                    .ok_or_else(|| DeError::msg("expected integer"))?;
+                <$t>::try_from(i).map_err(|_| DeError::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(value: &Content) -> Result<Self, DeError> {
+        value.as_f64().ok_or_else(|| DeError::msg("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(value: &Content) -> Result<Self, DeError> {
+        Ok(f64::deserialize_value(value)? as f32)
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(value: &Content) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::msg("expected string"))
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Content {
+        self.as_slice().serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(value: &Content) -> Result<Self, DeError> {
+        value
+            .as_array()
+            .ok_or_else(|| DeError::msg("expected array"))?
+            .iter()
+            .map(T::deserialize_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Content {
+        self.as_slice().serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Content {
+        match self {
+            Some(inner) => inner.serialize_value(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(value: &Content) -> Result<Self, DeError> {
+        if value.is_null() {
+            Ok(None)
+        } else {
+            T::deserialize_value(value).map(Some)
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_value(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_value(value: &Content) -> Result<Self, DeError> {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| DeError::msg("expected tuple array"))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(DeError::msg(format!(
+                        "expected tuple of {expected}, got {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::deserialize_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Types usable as map keys. Mirrors serde_json, which renders
+/// integer keys as JSON strings.
+pub trait MapKey: Ord + Sized {
+    /// Render the key as an object-member name.
+    fn to_key_string(&self) -> String;
+    /// Parse the key back from an object-member name.
+    fn from_key_str(s: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key_string(&self) -> String {
+        self.clone()
+    }
+    fn from_key_str(s: &str) -> Result<Self, DeError> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_int_map_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key_string(&self) -> String {
+                self.to_string()
+            }
+            fn from_key_str(s: &str) -> Result<Self, DeError> {
+                s.parse()
+                    .map_err(|_| DeError::msg(format!("invalid integer map key {s:?}")))
+            }
+        }
+    )*};
+}
+impl_int_map_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_value(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key_string(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn deserialize_value(value: &Content) -> Result<Self, DeError> {
+        value
+            .as_object()
+            .ok_or_else(|| DeError::msg("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key_str(k)?, V::deserialize_value(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_and_tuple_roundtrip() {
+        let v: (usize, Option<u32>, f64) = (3, None, -1.5);
+        let c = v.serialize_value();
+        let back = <(usize, Option<u32>, f64)>::deserialize_value(&c).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn index_falls_back_to_null() {
+        let c = Content::Map(vec![("a".into(), Content::U64(1))]);
+        assert_eq!(c["a"].as_u64(), Some(1));
+        assert!(c["missing"].is_null());
+    }
+}
