@@ -16,7 +16,7 @@
 //! ```
 
 use mn_bench::{time_it, Args, Table};
-use mn_comm::SerialEngine;
+use mn_comm::{ParEngine, SerialEngine};
 use mn_data::synthetic;
 use mn_rand::MasterRng;
 use mn_score::{naive_sigmas, SplitScoring, SplitScratch};
@@ -41,9 +41,16 @@ struct PhaseRow {
 }
 
 #[derive(Serialize)]
+struct CountersRow {
+    scoring: String,
+    counters: std::collections::BTreeMap<String, u64>,
+}
+
+#[derive(Serialize)]
 struct Record {
     exact_pass: Vec<ExactPassRow>,
     full_phase: PhaseRow,
+    counters: Vec<CountersRow>,
 }
 
 /// Median of `reps` timings of `f` (seconds per call, amortized over
@@ -150,6 +157,38 @@ fn main() {
     };
     let naive_s = run_phase(SplitScoring::Naive);
     let kernel_s = run_phase(SplitScoring::Kernel);
+    // One instrumented run per scoring mode: the deterministic event
+    // counters put the timings in context (how many split scores the
+    // phase computed and through which dispatch path).
+    let counters_for = |scoring: SplitScoring| {
+        let params = TreeParams {
+            split_scoring: scoring,
+            ..base.clone()
+        };
+        let mut engine = SerialEngine::new();
+        assign_splits(&mut engine, &data, &master, &ensembles, &parents, &params);
+        let now = engine.now_s();
+        engine.obs().snapshot(now).counters
+    };
+    let counters = vec![
+        CountersRow {
+            scoring: "naive".into(),
+            counters: counters_for(SplitScoring::Naive),
+        },
+        CountersRow {
+            scoring: "kernel".into(),
+            counters: counters_for(SplitScoring::Kernel),
+        },
+    ];
+    let scored = counters[0].counters["splits.scored"];
+    assert_eq!(
+        scored, counters[1].counters["splits.scored"],
+        "naive and kernel must score the same splits"
+    );
+    println!(
+        "counters: {scored} splits scored over {} nodes (both dispatch paths)",
+        counters[0].counters["splits.nodes"]
+    );
     let full_phase = PhaseRow {
         label: "assign_splits (serial, yeast-like 48×40)".into(),
         naive_s,
@@ -166,6 +205,7 @@ fn main() {
     let record = Record {
         exact_pass,
         full_phase,
+        counters,
     };
     let text = serde_json::to_string_pretty(&record).expect("serialize record");
     std::fs::write("BENCH_splits.json", &text).expect("write BENCH_splits.json");

@@ -26,6 +26,7 @@
 use crate::cost::Collective;
 use crate::metrics::RunReport;
 use crate::segments::Segments;
+use mn_obs::Recorder;
 use std::ops::Range;
 
 /// A work item's result together with its cost in work units.
@@ -111,8 +112,40 @@ pub trait ParEngine {
 
     /// Finish the run and produce the metrics report. Idempotent
     /// engines may be reused after `report`; ours are consumed by
-    /// convention.
+    /// convention. Also closes all open observability spans.
     fn report(&mut self) -> RunReport;
+
+    /// The engine's observability recorder (spans, counters,
+    /// histograms). Under SPMD each rank owns its own recorder; the
+    /// other engines observe all ranks through one.
+    fn obs(&self) -> &Recorder;
+
+    /// Mutable access to the recorder, for counters and custom spans.
+    fn obs_mut(&mut self) -> &mut Recorder;
+
+    /// Seconds since the engine's epoch, on the engine's own clock:
+    /// wall time for the real engines, the simulated bulk-synchronous
+    /// clock for [`crate::sim::SimEngine`].
+    fn now_s(&self) -> f64;
+
+    /// Open a child span under the innermost open span.
+    fn span_enter(&mut self, name: &str) {
+        let now = self.now_s();
+        self.obs_mut().span_enter(name, now);
+    }
+
+    /// Close the innermost open span.
+    fn span_exit(&mut self) {
+        let now = self.now_s();
+        self.obs_mut().span_exit(now);
+    }
+
+    /// Increment a deterministic event counter (see
+    /// [`mn_obs::counters`]). Must only be called from replicated
+    /// control flow — never inside a `dist_map` closure.
+    fn count(&mut self, counter: &str, by: u64) {
+        self.obs_mut().incr(counter, by);
+    }
 }
 
 /// Convenience: run `f` inside a named phase.
@@ -123,6 +156,20 @@ pub fn with_phase<E: ParEngine + ?Sized, T>(
 ) -> T {
     engine.begin_phase(name);
     f(engine)
+}
+
+/// Convenience: run `f` inside a named observability span (balanced
+/// enter/exit even though `f` chooses its own control flow; spans are
+/// not unwound on panic — the engines are consumed on panic anyway).
+pub fn with_span<E: ParEngine + ?Sized, T>(
+    engine: &mut E,
+    name: &str,
+    f: impl FnOnce(&mut E) -> T,
+) -> T {
+    engine.span_enter(name);
+    let out = f(engine);
+    engine.span_exit();
+    out
 }
 
 /// Re-export for implementors and callers.
@@ -140,5 +187,18 @@ mod tests {
             e.dist_map(3, 1, &|i| (i * 2, 1)) // trivial work
         });
         assert_eq!(v, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn with_span_nests_under_phase_and_counts_events() {
+        let mut e = SerialEngine::new();
+        e.begin_phase("p");
+        let v = with_span(&mut e, "child", |e| e.dist_map(4, 2, &|i| (i, 1)));
+        assert_eq!(v.len(), 4);
+        let snap = e.obs().snapshot(e.now_s());
+        assert!(snap.spans.iter().any(|s| s.path == "run/p/child"));
+        assert_eq!(snap.counters.get("engine.dist_maps"), Some(&1));
+        assert_eq!(snap.counters.get("engine.items"), Some(&4));
+        assert_eq!(snap.counters.get("comm.allgather_words"), Some(&8));
     }
 }

@@ -39,8 +39,9 @@ pub mod thread;
 
 pub use cost::{Collective, CostModel};
 pub use msg::{spmd_run, SpmdEngine};
-pub use engine::{with_phase, Costed, ParEngine, SegmentBatchFn};
+pub use engine::{with_phase, with_span, Costed, ParEngine, SegmentBatchFn};
 pub use metrics::{PhaseReport, RunReport};
+pub use mn_obs::{self as obs, ObsSnapshot, Recorder};
 pub use segments::Segments;
 pub use partition::{
     assign_owners, block_owner, block_range, load_imbalance, rank_loads, PartitionStrategy,
@@ -59,6 +60,8 @@ pub enum EngineSpec {
     Threads(usize),
     /// `sim:<p>`
     Sim(usize),
+    /// `msg:<p>` — true SPMD over the message fabric.
+    Msg(usize),
 }
 
 impl std::str::FromStr for EngineSpec {
@@ -83,8 +86,15 @@ impl std::str::FromStr for EngineSpec {
             }
             return Ok(EngineSpec::Sim(p));
         }
+        if let Some(rest) = s.strip_prefix("msg:") {
+            let p: usize = rest.parse().map_err(|e| format!("bad rank count: {e}"))?;
+            if p == 0 {
+                return Err("rank count must be >= 1".into());
+            }
+            return Ok(EngineSpec::Msg(p));
+        }
         Err(format!(
-            "unknown engine {s:?}; expected serial | threads:<p> | sim:<p>"
+            "unknown engine {s:?}; expected serial | threads:<p> | sim:<p> | msg:<p>"
         ))
     }
 }
@@ -101,7 +111,9 @@ mod tests {
             EngineSpec::Threads(4)
         );
         assert_eq!("sim:1024".parse::<EngineSpec>().unwrap(), EngineSpec::Sim(1024));
+        assert_eq!("msg:4".parse::<EngineSpec>().unwrap(), EngineSpec::Msg(4));
         assert!("sim:0".parse::<EngineSpec>().is_err());
+        assert!("msg:0".parse::<EngineSpec>().is_err());
         assert!("gpu".parse::<EngineSpec>().is_err());
     }
 }

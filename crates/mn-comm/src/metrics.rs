@@ -67,12 +67,34 @@ impl RunReport {
             .sum()
     }
 
-    /// Imbalance of one phase by name (0 if absent).
+    /// All entries of one phase name merged into a single report, by
+    /// summing busy/comm/elapsed time over the duplicates (a phase
+    /// re-entered via `begin_phase` appears once per entry). `None` if
+    /// the phase never ran. This is the busy-time-weighted view:
+    /// `imbalance()` of the merged report weighs each entry by the
+    /// busy time it contributed, consistent with [`RunReport::phase_s`].
+    pub fn merged_phase(&self, name: &str) -> Option<PhaseReport> {
+        let mut merged: Option<PhaseReport> = None;
+        for p in self.phases.iter().filter(|p| p.name == name) {
+            match &mut merged {
+                None => merged = Some(p.clone()),
+                Some(m) => {
+                    m.busy_max_s += p.busy_max_s;
+                    m.busy_avg_s += p.busy_avg_s;
+                    m.comm_s += p.comm_s;
+                    m.elapsed_s += p.elapsed_s;
+                }
+            }
+        }
+        merged
+    }
+
+    /// Imbalance of one phase by name (0 if absent), computed over
+    /// *all* entries with that name (see [`RunReport::merged_phase`])
+    /// so it is consistent with the summing [`RunReport::phase_s`].
     pub fn phase_imbalance(&self, name: &str) -> f64 {
-        self.phases
-            .iter()
-            .find(|p| p.name == name)
-            .map_or(0.0, PhaseReport::imbalance)
+        self.merged_phase(name)
+            .map_or(0.0, |p| p.imbalance())
     }
 
     /// Strong-scaling speedup of this run relative to a baseline time.
@@ -135,6 +157,31 @@ mod tests {
         assert_eq!(r.phase_s("consensus"), 0.1);
         assert_eq!(r.phase_s("missing"), 0.0);
         assert!((r.phase_imbalance("modules") - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_phases_merge_consistently() {
+        // A phase re-entered via begin_phase appears twice; phase_s
+        // sums the entries, so the imbalance must be computed over the
+        // merged entries too — not the first one found.
+        let r = RunReport {
+            nranks: 2,
+            phases: vec![
+                phase("w", 3.0, 2.0, 0.1, 3.1),
+                phase("other", 9.0, 9.0, 0.0, 9.0),
+                phase("w", 1.0, 1.0, 0.2, 1.2),
+            ],
+        };
+        assert!((r.phase_s("w") - 4.3).abs() < 1e-12);
+        let m = r.merged_phase("w").unwrap();
+        assert!((m.busy_max_s - 4.0).abs() < 1e-12);
+        assert!((m.busy_avg_s - 3.0).abs() < 1e-12);
+        assert!((m.comm_s - 0.3).abs() < 1e-12);
+        assert!((m.elapsed_s - 4.3).abs() < 1e-12);
+        // (4-3)/3 over the merged totals, not the first entry's (3-2)/2.
+        assert!((r.phase_imbalance("w") - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.merged_phase("missing"), None);
+        assert_eq!(r.phase_imbalance("missing"), 0.0);
     }
 
     #[test]

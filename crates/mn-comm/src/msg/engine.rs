@@ -21,6 +21,7 @@ use crate::msg::collectives::{allgatherv, allreduce, barrier};
 use crate::msg::fabric::{fabric, Endpoint};
 use crate::partition::block_range;
 use crate::segments::Segments;
+use mn_obs::Recorder;
 use std::time::Instant;
 
 /// The per-rank engine handed to an SPMD program.
@@ -31,15 +32,23 @@ pub struct SpmdEngine {
     /// Compute seconds of this rank in the current phase (time inside
     /// `dist_map` closures); elapsed − busy approximates wait + comm.
     busy: f64,
+    /// This rank's recorder: busy time lands in this rank's slot only;
+    /// [`mn_obs::recorder::merge_ranks`] combines the ranks afterwards
+    /// (and, as a side effect, verifies the counters agree).
+    obs: Recorder,
+    epoch: Instant,
 }
 
 impl SpmdEngine {
     fn new(ep: Endpoint) -> Self {
+        let obs = Recorder::for_rank(ep.nranks(), ep.rank());
         Self {
             ep,
             phases: Vec::new(),
             current: None,
             busy: 0.0,
+            obs,
+            epoch: Instant::now(),
         }
     }
 
@@ -76,25 +85,36 @@ impl ParEngine for SpmdEngine {
     fn dist_map<T: Send + Clone + 'static>(
         &mut self,
         n_items: usize,
-        _words_per_item: usize,
+        words_per_item: usize,
         f: &(dyn Fn(usize) -> Costed<T> + Sync),
     ) -> Vec<T> {
+        // Counters record the *logical* global call, identically on
+        // every rank — never this rank's block size.
+        self.obs.count_dist_map(n_items, words_per_item);
         let p = self.ep.nranks();
-        let (lo, hi) = block_range(n_items, p, self.ep.rank());
+        let rank = self.ep.rank();
+        let (lo, hi) = block_range(n_items, p, rank);
         let start = Instant::now();
         let local: Vec<T> = (lo..hi).map(|i| f(i).0).collect();
-        self.busy += start.elapsed().as_secs_f64();
-        allgatherv(&self.ep, local)
+        let dt = start.elapsed().as_secs_f64();
+        self.busy += dt;
+        self.obs.charge_busy_rank(rank, dt);
+        let comm_start = Instant::now();
+        let out = allgatherv(&self.ep, local);
+        self.obs.charge_comm(comm_start.elapsed().as_secs_f64());
+        out
     }
 
     fn dist_map_segmented_batch<T: Send + Clone + 'static>(
         &mut self,
         segments: &Segments,
-        _words_per_item: usize,
+        words_per_item: usize,
         f: SegmentBatchFn<'_, T>,
     ) -> Vec<T> {
+        self.obs.count_dist_map(segments.n_items(), words_per_item);
         let p = self.ep.nranks();
-        let (lo, hi) = block_range(segments.n_items(), p, self.ep.rank());
+        let rank = self.ep.rank();
+        let (lo, hi) = block_range(segments.n_items(), p, rank);
         let start = Instant::now();
         let mut local = Vec::with_capacity(hi - lo);
         let mut buf: Vec<Costed<T>> = Vec::new();
@@ -102,31 +122,57 @@ impl ParEngine for SpmdEngine {
             f(seg, range, &mut buf);
             local.extend(buf.drain(..).map(|(v, _)| v));
         }
-        self.busy += start.elapsed().as_secs_f64();
-        allgatherv(&self.ep, local)
+        let dt = start.elapsed().as_secs_f64();
+        self.busy += dt;
+        self.obs.charge_busy_rank(rank, dt);
+        let comm_start = Instant::now();
+        let out = allgatherv(&self.ep, local);
+        self.obs.charge_comm(comm_start.elapsed().as_secs_f64());
+        out
     }
 
-    fn collective(&mut self, _op: Collective, _words: usize) {
+    fn collective(&mut self, _op: Collective, words: usize) {
         // The sampling oracles of §3.1 are collective calls; keep the
         // ranks lock-step with a real barrier.
+        self.obs.count_collective(words);
+        let start = Instant::now();
         barrier(&self.ep);
+        self.obs.charge_comm(start.elapsed().as_secs_f64());
     }
 
-    fn replicated(&mut self, _work_units: u64) {
-        // SPMD ranks genuinely execute replicated work inline.
+    fn replicated(&mut self, work_units: u64) {
+        // SPMD ranks genuinely execute replicated work inline; only
+        // the logical units are counted.
+        self.obs.count_replicated(work_units);
     }
 
     fn begin_phase(&mut self, name: &str) {
         self.close_phase();
         self.current = Some((name.to_string(), Instant::now()));
+        let now = self.now_s();
+        self.obs.begin_phase(name, now);
     }
 
     fn report(&mut self) -> RunReport {
         self.close_phase();
+        let now = self.now_s();
+        self.obs.finish(now);
         RunReport {
             nranks: self.ep.nranks(),
             phases: std::mem::take(&mut self.phases),
         }
+    }
+
+    fn obs(&self) -> &Recorder {
+        &self.obs
+    }
+
+    fn obs_mut(&mut self) -> &mut Recorder {
+        &mut self.obs
+    }
+
+    fn now_s(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
     }
 }
 

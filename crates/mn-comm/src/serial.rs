@@ -10,6 +10,7 @@ use crate::cost::Collective;
 use crate::engine::{Costed, ParEngine, SegmentBatchFn};
 use crate::metrics::{PhaseReport, RunReport};
 use crate::segments::Segments;
+use mn_obs::Recorder;
 use std::time::Instant;
 
 /// Sequential engine with wall-clock phase timing.
@@ -20,6 +21,8 @@ pub struct SerialEngine {
     /// Total work units reported by kernels (exposed for calibration
     /// and for cross-checking SimEngine's accounting in tests).
     work_units: u64,
+    obs: Recorder,
+    epoch: Instant,
 }
 
 impl SerialEngine {
@@ -29,6 +32,8 @@ impl SerialEngine {
             phases: Vec::new(),
             current: None,
             work_units: 0,
+            obs: Recorder::new(1),
+            epoch: Instant::now(),
         }
     }
 
@@ -65,24 +70,29 @@ impl ParEngine for SerialEngine {
     fn dist_map<T: Send + Clone + 'static>(
         &mut self,
         n_items: usize,
-        _words_per_item: usize,
+        words_per_item: usize,
         f: &(dyn Fn(usize) -> Costed<T> + Sync),
     ) -> Vec<T> {
+        self.obs.count_dist_map(n_items, words_per_item);
+        let start = Instant::now();
         let mut out = Vec::with_capacity(n_items);
         for i in 0..n_items {
             let (value, cost) = f(i);
             self.work_units += cost;
             out.push(value);
         }
+        self.obs.charge_busy(&[start.elapsed().as_secs_f64()]);
         out
     }
 
     fn dist_map_segmented_batch<T: Send + Clone + 'static>(
         &mut self,
         segments: &Segments,
-        _words_per_item: usize,
+        words_per_item: usize,
         f: SegmentBatchFn<'_, T>,
     ) -> Vec<T> {
+        self.obs.count_dist_map(segments.n_items(), words_per_item);
+        let start = Instant::now();
         let mut out = Vec::with_capacity(segments.n_items());
         let mut buf: Vec<Costed<T>> = Vec::new();
         for (seg, range) in segments.iter() {
@@ -94,28 +104,48 @@ impl ParEngine for SerialEngine {
                 out.push(value);
             }
         }
+        self.obs.charge_busy(&[start.elapsed().as_secs_f64()]);
         out
     }
 
-    fn collective(&mut self, _op: Collective, _words: usize) {
-        // One rank: nothing to communicate.
+    fn collective(&mut self, _op: Collective, words: usize) {
+        // One rank: nothing to communicate, but the logical event still
+        // counts (the counter contract is engine-independent).
+        self.obs.count_collective(words);
     }
 
     fn replicated(&mut self, work_units: u64) {
         self.work_units += work_units;
+        self.obs.count_replicated(work_units);
     }
 
     fn begin_phase(&mut self, name: &str) {
         self.close_phase();
         self.current = Some((name.to_string(), Instant::now()));
+        let now = self.now_s();
+        self.obs.begin_phase(name, now);
     }
 
     fn report(&mut self) -> RunReport {
         self.close_phase();
+        let now = self.now_s();
+        self.obs.finish(now);
         RunReport {
             nranks: 1,
             phases: std::mem::take(&mut self.phases),
         }
+    }
+
+    fn obs(&self) -> &Recorder {
+        &self.obs
+    }
+
+    fn obs_mut(&mut self) -> &mut Recorder {
+        &mut self.obs
+    }
+
+    fn now_s(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
     }
 }
 

@@ -29,6 +29,7 @@ use crate::engine::{Costed, ParEngine, SegmentBatchFn};
 use crate::metrics::{PhaseReport, RunReport};
 use crate::partition::{assign_owners, block_range, PartitionStrategy};
 use crate::segments::Segments;
+use mn_obs::Recorder;
 
 /// Virtual-SPMD engine with per-rank clocks and τ/μ collective costs.
 #[derive(Debug, Clone)]
@@ -45,6 +46,11 @@ pub struct SimEngine {
     elapsed: f64,
     phases: Vec<PhaseReport>,
     current_phase: Option<String>,
+    obs: Recorder,
+    /// The simulated clock: total bulk-synchronous elapsed time since
+    /// engine creation. Spans are stamped with this, so the trace
+    /// timeline is in *simulated* seconds, as the ISSUE requires.
+    sim_now: f64,
 }
 
 impl SimEngine {
@@ -66,6 +72,8 @@ impl SimEngine {
             elapsed: 0.0,
             phases: Vec::new(),
             current_phase: None,
+            obs: Recorder::new(p),
+            sim_now: 0.0,
         }
     }
 
@@ -99,7 +107,10 @@ impl SimEngine {
     }
 
     /// Account one bulk-synchronous step: per-rank busy seconds plus a
-    /// synchronizing collective of `comm_s` seconds.
+    /// synchronizing collective of `comm_s` seconds. Also advances the
+    /// simulated clock and charges the open observability spans, so
+    /// simulated time flows into the same span tree wall-clock engines
+    /// fill.
     fn account_step(&mut self, step_busy: &[f64], comm_s: f64) {
         debug_assert_eq!(step_busy.len(), self.p);
         let step_max = step_busy.iter().copied().fold(0.0, f64::max);
@@ -108,6 +119,9 @@ impl SimEngine {
         }
         self.comm += comm_s;
         self.elapsed += step_max + comm_s;
+        self.sim_now += step_max + comm_s;
+        self.obs.charge_busy(step_busy);
+        self.obs.charge_comm(comm_s);
     }
 
     fn map_with_owners<T: Send>(
@@ -172,6 +186,7 @@ impl ParEngine for SimEngine {
         words_per_item: usize,
         f: &(dyn Fn(usize) -> Costed<T> + Sync),
     ) -> Vec<T> {
+        self.obs.count_dist_map(n_items, words_per_item);
         self.map_with_owners(None, n_items, words_per_item, f)
     }
 
@@ -188,6 +203,7 @@ impl ParEngine for SimEngine {
                 // assignment, so evaluate first (costs are deterministic
                 // functions of the item), then attribute.
                 let n = segments.n_items();
+                self.obs.count_dist_map(n, words_per_item);
                 let mut values = Vec::with_capacity(n);
                 let mut costs = Vec::with_capacity(n);
                 for i in 0..n {
@@ -208,6 +224,7 @@ impl ParEngine for SimEngine {
         f: SegmentBatchFn<'_, T>,
     ) -> Vec<T> {
         let n = segments.n_items();
+        self.obs.count_dist_map(n, words_per_item);
         match self.strategy {
             PartitionStrategy::Block => {
                 // The paper's block partition of the flat list. A block
@@ -254,12 +271,14 @@ impl ParEngine for SimEngine {
     }
 
     fn collective(&mut self, op: Collective, words: usize) {
+        self.obs.count_collective(words);
         let comm = self.cost.collective_s(op, words, self.p);
         let zeros = vec![0.0; self.p];
         self.account_step(&zeros, comm);
     }
 
     fn replicated(&mut self, work_units: u64) {
+        self.obs.count_replicated(work_units);
         let s = self.cost.compute_s(work_units);
         let busy = vec![s; self.p];
         self.account_step(&busy, 0.0);
@@ -268,14 +287,28 @@ impl ParEngine for SimEngine {
     fn begin_phase(&mut self, name: &str) {
         self.close_phase();
         self.current_phase = Some(name.to_string());
+        self.obs.begin_phase(name, self.sim_now);
     }
 
     fn report(&mut self) -> RunReport {
         self.close_phase();
+        self.obs.finish(self.sim_now);
         RunReport {
             nranks: self.p,
             phases: std::mem::take(&mut self.phases),
         }
+    }
+
+    fn obs(&self) -> &Recorder {
+        &self.obs
+    }
+
+    fn obs_mut(&mut self) -> &mut Recorder {
+        &mut self.obs
+    }
+
+    fn now_s(&self) -> f64 {
+        self.sim_now
     }
 }
 
@@ -440,6 +473,20 @@ mod tests {
         assert_eq!(r.phases.len(), 2);
         assert!(r.phases[1].elapsed_s > r.phases[0].elapsed_s);
         assert!((r.total_s() - (r.phases[0].elapsed_s + r.phases[1].elapsed_s)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn spans_carry_simulated_time_matching_the_phase_report() {
+        let mut e = SimEngine::with_model(4, CostModel::free_comm());
+        e.begin_phase("w");
+        e.dist_map(16, 1, &|i| (i, 1000));
+        let r = e.report();
+        let snap = e.obs().snapshot(e.now_s());
+        let span = snap.spans.iter().find(|s| s.path == "run/w").unwrap();
+        assert!((span.elapsed_s() - r.phases[0].elapsed_s).abs() < 1e-12);
+        let busy_max = span.busy_s.iter().copied().fold(0.0, f64::max);
+        assert!((busy_max - r.phases[0].busy_max_s).abs() < 1e-12);
+        assert_eq!(span.busy_s.len(), 4);
     }
 
     #[test]

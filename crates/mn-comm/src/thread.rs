@@ -18,6 +18,7 @@ use crate::engine::{Costed, ParEngine, SegmentBatchFn};
 use crate::metrics::{PhaseReport, RunReport};
 use crate::partition::block_range;
 use crate::segments::Segments;
+use mn_obs::Recorder;
 use parking_lot::Mutex;
 use std::time::Instant;
 
@@ -29,6 +30,8 @@ pub struct ThreadEngine {
     busy: Vec<f64>,
     phases: Vec<PhaseReport>,
     current: Option<(String, Instant)>,
+    obs: Recorder,
+    epoch: Instant,
 }
 
 impl ThreadEngine {
@@ -40,6 +43,8 @@ impl ThreadEngine {
             busy: vec![0.0; p],
             phases: Vec::new(),
             current: None,
+            obs: Recorder::new(p),
+            epoch: Instant::now(),
         }
     }
 
@@ -68,16 +73,19 @@ impl ParEngine for ThreadEngine {
     fn dist_map<T: Send + Clone + 'static>(
         &mut self,
         n_items: usize,
-        _words_per_item: usize,
+        words_per_item: usize,
         f: &(dyn Fn(usize) -> Costed<T> + Sync),
     ) -> Vec<T> {
+        self.obs.count_dist_map(n_items, words_per_item);
         if self.p == 1 || n_items <= 1 {
             let mut out = Vec::with_capacity(n_items);
             let start = Instant::now();
             for i in 0..n_items {
                 out.push(f(i).0);
             }
-            self.busy[0] += start.elapsed().as_secs_f64();
+            let dt = start.elapsed().as_secs_f64();
+            self.busy[0] += dt;
+            self.obs.charge_busy_rank(0, dt);
             return out;
         }
 
@@ -103,9 +111,11 @@ impl ParEngine for ThreadEngine {
                 blocks.push(handle.join().expect("rank thread panicked"));
             }
         });
-        for (b, extra) in self.busy.iter_mut().zip(busy_acc.into_inner()) {
+        let extras = busy_acc.into_inner();
+        for (b, extra) in self.busy.iter_mut().zip(&extras) {
             *b += extra;
         }
+        self.obs.charge_busy(&extras);
         // Rank-order concatenation = the all-gather of Alg. 5.
         blocks.into_iter().flatten().collect()
     }
@@ -113,10 +123,11 @@ impl ParEngine for ThreadEngine {
     fn dist_map_segmented_batch<T: Send + Clone + 'static>(
         &mut self,
         segments: &Segments,
-        _words_per_item: usize,
+        words_per_item: usize,
         f: SegmentBatchFn<'_, T>,
     ) -> Vec<T> {
         let n_items = segments.n_items();
+        self.obs.count_dist_map(n_items, words_per_item);
         if self.p == 1 || n_items <= 1 {
             let start = Instant::now();
             let mut out = Vec::with_capacity(n_items);
@@ -125,7 +136,9 @@ impl ParEngine for ThreadEngine {
                 f(seg, range, &mut buf);
                 out.extend(buf.drain(..).map(|(v, _)| v));
             }
-            self.busy[0] += start.elapsed().as_secs_f64();
+            let dt = start.elapsed().as_secs_f64();
+            self.busy[0] += dt;
+            self.obs.charge_busy_rank(0, dt);
             return out;
         }
 
@@ -156,31 +169,53 @@ impl ParEngine for ThreadEngine {
                 blocks.push(handle.join().expect("rank thread panicked"));
             }
         });
-        for (b, extra) in self.busy.iter_mut().zip(busy_acc.into_inner()) {
+        let extras = busy_acc.into_inner();
+        for (b, extra) in self.busy.iter_mut().zip(&extras) {
             *b += extra;
         }
+        self.obs.charge_busy(&extras);
         blocks.into_iter().flatten().collect()
     }
 
-    fn collective(&mut self, _op: Collective, _words: usize) {
-        // Shared memory: collectives are free.
+    fn collective(&mut self, _op: Collective, words: usize) {
+        // Shared memory: collectives are free, but the logical event
+        // still counts (the counter contract is engine-independent).
+        self.obs.count_collective(words);
     }
 
-    fn replicated(&mut self, _work_units: u64) {
-        // Real engines do the replicated work inline in the caller.
+    fn replicated(&mut self, work_units: u64) {
+        // Real engines do the replicated work inline in the caller;
+        // only the logical units are counted.
+        self.obs.count_replicated(work_units);
     }
 
     fn begin_phase(&mut self, name: &str) {
         self.close_phase();
         self.current = Some((name.to_string(), Instant::now()));
+        let now = self.now_s();
+        self.obs.begin_phase(name, now);
     }
 
     fn report(&mut self) -> RunReport {
         self.close_phase();
+        let now = self.now_s();
+        self.obs.finish(now);
         RunReport {
             nranks: self.p,
             phases: std::mem::take(&mut self.phases),
         }
+    }
+
+    fn obs(&self) -> &Recorder {
+        &self.obs
+    }
+
+    fn obs_mut(&mut self) -> &mut Recorder {
+        &mut self.obs
+    }
+
+    fn now_s(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
     }
 }
 

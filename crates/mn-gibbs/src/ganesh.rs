@@ -56,6 +56,7 @@ pub fn ganesh<E: ParEngine>(
     params: &GaneshParams,
 ) -> CoClustering {
     let k0 = params.resolved_init_clusters(data.n_vars());
+    engine.span_enter("ganesh-run");
     let mut state =
         CoClustering::random_init(data, k0, params.prior, params.mode, master, run);
     for step in 0..params.update_steps as u64 {
@@ -66,6 +67,7 @@ pub fn ganesh<E: ParEngine>(
             merge_obs(engine, &mut state, data, master, run, step, slot);
         }
     }
+    engine.span_exit();
     state
 }
 
@@ -109,6 +111,7 @@ pub fn sample_obs_partitions<E: ParEngine>(
         burn_in < update_steps,
         "burn-in ({burn_in}) must be smaller than update steps ({update_steps})"
     );
+    engine.span_enter("obs-sampler");
     let mut state = CoClustering::single_var_cluster(data, vars, prior, mode, master, module_key);
     let slot = 0;
     let mut samples = Vec::with_capacity(update_steps - burn_in);
@@ -119,6 +122,7 @@ pub fn sample_obs_partitions<E: ParEngine>(
             samples.push(state.cluster(slot).obs.clone());
         }
     }
+    engine.span_exit();
     samples
 }
 

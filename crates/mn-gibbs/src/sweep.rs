@@ -33,6 +33,7 @@ use crate::moves::MoveTarget;
 use crate::state::CoClustering;
 use mn_comm::{Collective, ParEngine};
 use mn_data::Dataset;
+use mn_obs::counters;
 use mn_rand::{select_unif_rand, select_wtd_log, Domain, MasterRng};
 
 /// Composite stream key for (run, step) pairs.
@@ -52,7 +53,10 @@ pub fn reassign_vars<E: ParEngine>(
 ) {
     let n = data.n_vars();
     let mut stream = master.stream(Domain::ReassignVar, step_key(run, step));
+    engine.span_enter("sweep:reassign-vars");
+    engine.count(counters::GIBBS_SWEEPS, 1);
     for _ in 0..n {
+        engine.count(counters::GIBBS_MOVES_PROPOSED, 1);
         let x = select_unif_rand(&mut stream, n);
         let cur = state.slot_of_var(x);
 
@@ -88,9 +92,11 @@ pub fn reassign_vars<E: ParEngine>(
             MoveTarget::New
         };
         if target != MoveTarget::Existing(cur) {
+            engine.count(counters::GIBBS_MOVES_ACCEPTED, 1);
             state.move_var(data, x, target);
         }
     }
+    engine.span_exit();
 }
 
 /// One full variable-merge sweep (Alg. 1, `Merge-Var-Cluster`).
@@ -103,6 +109,8 @@ pub fn merge_vars<E: ParEngine>(
     step: u64,
 ) {
     let mut stream = master.stream(Domain::MergeVar, step_key(run, step));
+    engine.span_enter("sweep:merge-vars");
+    engine.count(counters::GIBBS_SWEEPS, 1);
     let snapshot = state.active_slots();
     for &slot in &snapshot {
         // The cluster may have been absorbed by an earlier merge in
@@ -110,6 +118,7 @@ pub fn merge_vars<E: ParEngine>(
         if !state.is_active(slot) {
             continue;
         }
+        engine.count(counters::GIBBS_MOVES_PROPOSED, 1);
         let candidates = state.active_slots();
         let state_ref: &CoClustering = state;
         let weights: Vec<f64> = engine.dist_map(candidates.len(), 1, &|i| {
@@ -124,9 +133,11 @@ pub fn merge_vars<E: ParEngine>(
         let choice = select_wtd_log(&mut stream, &weights);
         let target = candidates[choice];
         if target != slot {
+            engine.count(counters::GIBBS_MOVES_ACCEPTED, 1);
             state.merge_var_clusters(data, slot, target);
         }
     }
+    engine.span_exit();
 }
 
 /// One observation-reassignment sweep inside variable cluster `slot`
@@ -143,7 +154,10 @@ pub fn reassign_obs<E: ParEngine>(
     let m = data.n_obs();
     let mut stream =
         master.stream2(Domain::ReassignObs, step_key(run, step), slot as u64);
+    engine.span_enter("sweep:reassign-obs");
+    engine.count(counters::GIBBS_SWEEPS, 1);
     for _ in 0..m {
+        engine.count(counters::GIBBS_MOVES_PROPOSED, 1);
         let o = select_unif_rand(&mut stream, m);
         let cur = state.cluster(slot).obs.slot_of(o);
 
@@ -178,10 +192,12 @@ pub fn reassign_obs<E: ParEngine>(
         match target {
             Some(t) if t == cur => {}
             other => {
+                engine.count(counters::GIBBS_MOVES_ACCEPTED, 1);
                 state.move_obs(data, slot, o, other);
             }
         }
     }
+    engine.span_exit();
 }
 
 /// One observation-merge sweep inside variable cluster `slot`
@@ -196,6 +212,8 @@ pub fn merge_obs<E: ParEngine>(
     slot: usize,
 ) {
     let mut stream = master.stream2(Domain::MergeObs, step_key(run, step), slot as u64);
+    engine.span_enter("sweep:merge-obs");
+    engine.count(counters::GIBBS_SWEEPS, 1);
     let snapshot = state.cluster(slot).obs.active_slots();
     for &oslot in &snapshot {
         if !state
@@ -206,6 +224,7 @@ pub fn merge_obs<E: ParEngine>(
         {
             continue;
         }
+        engine.count(counters::GIBBS_MOVES_PROPOSED, 1);
         let candidates = state.cluster(slot).obs.active_slots();
         let state_ref: &CoClustering = state;
         let weights: Vec<f64> = engine.dist_map(candidates.len(), 1, &|i| {
@@ -220,9 +239,11 @@ pub fn merge_obs<E: ParEngine>(
         let choice = select_wtd_log(&mut stream, &weights);
         let target = candidates[choice];
         if target != oslot {
+            engine.count(counters::GIBBS_MOVES_ACCEPTED, 1);
             state.merge_obs_clusters(slot, oslot, target);
         }
     }
+    engine.span_exit();
 }
 
 #[cfg(test)]
@@ -289,6 +310,30 @@ mod tests {
         }));
         assert_eq!(serial, threads, "thread engine diverged");
         assert_eq!(serial, sim, "sim engine diverged");
+    }
+
+    #[test]
+    fn sweep_counters_identical_across_engines() {
+        let (d, s0, master) = setup();
+        fn counts<E: ParEngine>(
+            mut e: E,
+            d: &Dataset,
+            s0: &CoClustering,
+            master: &MasterRng,
+        ) -> std::collections::BTreeMap<String, u64> {
+            let mut s = s0.clone();
+            reassign_vars(&mut e, &mut s, d, master, 0, 0);
+            merge_vars(&mut e, &mut s, d, master, 0, 0);
+            e.report();
+            let now = e.now_s();
+            e.obs().snapshot(now).counters
+        }
+        let serial = counts(SerialEngine::new(), &d, &s0, &master);
+        assert!(serial[counters::GIBBS_SWEEPS] == 2);
+        assert!(serial[counters::GIBBS_MOVES_PROPOSED] >= serial[counters::GIBBS_MOVES_ACCEPTED]);
+        assert_eq!(serial, counts(ThreadEngine::new(3), &d, &s0, &master));
+        assert_eq!(serial, counts(SimEngine::new(7), &d, &s0, &master));
+        assert_eq!(serial, counts(SimEngine::new(64), &d, &s0, &master));
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! The counter registry: every deterministic event counter in the
+//! pipeline, by name.
+//!
+//! Names are dot-separated `<subsystem>.<event>` strings. The set is
+//! closed on purpose — a counter is part of the cross-engine
+//! equivalence contract (see the crate docs), so adding one means
+//! adding it to the golden files and the equality suite too.
+
+/// Block-partitioned map invocations (`ParEngine::dist_map*`).
+pub const ENGINE_DIST_MAPS: &str = "engine.dist_maps";
+/// Work items executed across all `dist_map*` calls (the union of all
+/// ranks' blocks — identical on every engine by the SPMD contract).
+pub const ENGINE_ITEMS: &str = "engine.items";
+/// Work units charged through `ParEngine::replicated`.
+pub const ENGINE_REPLICATED_UNITS: &str = "engine.replicated_units";
+
+/// Explicit collective operations (`ParEngine::collective`).
+pub const COMM_COLLECTIVES: &str = "comm.collectives";
+/// Total payload of explicit collectives, in 8-byte words.
+pub const COMM_COLLECTIVE_WORDS: &str = "comm.collective_words";
+/// Total payload of the all-gathers implied by `dist_map*`
+/// (`n_items × words_per_item`), in 8-byte words.
+pub const COMM_ALLGATHER_WORDS: &str = "comm.allgather_words";
+
+/// Gibbs sweeps executed (reassign/merge, variables and observations).
+pub const GIBBS_SWEEPS: &str = "gibbs.sweeps";
+/// Moves proposed across all sweeps (one per sweep iteration).
+pub const GIBBS_MOVES_PROPOSED: &str = "gibbs.moves_proposed";
+/// Proposed moves that changed the state (reassignment to a different
+/// cluster, or an actual merge).
+pub const GIBBS_MOVES_ACCEPTED: &str = "gibbs.moves_accepted";
+
+/// Module tree ensembles learned (one per module).
+pub const TREE_MODULES: &str = "tree.modules";
+/// Regression trees built.
+pub const TREE_TREES: &str = "tree.trees";
+/// Pair merges performed across all tree builds.
+pub const TREE_MERGES: &str = "tree.merges";
+
+/// Candidate splits scored in the split-assignment phase.
+pub const SPLITS_SCORED: &str = "splits.scored";
+/// Tree nodes that received split assignments.
+pub const SPLITS_NODES: &str = "splits.nodes";
+/// Split-assignment phases executed with the batched prefix-sum kernel.
+pub const SPLITS_KERNEL_DISPATCHES: &str = "splits.kernel_dispatches";
+/// Split-assignment phases executed with the naive per-candidate pass.
+pub const SPLITS_NAIVE_DISPATCHES: &str = "splits.naive_dispatches";

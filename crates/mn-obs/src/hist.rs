@@ -1,0 +1,121 @@
+//! Monotonic log₂-bucketed timing histograms.
+//!
+//! One histogram per span name, recording span durations. Buckets are
+//! powers of two in microseconds — bucket `i` covers `[2^i, 2^{i+1})`
+//! µs, bucket 0 additionally absorbs sub-microsecond durations — which
+//! keeps the histogram fixed-size and mergeable while spanning
+//! nanosecond sweeps to hour-long runs in 40 buckets.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of log₂ buckets (covers up to ~2^40 µs ≈ 12 days).
+pub const N_BUCKETS: usize = 40;
+
+/// A log₂ histogram of durations, with summary statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Number of recorded durations.
+    pub count: u64,
+    /// Sum of recorded durations, seconds.
+    pub sum_s: f64,
+    /// Largest recorded duration, seconds.
+    pub max_s: f64,
+    /// `buckets[i]` counts durations in `[2^i, 2^{i+1})` microseconds.
+    pub buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum_s: 0.0,
+            max_s: 0.0,
+            buckets: vec![0; N_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index of a duration in seconds.
+    pub fn bucket_of(duration_s: f64) -> usize {
+        let us = duration_s * 1e6;
+        if us < 2.0 {
+            return 0;
+        }
+        (us.log2().floor() as usize).min(N_BUCKETS - 1)
+    }
+
+    /// Record one duration (negative durations clamp to zero).
+    pub fn record(&mut self, duration_s: f64) {
+        let d = duration_s.max(0.0);
+        self.count += 1;
+        self.sum_s += d;
+        self.max_s = self.max_s.max(d);
+        self.buckets[Self::bucket_of(d)] += 1;
+    }
+
+    /// Mean duration in seconds (0 when empty).
+    pub fn mean_s(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_s / self.count as f64
+        }
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum_s += other.sum_s;
+        self.max_s = self.max_s.max(other.max_s);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_microseconds() {
+        assert_eq!(Histogram::bucket_of(0.0), 0);
+        assert_eq!(Histogram::bucket_of(1e-9), 0); // 0.001 µs
+        assert_eq!(Histogram::bucket_of(1.5e-6), 0); // 1.5 µs
+        assert_eq!(Histogram::bucket_of(3e-6), 1); // 3 µs -> [2,4)
+        assert_eq!(Histogram::bucket_of(1e-3), 9); // 1000 µs -> [512,1024)
+        assert_eq!(Histogram::bucket_of(1e9), N_BUCKETS - 1); // clamped
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let mut h = Histogram::default();
+        h.record(1e-3);
+        h.record(3e-3);
+        h.record(-1.0); // clamps to zero
+        assert_eq!(h.count, 3);
+        assert!((h.sum_s - 4e-3).abs() < 1e-12);
+        assert!((h.max_s - 3e-3).abs() < 1e-12);
+        assert!((h.mean_s() - 4e-3 / 3.0).abs() < 1e-12);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = Histogram::default();
+        a.record(1e-3);
+        let mut b = Histogram::default();
+        b.record(2e-3);
+        b.record(4e-6);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert!((a.max_s - 2e-3).abs() < 1e-12);
+        assert_eq!(a.buckets.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn empty_mean_is_zero() {
+        assert_eq!(Histogram::default().mean_s(), 0.0);
+    }
+}

@@ -1,0 +1,529 @@
+//! Hierarchical span recording with per-rank busy attribution.
+//!
+//! A [`Recorder`] owns a stack of open spans and a log of closed ones.
+//! Time charged via [`Recorder::charge_busy`] / [`Recorder::charge_comm`]
+//! lands on the innermost open span *and all of its ancestors*, so a
+//! parent span's busy time is always ≥ the sum of its children and the
+//! paper's §5.3.1 imbalance metric `(busy_max − busy_avg)/busy_avg`
+//! can be evaluated at any depth of the tree.
+//!
+//! Timestamps are plain `f64` seconds relative to an engine-chosen
+//! epoch: wall-clock engines pass `Instant`-derived offsets, the sim
+//! engine passes its virtual clock — both produce the same span tree
+//! shape, which is what makes the chrome-trace export engine-agnostic.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::hist::Histogram;
+use crate::sink;
+
+/// The conventional name of the root span every [`Recorder`] opens.
+pub const ROOT_SPAN: &str = "run";
+
+/// One closed span: where it sat in the tree, when it ran, and the
+/// per-rank busy seconds and communication seconds charged to it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Span name, e.g. `"sweep:reassign-vars"`.
+    pub name: String,
+    /// Slash-joined path from the root, e.g. `"run/ganesh/ganesh-run"`.
+    pub path: String,
+    /// Depth in the tree (the root span is 0).
+    pub depth: usize,
+    /// Start time, seconds since the recorder's epoch.
+    pub start_s: f64,
+    /// End time, seconds since the recorder's epoch.
+    pub end_s: f64,
+    /// Busy seconds charged to this span, per rank.
+    pub busy_s: Vec<f64>,
+    /// Communication seconds charged to this span.
+    pub comm_s: f64,
+}
+
+impl SpanRecord {
+    /// Wall (or simulated) duration of the span.
+    pub fn elapsed_s(&self) -> f64 {
+        (self.end_s - self.start_s).max(0.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct OpenSpan {
+    name: String,
+    path: String,
+    depth: usize,
+    start_s: f64,
+    busy_s: Vec<f64>,
+    comm_s: f64,
+}
+
+impl OpenSpan {
+    fn close(self, end_s: f64) -> SpanRecord {
+        SpanRecord {
+            name: self.name,
+            path: self.path,
+            depth: self.depth,
+            start_s: self.start_s,
+            end_s,
+            busy_s: self.busy_s,
+            comm_s: self.comm_s,
+        }
+    }
+}
+
+/// The per-engine (or, under SPMD, per-rank) observability state:
+/// span stack, closed-span log, counters, and timing histograms.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    nranks: usize,
+    rank: Option<usize>,
+    stack: Vec<OpenSpan>,
+    spans: Vec<SpanRecord>,
+    counters: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+impl Recorder {
+    /// A recorder for an engine that observes all `nranks` ranks at
+    /// once (serial, thread, sim). Opens the root `"run"` span at
+    /// time 0.
+    pub fn new(nranks: usize) -> Self {
+        let mut r = Self {
+            nranks: nranks.max(1),
+            rank: None,
+            stack: Vec::new(),
+            spans: Vec::new(),
+            counters: BTreeMap::new(),
+            hists: BTreeMap::new(),
+        };
+        r.push_span(ROOT_SPAN, 0.0);
+        r
+    }
+
+    /// A recorder owned by one rank of an SPMD program. Busy charges
+    /// from this rank land in slot `rank`; [`merge_ranks`] later
+    /// combines the per-rank recorders into one snapshot.
+    pub fn for_rank(nranks: usize, rank: usize) -> Self {
+        let mut r = Self::new(nranks);
+        r.rank = Some(rank);
+        r
+    }
+
+    /// Number of ranks this recorder attributes busy time across.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// The owning rank, when this recorder belongs to one SPMD rank.
+    pub fn rank(&self) -> Option<usize> {
+        self.rank
+    }
+
+    fn push_span(&mut self, name: &str, now_s: f64) {
+        let (path, depth) = match self.stack.last() {
+            Some(parent) => (format!("{}/{}", parent.path, name), parent.depth + 1),
+            None => (name.to_string(), 0),
+        };
+        self.stack.push(OpenSpan {
+            name: name.to_string(),
+            path,
+            depth,
+            start_s: now_s,
+            busy_s: vec![0.0; self.nranks],
+            comm_s: 0.0,
+        });
+    }
+
+    fn pop_span(&mut self, now_s: f64) {
+        if let Some(span) = self.stack.pop() {
+            let record = span.close(now_s);
+            self.hists
+                .entry(record.name.clone())
+                .or_default()
+                .record(record.elapsed_s());
+            self.spans.push(record);
+        }
+    }
+
+    /// Open a child span under the innermost open span.
+    pub fn span_enter(&mut self, name: &str, now_s: f64) {
+        self.push_span(name, now_s);
+    }
+
+    /// Close the innermost open span. The root span can only be closed
+    /// by [`Recorder::finish`].
+    pub fn span_exit(&mut self, now_s: f64) {
+        if self.stack.len() > 1 {
+            self.pop_span(now_s);
+        }
+    }
+
+    /// Close any open phase (and its descendants) and open a new
+    /// depth-1 span named `name` under the root.
+    pub fn begin_phase(&mut self, name: &str, now_s: f64) {
+        while self.stack.len() > 1 {
+            self.pop_span(now_s);
+        }
+        self.push_span(name, now_s);
+    }
+
+    /// Close every open span, root included.
+    pub fn finish(&mut self, now_s: f64) {
+        while !self.stack.is_empty() {
+            self.pop_span(now_s);
+        }
+    }
+
+    /// Charge per-rank busy seconds to every open span.
+    pub fn charge_busy(&mut self, busy_s: &[f64]) {
+        for span in &mut self.stack {
+            for (slot, b) in span.busy_s.iter_mut().zip(busy_s) {
+                *slot += b;
+            }
+        }
+    }
+
+    /// Charge busy seconds to one rank's slot in every open span.
+    pub fn charge_busy_rank(&mut self, rank: usize, busy_s: f64) {
+        for span in &mut self.stack {
+            if let Some(slot) = span.busy_s.get_mut(rank) {
+                *slot += busy_s;
+            }
+        }
+    }
+
+    /// Charge communication seconds to every open span.
+    pub fn charge_comm(&mut self, comm_s: f64) {
+        for span in &mut self.stack {
+            span.comm_s += comm_s;
+        }
+    }
+
+    /// Increment a named counter (see [`crate::counters`]).
+    pub fn incr(&mut self, counter: &str, by: u64) {
+        *self.counters.entry(counter.to_string()).or_insert(0) += by;
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, counter: &str) -> u64 {
+        self.counters.get(counter).copied().unwrap_or(0)
+    }
+
+    /// Count one `dist_map*` call: the map itself, its logical item
+    /// total, and the implied all-gather payload. Call with the
+    /// *global* `n_items`, never a rank-local block size.
+    pub fn count_dist_map(&mut self, n_items: usize, words_per_item: usize) {
+        self.incr(crate::counters::ENGINE_DIST_MAPS, 1);
+        self.incr(crate::counters::ENGINE_ITEMS, n_items as u64);
+        self.incr(
+            crate::counters::COMM_ALLGATHER_WORDS,
+            (n_items * words_per_item) as u64,
+        );
+    }
+
+    /// Count one explicit collective with its payload in words.
+    pub fn count_collective(&mut self, words: usize) {
+        self.incr(crate::counters::COMM_COLLECTIVES, 1);
+        self.incr(crate::counters::COMM_COLLECTIVE_WORDS, words as u64);
+    }
+
+    /// Count replicated work units.
+    pub fn count_replicated(&mut self, units: u64) {
+        self.incr(crate::counters::ENGINE_REPLICATED_UNITS, units);
+    }
+
+    /// Emit one progress line through the quiet-able sink. Under SPMD
+    /// only rank 0 prints, so `p` ranks produce one line, not `p`.
+    pub fn note(&self, msg: &str) {
+        if self.rank.is_none() || self.rank == Some(0) {
+            sink::note(msg);
+        }
+    }
+
+    /// Freeze the current state into a serializable snapshot. Spans
+    /// still open are materialized as if they ended at `now_s` (the
+    /// recorder itself is not mutated), so `&self` reporting works
+    /// mid-run.
+    pub fn snapshot(&self, now_s: f64) -> ObsSnapshot {
+        let mut spans = self.spans.clone();
+        let mut hists = self.hists.clone();
+        // Outer spans first so open ancestors precede open children.
+        for open in &self.stack {
+            let record = open.clone().close(now_s);
+            hists
+                .entry(record.name.clone())
+                .or_default()
+                .record(record.elapsed_s());
+            spans.push(record);
+        }
+        ObsSnapshot {
+            nranks: self.nranks,
+            spans,
+            counters: self.counters.clone(),
+            histograms: hists,
+        }
+    }
+}
+
+/// A frozen, serializable view of one recorder: the span log plus
+/// counters and histograms. This is what `RUN_METRICS.json` embeds and
+/// what the chrome-trace exporter consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsSnapshot {
+    /// Number of ranks busy time is attributed across.
+    pub nranks: usize,
+    /// Closed spans, in completion order (children before parents).
+    pub spans: Vec<SpanRecord>,
+    /// Deterministic event counters, by name (sorted).
+    pub counters: BTreeMap<String, u64>,
+    /// Span-duration histograms, keyed by span *name* (not path).
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+/// Per-path aggregate over all spans sharing that path: totals plus
+/// the paper's §5.3.1 imbalance metric at that level of the tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanAgg {
+    /// Slash-joined span path.
+    pub path: String,
+    /// Number of span instances aggregated.
+    pub count: u64,
+    /// Total elapsed (wall or simulated) seconds.
+    pub elapsed_s: f64,
+    /// Busiest rank's total busy seconds.
+    pub busy_max_s: f64,
+    /// Mean busy seconds across ranks.
+    pub busy_avg_s: f64,
+    /// Total communication seconds.
+    pub comm_s: f64,
+    /// `(busy_max − busy_avg)/busy_avg`, 0 when idle.
+    pub imbalance: f64,
+}
+
+impl ObsSnapshot {
+    /// Aggregate spans by path, sorted by path for stable output.
+    pub fn aggregate_spans(&self) -> Vec<SpanAgg> {
+        let mut by_path: BTreeMap<&str, (u64, f64, Vec<f64>, f64)> = BTreeMap::new();
+        for span in &self.spans {
+            let entry = by_path
+                .entry(span.path.as_str())
+                .or_insert_with(|| (0, 0.0, vec![0.0; self.nranks], 0.0));
+            entry.0 += 1;
+            entry.1 += span.elapsed_s();
+            for (slot, b) in entry.2.iter_mut().zip(&span.busy_s) {
+                *slot += b;
+            }
+            entry.3 += span.comm_s;
+        }
+        by_path
+            .into_iter()
+            .map(|(path, (count, elapsed_s, busy, comm_s))| {
+                let busy_max_s = busy.iter().cloned().fold(0.0, f64::max);
+                let busy_avg_s = busy.iter().sum::<f64>() / busy.len().max(1) as f64;
+                let imbalance = if busy_avg_s > 0.0 {
+                    (busy_max_s - busy_avg_s) / busy_avg_s
+                } else {
+                    0.0
+                };
+                SpanAgg {
+                    path: path.to_string(),
+                    count,
+                    elapsed_s,
+                    busy_max_s,
+                    busy_avg_s,
+                    comm_s,
+                    imbalance,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Combine per-rank SPMD snapshots into one. All ranks run the same
+/// program, so their span logs must align span-for-span; per-rank busy
+/// vectors are summed elementwise (each rank only fills its own slot),
+/// span windows take the min start / max end across ranks, and comm
+/// takes the per-span max (ranks overlap inside the same collective).
+///
+/// Counters are part of the determinism contract: they must be
+/// identical on every rank, and this function panics if they are not —
+/// a divergence here means a counter was incremented from
+/// partition-dependent code.
+pub fn merge_ranks(snapshots: &[ObsSnapshot]) -> ObsSnapshot {
+    assert!(!snapshots.is_empty(), "merge_ranks: no snapshots");
+    let mut merged = snapshots[0].clone();
+    for (r, snap) in snapshots.iter().enumerate().skip(1) {
+        assert_eq!(
+            snap.counters, merged.counters,
+            "counter divergence between rank 0 and rank {r}"
+        );
+        assert_eq!(
+            snap.spans.len(),
+            merged.spans.len(),
+            "span-log length divergence between rank 0 and rank {r}"
+        );
+        for (m, s) in merged.spans.iter_mut().zip(&snap.spans) {
+            assert_eq!(
+                m.path, s.path,
+                "span-log path divergence between rank 0 and rank {r}"
+            );
+            m.start_s = m.start_s.min(s.start_s);
+            m.end_s = m.end_s.max(s.end_s);
+            m.comm_s = m.comm_s.max(s.comm_s);
+            for (slot, b) in m.busy_s.iter_mut().zip(&s.busy_s) {
+                *slot += b;
+            }
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters;
+
+    #[test]
+    fn charges_propagate_to_ancestors() {
+        let mut rec = Recorder::new(2);
+        rec.begin_phase("ganesh", 1.0);
+        rec.span_enter("sweep", 1.0);
+        rec.charge_busy(&[2.0, 1.0]);
+        rec.charge_comm(0.5);
+        rec.span_exit(3.0);
+        rec.finish(4.0);
+        let snap = rec.snapshot(4.0);
+        assert_eq!(snap.spans.len(), 3);
+        let sweep = &snap.spans[0];
+        let phase = &snap.spans[1];
+        let root = &snap.spans[2];
+        assert_eq!(sweep.path, "run/ganesh/sweep");
+        assert_eq!(phase.path, "run/ganesh");
+        assert_eq!(root.path, "run");
+        for span in [sweep, phase, root] {
+            assert_eq!(span.busy_s, vec![2.0, 1.0]);
+            assert_eq!(span.comm_s, 0.5);
+        }
+        assert_eq!(sweep.depth, 2);
+        assert!((sweep.elapsed_s() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn begin_phase_closes_previous_phase_but_not_root() {
+        let mut rec = Recorder::new(1);
+        rec.begin_phase("a", 0.0);
+        rec.span_enter("inner", 0.0);
+        rec.begin_phase("b", 2.0);
+        rec.finish(3.0);
+        let snap = rec.snapshot(3.0);
+        let paths: Vec<&str> = snap.spans.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(paths, vec!["run/a/inner", "run/a", "run/b", "run"]);
+    }
+
+    #[test]
+    fn span_exit_never_pops_root() {
+        let mut rec = Recorder::new(1);
+        rec.span_exit(1.0);
+        rec.charge_busy(&[1.0]);
+        let snap = rec.snapshot(2.0);
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].path, "run");
+        assert_eq!(snap.spans[0].busy_s, vec![1.0]);
+    }
+
+    #[test]
+    fn snapshot_materializes_open_spans_without_mutating() {
+        let mut rec = Recorder::new(1);
+        rec.begin_phase("p", 0.5);
+        let snap = rec.snapshot(2.0);
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.spans[0].path, "run");
+        assert_eq!(snap.spans[1].path, "run/p");
+        assert!((snap.spans[1].elapsed_s() - 1.5).abs() < 1e-12);
+        // Recorder still has both spans open.
+        rec.finish(3.0);
+        assert_eq!(rec.snapshot(3.0).spans.len(), 2);
+    }
+
+    #[test]
+    fn counters_and_helpers() {
+        let mut rec = Recorder::new(4);
+        rec.count_dist_map(100, 3);
+        rec.count_dist_map(10, 1);
+        rec.count_collective(7);
+        rec.count_replicated(5);
+        assert_eq!(rec.counter(counters::ENGINE_DIST_MAPS), 2);
+        assert_eq!(rec.counter(counters::ENGINE_ITEMS), 110);
+        assert_eq!(rec.counter(counters::COMM_ALLGATHER_WORDS), 310);
+        assert_eq!(rec.counter(counters::COMM_COLLECTIVES), 1);
+        assert_eq!(rec.counter(counters::COMM_COLLECTIVE_WORDS), 7);
+        assert_eq!(rec.counter(counters::ENGINE_REPLICATED_UNITS), 5);
+        assert_eq!(rec.counter("no.such"), 0);
+    }
+
+    #[test]
+    fn aggregate_computes_imbalance_per_path() {
+        let mut rec = Recorder::new(2);
+        rec.begin_phase("p", 0.0);
+        rec.charge_busy(&[3.0, 1.0]);
+        rec.begin_phase("p", 2.0);
+        rec.charge_busy(&[1.0, 1.0]);
+        rec.finish(4.0);
+        let aggs = rec.snapshot(4.0).aggregate_spans();
+        let p = aggs.iter().find(|a| a.path == "run/p").unwrap();
+        assert_eq!(p.count, 2);
+        // Summed busy: [4, 2] -> max 4, avg 3 -> imbalance 1/3.
+        assert!((p.busy_max_s - 4.0).abs() < 1e-12);
+        assert!((p.busy_avg_s - 3.0).abs() < 1e-12);
+        assert!((p.imbalance - 1.0 / 3.0).abs() < 1e-12);
+        let root = aggs.iter().find(|a| a.path == "run").unwrap();
+        assert_eq!(root.count, 1);
+        assert!((root.elapsed_s - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_ranks_sums_busy_and_checks_counters() {
+        let mk = |rank: usize, busy: f64| {
+            let mut rec = Recorder::for_rank(2, rank);
+            rec.begin_phase("p", 0.0);
+            rec.charge_busy_rank(rank, busy);
+            rec.incr(counters::GIBBS_SWEEPS, 3);
+            rec.finish(1.0 + rank as f64);
+            rec.snapshot(1.0 + rank as f64)
+        };
+        let merged = merge_ranks(&[mk(0, 2.0), mk(1, 5.0)]);
+        let p = &merged.spans[0];
+        assert_eq!(p.path, "run/p");
+        assert_eq!(p.busy_s, vec![2.0, 5.0]);
+        let root = &merged.spans[1];
+        assert!((root.end_s - 2.0).abs() < 1e-12);
+        assert_eq!(merged.counters.get(counters::GIBBS_SWEEPS), Some(&3));
+    }
+
+    #[test]
+    #[should_panic(expected = "counter divergence")]
+    fn merge_ranks_panics_on_counter_divergence() {
+        let mk = |n: u64| {
+            let mut rec = Recorder::for_rank(2, 0);
+            rec.incr(counters::GIBBS_SWEEPS, n);
+            rec.finish(1.0);
+            rec.snapshot(1.0)
+        };
+        merge_ranks(&[mk(1), mk(2)]);
+    }
+
+    #[test]
+    fn snapshot_json_roundtrip() {
+        let mut rec = Recorder::new(2);
+        rec.begin_phase("p", 0.0);
+        rec.charge_busy(&[1.0, 2.0]);
+        rec.incr(counters::SPLITS_SCORED, 42);
+        rec.finish(1.0);
+        let snap = rec.snapshot(1.0);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: ObsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+}

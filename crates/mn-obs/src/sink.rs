@@ -1,0 +1,47 @@
+//! The single quiet-able channel for human-readable progress output.
+//!
+//! Engines and stages report progress through [`note`] instead of
+//! calling `eprintln!` directly; the `monet` CLI's `--quiet` flag flips
+//! one process-global switch and every such line disappears. The
+//! switch is an `AtomicBool`, so it is safe to set from the CLI before
+//! worker threads spawn and to read from any rank.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+/// Silence (or re-enable) all [`note`] output process-wide.
+pub fn set_quiet(quiet: bool) {
+    QUIET.store(quiet, Ordering::Relaxed);
+}
+
+/// Whether [`note`] output is currently suppressed.
+pub fn is_quiet() -> bool {
+    QUIET.load(Ordering::Relaxed)
+}
+
+/// Emit one human-readable progress line to stderr, unless quiet.
+///
+/// Progress goes to stderr so machine-readable artifacts on stdout
+/// stay clean; structured export never flows through this sink.
+pub fn note(msg: &str) {
+    if !is_quiet() {
+        eprintln!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_flag_toggles() {
+        // Serialized within this test: set, read, restore.
+        let before = is_quiet();
+        set_quiet(true);
+        assert!(is_quiet());
+        set_quiet(false);
+        assert!(!is_quiet());
+        set_quiet(before);
+    }
+}

@@ -1,0 +1,138 @@
+//! chrome://tracing timeline export.
+//!
+//! Emits the Trace Event Format's JSON-object form
+//! (`{"traceEvents": [...]}`): one metadata event naming the process,
+//! one `thread_name` metadata event per rank, and one complete (`"X"`)
+//! event per span × rank, so `chrome://tracing` / Perfetto renders one
+//! track per rank with the full span hierarchy on each. Timestamps and
+//! durations are microseconds, as the format requires; each event's
+//! `args` carries that rank's busy seconds, the span's comm seconds,
+//! and the slash-joined path.
+
+use serde_json::Value;
+
+use crate::recorder::ObsSnapshot;
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Map(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Render a snapshot as a chrome://tracing JSON string.
+pub fn chrome_trace_json(snapshot: &ObsSnapshot) -> String {
+    let mut events = Vec::new();
+    events.push(obj(vec![
+        ("ph", Value::Str("M".into())),
+        ("pid", Value::U64(0)),
+        ("tid", Value::U64(0)),
+        ("name", Value::Str("process_name".into())),
+        (
+            "args",
+            obj(vec![("name", Value::Str("monet".into()))]),
+        ),
+    ]));
+    for rank in 0..snapshot.nranks {
+        events.push(obj(vec![
+            ("ph", Value::Str("M".into())),
+            ("pid", Value::U64(0)),
+            ("tid", Value::U64(rank as u64)),
+            ("name", Value::Str("thread_name".into())),
+            (
+                "args",
+                obj(vec![("name", Value::Str(format!("rank {rank}")))]),
+            ),
+        ]));
+    }
+    for span in &snapshot.spans {
+        for rank in 0..snapshot.nranks {
+            events.push(obj(vec![
+                ("ph", Value::Str("X".into())),
+                ("pid", Value::U64(0)),
+                ("tid", Value::U64(rank as u64)),
+                ("name", Value::Str(span.name.clone())),
+                ("cat", Value::Str(format!("depth{}", span.depth))),
+                ("ts", Value::F64(span.start_s * 1e6)),
+                ("dur", Value::F64(span.elapsed_s() * 1e6)),
+                (
+                    "args",
+                    obj(vec![
+                        ("path", Value::Str(span.path.clone())),
+                        (
+                            "busy_s",
+                            Value::F64(span.busy_s.get(rank).copied().unwrap_or(0.0)),
+                        ),
+                        ("comm_s", Value::F64(span.comm_s)),
+                    ]),
+                ),
+            ]));
+        }
+    }
+    let trace = obj(vec![("traceEvents", Value::Seq(events))]);
+    serde_json::to_string(&trace).expect("trace serialization cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn sample_snapshot() -> ObsSnapshot {
+        let mut rec = Recorder::new(3);
+        rec.begin_phase("ganesh", 0.25);
+        rec.span_enter("sweep:reassign-vars", 0.25);
+        rec.charge_busy(&[1.0, 2.0, 3.0]);
+        rec.span_exit(1.25);
+        rec.finish(2.0);
+        rec.snapshot(2.0)
+    }
+
+    #[test]
+    fn trace_parses_and_has_one_track_per_rank() {
+        let snap = sample_snapshot();
+        let json = chrome_trace_json(&snap);
+        let v: Value = serde_json::from_str(&json).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        // Thread-name metadata: exactly one per rank.
+        let thread_names: Vec<&Value> = events
+            .iter()
+            .filter(|e| e["name"].as_str() == Some("thread_name"))
+            .collect();
+        assert_eq!(thread_names.len(), 3);
+        for (rank, e) in thread_names.iter().enumerate() {
+            assert_eq!(e["tid"].as_u64(), Some(rank as u64));
+            assert_eq!(e["args"]["name"].as_str(), Some(format!("rank {rank}").as_str()));
+        }
+        // Complete events cover every span on every rank.
+        let xs: Vec<&Value> = events
+            .iter()
+            .filter(|e| e["ph"].as_str() == Some("X"))
+            .collect();
+        assert_eq!(xs.len(), snap.spans.len() * snap.nranks);
+        let tids: std::collections::BTreeSet<u64> =
+            xs.iter().filter_map(|e| e["tid"].as_u64()).collect();
+        assert_eq!(tids, (0..3).collect());
+    }
+
+    #[test]
+    fn events_carry_microsecond_times_and_args() {
+        let snap = sample_snapshot();
+        let json = chrome_trace_json(&snap);
+        let v: Value = serde_json::from_str(&json).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        let sweep = events
+            .iter()
+            .find(|e| {
+                e["ph"].as_str() == Some("X")
+                    && e["name"].as_str() == Some("sweep:reassign-vars")
+                    && e["tid"].as_u64() == Some(1)
+            })
+            .unwrap();
+        assert!((sweep["ts"].as_f64().unwrap() - 0.25e6).abs() < 1e-6);
+        assert!((sweep["dur"].as_f64().unwrap() - 1.0e6).abs() < 1e-6);
+        assert_eq!(
+            sweep["args"]["path"].as_str(),
+            Some("run/ganesh/sweep:reassign-vars")
+        );
+        assert!((sweep["args"]["busy_s"].as_f64().unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(sweep["cat"].as_str(), Some("depth2"));
+    }
+}

@@ -45,6 +45,7 @@ use crate::params::TreeParams;
 use crate::tree::ModuleEnsemble;
 use mn_comm::{Collective, ParEngine, Segments};
 use mn_data::Dataset;
+use mn_obs::counters;
 use mn_rand::{select_unif_rand, select_wtd_rand, Domain, Lcg128, MasterRng};
 use mn_score::{ScoreMode, ScratchPool, SplitScoring, COST_CELL};
 use serde::{Deserialize, Serialize};
@@ -293,6 +294,17 @@ pub fn assign_splits<E: ParEngine>(
     let index = SplitIndex::build(ensembles, candidate_parents.len());
     let segments = index.segments();
 
+    engine.span_enter("assign-splits");
+    engine.count(counters::SPLITS_SCORED, index.total as u64);
+    engine.count(counters::SPLITS_NODES, index.nodes.len() as u64);
+    engine.count(
+        match params.split_scoring {
+            SplitScoring::Naive => counters::SPLITS_NAIVE_DISPATCHES,
+            SplitScoring::Kernel => counters::SPLITS_KERNEL_DISPATCHES,
+        },
+        1,
+    );
+
     // Precompute each node's left-child membership mask so the hot
     // per-split loops test membership in O(1).
     let left_masks: Vec<Vec<bool>> = index
@@ -314,6 +326,7 @@ pub fn assign_splits<E: ParEngine>(
     let index_ref = &index;
     let left_masks_ref = &left_masks;
     let seed = master.seed();
+    engine.span_enter("score-splits");
     let posteriors: Vec<f64> = match params.split_scoring {
         SplitScoring::Naive => engine.dist_map_segmented(&segments, 1, &|item| {
             let (pos, parent_pos, obs_pos) = index_ref.locate(item);
@@ -376,9 +389,12 @@ pub fn assign_splits<E: ParEngine>(
         }
     };
 
+    engine.span_exit(); // score-splits
+
     // Segmented-scan + local selection + all-gather (§3.2.3's
     // implementation note). The scan's payload is one word per item;
     // the gather carries 3 words per chosen split.
+    engine.span_enter("select-splits");
     engine.collective(Collective::Scan, 1);
 
     let j = params.splits_per_node;
@@ -432,6 +448,8 @@ pub fn assign_splits<E: ParEngine>(
         Collective::AllGather,
         node_splits.len() * j * 2 * 3,
     );
+    engine.span_exit(); // select-splits
+    engine.span_exit(); // assign-splits
 
     SplitAssignment { index, node_splits }
 }

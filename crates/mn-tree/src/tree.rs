@@ -14,6 +14,7 @@ use crate::params::TreeParams;
 use mn_comm::{Collective, ParEngine};
 use mn_data::Dataset;
 use mn_gibbs::{sample_obs_partitions, ObsPartition};
+use mn_obs::counters;
 use mn_rand::MasterRng;
 use mn_score::{ScoreMode, SuffStats, COST_CELL, COST_LOGMARG};
 use serde::{Deserialize, Serialize};
@@ -160,6 +161,7 @@ pub fn build_tree<E: ParEngine>(
         })
         .collect();
     assert!(!nodes.is_empty(), "partition has no clusters");
+    engine.count(counters::TREE_TREES, 1);
     // Working list of current subtree roots.
     let mut roots: Vec<usize> = (0..nodes.len()).collect();
 
@@ -170,6 +172,7 @@ pub fn build_tree<E: ParEngine>(
     // is kept in merge order; evaluating all pairs is the referenced
     // algorithm and costs the same O(L²) per level at L = O(√m) leaves.
     while roots.len() > 1 {
+        engine.count(counters::TREE_MERGES, 1);
         let k = roots.len();
         let n_pairs = k * (k - 1) / 2;
         let nodes_ref = &nodes;
@@ -255,6 +258,8 @@ pub fn learn_module_trees<E: ParEngine>(
 ) -> ModuleEnsemble {
     let mut sorted = vars.to_vec();
     sorted.sort_unstable();
+    engine.span_enter("module");
+    engine.count(counters::TREE_MODULES, 1);
     let partitions = sample_obs_partitions(
         engine,
         data,
@@ -270,6 +275,7 @@ pub fn learn_module_trees<E: ParEngine>(
         .iter()
         .map(|part| build_tree(engine, data, &sorted, part, params))
         .collect();
+    engine.span_exit();
     ModuleEnsemble {
         module,
         vars: sorted,

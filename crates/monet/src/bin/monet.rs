@@ -1,11 +1,12 @@
 //! `monet` — command-line module-network learner.
 //!
 //! ```text
-//! monet --input expression.tsv [--engine serial|threads:<p>|sim:<p>]
+//! monet --input expression.tsv [--engine serial|threads:<p>|sim:<p>|msg:<p>]
 //!       [--seed N] [--ganesh-runs G] [--update-steps U]
 //!       [--init-clusters K0] [--trees R] [--splits-per-node J]
 //!       [--sampling-steps S] [--threshold T] [--reference]
 //!       [--candidates file.txt] [--xml out.xml] [--json out.json]
+//!       [--trace trace.json] [--metrics-out metrics.json]
 //!       [--dag] [--quiet]
 //! monet --synthetic n,m [--engine ...]   # demo without an input file
 //! ```
@@ -13,11 +14,19 @@
 //! The defaults reproduce the paper's minimum-runtime configuration
 //! (§5.1): one GaneSH run, one update step, one regression tree per
 //! module, every gene a candidate regulator.
+//!
+//! `--trace` writes a chrome://tracing timeline (open in
+//! `chrome://tracing` or <https://ui.perfetto.dev>) with one track per
+//! rank; `--metrics-out` writes `RUN_METRICS.json`, the machine-readable
+//! superset of the run report (see [`monet::RunMetrics`]).
 
-use mn_comm::{EngineSpec, RunReport, SerialEngine, SimEngine, ThreadEngine};
+use mn_comm::{
+    spmd_run, EngineSpec, ObsSnapshot, ParEngine, RunReport, SerialEngine, SimEngine,
+    ThreadEngine,
+};
 use mn_data::Dataset;
 use mn_score::ScoreMode;
-use monet::{learn_module_network, LearnerConfig, ModuleNetwork};
+use monet::{learn_module_network, LearnerConfig, ModuleNetwork, RunMetrics};
 use std::process::ExitCode;
 
 struct Options {
@@ -36,6 +45,8 @@ struct Options {
     candidates: Option<String>,
     xml: Option<String>,
     json: Option<String>,
+    trace: Option<String>,
+    metrics_out: Option<String>,
     dag: bool,
     quiet: bool,
 }
@@ -43,11 +54,13 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: monet --input <expression.tsv> | --synthetic <n,m>\n\
-         \x20      [--engine serial|threads:<p>|sim:<p>] [--seed N]\n\
+         \x20      [--engine serial|threads:<p>|sim:<p>|msg:<p>] [--seed N]\n\
          \x20      [--ganesh-runs G] [--update-steps U] [--init-clusters K0]\n\
          \x20      [--trees R] [--splits-per-node J] [--sampling-steps S]\n\
          \x20      [--threshold T] [--reference] [--candidates file]\n\
-         \x20      [--xml out.xml] [--json out.json] [--dag] [--quiet]"
+         \x20      [--xml out.xml] [--json out.json]\n\
+         \x20      [--trace trace.json] [--metrics-out metrics.json]\n\
+         \x20      [--dag] [--quiet]"
     );
     std::process::exit(2)
 }
@@ -70,6 +83,8 @@ fn parse_options() -> Options {
         candidates: None,
         xml: None,
         json: None,
+        trace: None,
+        metrics_out: None,
         dag: false,
         quiet: false,
     };
@@ -122,6 +137,8 @@ fn parse_options() -> Options {
             "--candidates" => opts.candidates = Some(value(&args, &mut i)),
             "--xml" => opts.xml = Some(value(&args, &mut i)),
             "--json" => opts.json = Some(value(&args, &mut i)),
+            "--trace" => opts.trace = Some(value(&args, &mut i)),
+            "--metrics-out" => opts.metrics_out = Some(value(&args, &mut i)),
             "--dag" => opts.dag = true,
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => usage(),
@@ -176,16 +193,46 @@ fn build_config(opts: &Options, data: &Dataset) -> Result<LearnerConfig, String>
     config.validated()
 }
 
-fn run(opts: &Options, data: &Dataset, config: &LearnerConfig) -> (ModuleNetwork, RunReport) {
+fn run_on<E: ParEngine>(
+    engine: &mut E,
+    data: &Dataset,
+    config: &LearnerConfig,
+) -> (ModuleNetwork, RunReport, ObsSnapshot) {
+    let (network, report) = learn_module_network(engine, data, config);
+    let now = engine.now_s();
+    let snapshot = engine.obs().snapshot(now);
+    (network, report, snapshot)
+}
+
+fn run(
+    opts: &Options,
+    data: &Dataset,
+    config: &LearnerConfig,
+) -> (ModuleNetwork, RunReport, ObsSnapshot) {
     match opts.engine {
-        EngineSpec::Serial => learn_module_network(&mut SerialEngine::new(), data, config),
-        EngineSpec::Threads(p) => learn_module_network(&mut ThreadEngine::new(p), data, config),
-        EngineSpec::Sim(p) => learn_module_network(&mut SimEngine::new(p), data, config),
+        EngineSpec::Serial => run_on(&mut SerialEngine::new(), data, config),
+        EngineSpec::Threads(p) => run_on(&mut ThreadEngine::new(p), data, config),
+        EngineSpec::Sim(p) => run_on(&mut SimEngine::new(p), data, config),
+        EngineSpec::Msg(p) => {
+            // True SPMD: every rank learns the full network. All ranks
+            // produce the identical network and report (the determinism
+            // contract); the per-rank observability snapshots are merged
+            // so the timeline carries every rank's busy time.
+            let mut results = spmd_run(p, |engine| run_on(engine, data, config));
+            let snapshots: Vec<ObsSnapshot> =
+                results.iter().map(|(_, _, s)| s.clone()).collect();
+            let merged = mn_comm::obs::merge_ranks(&snapshots);
+            let (network, report, _) = results.swap_remove(0);
+            (network, report, merged)
+        }
     }
 }
 
 fn main() -> ExitCode {
     let opts = parse_options();
+    if opts.quiet {
+        mn_comm::obs::set_quiet(true);
+    }
     let data = match load_data(&opts) {
         Ok(d) => d,
         Err(e) => {
@@ -200,7 +247,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let (network, report) = run(&opts, &data, &config);
+    let (network, report, snapshot) = run(&opts, &data, &config);
 
     if !opts.quiet {
         let summary = network.summary();
@@ -225,6 +272,20 @@ fn main() -> ExitCode {
     }
     if let Some(path) = &opts.json {
         if let Err(e) = monet::write_json_file(&network, path) {
+            eprintln!("error writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &opts.trace {
+        let trace = mn_comm::obs::chrome_trace_json(&snapshot);
+        if let Err(e) = std::fs::write(path, trace) {
+            eprintln!("error writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &opts.metrics_out {
+        let metrics = RunMetrics::new(&report, &snapshot);
+        if let Err(e) = metrics.write_file(path) {
             eprintln!("error writing {path}: {e}");
             return ExitCode::FAILURE;
         }

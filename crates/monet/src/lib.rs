@@ -49,12 +49,14 @@ pub mod genomica;
 pub mod learn;
 pub mod model;
 pub mod output;
+pub mod run_metrics;
 pub mod stages;
 
 pub use config::LearnerConfig;
 pub use learn::{learn_module_network, phases};
 pub use model::{Module, ModuleEdge, ModuleNetwork, NetworkSummary};
 pub use output::{from_json, to_json, to_xml, write_json_file, write_xml_file};
+pub use run_metrics::RunMetrics;
 
 // Re-export the sibling crates so downstream users (and the examples)
 // need only one dependency.
@@ -62,6 +64,7 @@ pub use mn_comm;
 pub use mn_consensus;
 pub use mn_data;
 pub use mn_gibbs;
+pub use mn_obs;
 pub use mn_rand;
 pub use mn_score;
 pub use mn_tree;

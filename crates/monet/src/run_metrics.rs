@@ -1,0 +1,139 @@
+//! `RUN_METRICS.json` — the machine-readable run record.
+//!
+//! A superset of [`RunReport`]: the per-phase breakdown the engines
+//! have always produced, plus everything the observability layer
+//! ([`mn_obs`]) collected during the run — per-span aggregates with the
+//! paper's §5.3.1 imbalance metric computed for *every* span (not just
+//! the three top-level phases), the deterministic event counters, and
+//! the span-duration histograms.
+//!
+//! The counters are bit-identical across engines and rank counts (the
+//! `mn-obs` determinism contract), so two `RUN_METRICS.json` files from
+//! the same problem on different engines differ only in their timing
+//! fields — CI's counter-golden check relies on exactly this.
+
+use mn_comm::RunReport;
+use mn_obs::{Histogram, ObsSnapshot, SpanAgg};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// The full metrics record of one run, written by `monet
+/// --metrics-out`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Number of ranks that executed the run.
+    pub nranks: usize,
+    /// The engine's per-phase report, embedded verbatim: the span
+    /// aggregates below refine, never replace, these totals.
+    pub report: RunReport,
+    /// Per-span-path aggregates (busy max/avg, comm, imbalance),
+    /// sorted by path.
+    pub spans: Vec<SpanAgg>,
+    /// Deterministic event counters (engine-independent).
+    pub counters: BTreeMap<String, u64>,
+    /// Span-duration histograms keyed by span name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl RunMetrics {
+    /// Assemble the record from an engine's report and observability
+    /// snapshot (taken *after* [`mn_comm::ParEngine::report`], so all
+    /// spans are closed).
+    pub fn new(report: &RunReport, snapshot: &ObsSnapshot) -> Self {
+        Self {
+            nranks: snapshot.nranks,
+            report: report.clone(),
+            spans: snapshot.aggregate_spans(),
+            counters: snapshot.counters.clone(),
+            histograms: snapshot.histograms.clone(),
+        }
+    }
+
+    /// Pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("metrics serialization")
+    }
+
+    /// Write the record as JSON to `path`.
+    pub fn write_file<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Busy-time imbalance of the span `path` (0 if absent) — the
+    /// §5.3.1 metric, now available at any granularity of the span
+    /// tree rather than only per phase.
+    pub fn span_imbalance(&self, path: &str) -> f64 {
+        self.spans
+            .iter()
+            .find(|s| s.path == path)
+            .map_or(0.0, |s| s.imbalance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{learn_module_network, LearnerConfig};
+    use mn_comm::{ParEngine, SimEngine};
+    use mn_data::synthetic;
+
+    #[test]
+    fn metrics_embed_report_and_refine_phases() {
+        let d = synthetic::yeast_like(18, 12, 3).dataset;
+        let config = LearnerConfig::paper_minimum(3);
+        let mut engine = SimEngine::new(4);
+        let (_, report) = learn_module_network(&mut engine, &d, &config);
+        let now = engine.now_s();
+        let snapshot = engine.obs().snapshot(now);
+        let metrics = RunMetrics::new(&report, &snapshot);
+
+        assert_eq!(metrics.nranks, 4);
+        assert_eq!(metrics.report, report);
+        // Every engine phase appears as a depth-1 span under the root,
+        // with matching elapsed time (the sim engine charges simulated
+        // time into both structures from the same clock).
+        for phase in &report.phases {
+            let path = format!("run/{}", phase.name);
+            let agg = metrics
+                .spans
+                .iter()
+                .find(|s| s.path == path)
+                .unwrap_or_else(|| panic!("missing span {path}"));
+            assert!(
+                (agg.elapsed_s - phase.elapsed_s).abs() < 1e-9,
+                "span {path}: {} vs phase {}",
+                agg.elapsed_s,
+                phase.elapsed_s
+            );
+        }
+        assert!(metrics.counters["gibbs.sweeps"] > 0);
+        assert!(metrics.counters["splits.scored"] > 0);
+    }
+
+    #[test]
+    fn metrics_json_roundtrip() {
+        let d = synthetic::yeast_like(16, 10, 1).dataset;
+        let config = LearnerConfig::paper_minimum(1);
+        let mut engine = SimEngine::new(3);
+        let (_, report) = learn_module_network(&mut engine, &d, &config);
+        let now = engine.now_s();
+        let metrics = RunMetrics::new(&report, &engine.obs().snapshot(now));
+        let text = metrics.to_json();
+        let back: RunMetrics = serde_json::from_str(&text).expect("parse");
+        assert_eq!(metrics, back);
+    }
+
+    #[test]
+    fn span_imbalance_lookup() {
+        let d = synthetic::yeast_like(16, 10, 1).dataset;
+        let config = LearnerConfig::paper_minimum(1);
+        let mut engine = SimEngine::new(5);
+        let (_, report) = learn_module_network(&mut engine, &d, &config);
+        let now = engine.now_s();
+        let metrics = RunMetrics::new(&report, &engine.obs().snapshot(now));
+        // The root span exists and the metric is finite.
+        assert!(metrics.span_imbalance("run").is_finite());
+        assert_eq!(metrics.span_imbalance("no/such/span"), 0.0);
+    }
+}

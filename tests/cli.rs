@@ -121,6 +121,103 @@ fn cli_engine_choice_does_not_change_the_network() {
 }
 
 #[test]
+fn cli_writes_trace_and_metrics_and_quiet_silences_stdout() {
+    let dir = std::env::temp_dir();
+    let trace = dir.join("monet_cli_trace.json");
+    let metrics = dir.join("monet_cli_metrics.json");
+    let output = Command::new(monet_bin())
+        .args([
+            "--synthetic",
+            "20,14",
+            "--seed",
+            "7",
+            "--engine",
+            "sim:4",
+            "--quiet",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run monet");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    // --quiet: no stdout summary, no stderr progress notes.
+    assert!(output.stdout.is_empty(), "stdout not quiet: {:?}", output.stdout);
+    assert!(output.stderr.is_empty(), "stderr not quiet: {:?}", output.stderr);
+
+    // The trace is valid chrome://tracing JSON with one track per rank.
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    let value: serde_json::Value = serde_json::from_str(&trace_text).unwrap();
+    let events = value["traceEvents"].as_array().expect("traceEvents");
+    let tracks = events
+        .iter()
+        .filter(|e| e["ph"].as_str() == Some("M") && e["name"].as_str() == Some("thread_name"))
+        .count();
+    assert_eq!(tracks, 4, "expected one track per rank");
+
+    // The metrics parse back and refine the embedded report: each
+    // engine phase reappears as a depth-1 span with the same (simulated)
+    // elapsed time.
+    let metrics_text = std::fs::read_to_string(&metrics).unwrap();
+    let run: monet::RunMetrics = serde_json::from_str(&metrics_text).unwrap();
+    assert_eq!(run.nranks, 4);
+    assert!(!run.report.phases.is_empty());
+    for phase in &run.report.phases {
+        let path = format!("run/{}", phase.name);
+        let span = run
+            .spans
+            .iter()
+            .find(|s| s.path == path)
+            .unwrap_or_else(|| panic!("missing span {path}"));
+        assert!(
+            (span.elapsed_s - phase.elapsed_s).abs() < 1e-9,
+            "span {path} elapsed {} != phase {}",
+            span.elapsed_s,
+            phase.elapsed_s
+        );
+    }
+    assert!(run.counters["splits.scored"] > 0);
+    std::fs::remove_file(trace).ok();
+    std::fs::remove_file(metrics).ok();
+}
+
+#[test]
+fn cli_msg_engine_matches_serial_network() {
+    let dir = std::env::temp_dir();
+    let mut outputs = Vec::new();
+    for (engine, tag) in [("serial", "m0"), ("msg:3", "m1")] {
+        let json = dir.join(format!("monet_cli_msg_{tag}.json"));
+        let output = Command::new(monet_bin())
+            .args([
+                "--synthetic",
+                "18,12",
+                "--seed",
+                "4",
+                "--engine",
+                engine,
+                "--quiet",
+                "--json",
+                json.to_str().unwrap(),
+            ])
+            .output()
+            .expect("run monet");
+        assert!(
+            output.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        outputs.push(std::fs::read_to_string(&json).unwrap());
+        std::fs::remove_file(json).ok();
+    }
+    assert_eq!(outputs[0], outputs[1], "msg engine changed the network");
+}
+
+#[test]
 fn cli_rejects_bad_usage() {
     // No input source.
     let output = Command::new(monet_bin()).output().expect("run monet");

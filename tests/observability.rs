@@ -1,0 +1,159 @@
+//! The observability guarantees of the pipeline, end to end:
+//!
+//! * the deterministic event counters are bit-identical across all
+//!   four engines and across rank counts (the `mn-obs` determinism
+//!   contract);
+//! * the counters match a committed golden record, so drift in the
+//!   algorithm's event structure fails CI until acknowledged
+//!   (regenerate with `UPDATE_GOLDEN=1 cargo test -p monet --test
+//!   observability`);
+//! * the chrome-trace export is schema-valid with one track per rank,
+//!   and the observability snapshot round-trips through JSON.
+
+use mn_comm::{obs, spmd_run, ParEngine, SerialEngine, SimEngine, ThreadEngine};
+use monet::{learn_module_network, LearnerConfig};
+use std::collections::BTreeMap;
+
+fn dataset() -> mn_data::Dataset {
+    mn_data::synthetic::yeast_like(20, 14, 9).dataset
+}
+
+fn config() -> LearnerConfig {
+    LearnerConfig::paper_minimum(7)
+}
+
+/// Run the full pipeline on `engine` and return its final counters.
+fn counters_on<E: ParEngine>(engine: &mut E) -> BTreeMap<String, u64> {
+    let d = dataset();
+    let c = config();
+    learn_module_network(engine, &d, &c);
+    let now = engine.now_s();
+    engine.obs().snapshot(now).counters
+}
+
+/// SPMD run over `p` real rank-threads; `merge_ranks` additionally
+/// asserts the per-rank counters agree rank-to-rank.
+fn msg_counters(p: usize) -> BTreeMap<String, u64> {
+    let d = dataset();
+    let c = config();
+    let snapshots = spmd_run(p, |engine| {
+        learn_module_network(engine, &d, &c);
+        let now = engine.now_s();
+        engine.obs().snapshot(now)
+    });
+    obs::merge_ranks(&snapshots).counters
+}
+
+#[test]
+fn counters_bit_identical_across_all_engines_and_rank_counts() {
+    let serial = counters_on(&mut SerialEngine::new());
+    // The counters exist and count real work.
+    for key in [
+        "engine.dist_maps",
+        "engine.items",
+        "gibbs.sweeps",
+        "gibbs.moves_proposed",
+        "gibbs.moves_accepted",
+        "tree.modules",
+        "tree.trees",
+        "tree.merges",
+        "splits.scored",
+        "splits.nodes",
+        "comm.collectives",
+    ] {
+        assert!(
+            serial.get(key).copied().unwrap_or(0) > 0,
+            "counter {key} never incremented: {serial:?}"
+        );
+    }
+
+    assert_eq!(
+        serial,
+        counters_on(&mut ThreadEngine::new(3)),
+        "threads:3 diverged from serial"
+    );
+    for p in [4usize, 9] {
+        assert_eq!(
+            serial,
+            counters_on(&mut SimEngine::new(p)),
+            "sim:{p} diverged from serial"
+        );
+    }
+    for p in [2usize, 3] {
+        assert_eq!(serial, msg_counters(p), "msg:{p} diverged from serial");
+    }
+}
+
+#[test]
+fn counters_match_golden_record() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/counters_synthetic_20x14_seed7.json"
+    );
+    let counters = counters_on(&mut SerialEngine::new());
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let text = serde_json::to_string_pretty(&counters).expect("serialize counters");
+        std::fs::write(path, text + "\n").expect("write golden");
+        return;
+    }
+    let text = std::fs::read_to_string(path)
+        .expect("golden counter record missing — run with UPDATE_GOLDEN=1 to create it");
+    let golden: BTreeMap<String, u64> = serde_json::from_str(&text).expect("parse golden");
+    assert_eq!(
+        counters, golden,
+        "deterministic counters drifted from tests/golden/\
+         counters_synthetic_20x14_seed7.json; if the algorithm change is \
+         intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn chrome_trace_is_schema_valid_with_one_track_per_rank() {
+    let d = dataset();
+    let c = config();
+    let mut engine = SimEngine::new(5);
+    learn_module_network(&mut engine, &d, &c);
+    let now = engine.now_s();
+    let snapshot = engine.obs().snapshot(now);
+    let text = obs::chrome_trace_json(&snapshot);
+
+    let value: serde_json::Value = serde_json::from_str(&text).expect("trace parses");
+    let events = value["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    // One thread_name metadata record per rank.
+    let tracks: Vec<&serde_json::Value> = events
+        .iter()
+        .filter(|e| e["ph"].as_str() == Some("M") && e["name"].as_str() == Some("thread_name"))
+        .collect();
+    assert_eq!(tracks.len(), 5, "expected one track per rank");
+    for (r, track) in tracks.iter().enumerate() {
+        assert_eq!(track["args"]["name"].as_str(), Some(format!("rank {r}").as_str()));
+    }
+
+    // Every complete event is well-formed: µs timestamps, a rank-valued
+    // tid, and the span path in args.
+    let mut complete = 0;
+    for e in events.iter().filter(|e| e["ph"].as_str() == Some("X")) {
+        complete += 1;
+        assert!(e["ts"].as_f64().is_some(), "ts missing: {e:?}");
+        assert!(e["dur"].as_f64().expect("dur") >= 0.0);
+        let tid = e["tid"].as_u64().expect("tid") as usize;
+        assert!(tid < 5, "tid {tid} out of rank range");
+        assert!(e["args"]["path"].as_str().is_some(), "args.path missing");
+    }
+    assert!(complete > 0, "no complete events in trace");
+}
+
+#[test]
+fn snapshot_round_trips_through_json() {
+    let d = dataset();
+    let c = config();
+    let mut engine = SimEngine::new(3);
+    learn_module_network(&mut engine, &d, &c);
+    let now = engine.now_s();
+    let snapshot = engine.obs().snapshot(now);
+    let text = serde_json::to_string(&snapshot).expect("serialize snapshot");
+    let back: obs::ObsSnapshot = serde_json::from_str(&text).expect("parse snapshot");
+    assert_eq!(snapshot, back);
+}
