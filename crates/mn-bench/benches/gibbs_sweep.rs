@@ -5,7 +5,7 @@ use mn_comm::SerialEngine;
 use mn_data::synthetic;
 use mn_gibbs::{sweep, CoClustering};
 use mn_rand::MasterRng;
-use mn_score::{NormalGamma, ScoreMode};
+use mn_score::{CandidateScoring, NormalGamma, ScoreMode};
 use std::hint::black_box;
 
 fn setup() -> (mn_data::Dataset, CoClustering, MasterRng) {
@@ -26,32 +26,37 @@ fn bench_sweeps(c: &mut Criterion) {
     let (data, state, master) = setup();
     let mut group = c.benchmark_group("gibbs");
     group.sample_size(10);
-    group.bench_function("reassign_vars_sweep", |b| {
-        b.iter(|| {
-            let mut s = state.clone();
-            let mut e = SerialEngine::new();
-            sweep::reassign_vars(&mut e, &mut s, &data, &master, 0, 0);
-            black_box(s.score())
-        })
-    });
-    group.bench_function("merge_vars_sweep", |b| {
-        b.iter(|| {
-            let mut s = state.clone();
-            let mut e = SerialEngine::new();
-            sweep::merge_vars(&mut e, &mut s, &data, &master, 0, 0);
-            black_box(s.n_active())
-        })
-    });
-    group.bench_function("obs_sweeps_one_cluster", |b| {
-        b.iter(|| {
-            let mut s = state.clone();
-            let mut e = SerialEngine::new();
-            let slot = s.active_slots()[0];
-            sweep::reassign_obs(&mut e, &mut s, &data, &master, 0, 0, slot);
-            sweep::merge_obs(&mut e, &mut s, &data, &master, 0, 0, slot);
-            black_box(s.score())
-        })
-    });
+    for (label, scoring) in [
+        ("kernel", CandidateScoring::Kernel),
+        ("naive", CandidateScoring::Naive),
+    ] {
+        group.bench_function(format!("reassign_vars_sweep/{label}"), |b| {
+            b.iter(|| {
+                let mut s = state.clone();
+                let mut e = SerialEngine::new();
+                sweep::reassign_vars(&mut e, &mut s, &data, &master, 0, 0, scoring);
+                black_box(s.score())
+            })
+        });
+        group.bench_function(format!("merge_vars_sweep/{label}"), |b| {
+            b.iter(|| {
+                let mut s = state.clone();
+                let mut e = SerialEngine::new();
+                sweep::merge_vars(&mut e, &mut s, &data, &master, 0, 0, scoring);
+                black_box(s.n_active())
+            })
+        });
+        group.bench_function(format!("obs_sweeps_one_cluster/{label}"), |b| {
+            b.iter(|| {
+                let mut s = state.clone();
+                let mut e = SerialEngine::new();
+                let slot = s.active_slots()[0];
+                sweep::reassign_obs(&mut e, &mut s, &data, &master, 0, 0, slot, scoring);
+                sweep::merge_obs(&mut e, &mut s, &data, &master, 0, 0, slot, scoring);
+                black_box(s.score())
+            })
+        });
+    }
     group.finish();
 }
 

@@ -7,7 +7,7 @@ use crate::sweep::{merge_obs, merge_vars, reassign_obs, reassign_vars};
 use mn_comm::ParEngine;
 use mn_data::Dataset;
 use mn_rand::MasterRng;
-use mn_score::{NormalGamma, ScoreMode};
+use mn_score::{CandidateScoring, NormalGamma, ScoreMode};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of one GaneSH run.
@@ -22,7 +22,13 @@ pub struct GaneshParams {
     pub prior: NormalGamma,
     /// Scoring implementation mode.
     pub mode: ScoreMode,
+    /// How the sweeps evaluate their candidate lists (batched kernel
+    /// vs per-candidate naive; bit-identical results either way).
+    pub candidate_scoring: CandidateScoring,
 }
+
+/// Conventional alias: the sweep-level knobs of the Gibbs sampler.
+pub type GibbsParams = GaneshParams;
 
 impl Default for GaneshParams {
     fn default() -> Self {
@@ -31,6 +37,7 @@ impl Default for GaneshParams {
             update_steps: 1,
             prior: NormalGamma::default(),
             mode: ScoreMode::Incremental,
+            candidate_scoring: CandidateScoring::default(),
         }
     }
 }
@@ -59,12 +66,13 @@ pub fn ganesh<E: ParEngine>(
     engine.span_enter("ganesh-run");
     let mut state =
         CoClustering::random_init(data, k0, params.prior, params.mode, master, run);
+    let scoring = params.candidate_scoring;
     for step in 0..params.update_steps as u64 {
-        reassign_vars(engine, &mut state, data, master, run, step);
-        merge_vars(engine, &mut state, data, master, run, step);
+        reassign_vars(engine, &mut state, data, master, run, step, scoring);
+        merge_vars(engine, &mut state, data, master, run, step, scoring);
         for slot in state.active_slots() {
-            reassign_obs(engine, &mut state, data, master, run, step, slot);
-            merge_obs(engine, &mut state, data, master, run, step, slot);
+            reassign_obs(engine, &mut state, data, master, run, step, slot, scoring);
+            merge_obs(engine, &mut state, data, master, run, step, slot, scoring);
         }
     }
     engine.span_exit();
@@ -106,6 +114,7 @@ pub fn sample_obs_partitions<E: ParEngine>(
     burn_in: usize,
     prior: NormalGamma,
     mode: ScoreMode,
+    scoring: CandidateScoring,
 ) -> Vec<ObsPartition> {
     assert!(
         burn_in < update_steps,
@@ -116,8 +125,8 @@ pub fn sample_obs_partitions<E: ParEngine>(
     let slot = 0;
     let mut samples = Vec::with_capacity(update_steps - burn_in);
     for step in 0..update_steps as u64 {
-        reassign_obs(engine, &mut state, data, master, module_key, step, slot);
-        merge_obs(engine, &mut state, data, master, module_key, step, slot);
+        reassign_obs(engine, &mut state, data, master, module_key, step, slot, scoring);
+        merge_obs(engine, &mut state, data, master, module_key, step, slot, scoring);
         if step as usize >= burn_in {
             samples.push(state.cluster(slot).obs.clone());
         }
@@ -236,6 +245,7 @@ mod tests {
             2,
             NormalGamma::default(),
             ScoreMode::Incremental,
+            CandidateScoring::Kernel,
         );
         assert_eq!(samples.len(), 3);
         for part in &samples {
@@ -261,6 +271,7 @@ mod tests {
             2,
             NormalGamma::default(),
             ScoreMode::Incremental,
+            CandidateScoring::Kernel,
         );
     }
 

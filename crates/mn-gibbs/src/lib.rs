@@ -12,7 +12,10 @@
 //!   tile statistics.
 //! * [`moves`] — score deltas (optimized and reference cost profiles)
 //!   and state updates for the four Gibbs moves.
-//! * [`sweep`] — the four parallel sweep functions of Algorithms 1–2.
+//! * [`sweep`] — the four parallel sweep functions of Algorithms 1–2,
+//!   each with two candidate-scoring paths (batched kernel vs naive,
+//!   bit-identical results — DESIGN.md §9).
+//! * [`scorer`] — the per-sweep statistic cache behind the kernel path.
 //! * [`mod@ganesh`] — the GaneSH driver (Algorithm 3), ensemble sampling,
 //!   and the constrained observation-only sampler used by the
 //!   module-learning task (Algorithm 4).
@@ -21,9 +24,11 @@
 
 pub mod ganesh;
 pub mod moves;
+pub mod scorer;
 pub mod state;
 pub mod sweep;
 
-pub use ganesh::{ganesh, ganesh_ensemble, sample_obs_partitions, GaneshParams};
+pub use ganesh::{ganesh, ganesh_ensemble, sample_obs_partitions, GaneshParams, GibbsParams};
+pub use scorer::SweepScorer;
 pub use moves::MoveTarget;
 pub use state::{CoClustering, ObsCluster, ObsPartition, VarCluster};

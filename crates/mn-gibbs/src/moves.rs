@@ -15,6 +15,7 @@
 
 use crate::state::{CoClustering, ObsPartition, VarCluster};
 use mn_data::Dataset;
+use mn_score::gibbs_kernel::{addition_term, merge_gain_term, removal_term};
 use mn_score::{NormalGamma, ScoreMode, SuffStats, COST_CELL, COST_LOGMARG};
 
 /// Target of a reassignment move.
@@ -29,7 +30,12 @@ pub enum MoveTarget {
 /// Statistics of one variable's row restricted to each active
 /// observation cluster of a partition, in slot order.
 /// Work: one cell visit per observation.
-fn row_stats_by_obs_cluster(
+///
+/// Shared with the batched candidate scorer (`crate::scorer`), which
+/// caches the result per (variable, cluster) — the *same* accumulation
+/// loop in the *same* element order, so cached and fresh statistics
+/// are bit-identical.
+pub(crate) fn row_stats_by_obs_cluster(
     data: &Dataset,
     var: usize,
     part: &ObsPartition,
@@ -69,9 +75,7 @@ impl CoClustering {
                 let mut delta = 0.0;
                 for (oslot, xs) in row_stats {
                     let tile = &cluster.obs.cluster(oslot).stats;
-                    let mut without = *tile;
-                    without.unmerge(&xs);
-                    delta += prior.log_marginal(&without) - prior.log_marginal(tile);
+                    delta += removal_term(&prior, tile, &xs, prior.log_marginal(tile));
                     work += 2 * COST_LOGMARG;
                 }
                 (delta, work)
@@ -107,8 +111,7 @@ impl CoClustering {
                 let mut delta = 0.0;
                 for (oslot, xs) in row_stats {
                     let tile = &cluster.obs.cluster(oslot).stats;
-                    let with = SuffStats::merged(tile, &xs);
-                    delta += prior.log_marginal(&with) - prior.log_marginal(tile);
+                    delta += addition_term(&prior, tile, &xs, prior.log_marginal(tile));
                     work += 2 * COST_LOGMARG;
                 }
                 (delta, work)
@@ -230,8 +233,7 @@ impl CoClustering {
                     }
                     work += (src.members.len() * oc.members.len()) as u64 * COST_CELL;
                     let tile = &dst.obs.cluster(oslot).stats;
-                    delta += prior.log_marginal(&SuffStats::merged(tile, &add))
-                        - prior.log_marginal(tile);
+                    delta += addition_term(&prior, tile, &add, prior.log_marginal(tile));
                     work += 2 * COST_LOGMARG;
                 }
                 // Minus src's own score (cached tiles).
@@ -316,11 +318,9 @@ impl CoClustering {
             ScoreMode::Incremental => {
                 let (col, mut work) = self.column_stats(data, slot, o);
                 let tile = &cluster.obs.cluster(oslot).stats;
-                let mut without = *tile;
-                without.unmerge(&col);
                 work += 2 * COST_LOGMARG;
                 (
-                    prior.log_marginal(&without) - prior.log_marginal(tile),
+                    removal_term(&prior, tile, &col, prior.log_marginal(tile)),
                     work,
                 )
             }
@@ -355,7 +355,7 @@ impl CoClustering {
                 let tile = &cluster.obs.cluster(oslot).stats;
                 work += 2 * COST_LOGMARG;
                 (
-                    prior.log_marginal(&SuffStats::merged(tile, &col)) - prior.log_marginal(tile),
+                    addition_term(&prior, tile, &col, prior.log_marginal(tile)),
                     work,
                 )
             }
@@ -407,7 +407,15 @@ impl CoClustering {
             ScoreMode::Incremental => {
                 let sa = &cluster.obs.cluster(a).stats;
                 let sb = &cluster.obs.cluster(b).stats;
-                (prior.log_merge_gain(sa, sb), 3 * COST_LOGMARG)
+                // Same expression and association as `log_merge_gain`.
+                let gain = merge_gain_term(
+                    &prior,
+                    sa,
+                    sb,
+                    prior.log_marginal(sa),
+                    prior.log_marginal(sb),
+                );
+                (gain, 3 * COST_LOGMARG)
             }
             ScoreMode::Reference => {
                 let ma = &cluster.obs.cluster(a).members;

@@ -1,0 +1,753 @@
+//! The batched candidate scorer behind `CandidateScoring::Kernel`.
+//!
+//! One [`SweepScorer`] lives for the duration of one sweep. It holds
+//! the per-sweep statistic caches that turn a candidate evaluation
+//! into cache lookups plus a single constant-size normal-gamma
+//! evaluation:
+//!
+//! * **row statistics** `(variable, cluster) → per-tile SuffStats` —
+//!   valid for the whole variable sweep because observation
+//!   memberships never change during it; invalidated per cluster slot
+//!   only when the slot is freed or (re)created with a fresh
+//!   partition;
+//! * **whole-row statistics** `variable → lm(row)` for the
+//!   fresh-cluster candidate — the row never changes, so never
+//!   invalidated (computed by `SuffStats::from_values` in row order,
+//!   exactly as the naive fresh-cluster delta does; summing cached
+//!   per-tile statistics instead would change the accumulation order
+//!   and break bit-identity);
+//! * **column statistics** `observation → (SuffStats, lm)` for the
+//!   observation sweeps — valid for the whole sweep because the
+//!   owning variable cluster's membership is fixed during it;
+//! * **tile log-marginals** keyed by slot, guarded by per-slot epoch
+//!   counters bumped in O(1) when an accepted move changes the tile.
+//!
+//! Every cached value is produced by the same accumulation loop (same
+//! element order) or the same pure function the naive path runs, so
+//! serving it from the cache returns the identical bits — see
+//! `mn_score::gibbs_kernel` for the full equivalence argument.
+//!
+//! The scorer also *reports* the naive path's per-item work for every
+//! candidate (even when the answer came from the cache), mirroring the
+//! split kernel's convention: block partitioning, per-item accounting,
+//! and therefore every simulated-imbalance figure reproduce
+//! byte-for-byte between the two scoring paths, and the speedup is
+//! measured as real wall-clock (`bench_gibbs`).
+
+use crate::moves::row_stats_by_obs_cluster;
+use crate::state::CoClustering;
+use mn_data::Dataset;
+use mn_score::gibbs_kernel::{addition_term, removal_term, EpochCache};
+use mn_score::{NormalGamma, SuffStats, COST_CELL, COST_LOGMARG};
+
+/// One tile-local addition term of a candidate's weight: the
+/// candidate tile, the moving item's statistics restricted to it, and
+/// the cached `log_marginal(tile)`.
+#[derive(Debug, Clone)]
+pub struct TileTerm {
+    /// The candidate tile's sufficient statistics.
+    pub tile: SuffStats,
+    /// The moving item's statistics restricted to the tile.
+    pub item: SuffStats,
+    /// Cached `log_marginal(tile)`.
+    pub lm_tile: f64,
+}
+
+/// One prepared candidate of a reassignment move.
+#[derive(Debug, Clone)]
+enum CandEval {
+    /// The item's current cluster: Δ = 0 by convention.
+    Stay,
+    /// An existing cluster: sum of per-tile addition terms.
+    Tiles { terms: Vec<TileTerm>, work: u64 },
+    /// An existing cluster scored by a single tile-local term (the
+    /// observation sweeps have exactly one tile per candidate) —
+    /// avoids the per-candidate `Vec` allocation of `Tiles`.
+    Tile { term: TileTerm, work: u64 },
+    /// An existing cluster whose whole addition delta was computed by
+    /// an earlier proposal of the same item and is still epoch-valid:
+    /// served with zero normal-gamma evaluations.
+    Cached { add: f64, work: u64 },
+    /// The fresh-cluster candidate: its score is the cached
+    /// log-marginal of the item's own statistics.
+    Fresh { lm: f64, work: u64 },
+}
+
+/// The prepared candidate list of one reassignment iteration,
+/// assembled in replicated control flow; the block-partitioned loop
+/// only reads it.
+#[derive(Debug, Clone)]
+pub struct CandidatePrep {
+    cands: Vec<CandEval>,
+}
+
+impl CandidatePrep {
+    /// Number of candidates (existing clusters + fresh).
+    pub fn len(&self) -> usize {
+        self.cands.len()
+    }
+
+    /// Whether the candidate list is empty (it never is in a sweep).
+    pub fn is_empty(&self) -> bool {
+        self.cands.is_empty()
+    }
+
+    /// `((weight, addition delta), reported work)` of candidate `i`,
+    /// given the hoisted removal delta `rem`. The accumulation order
+    /// matches the naive addition deltas term for term. The raw
+    /// addition delta rides along so the sweep can store it back into
+    /// the per-sweep cache — it must be the value accumulated here,
+    /// not `weight − rem`, which rounds differently and would break
+    /// bit-identity on the next serve.
+    pub fn eval(&self, prior: &NormalGamma, i: usize, rem: f64) -> ((f64, f64), u64) {
+        match &self.cands[i] {
+            CandEval::Stay => ((0.0, 0.0), 1),
+            CandEval::Tiles { terms, work } => {
+                let mut add = 0.0;
+                for t in terms {
+                    add += addition_term(prior, &t.tile, &t.item, t.lm_tile);
+                }
+                ((rem + add, add), *work)
+            }
+            CandEval::Tile { term: t, work } => {
+                let add = addition_term(prior, &t.tile, &t.item, t.lm_tile);
+                ((rem + add, add), *work)
+            }
+            CandEval::Cached { add, work } => ((rem + *add, *add), *work),
+            CandEval::Fresh { lm, work } => ((rem + lm, *lm), *work),
+        }
+    }
+}
+
+/// Prepared values of one variable-merge move: the candidate-
+/// independent log-marginals, hoisted once per move.
+#[derive(Debug, Clone)]
+pub struct VarMergePrep {
+    /// `lm(tile)` of every source tile, in slot order — subtracted
+    /// per candidate in this exact order, as the naive delta does.
+    pub src_lms: Vec<f64>,
+    /// Per candidate (index-aligned): `lm(tile)` of every destination
+    /// tile in slot order; `None` marks the stay candidate.
+    pub dst_tile_lms: Vec<Option<Vec<f64>>>,
+}
+
+/// Prepared values of one observation-merge move.
+#[derive(Debug, Clone)]
+pub struct ObsMergePrep {
+    /// `lm` of the cluster being merged away (candidate-independent).
+    pub lm_a: f64,
+    /// Per candidate: `lm` of the merge target; `None` = stay.
+    pub cand_lms: Vec<Option<f64>>,
+}
+
+fn epoch(v: &mut Vec<u64>, slot: usize) -> u64 {
+    if slot >= v.len() {
+        v.resize(slot + 1, 0);
+    }
+    v[slot]
+}
+
+fn bump(v: &mut Vec<u64>, slot: usize) {
+    if slot >= v.len() {
+        v.resize(slot + 1, 0);
+    }
+    v[slot] += 1;
+}
+
+/// Per-sweep candidate-scoring cache (see the module docs).
+#[derive(Debug, Default)]
+pub struct SweepScorer {
+    // Variable sweeps.
+    row_stats: EpochCache<(usize, usize), Vec<(usize, SuffStats)>>,
+    whole_row_lm: EpochCache<usize, f64>,
+    var_tile_lm: EpochCache<(usize, usize), f64>,
+    /// Whole addition deltas `(variable, slot) → (Δ, work)` computed
+    /// by earlier proposals and stored back after the parallel loop —
+    /// guarded by the slot's tile epoch, so a re-proposal against an
+    /// untouched cluster costs zero normal-gamma evaluations.
+    var_add: EpochCache<(usize, usize), (f64, u64)>,
+    /// Bumped when a variable-cluster slot's *observation partition*
+    /// is replaced (slot freed or created) — guards `row_stats`.
+    part_epoch: Vec<u64>,
+    /// Bumped when any tile of a variable-cluster slot changes —
+    /// guards `var_tile_lm`.
+    var_tile_epoch: Vec<u64>,
+    // Observation sweeps (one variable cluster per sweep).
+    col: EpochCache<usize, (SuffStats, f64)>,
+    obs_tile_lm: EpochCache<usize, f64>,
+    /// Whole addition deltas `(observation, oslot) → (Δ, work)`, the
+    /// observation-sweep counterpart of `var_add`.
+    obs_add: EpochCache<(usize, usize), (f64, u64)>,
+    /// Bumped when an observation cluster's tile changes — guards
+    /// `obs_tile_lm`.
+    obs_tile_epoch: Vec<u64>,
+}
+
+impl SweepScorer {
+    /// A fresh (empty) per-sweep scorer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total cache lookups served without recomputation.
+    pub fn hits(&self) -> u64 {
+        self.row_stats.hits()
+            + self.whole_row_lm.hits()
+            + self.var_tile_lm.hits()
+            + self.var_add.hits()
+            + self.col.hits()
+            + self.obs_tile_lm.hits()
+            + self.obs_add.hits()
+    }
+
+    /// Total cache lookups that had to compute.
+    pub fn misses(&self) -> u64 {
+        self.row_stats.misses()
+            + self.whole_row_lm.misses()
+            + self.var_tile_lm.misses()
+            + self.var_add.misses()
+            + self.col.misses()
+            + self.obs_tile_lm.misses()
+            + self.obs_add.misses()
+    }
+
+    // ----- variable-reassignment sweep -----
+
+    /// The hoisted removal delta of variable `x`, served from the
+    /// caches; the reported work is the naive formula's (one cell
+    /// visit per observation plus two log-marginals per tile), so both
+    /// scoring paths charge identical replicated work.
+    pub fn var_removal(&mut self, data: &Dataset, state: &CoClustering, x: usize) -> (f64, u64) {
+        let prior = *state.prior();
+        let cur = state.slot_of_var(x);
+        let cluster = state.cluster(cur);
+        let pe = epoch(&mut self.part_epoch, cur);
+        let rs = self
+            .row_stats
+            .fetch((x, cur), pe, || row_stats_by_obs_cluster(data, x, &cluster.obs).0);
+        let te = epoch(&mut self.var_tile_epoch, cur);
+        let mut delta = 0.0;
+        for (oslot, xs) in &rs {
+            let tile = cluster.obs.cluster(*oslot).stats;
+            let lm_tile = self
+                .var_tile_lm
+                .fetch((cur, *oslot), te, || prior.log_marginal(&tile));
+            delta += removal_term(&prior, &tile, xs, lm_tile);
+        }
+        let work = data.n_obs() as u64 * COST_CELL + 2 * rs.len() as u64 * COST_LOGMARG;
+        (delta, work)
+    }
+
+    /// Prepare the candidate list of one variable-reassignment
+    /// iteration: per existing cluster the per-tile addition terms,
+    /// plus the fresh-cluster candidate. Runs in replicated control
+    /// flow; cache hits/misses are therefore identical on every rank.
+    pub fn prep_var_candidates(
+        &mut self,
+        data: &Dataset,
+        state: &CoClustering,
+        x: usize,
+        cur: usize,
+        slots: &[usize],
+    ) -> CandidatePrep {
+        let prior = *state.prior();
+        let cell_work = data.n_obs() as u64 * COST_CELL;
+        let mut cands = Vec::with_capacity(slots.len() + 1);
+        for &slot in slots {
+            if slot == cur {
+                cands.push(CandEval::Stay);
+                continue;
+            }
+            let te = epoch(&mut self.var_tile_epoch, slot);
+            if let Some((add, work)) = self.var_add.get(&(x, slot), te) {
+                cands.push(CandEval::Cached { add, work });
+                continue;
+            }
+            let cluster = state.cluster(slot);
+            let pe = epoch(&mut self.part_epoch, slot);
+            let rs = self
+                .row_stats
+                .fetch((x, slot), pe, || row_stats_by_obs_cluster(data, x, &cluster.obs).0);
+            let mut terms = Vec::with_capacity(rs.len());
+            for (oslot, xs) in &rs {
+                let tile = cluster.obs.cluster(*oslot).stats;
+                let lm_tile = self
+                    .var_tile_lm
+                    .fetch((slot, *oslot), te, || prior.log_marginal(&tile));
+                terms.push(TileTerm {
+                    tile,
+                    item: *xs,
+                    lm_tile,
+                });
+            }
+            let work = cell_work + 2 * terms.len() as u64 * COST_LOGMARG;
+            cands.push(CandEval::Tiles { terms, work });
+        }
+        let lm = self.whole_row_lm.fetch(x, 0, || {
+            prior.log_marginal(&SuffStats::from_values(data.values(x)))
+        });
+        cands.push(CandEval::Fresh {
+            lm,
+            work: cell_work + COST_LOGMARG,
+        });
+        CandidatePrep { cands }
+    }
+
+    /// Store the addition deltas the parallel loop just computed back
+    /// into the whole-delta cache, stamped with the current tile
+    /// epochs. `outs` is the loop's `(weight, addition delta)` output,
+    /// index-aligned with `slots`; only candidates that were actually
+    /// evaluated (not served from this cache, not stay) are stored.
+    pub fn store_var_adds(
+        &mut self,
+        x: usize,
+        slots: &[usize],
+        prep: &CandidatePrep,
+        outs: &[(f64, f64)],
+    ) {
+        for (i, &slot) in slots.iter().enumerate() {
+            if let CandEval::Tiles { work, .. } = &prep.cands[i] {
+                let e = epoch(&mut self.var_tile_epoch, slot);
+                self.var_add.insert((x, slot), e, (outs[i].1, *work));
+            }
+        }
+    }
+
+    /// Record an accepted variable reassignment from slot `from` to
+    /// slot `to`. O(1): bumps the epochs guarding the tiles of both
+    /// slots, and the partition epochs of a freed / freshly created
+    /// slot.
+    pub fn note_var_move(&mut self, from: usize, to: usize, from_freed: bool, to_created: bool) {
+        bump(&mut self.var_tile_epoch, from);
+        bump(&mut self.var_tile_epoch, to);
+        if from_freed {
+            bump(&mut self.part_epoch, from);
+        }
+        if to_created {
+            bump(&mut self.part_epoch, to);
+        }
+    }
+
+    // ----- variable-merge sweep -----
+
+    /// Prepare one variable-merge move: hoist the source tiles'
+    /// log-marginals (candidate-independent) and memoize every
+    /// destination tile's log-marginal.
+    pub fn prep_var_merge(
+        &mut self,
+        state: &CoClustering,
+        slot: usize,
+        candidates: &[usize],
+    ) -> VarMergePrep {
+        let prior = *state.prior();
+        let te_src = epoch(&mut self.var_tile_epoch, slot);
+        let src = state.cluster(slot);
+        let src_lms: Vec<f64> = src
+            .obs
+            .iter_active()
+            .map(|(oslot, oc)| {
+                let stats = oc.stats;
+                self.var_tile_lm
+                    .fetch((slot, oslot), te_src, || prior.log_marginal(&stats))
+            })
+            .collect();
+        let mut dst_tile_lms = Vec::with_capacity(candidates.len());
+        for &t in candidates {
+            if t == slot {
+                dst_tile_lms.push(None);
+                continue;
+            }
+            let te = epoch(&mut self.var_tile_epoch, t);
+            let dst = state.cluster(t);
+            let lms = dst
+                .obs
+                .iter_active()
+                .map(|(oslot, oc)| {
+                    let stats = oc.stats;
+                    self.var_tile_lm
+                        .fetch((t, oslot), te, || prior.log_marginal(&stats))
+                })
+                .collect();
+            dst_tile_lms.push(Some(lms));
+        }
+        VarMergePrep {
+            src_lms,
+            dst_tile_lms,
+        }
+    }
+
+    /// Record an accepted merge of variable cluster `from` into `to`.
+    pub fn note_var_merge(&mut self, from: usize, to: usize) {
+        bump(&mut self.var_tile_epoch, from);
+        bump(&mut self.var_tile_epoch, to);
+        bump(&mut self.part_epoch, from); // slot freed
+    }
+
+    // ----- observation sweeps (inside one variable cluster) -----
+
+    /// Column statistics and their log-marginal for observation `o`
+    /// inside variable cluster `slot`, plus the naive column work.
+    /// Valid for the whole observation sweep (the cluster's variable
+    /// membership is fixed during it).
+    pub fn obs_col(
+        &mut self,
+        data: &Dataset,
+        state: &CoClustering,
+        slot: usize,
+        o: usize,
+    ) -> (SuffStats, f64, u64) {
+        let prior = *state.prior();
+        let (col, lm) = self.col.fetch(o, 0, || {
+            let (col, _) = state.column_stats(data, slot, o);
+            (col, prior.log_marginal(&col))
+        });
+        let col_work = state.cluster(slot).members.len() as u64 * COST_CELL;
+        (col, lm, col_work)
+    }
+
+    /// The hoisted removal delta of observation `o` (with the naive
+    /// formula's work), served from the caches.
+    pub fn obs_removal(
+        &mut self,
+        data: &Dataset,
+        state: &CoClustering,
+        slot: usize,
+        o: usize,
+    ) -> (f64, u64) {
+        let prior = *state.prior();
+        let (col, _, col_work) = self.obs_col(data, state, slot, o);
+        let cur = state.cluster(slot).obs.slot_of(o);
+        let tile = state.cluster(slot).obs.cluster(cur).stats;
+        let te = epoch(&mut self.obs_tile_epoch, cur);
+        let lm_tile = self
+            .obs_tile_lm
+            .fetch(cur, te, || prior.log_marginal(&tile));
+        (
+            removal_term(&prior, &tile, &col, lm_tile),
+            col_work + 2 * COST_LOGMARG,
+        )
+    }
+
+    /// Prepare the candidate list of one observation-reassignment
+    /// iteration: one addition term per existing observation cluster,
+    /// plus the fresh-cluster candidate.
+    pub fn prep_obs_candidates(
+        &mut self,
+        data: &Dataset,
+        state: &CoClustering,
+        slot: usize,
+        o: usize,
+        cur: usize,
+        oslots: &[usize],
+    ) -> CandidatePrep {
+        let prior = *state.prior();
+        let (col, lm_col, col_work) = self.obs_col(data, state, slot, o);
+        let mut cands = Vec::with_capacity(oslots.len() + 1);
+        for &t in oslots {
+            if t == cur {
+                cands.push(CandEval::Stay);
+                continue;
+            }
+            let te = epoch(&mut self.obs_tile_epoch, t);
+            if let Some((add, work)) = self.obs_add.get(&(o, t), te) {
+                cands.push(CandEval::Cached { add, work });
+                continue;
+            }
+            let tile = state.cluster(slot).obs.cluster(t).stats;
+            let lm_tile = self.obs_tile_lm.fetch(t, te, || prior.log_marginal(&tile));
+            cands.push(CandEval::Tile {
+                term: TileTerm {
+                    tile,
+                    item: col,
+                    lm_tile,
+                },
+                work: col_work + 2 * COST_LOGMARG,
+            });
+        }
+        cands.push(CandEval::Fresh {
+            lm: lm_col,
+            work: col_work + COST_LOGMARG,
+        });
+        CandidatePrep { cands }
+    }
+
+    /// The observation-sweep counterpart of
+    /// [`SweepScorer::store_var_adds`].
+    pub fn store_obs_adds(
+        &mut self,
+        o: usize,
+        oslots: &[usize],
+        prep: &CandidatePrep,
+        outs: &[(f64, f64)],
+    ) {
+        for (i, &t) in oslots.iter().enumerate() {
+            if let CandEval::Tile { work, .. } = &prep.cands[i] {
+                let e = epoch(&mut self.obs_tile_epoch, t);
+                self.obs_add.insert((o, t), e, (outs[i].1, *work));
+            }
+        }
+    }
+
+    /// Record an accepted observation reassignment between observation
+    /// slots `from` and `to`.
+    pub fn note_obs_move(&mut self, from: usize, to: usize) {
+        bump(&mut self.obs_tile_epoch, from);
+        bump(&mut self.obs_tile_epoch, to);
+    }
+
+    /// Prepare one observation-merge move: hoist the merged-away
+    /// cluster's log-marginal and memoize each candidate's.
+    pub fn prep_obs_merge(
+        &mut self,
+        state: &CoClustering,
+        slot: usize,
+        oslot: usize,
+        candidates: &[usize],
+    ) -> ObsMergePrep {
+        let prior = *state.prior();
+        let sa = state.cluster(slot).obs.cluster(oslot).stats;
+        let te_a = epoch(&mut self.obs_tile_epoch, oslot);
+        let lm_a = self
+            .obs_tile_lm
+            .fetch(oslot, te_a, || prior.log_marginal(&sa));
+        let mut cand_lms = Vec::with_capacity(candidates.len());
+        for &t in candidates {
+            if t == oslot {
+                cand_lms.push(None);
+                continue;
+            }
+            let sb = state.cluster(slot).obs.cluster(t).stats;
+            let te = epoch(&mut self.obs_tile_epoch, t);
+            cand_lms.push(Some(
+                self.obs_tile_lm.fetch(t, te, || prior.log_marginal(&sb)),
+            ));
+        }
+        ObsMergePrep { lm_a, cand_lms }
+    }
+
+    /// Record an accepted merge of observation cluster `from` into
+    /// `to`.
+    pub fn note_obs_merge(&mut self, from: usize, to: usize) {
+        bump(&mut self.obs_tile_epoch, from);
+        bump(&mut self.obs_tile_epoch, to);
+    }
+
+    // ----- validation -----
+
+    /// Check every epoch-valid cache entry against a fresh
+    /// recomputation from `state`, bit for bit. `obs_slot` names the
+    /// variable cluster the observation caches refer to (if any obs
+    /// sweep used this scorer). Panics on the first mismatch; used by
+    /// tests and the property suite.
+    pub fn validate_against(
+        &self,
+        data: &Dataset,
+        state: &CoClustering,
+        obs_slot: Option<usize>,
+    ) {
+        let prior = *state.prior();
+        let cur_epoch = |v: &Vec<u64>, slot: usize| v.get(slot).copied().unwrap_or(0);
+
+        for (&(x, slot), e, rs) in self.row_stats.entries() {
+            if e != cur_epoch(&self.part_epoch, slot) {
+                continue; // stale by design; recomputed on next access
+            }
+            assert!(state.is_active(slot), "valid row-stat entry for freed slot");
+            let (fresh, _) = row_stats_by_obs_cluster(data, x, &state.cluster(slot).obs);
+            assert_eq!(rs.len(), fresh.len(), "row-stat tile count drift");
+            for ((os_a, a), (os_b, b)) in rs.iter().zip(&fresh) {
+                assert_eq!(os_a, os_b, "row-stat slot order drift");
+                assert_eq!(a.count(), b.count(), "row-stat count drift");
+                assert_eq!(a.sum().to_bits(), b.sum().to_bits(), "row-stat sum drift");
+                assert_eq!(a.sumsq().to_bits(), b.sumsq().to_bits(), "row-stat sumsq drift");
+            }
+        }
+        for (&x, _, &lm) in self.whole_row_lm.entries() {
+            let fresh = prior.log_marginal(&SuffStats::from_values(data.values(x)));
+            assert_eq!(lm.to_bits(), fresh.to_bits(), "whole-row lm drift");
+        }
+        for (&(slot, oslot), e, &lm) in self.var_tile_lm.entries() {
+            if e != cur_epoch(&self.var_tile_epoch, slot) {
+                continue;
+            }
+            assert!(state.is_active(slot), "valid tile-lm entry for freed slot");
+            let tile = &state.cluster(slot).obs.cluster(oslot).stats;
+            let fresh = prior.log_marginal(tile);
+            assert_eq!(lm.to_bits(), fresh.to_bits(), "var tile lm drift");
+        }
+        for (&(x, slot), e, &(add, work)) in self.var_add.entries() {
+            if e != cur_epoch(&self.var_tile_epoch, slot) {
+                continue;
+            }
+            assert!(state.is_active(slot), "valid var-add entry for freed slot");
+            // A move of `x` into `slot` bumps the slot's tile epoch, so
+            // a valid entry always refers to a foreign cluster and the
+            // naive addition delta is well-defined.
+            assert_ne!(state.slot_of_var(x), slot, "valid var-add entry for own slot");
+            let (fresh, fresh_work) = state.var_addition_delta(data, x, slot);
+            assert_eq!(add.to_bits(), fresh.to_bits(), "var add-delta drift");
+            assert_eq!(work, fresh_work, "var add-delta work drift");
+        }
+        if let Some(slot) = obs_slot {
+            for (&o, _, (col, lm)) in self.col.entries() {
+                let (fresh, _) = state.column_stats(data, slot, o);
+                assert_eq!(col.count(), fresh.count(), "col count drift");
+                assert_eq!(col.sum().to_bits(), fresh.sum().to_bits(), "col sum drift");
+                assert_eq!(
+                    col.sumsq().to_bits(),
+                    fresh.sumsq().to_bits(),
+                    "col sumsq drift"
+                );
+                let fresh_lm = prior.log_marginal(&fresh);
+                assert_eq!(lm.to_bits(), fresh_lm.to_bits(), "col lm drift");
+            }
+            for (&oslot, e, &lm) in self.obs_tile_lm.entries() {
+                if e != cur_epoch(&self.obs_tile_epoch, oslot) {
+                    continue;
+                }
+                let tile = &state.cluster(slot).obs.cluster(oslot).stats;
+                let fresh = prior.log_marginal(tile);
+                assert_eq!(lm.to_bits(), fresh.to_bits(), "obs tile lm drift");
+            }
+            for (&(o, t), e, &(add, work)) in self.obs_add.entries() {
+                if e != cur_epoch(&self.obs_tile_epoch, t) {
+                    continue;
+                }
+                assert_ne!(
+                    state.cluster(slot).obs.slot_of(o),
+                    t,
+                    "valid obs-add entry for own cluster"
+                );
+                let (fresh, fresh_work) = state.obs_addition_delta(data, slot, o, t);
+                assert_eq!(add.to_bits(), fresh.to_bits(), "obs add-delta drift");
+                assert_eq!(work, fresh_work, "obs add-delta work drift");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moves::MoveTarget;
+    use mn_data::synthetic;
+    use mn_rand::MasterRng;
+    use mn_score::ScoreMode;
+
+    fn setup(seed: u64) -> (Dataset, CoClustering) {
+        let d = synthetic::yeast_like(16, 12, seed).dataset;
+        let s = CoClustering::random_init(
+            &d,
+            5,
+            NormalGamma::default(),
+            ScoreMode::Incremental,
+            &MasterRng::new(seed),
+            0,
+        );
+        (d, s)
+    }
+
+    /// Every candidate weight produced by the prepared evaluation
+    /// carries the exact bits of the naive per-candidate delta.
+    #[test]
+    fn var_candidate_weights_bit_identical_to_naive() {
+        for seed in [3u64, 11, 29] {
+            let (d, s) = setup(seed);
+            let prior = *s.prior();
+            let mut scorer = SweepScorer::new();
+            for x in 0..d.n_vars() {
+                let cur = s.slot_of_var(x);
+                let slots = s.active_slots();
+                let (rem_k, wk) = scorer.var_removal(&d, &s, x);
+                let (rem_n, wn) = s.var_removal_delta(&d, x);
+                assert_eq!(rem_k.to_bits(), rem_n.to_bits(), "removal bits");
+                assert_eq!(wk, wn, "removal work");
+                let prep = scorer.prep_var_candidates(&d, &s, x, cur, &slots);
+                for (i, &slot) in slots.iter().enumerate() {
+                    let ((w, _), work) = prep.eval(&prior, i, rem_n);
+                    if slot == cur {
+                        assert_eq!((w, work), (0.0, 1));
+                    } else {
+                        let (add, naive_work) = s.var_addition_delta(&d, x, slot);
+                        assert_eq!(w.to_bits(), (rem_n + add).to_bits(), "addition bits");
+                        assert_eq!(work, naive_work, "addition work");
+                    }
+                }
+                let ((w, _), work) = prep.eval(&prior, slots.len(), rem_n);
+                let (add, naive_work) = s.var_new_cluster_delta(&d, x);
+                assert_eq!(w.to_bits(), (rem_n + add).to_bits(), "fresh bits");
+                assert_eq!(work, naive_work, "fresh work");
+            }
+            // Second pass: everything is served from the cache (hits
+            // grow, misses don't) and the bits stay identical.
+            let misses_before = scorer.misses();
+            for x in 0..d.n_vars() {
+                let (rem_k, _) = scorer.var_removal(&d, &s, x);
+                assert_eq!(rem_k.to_bits(), s.var_removal_delta(&d, x).0.to_bits());
+            }
+            assert_eq!(scorer.misses(), misses_before, "second pass recomputed");
+            assert!(scorer.hits() > 0);
+        }
+    }
+
+    #[test]
+    fn obs_candidate_weights_bit_identical_to_naive() {
+        for seed in [5u64, 17] {
+            let (d, s) = setup(seed);
+            let prior = *s.prior();
+            let slot = s.active_slots()[0];
+            let mut scorer = SweepScorer::new();
+            for o in 0..d.n_obs() {
+                let cur = s.cluster(slot).obs.slot_of(o);
+                let oslots = s.cluster(slot).obs.active_slots();
+                let (rem_k, wk) = scorer.obs_removal(&d, &s, slot, o);
+                let (rem_n, wn) = s.obs_removal_delta(&d, slot, o);
+                assert_eq!(rem_k.to_bits(), rem_n.to_bits(), "obs removal bits");
+                assert_eq!(wk, wn, "obs removal work");
+                let prep = scorer.prep_obs_candidates(&d, &s, slot, o, cur, &oslots);
+                for (i, &t) in oslots.iter().enumerate() {
+                    let ((w, _), work) = prep.eval(&prior, i, rem_n);
+                    if t == cur {
+                        assert_eq!((w, work), (0.0, 1));
+                    } else {
+                        let (add, naive_work) = s.obs_addition_delta(&d, slot, o, t);
+                        assert_eq!(w.to_bits(), (rem_n + add).to_bits(), "obs addition bits");
+                        assert_eq!(work, naive_work, "obs addition work");
+                    }
+                }
+                let ((w, _), work) = prep.eval(&prior, oslots.len(), rem_n);
+                let (add, naive_work) = s.obs_new_cluster_delta(&d, slot, o);
+                assert_eq!(w.to_bits(), (rem_n + add).to_bits(), "obs fresh bits");
+                assert_eq!(work, naive_work, "obs fresh work");
+            }
+        }
+    }
+
+    #[test]
+    fn caches_invalidate_on_moves_and_stay_consistent() {
+        let (d, mut s) = setup(7);
+        let mut scorer = SweepScorer::new();
+        // Warm the caches.
+        for x in 0..d.n_vars() {
+            let cur = s.slot_of_var(x);
+            let slots = s.active_slots();
+            scorer.var_removal(&d, &s, x);
+            scorer.prep_var_candidates(&d, &s, x, cur, &slots);
+        }
+        // Apply a move, invalidate, and verify the valid entries still
+        // match a fresh recomputation (the stale ones are skipped).
+        let x = 3;
+        let cur = s.slot_of_var(x);
+        let to = s
+            .active_slots()
+            .into_iter()
+            .find(|&t| t != cur)
+            .unwrap();
+        s.move_var(&d, x, MoveTarget::Existing(to));
+        scorer.note_var_move(cur, to, !s.is_active(cur), false);
+        scorer.validate_against(&d, &s, None);
+        // The moved-into slot's removal delta is recomputed correctly.
+        let (rem_k, _) = scorer.var_removal(&d, &s, x);
+        assert_eq!(rem_k.to_bits(), s.var_removal_delta(&d, x).0.to_bits());
+    }
+}

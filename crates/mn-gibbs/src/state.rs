@@ -453,6 +453,16 @@ impl CoClustering {
                 assert!(seen_vars[v], "var {v} assigned to inactive slot {slot}");
             }
         }
+        // The maintained total score must track the from-scratch
+        // oracle — catches stat-cache drift that per-tile tolerances
+        // could individually absorb.
+        let cached = self.score();
+        let scratch = self.score_from_scratch(data);
+        let tol = 1e-6 * scratch.abs().max(1.0);
+        assert!(
+            (cached - scratch).abs() <= tol,
+            "score drift: cached {cached} vs scratch {scratch}"
+        );
     }
 }
 

@@ -28,18 +28,81 @@
 //! GaneSH run and update step), with a fixed number of draws per
 //! iteration, so every engine and rank count replays the identical
 //! decision sequence.
+//!
+//! ## Candidate-scoring paths
+//!
+//! Every sweep evaluates its candidate list through one of two paths
+//! selected by [`CandidateScoring`]:
+//!
+//! * **Naive** — each candidate re-derives the statistics it needs
+//!   from the state (the cost profile of Alg. 1 line 8 taken
+//!   literally), except that the candidate-independent removal delta
+//!   is computed once per move (see the comment in [`reassign_vars`]).
+//! * **Kernel** — a per-sweep [`SweepScorer`] caches row/column
+//!   statistics and tile log-marginals (O(1) invalidation on accepted
+//!   moves), all cache traffic happens in replicated control flow
+//!   before the parallel region, and the candidate loop runs through
+//!   [`ParEngine::dist_map_segmented_batch`] with one `Segments`
+//!   boundary per candidate. The kernel *reports* the naive formula's
+//!   per-candidate work, so block partitioning, per-item accounting
+//!   and the §5.3.1 imbalance records are byte-identical to the naive
+//!   path; its real saving shows up as wall-clock (`bench_gibbs`).
+//!
+//! Both paths produce bit-identical weights (argued in
+//! `mn_score::gibbs_kernel` and DESIGN.md §9), hence identical
+//! `Select-Wtd-Rand` draws and identical clusterings. The kernel
+//! requires maintained tile statistics, so under
+//! [`ScoreMode::Reference`] the naive path is used regardless of the
+//! requested scoring (and counted as a naive dispatch).
 
 use crate::moves::MoveTarget;
+use crate::scorer::SweepScorer;
 use crate::state::CoClustering;
-use mn_comm::{Collective, ParEngine};
+use mn_comm::{Collective, ParEngine, Segments};
 use mn_data::Dataset;
 use mn_obs::counters;
 use mn_rand::{select_unif_rand, select_wtd_log, Domain, MasterRng};
+use mn_score::gibbs_kernel::{addition_term, merge_gain_term};
+use mn_score::{CandidateScoring, ScoreMode, SuffStats, COST_CELL, COST_LOGMARG};
 
 /// Composite stream key for (run, step) pairs.
 #[inline]
 pub fn step_key(run: u64, step: u64) -> u64 {
     run.wrapping_mul(0x1_0000_0000).wrapping_add(step)
+}
+
+/// Whether the batched kernel actually runs, given the requested
+/// scoring and the state's score mode; counts the dispatch.
+fn dispatch<E: ParEngine>(
+    engine: &mut E,
+    scoring: CandidateScoring,
+    mode: ScoreMode,
+) -> bool {
+    let kernel = scoring == CandidateScoring::Kernel && mode == ScoreMode::Incremental;
+    engine.count(
+        if kernel {
+            counters::GIBBS_KERNEL_DISPATCHES
+        } else {
+            counters::GIBBS_NAIVE_DISPATCHES
+        },
+        1,
+    );
+    kernel
+}
+
+/// Flush a sweep's cache-traffic totals into the deterministic
+/// counters. Cache lookups only happen in replicated control flow, so
+/// the totals are identical on every rank.
+fn flush_cache_counters<E: ParEngine>(engine: &mut E, scorer: &SweepScorer) {
+    engine.count(counters::GIBBS_CACHE_HITS, scorer.hits());
+    engine.count(counters::GIBBS_CACHE_MISSES, scorer.misses());
+}
+
+/// Per-candidate segments: one `Segments` boundary per candidate, so
+/// the engines' block partitioning of the batched map is exactly the
+/// block partitioning of the per-item map over the same list.
+fn per_candidate_segments(n_cand: usize) -> Segments {
+    Segments::from_lens(std::iter::repeat_n(1, n_cand))
 }
 
 /// One full variable-reassignment sweep (Alg. 1, `Reassign-Var-Cluster`).
@@ -50,11 +113,14 @@ pub fn reassign_vars<E: ParEngine>(
     master: &MasterRng,
     run: u64,
     step: u64,
+    scoring: CandidateScoring,
 ) {
     let n = data.n_vars();
     let mut stream = master.stream(Domain::ReassignVar, step_key(run, step));
     engine.span_enter("sweep:reassign-vars");
     engine.count(counters::GIBBS_SWEEPS, 1);
+    let kernel = dispatch(engine, scoring, state.mode());
+    let mut scorer = SweepScorer::new();
     for _ in 0..n {
         engine.count(counters::GIBBS_MOVES_PROPOSED, 1);
         let x = select_unif_rand(&mut stream, n);
@@ -62,27 +128,59 @@ pub fn reassign_vars<E: ParEngine>(
 
         let slots = state.active_slots();
         let n_cand = slots.len() + 1; // + fresh cluster
-        let state_ref: &CoClustering = state;
-        // Alg. 1 line 8: each candidate's full reassignment score
-        // (removal from the current cluster + addition to the
-        // candidate) is computed inside the block-partitioned loop, so
-        // no component of the score is replicated serial work.
-        let weights: Vec<f64> = engine.dist_map(n_cand, 1, &|i| {
-            if i < slots.len() {
-                let slot = slots[i];
-                if slot == cur {
-                    (0.0, 1)
-                } else {
-                    let (rem, rem_work) = state_ref.var_removal_delta(data, x);
-                    let (add, work) = state_ref.var_addition_delta(data, x, slot);
-                    (rem + add, rem_work + work)
+
+        // Alg. 1 line 8 scores `removal + addition` per candidate, but
+        // the removal component does not depend on the candidate:
+        // recomputing it inside the block-partitioned loop replicated
+        // the same evaluation once per candidate on whichever ranks
+        // own them — parallelized redundancy, not parallelism. It is
+        // now computed once per move in replicated control flow (every
+        // rank holds the full state, so hoisting it "broadcasts" the
+        // value without communication) and charged via `replicated`;
+        // the per-candidate work below is the addition component only.
+        // The weights are bit-identical to the old ones: `rem` carries
+        // the exact bits each candidate's `rem + add` used to
+        // recompute for itself.
+        let (rem, rem_work) = if kernel {
+            scorer.var_removal(data, state, x)
+        } else {
+            state.var_removal_delta(data, x)
+        };
+        engine.replicated(rem_work);
+
+        let weights: Vec<f64> = if kernel {
+            let prep = scorer.prep_var_candidates(data, state, x, cur, &slots);
+            let prior = *state.prior();
+            let segments = per_candidate_segments(n_cand);
+            // The kernel items carry `(weight, raw addition delta)`:
+            // the raw delta is stored back into the whole-delta cache
+            // so a later re-proposal of `x` against an untouched
+            // cluster is a lookup. Storing `weight − rem` instead
+            // would round differently and break bit-identity.
+            let outs = engine.dist_map_segmented_batch(&segments, 1, &|_seg, range, out| {
+                for i in range {
+                    out.push(prep.eval(&prior, i, rem));
                 }
-            } else {
-                let (rem, rem_work) = state_ref.var_removal_delta(data, x);
-                let (add, work) = state_ref.var_new_cluster_delta(data, x);
-                (rem + add, rem_work + work)
-            }
-        });
+            });
+            scorer.store_var_adds(x, &slots, &prep, &outs);
+            outs.into_iter().map(|(w, _)| w).collect()
+        } else {
+            let state_ref: &CoClustering = state;
+            engine.dist_map(n_cand, 1, &|i| {
+                if i < slots.len() {
+                    let slot = slots[i];
+                    if slot == cur {
+                        (0.0, 1)
+                    } else {
+                        let (add, work) = state_ref.var_addition_delta(data, x, slot);
+                        (rem + add, work)
+                    }
+                } else {
+                    let (add, work) = state_ref.var_new_cluster_delta(data, x);
+                    (rem + add, work)
+                }
+            })
+        };
         // The collective part of Select-Wtd-Rand (§3.1).
         engine.collective(Collective::AllReduce, 1);
         let choice = select_wtd_log(&mut stream, &weights);
@@ -93,8 +191,19 @@ pub fn reassign_vars<E: ParEngine>(
         };
         if target != MoveTarget::Existing(cur) {
             engine.count(counters::GIBBS_MOVES_ACCEPTED, 1);
-            state.move_var(data, x, target);
+            let to = state.move_var(data, x, target);
+            if kernel {
+                scorer.note_var_move(
+                    cur,
+                    to,
+                    !state.is_active(cur),
+                    target == MoveTarget::New,
+                );
+            }
         }
+    }
+    if kernel {
+        flush_cache_counters(engine, &scorer);
     }
     engine.span_exit();
 }
@@ -107,10 +216,13 @@ pub fn merge_vars<E: ParEngine>(
     master: &MasterRng,
     run: u64,
     step: u64,
+    scoring: CandidateScoring,
 ) {
     let mut stream = master.stream(Domain::MergeVar, step_key(run, step));
     engine.span_enter("sweep:merge-vars");
     engine.count(counters::GIBBS_SWEEPS, 1);
+    let kernel = dispatch(engine, scoring, state.mode());
+    let mut scorer = SweepScorer::new();
     let snapshot = state.active_slots();
     for &slot in &snapshot {
         // The cluster may have been absorbed by an earlier merge in
@@ -120,28 +232,82 @@ pub fn merge_vars<E: ParEngine>(
         }
         engine.count(counters::GIBBS_MOVES_PROPOSED, 1);
         let candidates = state.active_slots();
-        let state_ref: &CoClustering = state;
-        let weights: Vec<f64> = engine.dist_map(candidates.len(), 1, &|i| {
-            let t = candidates[i];
-            if t == slot {
-                (0.0, 1)
-            } else {
-                state_ref.merge_delta(data, slot, t)
-            }
-        });
+        let weights: Vec<f64> = if kernel {
+            // All log-marginals of existing tiles come from the cache;
+            // the parallel region recomputes only the cross statistics
+            // of src's members under each destination's partition —
+            // exactly the loop the naive delta runs, in the same
+            // order, so the weights are bit-identical.
+            let prep = scorer.prep_var_merge(state, slot, &candidates);
+            let prior = *state.prior();
+            let state_ref: &CoClustering = state;
+            let segments = per_candidate_segments(candidates.len());
+            engine.dist_map_segmented_batch(&segments, 1, &|_seg, range, out| {
+                for i in range {
+                    let t = candidates[i];
+                    if t == slot {
+                        out.push((0.0, 1));
+                        continue;
+                    }
+                    let src = state_ref.cluster(slot);
+                    let dst = state_ref.cluster(t);
+                    let lms = prep.dst_tile_lms[i]
+                        .as_ref()
+                        .expect("merge candidate lms missing");
+                    let mut delta = 0.0;
+                    let mut work = 0u64;
+                    for ((_, oc), &lm_tile) in dst.obs.iter_active().zip(lms) {
+                        let mut add = SuffStats::empty();
+                        for &v in &src.members {
+                            let row = data.values(v);
+                            for &o in &oc.members {
+                                add.add(row[o]);
+                            }
+                        }
+                        work += (src.members.len() * oc.members.len()) as u64 * COST_CELL;
+                        delta += addition_term(&prior, &oc.stats, &add, lm_tile);
+                        work += 2 * COST_LOGMARG;
+                    }
+                    // Subtract src's tile scores one by one, in slot
+                    // order — the naive delta's exact association.
+                    for &lm in &prep.src_lms {
+                        delta -= lm;
+                        work += COST_LOGMARG;
+                    }
+                    out.push((delta, work));
+                }
+            })
+        } else {
+            let state_ref: &CoClustering = state;
+            engine.dist_map(candidates.len(), 1, &|i| {
+                let t = candidates[i];
+                if t == slot {
+                    (0.0, 1)
+                } else {
+                    state_ref.merge_delta(data, slot, t)
+                }
+            })
+        };
         engine.collective(Collective::AllReduce, 1);
         let choice = select_wtd_log(&mut stream, &weights);
         let target = candidates[choice];
         if target != slot {
             engine.count(counters::GIBBS_MOVES_ACCEPTED, 1);
             state.merge_var_clusters(data, slot, target);
+            if kernel {
+                scorer.note_var_merge(slot, target);
+            }
         }
+    }
+    if kernel {
+        flush_cache_counters(engine, &scorer);
     }
     engine.span_exit();
 }
 
 /// One observation-reassignment sweep inside variable cluster `slot`
 /// (Alg. 2, `Reassign-Obs-Cluster`).
+#[allow(clippy::too_many_arguments)]
 pub fn reassign_obs<E: ParEngine>(
     engine: &mut E,
     state: &mut CoClustering,
@@ -150,12 +316,15 @@ pub fn reassign_obs<E: ParEngine>(
     run: u64,
     step: u64,
     slot: usize,
+    scoring: CandidateScoring,
 ) {
     let m = data.n_obs();
     let mut stream =
         master.stream2(Domain::ReassignObs, step_key(run, step), slot as u64);
     engine.span_enter("sweep:reassign-obs");
     engine.count(counters::GIBBS_SWEEPS, 1);
+    let kernel = dispatch(engine, scoring, state.mode());
+    let mut scorer = SweepScorer::new();
     for _ in 0..m {
         engine.count(counters::GIBBS_MOVES_PROPOSED, 1);
         let o = select_unif_rand(&mut stream, m);
@@ -163,25 +332,47 @@ pub fn reassign_obs<E: ParEngine>(
 
         let oslots = state.cluster(slot).obs.active_slots();
         let n_cand = oslots.len() + 1;
-        let state_ref: &CoClustering = state;
-        // As in the variable sweep, the removal component is computed
-        // per candidate inside the parallel loop (Alg. 2 line 8).
-        let weights: Vec<f64> = engine.dist_map(n_cand, 1, &|i| {
-            if i < oslots.len() {
-                let t = oslots[i];
-                if t == cur {
-                    (0.0, 1)
-                } else {
-                    let (rem, rem_work) = state_ref.obs_removal_delta(data, slot, o);
-                    let (add, work) = state_ref.obs_addition_delta(data, slot, o, t);
-                    (rem + add, rem_work + work)
+
+        // As in the variable sweep, the candidate-independent removal
+        // component is hoisted out of the parallel loop and charged as
+        // replicated work (see the comment in `reassign_vars`).
+        let (rem, rem_work) = if kernel {
+            scorer.obs_removal(data, state, slot, o)
+        } else {
+            state.obs_removal_delta(data, slot, o)
+        };
+        engine.replicated(rem_work);
+
+        let weights: Vec<f64> = if kernel {
+            let prep = scorer.prep_obs_candidates(data, state, slot, o, cur, &oslots);
+            let prior = *state.prior();
+            let segments = per_candidate_segments(n_cand);
+            // `(weight, raw addition delta)` items, as in the variable
+            // sweep: the raw delta feeds the whole-delta cache.
+            let outs = engine.dist_map_segmented_batch(&segments, 1, &|_seg, range, out| {
+                for i in range {
+                    out.push(prep.eval(&prior, i, rem));
                 }
-            } else {
-                let (rem, rem_work) = state_ref.obs_removal_delta(data, slot, o);
-                let (add, work) = state_ref.obs_new_cluster_delta(data, slot, o);
-                (rem + add, rem_work + work)
-            }
-        });
+            });
+            scorer.store_obs_adds(o, &oslots, &prep, &outs);
+            outs.into_iter().map(|(w, _)| w).collect()
+        } else {
+            let state_ref: &CoClustering = state;
+            engine.dist_map(n_cand, 1, &|i| {
+                if i < oslots.len() {
+                    let t = oslots[i];
+                    if t == cur {
+                        (0.0, 1)
+                    } else {
+                        let (add, work) = state_ref.obs_addition_delta(data, slot, o, t);
+                        (rem + add, work)
+                    }
+                } else {
+                    let (add, work) = state_ref.obs_new_cluster_delta(data, slot, o);
+                    (rem + add, work)
+                }
+            })
+        };
         engine.collective(Collective::AllReduce, 1);
         let choice = select_wtd_log(&mut stream, &weights);
         let target = if choice < oslots.len() {
@@ -193,15 +384,22 @@ pub fn reassign_obs<E: ParEngine>(
             Some(t) if t == cur => {}
             other => {
                 engine.count(counters::GIBBS_MOVES_ACCEPTED, 1);
-                state.move_obs(data, slot, o, other);
+                let landed = state.move_obs(data, slot, o, other);
+                if kernel {
+                    scorer.note_obs_move(cur, landed);
+                }
             }
         }
+    }
+    if kernel {
+        flush_cache_counters(engine, &scorer);
     }
     engine.span_exit();
 }
 
 /// One observation-merge sweep inside variable cluster `slot`
 /// (Alg. 2, `Merge-Obs-Cluster`).
+#[allow(clippy::too_many_arguments)]
 pub fn merge_obs<E: ParEngine>(
     engine: &mut E,
     state: &mut CoClustering,
@@ -210,10 +408,13 @@ pub fn merge_obs<E: ParEngine>(
     run: u64,
     step: u64,
     slot: usize,
+    scoring: CandidateScoring,
 ) {
     let mut stream = master.stream2(Domain::MergeObs, step_key(run, step), slot as u64);
     engine.span_enter("sweep:merge-obs");
     engine.count(counters::GIBBS_SWEEPS, 1);
+    let kernel = dispatch(engine, scoring, state.mode());
+    let mut scorer = SweepScorer::new();
     let snapshot = state.cluster(slot).obs.active_slots();
     for &oslot in &snapshot {
         if !state
@@ -226,22 +427,52 @@ pub fn merge_obs<E: ParEngine>(
         }
         engine.count(counters::GIBBS_MOVES_PROPOSED, 1);
         let candidates = state.cluster(slot).obs.active_slots();
-        let state_ref: &CoClustering = state;
-        let weights: Vec<f64> = engine.dist_map(candidates.len(), 1, &|i| {
-            let t = candidates[i];
-            if t == oslot {
-                (0.0, 1)
-            } else {
-                state_ref.obs_merge_delta(data, slot, oslot, t)
-            }
-        });
+        let weights: Vec<f64> = if kernel {
+            let prep = scorer.prep_obs_merge(state, slot, oslot, &candidates);
+            let prior = *state.prior();
+            let state_ref: &CoClustering = state;
+            let segments = per_candidate_segments(candidates.len());
+            engine.dist_map_segmented_batch(&segments, 1, &|_seg, range, out| {
+                for i in range {
+                    let t = candidates[i];
+                    if t == oslot {
+                        out.push((0.0, 1));
+                        continue;
+                    }
+                    let cluster = state_ref.cluster(slot);
+                    let sa = &cluster.obs.cluster(oslot).stats;
+                    let sb = &cluster.obs.cluster(t).stats;
+                    let lm_b = prep.cand_lms[i].expect("merge candidate lm missing");
+                    out.push((
+                        merge_gain_term(&prior, sa, sb, prep.lm_a, lm_b),
+                        3 * COST_LOGMARG,
+                    ));
+                }
+            })
+        } else {
+            let state_ref: &CoClustering = state;
+            engine.dist_map(candidates.len(), 1, &|i| {
+                let t = candidates[i];
+                if t == oslot {
+                    (0.0, 1)
+                } else {
+                    state_ref.obs_merge_delta(data, slot, oslot, t)
+                }
+            })
+        };
         engine.collective(Collective::AllReduce, 1);
         let choice = select_wtd_log(&mut stream, &weights);
         let target = candidates[choice];
         if target != oslot {
             engine.count(counters::GIBBS_MOVES_ACCEPTED, 1);
             state.merge_obs_clusters(slot, oslot, target);
+            if kernel {
+                scorer.note_obs_merge(oslot, target);
+            }
         }
+    }
+    if kernel {
+        flush_cache_counters(engine, &scorer);
     }
     engine.span_exit();
 }
@@ -252,6 +483,8 @@ mod tests {
     use mn_comm::{SerialEngine, SimEngine, ThreadEngine};
     use mn_data::synthetic;
     use mn_score::{NormalGamma, ScoreMode};
+
+    const BOTH: [CandidateScoring; 2] = [CandidateScoring::Kernel, CandidateScoring::Naive];
 
     fn setup() -> (Dataset, CoClustering, MasterRng) {
         let d = synthetic::yeast_like(18, 12, 21).dataset;
@@ -269,71 +502,120 @@ mod tests {
 
     #[test]
     fn sweeps_preserve_invariants() {
-        let (d, mut s, master) = setup();
-        let mut e = SerialEngine::new();
-        reassign_vars(&mut e, &mut s, &d, &master, 0, 0);
-        s.validate(&d);
-        merge_vars(&mut e, &mut s, &d, &master, 0, 0);
-        s.validate(&d);
-        for slot in s.active_slots() {
-            reassign_obs(&mut e, &mut s, &d, &master, 0, 0, slot);
+        for scoring in BOTH {
+            let (d, mut s, master) = setup();
+            let mut e = SerialEngine::new();
+            reassign_vars(&mut e, &mut s, &d, &master, 0, 0, scoring);
             s.validate(&d);
-            merge_obs(&mut e, &mut s, &d, &master, 0, 0, slot);
+            merge_vars(&mut e, &mut s, &d, &master, 0, 0, scoring);
             s.validate(&d);
+            for slot in s.active_slots() {
+                reassign_obs(&mut e, &mut s, &d, &master, 0, 0, slot, scoring);
+                s.validate(&d);
+                merge_obs(&mut e, &mut s, &d, &master, 0, 0, slot, scoring);
+                s.validate(&d);
+            }
         }
     }
 
     #[test]
     fn sweeps_identical_across_engines() {
-        let (d, s0, master) = setup();
+        for scoring in BOTH {
+            let (d, s0, master) = setup();
 
-        let run = |mut engine: Box<dyn FnMut(&mut CoClustering)>| {
+            let run = |mut engine: Box<dyn FnMut(&mut CoClustering)>| {
+                let mut s = s0.clone();
+                engine(&mut s);
+                s
+            };
+
+            let serial = run(Box::new(|s| {
+                let mut e = SerialEngine::new();
+                reassign_vars(&mut e, s, &d, &master, 0, 0, scoring);
+                merge_vars(&mut e, s, &d, &master, 0, 0, scoring);
+            }));
+            let threads = run(Box::new(|s| {
+                let mut e = ThreadEngine::new(3);
+                reassign_vars(&mut e, s, &d, &master, 0, 0, scoring);
+                merge_vars(&mut e, s, &d, &master, 0, 0, scoring);
+            }));
+            let sim = run(Box::new(|s| {
+                let mut e = SimEngine::new(64);
+                reassign_vars(&mut e, s, &d, &master, 0, 0, scoring);
+                merge_vars(&mut e, s, &d, &master, 0, 0, scoring);
+            }));
+            assert_eq!(serial, threads, "thread engine diverged ({scoring:?})");
+            assert_eq!(serial, sim, "sim engine diverged ({scoring:?})");
+        }
+    }
+
+    /// The scoring paths are interchangeable mid-chain: the kernel's
+    /// weights are bit-identical to the naive ones, so the sampled
+    /// clustering is the same whichever path scored each sweep.
+    #[test]
+    fn scoring_paths_sample_identical_clusterings() {
+        let (d, s0, master) = setup();
+        let run = |scoring: CandidateScoring| {
             let mut s = s0.clone();
-            engine(&mut s);
+            let mut e = SerialEngine::new();
+            for step in 0..3 {
+                reassign_vars(&mut e, &mut s, &d, &master, 0, step, scoring);
+                merge_vars(&mut e, &mut s, &d, &master, 0, step, scoring);
+                for slot in s.active_slots() {
+                    reassign_obs(&mut e, &mut s, &d, &master, 0, step, slot, scoring);
+                    merge_obs(&mut e, &mut s, &d, &master, 0, step, slot, scoring);
+                }
+            }
             s
         };
-
-        let serial = run(Box::new(|s| {
-            let mut e = SerialEngine::new();
-            reassign_vars(&mut e, s, &d, &master, 0, 0);
-            merge_vars(&mut e, s, &d, &master, 0, 0);
-        }));
-        let threads = run(Box::new(|s| {
-            let mut e = ThreadEngine::new(3);
-            reassign_vars(&mut e, s, &d, &master, 0, 0);
-            merge_vars(&mut e, s, &d, &master, 0, 0);
-        }));
-        let sim = run(Box::new(|s| {
-            let mut e = SimEngine::new(64);
-            reassign_vars(&mut e, s, &d, &master, 0, 0);
-            merge_vars(&mut e, s, &d, &master, 0, 0);
-        }));
-        assert_eq!(serial, threads, "thread engine diverged");
-        assert_eq!(serial, sim, "sim engine diverged");
+        assert_eq!(
+            run(CandidateScoring::Kernel),
+            run(CandidateScoring::Naive),
+            "kernel and naive scoring sampled different chains"
+        );
     }
 
     #[test]
     fn sweep_counters_identical_across_engines() {
-        let (d, s0, master) = setup();
-        fn counts<E: ParEngine>(
-            mut e: E,
-            d: &Dataset,
-            s0: &CoClustering,
-            master: &MasterRng,
-        ) -> std::collections::BTreeMap<String, u64> {
-            let mut s = s0.clone();
-            reassign_vars(&mut e, &mut s, d, master, 0, 0);
-            merge_vars(&mut e, &mut s, d, master, 0, 0);
-            e.report();
-            let now = e.now_s();
-            e.obs().snapshot(now).counters
+        for scoring in BOTH {
+            let (d, s0, master) = setup();
+            fn counts<E: ParEngine>(
+                mut e: E,
+                d: &Dataset,
+                s0: &CoClustering,
+                master: &MasterRng,
+                scoring: CandidateScoring,
+            ) -> std::collections::BTreeMap<String, u64> {
+                let mut s = s0.clone();
+                reassign_vars(&mut e, &mut s, d, master, 0, 0, scoring);
+                merge_vars(&mut e, &mut s, d, master, 0, 0, scoring);
+                e.report();
+                let now = e.now_s();
+                e.obs().snapshot(now).counters
+            }
+            let serial = counts(SerialEngine::new(), &d, &s0, &master, scoring);
+            assert!(serial[counters::GIBBS_SWEEPS] == 2);
+            assert!(
+                serial[counters::GIBBS_MOVES_PROPOSED] >= serial[counters::GIBBS_MOVES_ACCEPTED]
+            );
+            match scoring {
+                CandidateScoring::Kernel => {
+                    assert_eq!(serial[counters::GIBBS_KERNEL_DISPATCHES], 2);
+                    assert!(serial[counters::GIBBS_CACHE_HITS] > 0, "cache never hit");
+                    assert!(!serial.contains_key(counters::GIBBS_NAIVE_DISPATCHES));
+                }
+                CandidateScoring::Naive => {
+                    assert_eq!(serial[counters::GIBBS_NAIVE_DISPATCHES], 2);
+                    assert!(!serial.contains_key(counters::GIBBS_KERNEL_DISPATCHES));
+                }
+            }
+            assert_eq!(
+                serial,
+                counts(ThreadEngine::new(3), &d, &s0, &master, scoring)
+            );
+            assert_eq!(serial, counts(SimEngine::new(7), &d, &s0, &master, scoring));
+            assert_eq!(serial, counts(SimEngine::new(64), &d, &s0, &master, scoring));
         }
-        let serial = counts(SerialEngine::new(), &d, &s0, &master);
-        assert!(serial[counters::GIBBS_SWEEPS] == 2);
-        assert!(serial[counters::GIBBS_MOVES_PROPOSED] >= serial[counters::GIBBS_MOVES_ACCEPTED]);
-        assert_eq!(serial, counts(ThreadEngine::new(3), &d, &s0, &master));
-        assert_eq!(serial, counts(SimEngine::new(7), &d, &s0, &master));
-        assert_eq!(serial, counts(SimEngine::new(64), &d, &s0, &master));
     }
 
     #[test]
@@ -345,8 +627,8 @@ mod tests {
         let before = s.score();
         let mut e = SerialEngine::new();
         for step in 0..3 {
-            reassign_vars(&mut e, &mut s, &d, &master, 0, step);
-            merge_vars(&mut e, &mut s, &d, &master, 0, step);
+            reassign_vars(&mut e, &mut s, &d, &master, 0, step, CandidateScoring::Kernel);
+            merge_vars(&mut e, &mut s, &d, &master, 0, step, CandidateScoring::Kernel);
         }
         let after = s.score();
         assert!(after > before, "score went from {before} to {after}");
@@ -354,24 +636,26 @@ mod tests {
 
     #[test]
     fn obs_sweeps_respect_cluster_scope() {
-        let (d, mut s, master) = setup();
-        let mut e = SerialEngine::new();
-        let slots = s.active_slots();
-        let other_clusters_before: Vec<_> = slots[1..]
-            .iter()
-            .map(|&sl| s.cluster(sl).clone())
-            .collect();
-        reassign_obs(&mut e, &mut s, &d, &master, 0, 0, slots[0]);
-        merge_obs(&mut e, &mut s, &d, &master, 0, 0, slots[0]);
-        // Observation moves in cluster 0 must not touch other clusters.
-        for (cluster, before) in slots[1..]
-            .iter()
-            .map(|&sl| s.cluster(sl))
-            .zip(&other_clusters_before)
-        {
-            assert_eq!(cluster, before);
+        for scoring in BOTH {
+            let (d, mut s, master) = setup();
+            let mut e = SerialEngine::new();
+            let slots = s.active_slots();
+            let other_clusters_before: Vec<_> = slots[1..]
+                .iter()
+                .map(|&sl| s.cluster(sl).clone())
+                .collect();
+            reassign_obs(&mut e, &mut s, &d, &master, 0, 0, slots[0], scoring);
+            merge_obs(&mut e, &mut s, &d, &master, 0, 0, slots[0], scoring);
+            // Observation moves in cluster 0 must not touch other clusters.
+            for (cluster, before) in slots[1..]
+                .iter()
+                .map(|&sl| s.cluster(sl))
+                .zip(&other_clusters_before)
+            {
+                assert_eq!(cluster, before);
+            }
+            s.validate(&d);
         }
-        s.validate(&d);
     }
 
     #[test]
@@ -379,8 +663,32 @@ mod tests {
         let (d, mut s, master) = setup();
         let mut e = SerialEngine::new();
         let before = s.n_active();
-        merge_vars(&mut e, &mut s, &d, &master, 0, 0);
+        merge_vars(&mut e, &mut s, &d, &master, 0, 0, CandidateScoring::Kernel);
         assert!(s.n_active() <= before);
         assert!(s.n_active() >= 1);
+    }
+
+    /// Reference mode cannot use the tile caches; the kernel request
+    /// falls back to the (hoisted) naive path and is counted as such.
+    #[test]
+    fn reference_mode_falls_back_to_naive_path() {
+        let d = synthetic::yeast_like(14, 10, 3).dataset;
+        let master = MasterRng::new(9);
+        let mk = |mode| {
+            CoClustering::random_init(&d, 4, NormalGamma::default(), mode, &master, 0)
+        };
+        let mut s_ref = mk(ScoreMode::Reference);
+        let mut s_inc = mk(ScoreMode::Incremental);
+        let mut e = SerialEngine::new();
+        reassign_vars(&mut e, &mut s_ref, &d, &master, 0, 0, CandidateScoring::Kernel);
+        e.report();
+        let now = e.now_s();
+        let c = e.obs().snapshot(now).counters;
+        assert_eq!(c[counters::GIBBS_NAIVE_DISPATCHES], 1);
+        assert!(!c.contains_key(counters::GIBBS_KERNEL_DISPATCHES));
+        // And it samples the same clustering as incremental mode.
+        let mut e2 = SerialEngine::new();
+        reassign_vars(&mut e2, &mut s_inc, &d, &master, 0, 0, CandidateScoring::Kernel);
+        assert_eq!(s_ref.var_cluster_members(), s_inc.var_cluster_members());
     }
 }

@@ -29,6 +29,16 @@ pub const GIBBS_MOVES_PROPOSED: &str = "gibbs.moves_proposed";
 /// Proposed moves that changed the state (reassignment to a different
 /// cluster, or an actual merge).
 pub const GIBBS_MOVES_ACCEPTED: &str = "gibbs.moves_accepted";
+/// Sweeps executed with the batched candidate-scoring kernel.
+pub const GIBBS_KERNEL_DISPATCHES: &str = "gibbs.kernel_dispatches";
+/// Sweeps executed with the naive per-candidate scoring path.
+pub const GIBBS_NAIVE_DISPATCHES: &str = "gibbs.naive_dispatches";
+/// Tile-statistic cache lookups served without recomputation
+/// (kernel path only; lookups happen in replicated control flow, so
+/// the count is deterministic across engines and rank counts).
+pub const GIBBS_CACHE_HITS: &str = "gibbs.cache_hits";
+/// Tile-statistic cache lookups that recomputed (absent/stale entry).
+pub const GIBBS_CACHE_MISSES: &str = "gibbs.cache_misses";
 
 /// Module tree ensembles learned (one per module).
 pub const TREE_MODULES: &str = "tree.modules";

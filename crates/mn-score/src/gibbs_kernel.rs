@@ -1,0 +1,289 @@
+//! Batched candidate-scoring primitives for the GaneSH Gibbs sweeps.
+//!
+//! The sweeps of Algorithms 1–2 score, for one variable (or
+//! observation), every candidate cluster it could move to. Each
+//! candidate's weight decomposes into tile-local *terms*:
+//!
+//! * the **removal term** of a tile the item currently contributes to:
+//!   `lm(tile − item) − lm(tile)`;
+//! * the **addition term** of a candidate tile:
+//!   `lm(tile + item) − lm(tile)`;
+//! * the **merge-gain term** of two tiles:
+//!   `(lm(a ∪ b) − lm(a)) − lm(b)`.
+//!
+//! The naive path recomputes the item's statistics and both
+//! log-marginals for every candidate. The batched path caches the
+//! item statistics (they depend only on the sweep-stable partition
+//! structure) and the `lm(tile)` values (invalidated in O(1) when an
+//! accepted move touches the tile), so a candidate costs one
+//! constant-size normal-gamma evaluation.
+//!
+//! **Bit-identity argument.** Both paths call the *same* term
+//! functions below with the *same* argument bits: the cached
+//! statistics are produced by the identical accumulation loops (same
+//! element order) the naive path runs, and a cached `lm(tile)` is the
+//! output of the pure function `NormalGamma::log_marginal` on the
+//! identical `SuffStats` bits — memoization cannot change it. Since
+//! each term is one fixed floating-point expression and the per-tile
+//! terms are accumulated in the same (slot) order, every candidate
+//! weight is bit-identical between the two paths; identical weights
+//! feed identical `Select-Wtd-Rand` draws, so the sampled clustering
+//! is byte-identical. DESIGN.md §9 spells the argument out.
+
+use crate::normal_gamma::NormalGamma;
+use crate::suffstats::SuffStats;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Score change of removing `item` from `tile`, given `lm_tile =
+/// log_marginal(tile)`: `lm(tile − item) − lm_tile`.
+#[inline]
+pub fn removal_term(
+    prior: &NormalGamma,
+    tile: &SuffStats,
+    item: &SuffStats,
+    lm_tile: f64,
+) -> f64 {
+    let mut without = *tile;
+    without.unmerge(item);
+    prior.log_marginal(&without) - lm_tile
+}
+
+/// Score change of adding `item` to `tile`, given `lm_tile =
+/// log_marginal(tile)`: `lm(tile + item) − lm_tile`.
+#[inline]
+pub fn addition_term(
+    prior: &NormalGamma,
+    tile: &SuffStats,
+    item: &SuffStats,
+    lm_tile: f64,
+) -> f64 {
+    prior.log_marginal(&SuffStats::merged(tile, item)) - lm_tile
+}
+
+/// Score change of merging tiles `a` and `b`, given their
+/// log-marginals: `(lm(a ∪ b) − lm_a) − lm_b` — the exact expression
+/// (and left-to-right association) of
+/// [`NormalGamma::log_merge_gain`].
+#[inline]
+pub fn merge_gain_term(
+    prior: &NormalGamma,
+    a: &SuffStats,
+    b: &SuffStats,
+    lm_a: f64,
+    lm_b: f64,
+) -> f64 {
+    prior.log_marginal(&SuffStats::merged(a, b)) - lm_a - lm_b
+}
+
+/// A tiny multiplicative hasher for the caches' small integer-tuple
+/// keys. The sweeps do one lookup per candidate, so the default
+/// SipHash's per-call setup is a measurable fraction of a cache hit;
+/// this folds each written word into the state with one
+/// rotate-xor-multiply round (the classic Fx recipe). Not
+/// DoS-resistant, which is irrelevant here: the keys are internal
+/// variable/cluster indices, never attacker-controlled.
+#[derive(Debug, Default, Clone)]
+pub struct SmallKeyHasher(u64);
+
+impl SmallKeyHasher {
+    const M: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn fold(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(Self::M);
+    }
+}
+
+impl Hasher for SmallKeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.fold(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.fold(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.fold(v as u64);
+    }
+}
+
+type BuildSmallKeyHasher = std::hash::BuildHasherDefault<SmallKeyHasher>;
+
+/// An epoch-validated memo table with hit/miss accounting.
+///
+/// Each entry is stamped with the *epoch* of the state it was computed
+/// from; the caller bumps an epoch counter whenever an accepted move
+/// invalidates the entries that depend on it, which makes invalidation
+/// O(1) regardless of how many entries the epoch guards (stale entries
+/// are simply recomputed on next access). Hit/miss totals feed the
+/// deterministic `gibbs.cache_*` counters, so lookups must only happen
+/// in replicated control flow.
+#[derive(Debug, Clone)]
+pub struct EpochCache<K, V> {
+    map: HashMap<K, (u64, V), BuildSmallKeyHasher>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K, V> Default for EpochCache<K, V> {
+    fn default() -> Self {
+        Self {
+            map: HashMap::default(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+impl<K: Eq + Hash, V: Clone> EpochCache<K, V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The value for `key` at `epoch`, computing (and storing) it with
+    /// `compute` if absent or stale.
+    pub fn fetch(&mut self, key: K, epoch: u64, compute: impl FnOnce() -> V) -> V {
+        match self.map.get(&key) {
+            Some((e, v)) if *e == epoch => {
+                self.hits += 1;
+                v.clone()
+            }
+            _ => {
+                self.misses += 1;
+                let v = compute();
+                self.map.insert(key, (epoch, v.clone()));
+                v
+            }
+        }
+    }
+
+    /// The value for `key` if present at exactly `epoch`, counting a
+    /// hit or a miss either way. Pair with [`EpochCache::insert`] when
+    /// the value is produced elsewhere (e.g. inside the
+    /// block-partitioned loop) and stored back afterwards.
+    pub fn get(&mut self, key: &K, epoch: u64) -> Option<V> {
+        match self.map.get(key) {
+            Some((e, v)) if *e == epoch => {
+                self.hits += 1;
+                Some(v.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store `value` for `key` at `epoch` without touching the
+    /// hit/miss totals (the miss was already counted by the failed
+    /// [`EpochCache::get`]).
+    pub fn insert(&mut self, key: K, epoch: u64, value: V) {
+        self.map.insert(key, (epoch, value));
+    }
+
+    /// Epoch-valid entries, for validation: `(key, epoch, value)`.
+    pub fn entries(&self) -> impl Iterator<Item = (&K, u64, &V)> {
+        self.map.iter().map(|(k, (e, v))| (k, *e, v))
+    }
+
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to compute (absent or stale entry).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prior() -> NormalGamma {
+        NormalGamma::default()
+    }
+
+    #[test]
+    fn removal_term_matches_inline_expression() {
+        let p = prior();
+        let tile = SuffStats::from_values(&[1.0, 2.5, -0.5, 3.0]);
+        let item = SuffStats::from_values(&[2.5]);
+        let lm_tile = p.log_marginal(&tile);
+        let expect = {
+            let mut without = tile;
+            without.unmerge(&item);
+            p.log_marginal(&without) - p.log_marginal(&tile)
+        };
+        assert_eq!(
+            removal_term(&p, &tile, &item, lm_tile).to_bits(),
+            expect.to_bits()
+        );
+    }
+
+    #[test]
+    fn addition_term_matches_inline_expression() {
+        let p = prior();
+        let tile = SuffStats::from_values(&[1.0, 2.5, -0.5]);
+        let item = SuffStats::from_values(&[0.25, 4.0]);
+        let lm_tile = p.log_marginal(&tile);
+        let expect =
+            p.log_marginal(&SuffStats::merged(&tile, &item)) - p.log_marginal(&tile);
+        assert_eq!(
+            addition_term(&p, &tile, &item, lm_tile).to_bits(),
+            expect.to_bits()
+        );
+    }
+
+    #[test]
+    fn merge_gain_term_matches_log_merge_gain() {
+        let p = prior();
+        let a = SuffStats::from_values(&[1.0, 2.0, 3.0]);
+        let b = SuffStats::from_values(&[-1.0, 0.5]);
+        let got = merge_gain_term(&p, &a, &b, p.log_marginal(&a), p.log_marginal(&b));
+        assert_eq!(got.to_bits(), p.log_merge_gain(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn epoch_cache_hits_and_invalidates() {
+        let mut c: EpochCache<usize, f64> = EpochCache::new();
+        assert_eq!(c.fetch(7, 0, || 1.5), 1.5);
+        assert_eq!((c.hits(), c.misses()), (0, 1));
+        // Same epoch: served from cache, compute not called.
+        assert_eq!(c.fetch(7, 0, || unreachable!()), 1.5);
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        // Bumped epoch: stale, recomputed.
+        assert_eq!(c.fetch(7, 1, || 2.5), 2.5);
+        assert_eq!((c.hits(), c.misses()), (1, 2));
+        assert_eq!(c.fetch(7, 1, || unreachable!()), 2.5);
+        assert_eq!((c.hits(), c.misses()), (2, 2));
+    }
+
+    #[test]
+    fn epoch_cache_get_insert_round_trip() {
+        let mut c: EpochCache<usize, f64> = EpochCache::new();
+        assert_eq!(c.get(&3, 0), None);
+        assert_eq!((c.hits(), c.misses()), (0, 1));
+        c.insert(3, 0, 9.0);
+        assert_eq!((c.hits(), c.misses()), (0, 1), "insert must not count");
+        assert_eq!(c.get(&3, 0), Some(9.0));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        // Stale epoch: miss, and a fresh insert replaces the entry.
+        assert_eq!(c.get(&3, 1), None);
+        c.insert(3, 1, 10.0);
+        assert_eq!(c.get(&3, 1), Some(10.0));
+    }
+}

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod categorical;
+pub mod gibbs_kernel;
 pub mod mode;
 pub mod normal_gamma;
 pub mod special;
@@ -19,7 +20,8 @@ pub mod suffstats;
 pub mod tile;
 
 pub use categorical::{discrete_tile_score, CatStats, DirichletMultinomial};
-pub use mode::{ScoreMode, SplitScoring, COST_CELL, COST_LOGMARG};
+pub use gibbs_kernel::EpochCache;
+pub use mode::{CandidateScoring, ScoreMode, SplitScoring, COST_CELL, COST_LOGMARG};
 pub use split_kernel::{naive_sigmas, ScratchPool, SplitScratch};
 pub use normal_gamma::NormalGamma;
 pub use special::{ln_beta, ln_gamma, ln_gamma_ratio};

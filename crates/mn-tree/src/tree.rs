@@ -270,6 +270,7 @@ pub fn learn_module_trees<E: ParEngine>(
         params.burn_in,
         params.prior,
         params.mode,
+        params.candidate_scoring,
     );
     let trees = partitions
         .iter()
@@ -307,6 +308,7 @@ mod tests {
             1,
             TreeParams::default().prior,
             ScoreMode::Incremental,
+            mn_score::CandidateScoring::Kernel,
         )
         .pop()
         .unwrap()

@@ -5,7 +5,7 @@
 //!       [--seed N] [--ganesh-runs G] [--update-steps U]
 //!       [--init-clusters K0] [--trees R] [--splits-per-node J]
 //!       [--sampling-steps S] [--threshold T] [--reference]
-//!       [--candidates file.txt] [--xml out.xml] [--json out.json]
+//!       [--gibbs-naive] [--candidates file.txt] [--xml out.xml] [--json out.json]
 //!       [--trace trace.json] [--metrics-out metrics.json]
 //!       [--dag] [--quiet]
 //! monet --synthetic n,m [--engine ...]   # demo without an input file
@@ -25,7 +25,7 @@ use mn_comm::{
     ThreadEngine,
 };
 use mn_data::Dataset;
-use mn_score::ScoreMode;
+use mn_score::{CandidateScoring, ScoreMode};
 use monet::{learn_module_network, LearnerConfig, ModuleNetwork, RunMetrics};
 use std::process::ExitCode;
 
@@ -42,6 +42,7 @@ struct Options {
     sampling_steps: usize,
     threshold: f64,
     reference: bool,
+    gibbs_naive: bool,
     candidates: Option<String>,
     xml: Option<String>,
     json: Option<String>,
@@ -57,7 +58,7 @@ fn usage() -> ! {
          \x20      [--engine serial|threads:<p>|sim:<p>|msg:<p>] [--seed N]\n\
          \x20      [--ganesh-runs G] [--update-steps U] [--init-clusters K0]\n\
          \x20      [--trees R] [--splits-per-node J] [--sampling-steps S]\n\
-         \x20      [--threshold T] [--reference] [--candidates file]\n\
+         \x20      [--threshold T] [--reference] [--gibbs-naive] [--candidates file]\n\
          \x20      [--xml out.xml] [--json out.json]\n\
          \x20      [--trace trace.json] [--metrics-out metrics.json]\n\
          \x20      [--dag] [--quiet]"
@@ -80,6 +81,7 @@ fn parse_options() -> Options {
         sampling_steps: 8,
         threshold: 0.0,
         reference: false,
+        gibbs_naive: false,
         candidates: None,
         xml: None,
         json: None,
@@ -134,6 +136,7 @@ fn parse_options() -> Options {
                 opts.threshold = value(&args, &mut i).parse().unwrap_or_else(|_| usage())
             }
             "--reference" => opts.reference = true,
+            "--gibbs-naive" => opts.gibbs_naive = true,
             "--candidates" => opts.candidates = Some(value(&args, &mut i)),
             "--xml" => opts.xml = Some(value(&args, &mut i)),
             "--json" => opts.json = Some(value(&args, &mut i)),
@@ -176,6 +179,12 @@ fn build_config(opts: &Options, data: &Dataset) -> Result<LearnerConfig, String>
     config.tree.max_sampling_steps = opts.sampling_steps;
     if opts.reference {
         config = config.with_mode(ScoreMode::Reference);
+    }
+    if opts.gibbs_naive {
+        // A/B baseline: per-candidate naive scoring in every Gibbs
+        // sweep. Learns the identical network (bit-identical weights),
+        // only the wall-clock differs.
+        config = config.with_candidate_scoring(CandidateScoring::Naive);
     }
     if let Some(path) = &opts.candidates {
         let text =

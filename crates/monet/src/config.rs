@@ -2,7 +2,7 @@
 
 use mn_consensus::SpectralParams;
 use mn_gibbs::GaneshParams;
-use mn_score::{NormalGamma, ScoreMode};
+use mn_score::{CandidateScoring, NormalGamma, ScoreMode};
 use mn_tree::TreeParams;
 use serde::{Deserialize, Serialize};
 
@@ -68,6 +68,15 @@ impl LearnerConfig {
     pub fn with_mode(mut self, mode: ScoreMode) -> Self {
         self.ganesh.mode = mode;
         self.tree.mode = mode;
+        self
+    }
+
+    /// Switch every Gibbs sweep (GaneSH co-clustering and the tree
+    /// task's observation sampler) to the given candidate-scoring
+    /// path.
+    pub fn with_candidate_scoring(mut self, scoring: CandidateScoring) -> Self {
+        self.ganesh.candidate_scoring = scoring;
+        self.tree.candidate_scoring = scoring;
         self
     }
 
@@ -160,5 +169,15 @@ mod tests {
         let c = LearnerConfig::default().with_mode(ScoreMode::Reference);
         assert_eq!(c.ganesh.mode, ScoreMode::Reference);
         assert_eq!(c.tree.mode, ScoreMode::Reference);
+    }
+
+    #[test]
+    fn with_candidate_scoring_applies_everywhere() {
+        let c = LearnerConfig::default();
+        assert_eq!(c.ganesh.candidate_scoring, CandidateScoring::Kernel);
+        assert_eq!(c.tree.candidate_scoring, CandidateScoring::Kernel);
+        let c = c.with_candidate_scoring(CandidateScoring::Naive);
+        assert_eq!(c.ganesh.candidate_scoring, CandidateScoring::Naive);
+        assert_eq!(c.tree.candidate_scoring, CandidateScoring::Naive);
     }
 }
