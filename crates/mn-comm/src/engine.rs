@@ -146,6 +146,25 @@ pub trait ParEngine {
     fn count(&mut self, counter: &str, by: u64) {
         self.obs_mut().incr(counter, by);
     }
+
+    /// Whether this execution context should perform file I/O (e.g.
+    /// checkpoint writes). `true` everywhere except non-zero SPMD
+    /// ranks: the paper routes all file I/O through rank 0, and one
+    /// writer is what makes atomic tmp-file + rename checkpointing
+    /// race-free.
+    fn io_rank(&self) -> bool {
+        true
+    }
+
+    /// Synchronize all ranks *without* touching the deterministic
+    /// counters or the cost model — unlike [`ParEngine::collective`],
+    /// which is part of the accounted algorithm. Checkpointed
+    /// execution calls this once after every rank has loaded the
+    /// checkpoint store, so no rank can publish new checkpoint files
+    /// while a peer is still reading old ones; because nothing is
+    /// counted, enabling checkpointing cannot perturb a run's
+    /// accounting. No-op on single-process engines.
+    fn io_barrier(&mut self) {}
 }
 
 /// Convenience: run `f` inside a named phase.

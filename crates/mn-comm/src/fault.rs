@@ -1,0 +1,456 @@
+//! Deterministic fault injection and the communication error model.
+//!
+//! The paper's production runs last hours even on 4096 cores (§6), so
+//! the fabric must survive a disappearing peer instead of blocking
+//! forever, and the pipeline must be able to prove that a run killed at
+//! *any* point and resumed from its checkpoint reproduces the
+//! byte-identical module network (the §3.3 determinism property makes
+//! that equivalence testable).
+//!
+//! This module provides the two halves of that story:
+//!
+//! * [`CommError`] — the typed failure surface of every fabric
+//!   operation ([`crate::msg::fabric::Endpoint`] and the collectives
+//!   built on it): peer death, receive timeout, protocol mismatch
+//!   (with expected/actual type names and the (src, dst, event#)
+//!   coordinates), and injected faults.
+//! * [`FaultPlan`] — a deterministic, seed-drivable schedule of faults
+//!   keyed by `(rank, fabric event number)`: kill a rank, delay a
+//!   message, or drop a message. The same plan injected into the same
+//!   program faults at the same logical point every time, which is what
+//!   makes the kill/resume equivalence suite a sweep rather than a
+//!   stress test.
+//!
+//! Rank death is modeled as an unwinding panic with the typed payload
+//! [`InjectedCrash`] (from the plan) or [`FaultAbort`] (a surviving
+//! rank aborting on a [`CommError`]); [`crate::msg::spmd_run_faulty`]
+//! catches both and returns them as per-rank `Result`s. The engines
+//! without a fabric ([`crate::SerialEngine`], [`crate::ThreadEngine`],
+//! [`crate::SimEngine`]) count *engine events* (each `dist_map*`,
+//! `collective`, or `replicated` call) instead of fabric events and
+//! honor the plan's rank-0 kill entries, so one sweep harness covers
+//! all four engines.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Once;
+use std::time::Duration;
+
+/// A failed fabric operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The peer's endpoint was dropped (its rank died or returned):
+    /// the channel for this ordered pair is disconnected.
+    PeerDisconnected {
+        /// Rank whose channel disconnected (the message source for a
+        /// receive, the destination for a send).
+        peer: usize,
+        /// Rank that observed the disconnection.
+        rank: usize,
+        /// The observer's fabric event number at the failure.
+        event: u64,
+    },
+    /// No message arrived within the configured receive timeout.
+    Timeout {
+        /// Source rank the receive was waiting on.
+        src: usize,
+        /// Receiving rank.
+        dst: usize,
+        /// The receiver's fabric event number at the failure.
+        event: u64,
+        /// The timeout that elapsed.
+        waited: Duration,
+    },
+    /// The received payload's type differs from the expected one — a
+    /// protocol bug, reported with both type names and the message
+    /// coordinates instead of a bare panic.
+    ProtocolMismatch {
+        /// `type_name` the receiver asked for.
+        expected: &'static str,
+        /// `type_name` the sender actually shipped.
+        actual: &'static str,
+        /// Sending rank.
+        src: usize,
+        /// Receiving rank.
+        dst: usize,
+        /// The receiver's fabric event number at the failure.
+        event: u64,
+    },
+    /// This rank hit a `Kill` entry of the active [`FaultPlan`].
+    Injected {
+        /// The killed rank.
+        rank: usize,
+        /// The event number the kill was scheduled at.
+        event: u64,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::PeerDisconnected { peer, rank, event } => write!(
+                f,
+                "rank {rank}: peer rank {peer} disconnected (fabric event #{event})"
+            ),
+            CommError::Timeout {
+                src,
+                dst,
+                event,
+                waited,
+            } => write!(
+                f,
+                "rank {dst}: receive from rank {src} timed out after {waited:?} \
+                 (fabric event #{event})"
+            ),
+            CommError::ProtocolMismatch {
+                expected,
+                actual,
+                src,
+                dst,
+                event,
+            } => write!(
+                f,
+                "protocol mismatch: rank {dst} expected {expected} from rank {src} \
+                 but received {actual} (fabric event #{event})"
+            ),
+            CommError::Injected { rank, event } => {
+                write!(f, "rank {rank}: killed by fault plan at event #{event}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// What the plan does to a rank at a scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The rank dies: the operation returns [`CommError::Injected`]
+    /// and the rank unwinds, dropping its endpoint so peers observe
+    /// the disconnection.
+    Kill,
+    /// The operation is delayed by the given duration before
+    /// proceeding normally (exercises timeout margins; results are
+    /// unchanged).
+    Delay(Duration),
+    /// A `send` at this event silently discards its message (the
+    /// receiver's matching `recv` then times out). No effect on
+    /// receives.
+    Drop,
+}
+
+/// A deterministic schedule of faults keyed by `(rank, event#)`.
+///
+/// Event numbers are 1-based and counted per rank: on the message
+/// fabric every `send_to`/`recv_from` is one event; on the
+/// single-process engines every `dist_map*`/`collective`/`replicated`
+/// call is one event (attributed to rank 0).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    actions: BTreeMap<(usize, u64), FaultAction>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `rank` to die at its `event`-th fabric/engine event.
+    pub fn kill(mut self, rank: usize, event: u64) -> Self {
+        self.actions.insert((rank, event), FaultAction::Kill);
+        self
+    }
+
+    /// Schedule a delay at `rank`'s `event`-th event.
+    pub fn delay(mut self, rank: usize, event: u64, delay: Duration) -> Self {
+        self.actions.insert((rank, event), FaultAction::Delay(delay));
+        self
+    }
+
+    /// Schedule `rank`'s `event`-th event, if it is a send, to drop
+    /// its message.
+    pub fn drop_message(mut self, rank: usize, event: u64) -> Self {
+        self.actions.insert((rank, event), FaultAction::Drop);
+        self
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// The action scheduled for `(rank, event)`, if any.
+    pub fn action(&self, rank: usize, event: u64) -> Option<FaultAction> {
+        self.actions.get(&(rank, event)).copied()
+    }
+
+    /// A seed-driven plan: kill one deterministically chosen rank at a
+    /// deterministically chosen event in `1..=max_event`. The same
+    /// `(seed, nranks, max_event)` always produces the same plan, so a
+    /// sweep over seeds is a sweep over reproducible fault points.
+    pub fn from_seed(seed: u64, nranks: usize, max_event: u64) -> Self {
+        assert!(nranks >= 1, "need at least one rank");
+        assert!(max_event >= 1, "need at least one candidate event");
+        let r = splitmix64(seed.wrapping_add(0x9e37_79b9_7f4a_7c15));
+        let e = splitmix64(r);
+        let rank = (r % nranks as u64) as usize;
+        let event = 1 + e % max_event;
+        Self::new().kill(rank, event)
+    }
+
+    /// Parse a comma-separated plan spec, the CLI/env syntax:
+    ///
+    /// ```text
+    /// kill:<rank>@<event>
+    /// delay:<rank>@<event>:<millis>
+    /// drop:<rank>@<event>
+    /// seed:<n>            (expands via from_seed, max_event 10_000)
+    /// ```
+    pub fn parse(spec: &str, nranks: usize) -> Result<Self, String> {
+        let mut plan = Self::new();
+        for part in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let (kind, rest) = part
+                .split_once(':')
+                .ok_or_else(|| format!("bad fault spec {part:?}: expected kind:args"))?;
+            if kind == "seed" {
+                let seed: u64 = rest
+                    .parse()
+                    .map_err(|e| format!("bad fault seed {rest:?}: {e}"))?;
+                let seeded = Self::from_seed(seed, nranks, 10_000);
+                plan.actions.extend(seeded.actions);
+                continue;
+            }
+            let (rank_s, tail) = rest
+                .split_once('@')
+                .ok_or_else(|| format!("bad fault spec {part:?}: expected <rank>@<event>"))?;
+            let rank: usize = rank_s
+                .parse()
+                .map_err(|e| format!("bad fault rank {rank_s:?}: {e}"))?;
+            if rank >= nranks {
+                return Err(format!("fault rank {rank} out of range (p = {nranks})"));
+            }
+            match kind {
+                "kill" => {
+                    let event: u64 = tail
+                        .parse()
+                        .map_err(|e| format!("bad fault event {tail:?}: {e}"))?;
+                    plan = plan.kill(rank, event);
+                }
+                "drop" => {
+                    let event: u64 = tail
+                        .parse()
+                        .map_err(|e| format!("bad fault event {tail:?}: {e}"))?;
+                    plan = plan.drop_message(rank, event);
+                }
+                "delay" => {
+                    let (event_s, ms_s) = tail.split_once(':').ok_or_else(|| {
+                        format!("bad delay spec {part:?}: expected delay:<rank>@<event>:<millis>")
+                    })?;
+                    let event: u64 = event_s
+                        .parse()
+                        .map_err(|e| format!("bad fault event {event_s:?}: {e}"))?;
+                    let ms: u64 = ms_s
+                        .parse()
+                        .map_err(|e| format!("bad delay millis {ms_s:?}: {e}"))?;
+                    plan = plan.delay(rank, event, Duration::from_millis(ms));
+                }
+                other => {
+                    return Err(format!(
+                        "unknown fault kind {other:?}; expected kill | delay | drop | seed"
+                    ))
+                }
+            }
+        }
+        if plan.is_empty() {
+            return Err(format!("fault spec {spec:?} schedules nothing"));
+        }
+        Ok(plan)
+    }
+}
+
+/// SplitMix64 — the standard 64-bit finalizer-style mixer, used here
+/// so `mn-comm` needs no dependency on `mn-rand` for plan derivation.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Panic payload of a rank killed by its [`FaultPlan`]. Unwinding with
+/// this payload is the *clean* death path: the rank's endpoint drops,
+/// peers observe [`CommError::PeerDisconnected`], and
+/// [`crate::msg::spmd_run_faulty`] converts the payload to
+/// `Err(CommError::Injected { .. })`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedCrash {
+    /// The killed rank.
+    pub rank: usize,
+    /// The event the kill was scheduled at.
+    pub event: u64,
+}
+
+/// Panic payload of a rank aborting on a communication error (peer
+/// death, timeout, protocol mismatch). Caught by
+/// [`crate::msg::spmd_run_faulty`] and returned as `Err(err)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultAbort(pub CommError);
+
+/// Per-engine fault-injection state: the plan plus this context's
+/// event counter.
+#[derive(Debug, Clone)]
+pub struct FaultClock {
+    plan: FaultPlan,
+    rank: usize,
+    events: u64,
+}
+
+impl FaultClock {
+    /// A clock for `rank` ticking against `plan`.
+    pub fn new(plan: FaultPlan, rank: usize) -> Self {
+        Self {
+            plan,
+            rank,
+            events: 0,
+        }
+    }
+
+    /// Events counted so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Count one event and return the scheduled action, if any.
+    pub fn tick(&mut self) -> Option<FaultAction> {
+        self.events += 1;
+        self.plan.action(self.rank, self.events)
+    }
+
+    /// Count one event; on a scheduled `Kill`, unwind with
+    /// [`InjectedCrash`] (delay/drop entries are ignored — they only
+    /// apply to fabric messages).
+    pub fn tick_or_die(&mut self) {
+        if let Some(FaultAction::Kill) = self.tick() {
+            std::panic::panic_any(InjectedCrash {
+                rank: self.rank,
+                event: self.events,
+            });
+        }
+    }
+}
+
+/// Install (once) a panic hook that suppresses the default "thread
+/// panicked" report for the *expected* unwinds of fault injection —
+/// [`InjectedCrash`] and [`FaultAbort`] payloads — while delegating
+/// every other panic to the previously installed hook. Test harnesses
+/// call this so a 12-point kill sweep doesn't print 12 backtraces.
+pub fn silence_injected_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            if payload.is::<InjectedCrash>() || payload.is::<FaultAbort>() {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_schedules_and_looks_up() {
+        let plan = FaultPlan::new()
+            .kill(2, 10)
+            .delay(0, 3, Duration::from_millis(5))
+            .drop_message(1, 7);
+        assert_eq!(plan.action(2, 10), Some(FaultAction::Kill));
+        assert_eq!(
+            plan.action(0, 3),
+            Some(FaultAction::Delay(Duration::from_millis(5)))
+        );
+        assert_eq!(plan.action(1, 7), Some(FaultAction::Drop));
+        assert_eq!(plan.action(2, 9), None);
+        assert_eq!(plan.action(3, 10), None);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_in_range() {
+        for seed in 0..50u64 {
+            let a = FaultPlan::from_seed(seed, 4, 100);
+            let b = FaultPlan::from_seed(seed, 4, 100);
+            assert_eq!(a, b);
+            let ((rank, event), action) = a.actions.iter().next().unwrap();
+            assert!(*rank < 4);
+            assert!((1..=100).contains(event));
+            assert_eq!(*action, FaultAction::Kill);
+        }
+        // Different seeds explore different points.
+        let points: std::collections::BTreeSet<_> = (0..50u64)
+            .map(|s| {
+                let p = FaultPlan::from_seed(s, 4, 100);
+                *p.actions.keys().next().unwrap()
+            })
+            .collect();
+        assert!(points.len() > 10, "seeded plans barely vary: {points:?}");
+    }
+
+    #[test]
+    fn spec_parsing_roundtrips() {
+        let plan = FaultPlan::parse("kill:1@20, drop:0@5, delay:2@9:15", 3).unwrap();
+        assert_eq!(plan.action(1, 20), Some(FaultAction::Kill));
+        assert_eq!(plan.action(0, 5), Some(FaultAction::Drop));
+        assert_eq!(
+            plan.action(2, 9),
+            Some(FaultAction::Delay(Duration::from_millis(15)))
+        );
+        assert!(FaultPlan::parse("seed:7", 4).is_ok());
+        assert!(FaultPlan::parse("kill:9@1", 3).is_err(), "rank out of range");
+        assert!(FaultPlan::parse("kill:1", 3).is_err());
+        assert!(FaultPlan::parse("explode:1@2", 3).is_err());
+        assert!(FaultPlan::parse("", 3).is_err());
+    }
+
+    #[test]
+    fn clock_ticks_and_dies_at_the_scheduled_event() {
+        let plan = FaultPlan::new().kill(0, 3);
+        let mut clock = FaultClock::new(plan, 0);
+        clock.tick_or_die();
+        clock.tick_or_die();
+        assert_eq!(clock.events(), 2);
+        let crash = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            clock.tick_or_die();
+        }))
+        .unwrap_err();
+        let crash = crash.downcast::<InjectedCrash>().expect("typed payload");
+        assert_eq!(*crash, InjectedCrash { rank: 0, event: 3 });
+    }
+
+    #[test]
+    fn errors_render_their_coordinates() {
+        let e = CommError::ProtocolMismatch {
+            expected: "alloc::string::String",
+            actual: "u32",
+            src: 1,
+            dst: 2,
+            event: 40,
+        };
+        let text = e.to_string();
+        assert!(text.contains("String") && text.contains("u32"));
+        assert!(text.contains("rank 2") && text.contains("rank 1"));
+        assert!(text.contains("#40"));
+        let t = CommError::Timeout {
+            src: 0,
+            dst: 3,
+            event: 9,
+            waited: Duration::from_millis(250),
+        }
+        .to_string();
+        assert!(t.contains("timed out") && t.contains("rank 3"));
+    }
+}

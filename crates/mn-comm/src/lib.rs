@@ -29,6 +29,7 @@
 
 pub mod cost;
 pub mod engine;
+pub mod fault;
 pub mod metrics;
 pub mod msg;
 pub mod partition;
@@ -38,7 +39,11 @@ pub mod sim;
 pub mod thread;
 
 pub use cost::{Collective, CostModel};
-pub use msg::{spmd_run, SpmdEngine};
+pub use fault::{
+    silence_injected_panics, CommError, FaultAction, FaultAbort, FaultClock, FaultPlan,
+    InjectedCrash,
+};
+pub use msg::{spmd_run, spmd_run_faulty, SpmdEngine};
 pub use engine::{with_phase, with_span, Costed, ParEngine, SegmentBatchFn};
 pub use metrics::{PhaseReport, RunReport};
 pub use mn_obs::{self as obs, ObsSnapshot, Recorder};

@@ -17,11 +17,25 @@
 //!
 //! All protocols are deterministic and lock-step: every rank must call
 //! every collective in the same order with the same type parameters.
+//!
+//! Every collective returns `Result<_, CommError>`: a peer that dies
+//! mid-protocol surfaces as an error on the ranks that were scheduled
+//! to hear from (or talk to) it, and — because an erroring rank
+//! unwinds and drops its own endpoint — the disconnection cascades
+//! through the schedule until every surviving rank has aborted. No
+//! rank is left blocked on a dead peer (with a receive timeout
+//! configured, even a silently dropped message resolves to
+//! [`CommError::Timeout`]).
 
+use crate::fault::CommError;
 use crate::msg::fabric::Endpoint;
 
 /// Binomial-tree broadcast of `value` from `root` to all ranks.
-pub fn bcast<T: Clone + Send + 'static>(ep: &Endpoint, root: usize, value: Option<T>) -> T {
+pub fn bcast<T: Clone + Send + 'static>(
+    ep: &Endpoint,
+    root: usize,
+    value: Option<T>,
+) -> Result<T, CommError> {
     let p = ep.nranks();
     let rank = ep.rank();
     assert!(root < p);
@@ -39,7 +53,7 @@ pub fn bcast<T: Clone + Send + 'static>(ep: &Endpoint, root: usize, value: Optio
     while mask < p {
         if vrank & mask != 0 {
             let src = (vrank - mask + root) % p;
-            data = Some(ep.recv_from::<T>(src));
+            data = Some(ep.recv_from::<T>(src)?);
             break;
         }
         mask <<= 1;
@@ -48,21 +62,21 @@ pub fn bcast<T: Clone + Send + 'static>(ep: &Endpoint, root: usize, value: Optio
     while mask > 0 {
         if vrank + mask < p {
             let dst = (vrank + mask + root) % p;
-            ep.send_to(dst, data.clone().expect("data present by schedule"));
+            ep.send_to(dst, data.clone().expect("data present by schedule"))?;
         }
         mask >>= 1;
     }
-    data.expect("broadcast did not reach this rank")
+    Ok(data.expect("broadcast did not reach this rank"))
 }
 
 /// Binomial-tree reduction of per-rank `value`s to `root` with the
-/// associative combiner `op`. Non-root ranks return `None`.
+/// associative combiner `op`. Non-root ranks return `Ok(None)`.
 pub fn reduce<T: Send + 'static>(
     ep: &Endpoint,
     root: usize,
     value: T,
     op: impl Fn(T, T) -> T,
-) -> Option<T> {
+) -> Result<Option<T>, CommError> {
     let p = ep.nranks();
     let rank = ep.rank();
     let vrank = (rank + p - root) % p;
@@ -73,19 +87,19 @@ pub fn reduce<T: Send + 'static>(
             // Send our partial to the partner and retire.
             let dst_v = vrank - mask;
             let dst = (dst_v + root) % p;
-            ep.send_to(dst, acc);
-            return None;
+            ep.send_to(dst, acc)?;
+            return Ok(None);
         }
         // We may receive from vrank + mask if it exists.
         let src_v = vrank + mask;
         if src_v < p {
             let src = (src_v + root) % p;
-            let other = ep.recv_from::<T>(src);
+            let other = ep.recv_from::<T>(src)?;
             acc = op(acc, other);
         }
         mask <<= 1;
     }
-    Some(acc)
+    Ok(Some(acc))
 }
 
 /// All-reduce: reduce to rank 0, broadcast the result.
@@ -93,29 +107,32 @@ pub fn allreduce<T: Clone + Send + 'static>(
     ep: &Endpoint,
     value: T,
     op: impl Fn(T, T) -> T,
-) -> T {
-    let reduced = reduce(ep, 0, value, op);
+) -> Result<T, CommError> {
+    let reduced = reduce(ep, 0, value, op)?;
     bcast(ep, 0, reduced)
 }
 
 /// Variable-length all-gather: every rank contributes a `Vec<T>`; all
 /// ranks receive the rank-ordered concatenation (the semantics the
 /// split-selection phase of Alg. 5 needs).
-pub fn allgatherv<T: Clone + Send + 'static>(ep: &Endpoint, local: Vec<T>) -> Vec<T> {
+pub fn allgatherv<T: Clone + Send + 'static>(
+    ep: &Endpoint,
+    local: Vec<T>,
+) -> Result<Vec<T>, CommError> {
     let p = ep.nranks();
     let rank = ep.rank();
     if p == 1 {
-        return local;
+        return Ok(local);
     }
     if rank == 0 {
         let mut all = local;
         for src in 1..p {
-            let part = ep.recv_from::<Vec<T>>(src);
+            let part = ep.recv_from::<Vec<T>>(src)?;
             all.extend(part);
         }
         bcast(ep, 0, Some(all))
     } else {
-        ep.send_to(0, local);
+        ep.send_to(0, local)?;
         bcast::<Vec<T>>(ep, 0, None)
     }
 }
@@ -127,32 +144,44 @@ pub fn exscan<T: Clone + Send + 'static>(
     value: T,
     identity: T,
     op: impl Fn(T, T) -> T,
-) -> T {
-    let contributions = allgatherv(ep, vec![value]);
+) -> Result<T, CommError> {
+    let contributions = allgatherv(ep, vec![value])?;
     let mut acc = identity;
     for v in contributions.into_iter().take(ep.rank()) {
         acc = op(acc, v);
     }
-    acc
+    Ok(acc)
 }
 
 /// Barrier: a unit all-reduce.
-pub fn barrier(ep: &Endpoint) {
-    allreduce(ep, (), |(), ()| ());
+pub fn barrier(ep: &Endpoint) -> Result<(), CommError> {
+    allreduce(ep, (), |(), ()| ())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::msg::fabric::fabric;
+    use crate::fault::FaultPlan;
+    use crate::msg::fabric::{fabric, fabric_with_faults};
+    use std::time::Duration;
 
     /// Run `f` as SPMD over p ranks, collecting each rank's result.
     fn spmd<R: Send>(p: usize, f: impl Fn(&Endpoint) -> R + Sync) -> Vec<R> {
         let endpoints = fabric(p);
+        spmd_over(endpoints, f)
+    }
+
+    /// Like `spmd`, but each thread *owns* its endpoint, so a rank
+    /// that returns (or unwinds) drops it and peers observe the
+    /// disconnection — the liveness property the fault tests rely on.
+    fn spmd_over<R: Send>(endpoints: Vec<Endpoint>, f: impl Fn(&Endpoint) -> R + Sync) -> Vec<R> {
         std::thread::scope(|scope| {
             let handles: Vec<_> = endpoints
-                .iter()
-                .map(|ep| scope.spawn(|| f(ep)))
+                .into_iter()
+                .map(|ep| {
+                    let f = &f;
+                    scope.spawn(move || f(&ep))
+                })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         })
@@ -164,7 +193,7 @@ mod tests {
             for root in [0, p - 1, p / 2] {
                 let out = spmd(p, |ep| {
                     let value = (ep.rank() == root).then(|| format!("msg-{root}"));
-                    bcast(ep, root, value)
+                    bcast(ep, root, value).unwrap()
                 });
                 assert!(out.iter().all(|v| v == &format!("msg-{root}")), "p={p} root={root}");
             }
@@ -174,7 +203,9 @@ mod tests {
     #[test]
     fn reduce_sums_to_root() {
         for p in [1usize, 2, 3, 5, 8] {
-            let out = spmd(p, |ep| reduce(ep, 0, ep.rank() as u64 + 1, |a, b| a + b));
+            let out = spmd(p, |ep| {
+                reduce(ep, 0, ep.rank() as u64 + 1, |a, b| a + b).unwrap()
+            });
             let expected: u64 = (1..=p as u64).sum();
             assert_eq!(out[0], Some(expected), "p={p}");
             assert!(out[1..].iter().all(Option::is_none));
@@ -185,7 +216,7 @@ mod tests {
     fn allreduce_max_on_all_ranks() {
         for p in [1usize, 2, 3, 6, 8] {
             let out = spmd(p, |ep| {
-                allreduce(ep, (ep.rank() * 7 % 5, ep.rank()), |a, b| a.max(b))
+                allreduce(ep, (ep.rank() * 7 % 5, ep.rank()), |a, b| a.max(b)).unwrap()
             });
             let expected = (0..p).map(|r| (r * 7 % 5, r)).max().unwrap();
             assert!(out.iter().all(|&v| v == expected), "p={p}");
@@ -198,7 +229,7 @@ mod tests {
             let out = spmd(p, |ep| {
                 // Rank r contributes r copies of r.
                 let local = vec![ep.rank(); ep.rank()];
-                allgatherv(ep, local)
+                allgatherv(ep, local).unwrap()
             });
             let expected: Vec<usize> = (0..p).flat_map(|r| vec![r; r]).collect();
             assert!(out.iter().all(|v| v == &expected), "p={p}");
@@ -208,7 +239,9 @@ mod tests {
     #[test]
     fn exscan_prefixes() {
         for p in [1usize, 2, 3, 5, 8] {
-            let out = spmd(p, |ep| exscan(ep, ep.rank() as u64 + 1, 0u64, |a, b| a + b));
+            let out = spmd(p, |ep| {
+                exscan(ep, ep.rank() as u64 + 1, 0u64, |a, b| a + b).unwrap()
+            });
             for (r, &v) in out.iter().enumerate() {
                 let expected: u64 = (1..=r as u64).sum();
                 assert_eq!(v, expected, "p={p} rank={r}");
@@ -221,7 +254,7 @@ mod tests {
         for p in [1usize, 2, 5, 8] {
             spmd(p, |ep| {
                 for _ in 0..10 {
-                    barrier(ep);
+                    barrier(ep).unwrap();
                 }
             });
         }
@@ -231,12 +264,58 @@ mod tests {
     fn collectives_compose() {
         // A mixed program exercising protocol lock-step across rounds.
         let out = spmd(5, |ep| {
-            let sum: u32 = allreduce(ep, ep.rank() as u32, |a, b| a + b);
-            let all = allgatherv(ep, vec![sum + ep.rank() as u32]);
-            let max = allreduce(ep, all[ep.rank()], |a, b| a.max(b));
-            barrier(ep);
+            let sum: u32 = allreduce(ep, ep.rank() as u32, |a, b| a + b).unwrap();
+            let all = allgatherv(ep, vec![sum + ep.rank() as u32]).unwrap();
+            let max = allreduce(ep, all[ep.rank()], |a, b| a.max(b)).unwrap();
+            barrier(ep).unwrap();
             (sum, max)
         });
         assert!(out.iter().all(|&(s, m)| s == 10 && m == 14));
+    }
+
+    #[test]
+    fn peer_death_aborts_every_survivor_without_deadlock() {
+        // Rank 1 dies at its very first fabric event; everyone else
+        // keeps running allreduce rounds. Every surviving rank must
+        // come back with a CommError (not hang), because each abort
+        // drops an endpoint and cascades the disconnection.
+        let plan = FaultPlan::new().kill(1, 1);
+        for p in [2usize, 3, 4, 5] {
+            let endpoints = fabric_with_faults(p, plan.clone(), Some(Duration::from_secs(5)));
+            let out = spmd_over(endpoints, |ep| -> Result<(), CommError> {
+                for _ in 0..4 {
+                    allreduce(ep, ep.rank() as u64, |a, b| a + b)?;
+                }
+                Ok(())
+            });
+            for (rank, result) in out.iter().enumerate() {
+                assert!(result.is_err(), "p={p} rank={rank} should have aborted");
+            }
+            assert!(
+                out.iter().any(|r| matches!(r, Err(CommError::Injected { rank: 1, .. }))),
+                "p={p}: the killed rank reports the injection: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn late_peer_death_reaches_all_ranks() {
+        // Kill rank p-1 a few events in, mid-protocol: survivors still
+        // all abort within the timeout.
+        for p in [3usize, 4] {
+            let plan = FaultPlan::new().kill(p - 1, 5);
+            let endpoints = fabric_with_faults(p, plan, Some(Duration::from_secs(5)));
+            let out = spmd_over(endpoints, |ep| -> Result<u64, CommError> {
+                let mut acc = ep.rank() as u64;
+                for _ in 0..20 {
+                    acc = allreduce(ep, acc, |a, b| a.wrapping_add(b))?;
+                }
+                Ok(acc)
+            });
+            assert!(
+                out.iter().all(Result::is_err),
+                "p={p}: every rank aborts: {out:?}"
+            );
+        }
     }
 }

@@ -16,13 +16,30 @@
 
 use crate::cost::Collective;
 use crate::engine::{Costed, ParEngine, SegmentBatchFn};
+use crate::fault::{CommError, FaultAbort, FaultPlan, InjectedCrash};
 use crate::metrics::{PhaseReport, RunReport};
 use crate::msg::collectives::{allgatherv, allreduce, barrier};
-use crate::msg::fabric::{fabric, Endpoint};
+use crate::msg::fabric::{fabric, fabric_with_faults, Endpoint};
 use crate::partition::block_range;
 use crate::segments::Segments;
 use mn_obs::Recorder;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Unwrap a fabric result or abort this rank by unwinding with a typed
+/// payload: [`InjectedCrash`] if the plan killed *this* rank,
+/// [`FaultAbort`] for every other communication failure. The unwind
+/// drops the rank's endpoint, so peers observe the disconnection and
+/// cascade — [`spmd_run_faulty`] converts the payloads back into
+/// per-rank `Err` values.
+fn ok_or_abort<T>(result: Result<T, CommError>) -> T {
+    match result {
+        Ok(value) => value,
+        Err(CommError::Injected { rank, event }) => {
+            std::panic::panic_any(InjectedCrash { rank, event })
+        }
+        Err(err) => std::panic::panic_any(FaultAbort(err)),
+    }
+}
 
 /// The per-rank engine handed to an SPMD program.
 pub struct SpmdEngine {
@@ -100,7 +117,7 @@ impl ParEngine for SpmdEngine {
         self.busy += dt;
         self.obs.charge_busy_rank(rank, dt);
         let comm_start = Instant::now();
-        let out = allgatherv(&self.ep, local);
+        let out = ok_or_abort(allgatherv(&self.ep, local));
         self.obs.charge_comm(comm_start.elapsed().as_secs_f64());
         out
     }
@@ -126,7 +143,7 @@ impl ParEngine for SpmdEngine {
         self.busy += dt;
         self.obs.charge_busy_rank(rank, dt);
         let comm_start = Instant::now();
-        let out = allgatherv(&self.ep, local);
+        let out = ok_or_abort(allgatherv(&self.ep, local));
         self.obs.charge_comm(comm_start.elapsed().as_secs_f64());
         out
     }
@@ -136,7 +153,7 @@ impl ParEngine for SpmdEngine {
         // ranks lock-step with a real barrier.
         self.obs.count_collective(words);
         let start = Instant::now();
-        barrier(&self.ep);
+        ok_or_abort(barrier(&self.ep));
         self.obs.charge_comm(start.elapsed().as_secs_f64());
     }
 
@@ -174,6 +191,19 @@ impl ParEngine for SpmdEngine {
     fn now_s(&self) -> f64 {
         self.epoch.elapsed().as_secs_f64()
     }
+
+    fn io_rank(&self) -> bool {
+        // One checkpoint writer per fabric, as the paper routes all
+        // file I/O through rank 0.
+        self.ep.rank() == 0
+    }
+
+    fn io_barrier(&mut self) {
+        // A real barrier, but uncounted: file-I/O ordering is not part
+        // of the accounted algorithm, so enabling checkpointing leaves
+        // every counter and cost figure untouched.
+        ok_or_abort(barrier(&self.ep));
+    }
 }
 
 /// Run `program` as SPMD over `p` ranks; returns every rank's result
@@ -189,7 +219,7 @@ pub fn spmd_run<R: Send>(p: usize, program: impl Fn(&mut SpmdEngine) -> R + Sync
                 scope.spawn(move || {
                     let mut engine = SpmdEngine::new(ep);
                     let out = program(&mut engine);
-                    barrier(engine.endpoint());
+                    ok_or_abort(barrier(engine.endpoint()));
                     out
                 })
             })
@@ -198,18 +228,73 @@ pub fn spmd_run<R: Send>(p: usize, program: impl Fn(&mut SpmdEngine) -> R + Sync
     })
 }
 
-/// All-reduce helper for SPMD programs.
+/// Run `program` as SPMD over `p` ranks under a [`FaultPlan`],
+/// returning each rank's outcome in rank order: `Ok(result)` for ranks
+/// that finished, `Err(CommError::Injected { .. })` for ranks the plan
+/// killed, and `Err(..)` with the observed failure for survivors that
+/// aborted on a dead peer, timeout, or protocol mismatch. Panics that
+/// are *not* fault-injection payloads propagate unchanged.
+///
+/// `recv_timeout` bounds every fabric receive so injected message
+/// drops resolve to [`CommError::Timeout`] instead of deadlock; peer
+/// *death* needs no timeout (the dropped endpoint disconnects the
+/// channels), so `None` is safe for kill-only plans.
+pub fn spmd_run_faulty<R: Send>(
+    p: usize,
+    plan: FaultPlan,
+    recv_timeout: Option<Duration>,
+    program: impl Fn(&mut SpmdEngine) -> R + Sync,
+) -> Vec<Result<R, CommError>> {
+    let endpoints = fabric_with_faults(p, plan, recv_timeout);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .map(|ep| {
+                let program = &program;
+                scope.spawn(move || {
+                    let mut engine = SpmdEngine::new(ep);
+                    let out = program(&mut engine);
+                    // Best-effort exit barrier: with faults active,
+                    // peers may already be gone.
+                    let _ = barrier(engine.endpoint());
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(out) => Ok(out),
+                Err(payload) => match payload.downcast::<InjectedCrash>() {
+                    Ok(crash) => Err(CommError::Injected {
+                        rank: crash.rank,
+                        event: crash.event,
+                    }),
+                    Err(payload) => match payload.downcast::<FaultAbort>() {
+                        Ok(abort) => Err(abort.0),
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    },
+                },
+            })
+            .collect()
+    })
+}
+
+/// All-reduce helper for SPMD programs. Aborts the rank (unwinding
+/// with a fault payload) on a communication failure; run under
+/// [`spmd_run_faulty`] to observe the failure as a `Result`.
 pub fn spmd_allreduce<T: Clone + Send + 'static>(
     engine: &SpmdEngine,
     value: T,
     op: impl Fn(T, T) -> T,
 ) -> T {
-    allreduce(engine.endpoint(), value, op)
+    ok_or_abort(allreduce(engine.endpoint(), value, op))
 }
 
-/// All-gather helper for SPMD programs.
+/// All-gather helper for SPMD programs. Aborts the rank on a
+/// communication failure, like [`spmd_allreduce`].
 pub fn spmd_allgatherv<T: Clone + Send + 'static>(engine: &SpmdEngine, local: Vec<T>) -> Vec<T> {
-    allgatherv(engine.endpoint(), local)
+    ok_or_abort(allgatherv(engine.endpoint(), local))
 }
 
 #[cfg(test)]
@@ -256,6 +341,38 @@ mod tests {
             assert_eq!(r.nranks, 3);
             assert_eq!(r.phases.len(), 2);
             assert_eq!(r.phases[0].name, "a");
+        }
+    }
+
+    #[test]
+    fn faulty_run_reports_the_killed_rank_and_aborts_survivors() {
+        crate::fault::silence_injected_panics();
+        let plan = FaultPlan::new().kill(1, 3);
+        let out = spmd_run_faulty(3, plan, None, |engine| {
+            for _ in 0..5 {
+                engine.dist_map(12, 1, &|i| (i, 1));
+            }
+            engine.rank()
+        });
+        assert!(
+            matches!(out[1], Err(CommError::Injected { rank: 1, event: 3 })),
+            "{out:?}"
+        );
+        for (rank, result) in out.iter().enumerate() {
+            if rank != 1 {
+                assert!(result.is_err(), "rank {rank} survived a dead peer: {out:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_run_with_empty_plan_matches_spmd_run() {
+        let plain = spmd_run(3, |engine| engine.dist_map(10, 1, &|i| (i * 2, 1)));
+        let faulty = spmd_run_faulty(3, FaultPlan::new(), None, |engine| {
+            engine.dist_map(10, 1, &|i| (i * 2, 1))
+        });
+        for (a, b) in plain.iter().zip(&faulty) {
+            assert_eq!(Some(a), b.as_ref().ok());
         }
     }
 

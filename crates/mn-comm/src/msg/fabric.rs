@@ -8,15 +8,40 @@
 //! sees deterministic message order, exactly like MPI's non-overtaking
 //! guarantee on a single tag.
 //!
-//! Payloads travel as `Box<dyn Any + Send>`: ranks live in one
-//! process, so "sending" moves ownership instead of serializing. The
-//! typed [`Endpoint::recv_from`] downcasts and panics on a protocol
-//! mismatch (a bug, not a runtime condition).
+//! Payloads travel as `Box<dyn Any + Send>` tagged with the sender's
+//! `type_name`: ranks live in one process, so "sending" moves
+//! ownership instead of serializing. Every operation returns
+//! `Result<_, CommError>` — a dead peer surfaces as
+//! [`CommError::PeerDisconnected`], a dropped message as
+//! [`CommError::Timeout`] (when a receive timeout is configured), and
+//! a typed-protocol violation as [`CommError::ProtocolMismatch`]
+//! naming both types and the (src, dst, event#) coordinates.
+//!
+//! Each endpoint counts its *fabric events* (every send or receive is
+//! one, numbered from 1); a [`FaultPlan`] attached via
+//! [`fabric_with_faults`] consults that counter to kill the rank,
+//! delay an operation, or drop an outgoing message at a
+//! deterministic, reproducible point.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::fault::{CommError, FaultAction, FaultPlan};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
-type Packet = Box<dyn Any + Send>;
+/// A payload plus the `type_name` recorded at the send site, so a
+/// receive-side downcast failure can report what was actually sent.
+type Packet = (&'static str, Box<dyn Any + Send>);
+
+/// Environment variable that sets the default receive timeout (in
+/// milliseconds) for fabrics built with [`fabric`]. Unset or `0`
+/// means block forever (the pre-fault-tolerance behavior).
+pub const RECV_TIMEOUT_ENV: &str = "MN_RECV_TIMEOUT_MS";
+
+fn env_recv_timeout() -> Option<Duration> {
+    let ms: u64 = std::env::var(RECV_TIMEOUT_ENV).ok()?.trim().parse().ok()?;
+    (ms > 0).then(|| Duration::from_millis(ms))
+}
 
 /// One rank's view of the fabric.
 pub struct Endpoint {
@@ -25,6 +50,14 @@ pub struct Endpoint {
     to: Vec<Sender<Packet>>,
     /// `from[s]` receives from rank s.
     from: Vec<Receiver<Packet>>,
+    /// Fabric events completed by this endpoint (sends + receives).
+    /// Atomic only to keep `Endpoint: Sync`; each endpoint is used by
+    /// one rank-thread, so `Relaxed` ordering suffices.
+    events: AtomicU64,
+    /// Max wait per receive; `None` blocks forever.
+    recv_timeout: Option<Duration>,
+    /// Deterministic fault schedule, if injection is active.
+    faults: FaultPlan,
 }
 
 impl Endpoint {
@@ -40,36 +73,109 @@ impl Endpoint {
         self.to.len()
     }
 
-    /// Send `value` to rank `dst` (non-blocking; channels are
-    /// unbounded).
-    pub fn send_to<T: Send + 'static>(&self, dst: usize, value: T) {
-        self.to[dst]
-            .send(Box::new(value))
-            .expect("fabric channel closed: peer rank dropped its endpoint");
+    /// Fabric events (sends + receives) completed by this endpoint.
+    #[inline]
+    pub fn events(&self) -> u64 {
+        self.events.load(Ordering::Relaxed)
     }
 
-    /// Receive the next message from rank `src`, blocking until it
-    /// arrives.
+    /// Count one fabric event and return any fault scheduled for it.
+    fn tick(&self) -> Result<Option<FaultAction>, CommError> {
+        let event = self.events.fetch_add(1, Ordering::Relaxed) + 1;
+        match self.faults.action(self.rank, event) {
+            Some(FaultAction::Kill) => Err(CommError::Injected {
+                rank: self.rank,
+                event,
+            }),
+            Some(FaultAction::Delay(d)) => {
+                std::thread::sleep(d);
+                Ok(None)
+            }
+            other => Ok(other),
+        }
+    }
+
+    /// Send `value` to rank `dst` (non-blocking; channels are
+    /// unbounded). Fails if `dst` has dropped its endpoint or a fault
+    /// plan kills this rank at this event.
+    pub fn send_to<T: Send + 'static>(&self, dst: usize, value: T) -> Result<(), CommError> {
+        if let Some(FaultAction::Drop) = self.tick()? {
+            return Ok(()); // injected message loss: silently discard
+        }
+        self.to[dst]
+            .send((std::any::type_name::<T>(), Box::new(value)))
+            .map_err(|_| CommError::PeerDisconnected {
+                peer: dst,
+                rank: self.rank,
+                event: self.events(),
+            })
+    }
+
+    /// Receive the next message from rank `src`, waiting at most the
+    /// configured receive timeout (forever if none is set).
     ///
-    /// # Panics
-    /// Panics if the message's type is not `T` — collective protocols
-    /// are lock-step, so a type mismatch is a protocol bug.
-    pub fn recv_from<T: Send + 'static>(&self, src: usize) -> T {
-        let packet = self.from[src]
-            .recv()
-            .expect("fabric channel closed: peer rank dropped its endpoint");
-        *packet.downcast::<T>().unwrap_or_else(|_| {
-            panic!(
-                "protocol mismatch: rank {} expected {} from rank {src}",
-                self.rank,
-                std::any::type_name::<T>()
-            )
-        })
+    /// Fails with [`CommError::PeerDisconnected`] if `src` died,
+    /// [`CommError::Timeout`] if nothing arrived in time, and
+    /// [`CommError::ProtocolMismatch`] if the payload's type is not
+    /// `T` — collective protocols are lock-step, so a type mismatch is
+    /// a protocol bug, but it is reported with full coordinates
+    /// instead of a bare panic.
+    pub fn recv_from<T: Send + 'static>(&self, src: usize) -> Result<T, CommError> {
+        self.tick()?; // Drop only affects sends; Delay already slept
+        let event = self.events();
+        let packet = match self.recv_timeout {
+            None => self.from[src].recv().map_err(|_| CommError::PeerDisconnected {
+                peer: src,
+                rank: self.rank,
+                event,
+            })?,
+            Some(timeout) => match self.from[src].recv_timeout(timeout) {
+                Ok(packet) => packet,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::PeerDisconnected {
+                        peer: src,
+                        rank: self.rank,
+                        event,
+                    })
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(CommError::Timeout {
+                        src,
+                        dst: self.rank,
+                        event,
+                        waited: timeout,
+                    })
+                }
+            },
+        };
+        let (sent_type, payload) = packet;
+        payload
+            .downcast::<T>()
+            .map(|boxed| *boxed)
+            .map_err(|_| CommError::ProtocolMismatch {
+                expected: std::any::type_name::<T>(),
+                actual: sent_type,
+                src,
+                dst: self.rank,
+                event,
+            })
     }
 }
 
-/// Build a fully connected fabric of `p` endpoints.
+/// Build a fully connected fabric of `p` endpoints. The receive
+/// timeout defaults to blocking forever, overridable via the
+/// [`RECV_TIMEOUT_ENV`] environment variable.
 pub fn fabric(p: usize) -> Vec<Endpoint> {
+    fabric_with_faults(p, FaultPlan::new(), env_recv_timeout())
+}
+
+/// Build a fabric with an attached [`FaultPlan`] and receive timeout.
+/// Pass an empty plan and `None` for undisturbed blocking behavior.
+pub fn fabric_with_faults(
+    p: usize,
+    faults: FaultPlan,
+    recv_timeout: Option<Duration>,
+) -> Vec<Endpoint> {
     assert!(p >= 1, "need at least one rank");
     // senders[s][d] / receivers[d][s]
     let mut senders: Vec<Vec<Sender<Packet>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
@@ -87,7 +193,14 @@ pub fn fabric(p: usize) -> Vec<Endpoint> {
         .into_iter()
         .zip(receivers)
         .enumerate()
-        .map(|(rank, (to, from))| Endpoint { rank, to, from })
+        .map(|(rank, (to, from))| Endpoint {
+            rank,
+            to,
+            from,
+            events: AtomicU64::new(0),
+            recv_timeout,
+            faults: faults.clone(),
+        })
         .collect()
 }
 
@@ -99,10 +212,12 @@ mod tests {
     fn pairwise_fifo_delivery() {
         let endpoints = fabric(2);
         let (a, b) = (&endpoints[0], &endpoints[1]);
-        a.send_to(1, 10u32);
-        a.send_to(1, 20u32);
-        assert_eq!(b.recv_from::<u32>(0), 10);
-        assert_eq!(b.recv_from::<u32>(0), 20);
+        a.send_to(1, 10u32).unwrap();
+        a.send_to(1, 20u32).unwrap();
+        assert_eq!(b.recv_from::<u32>(0).unwrap(), 10);
+        assert_eq!(b.recv_from::<u32>(0).unwrap(), 20);
+        assert_eq!(a.events(), 2);
+        assert_eq!(b.events(), 2);
     }
 
     #[test]
@@ -110,17 +225,17 @@ mod tests {
         // A message from rank 2 never blocks or reorders the rank-1
         // stream.
         let endpoints = fabric(3);
-        endpoints[2].send_to(0, "from2");
-        endpoints[1].send_to(0, "from1");
-        assert_eq!(endpoints[0].recv_from::<&str>(1), "from1");
-        assert_eq!(endpoints[0].recv_from::<&str>(2), "from2");
+        endpoints[2].send_to(0, "from2").unwrap();
+        endpoints[1].send_to(0, "from1").unwrap();
+        assert_eq!(endpoints[0].recv_from::<&str>(1).unwrap(), "from1");
+        assert_eq!(endpoints[0].recv_from::<&str>(2).unwrap(), "from2");
     }
 
     #[test]
     fn self_send_works() {
         let endpoints = fabric(1);
-        endpoints[0].send_to(0, vec![1u8, 2, 3]);
-        assert_eq!(endpoints[0].recv_from::<Vec<u8>>(0), vec![1, 2, 3]);
+        endpoints[0].send_to(0, vec![1u8, 2, 3]).unwrap();
+        assert_eq!(endpoints[0].recv_from::<Vec<u8>>(0).unwrap(), vec![1, 2, 3]);
     }
 
     #[test]
@@ -130,21 +245,102 @@ mod tests {
         let a = endpoints.pop().unwrap();
         std::thread::scope(|scope| {
             scope.spawn(move || {
-                a.send_to(1, 41u64);
-                assert_eq!(a.recv_from::<u64>(1), 42);
+                a.send_to(1, 41u64).unwrap();
+                assert_eq!(a.recv_from::<u64>(1).unwrap(), 42);
             });
             scope.spawn(move || {
-                let v = b.recv_from::<u64>(0);
-                b.send_to(0, v + 1);
+                let v = b.recv_from::<u64>(0).unwrap();
+                b.send_to(0, v + 1).unwrap();
             });
         });
     }
 
     #[test]
-    #[should_panic(expected = "protocol mismatch")]
-    fn type_mismatch_is_a_bug() {
+    fn type_mismatch_reports_both_types_and_coordinates() {
         let endpoints = fabric(1);
-        endpoints[0].send_to(0, 1u32);
-        endpoints[0].recv_from::<String>(0);
+        endpoints[0].send_to(0, 1u32).unwrap();
+        let err = endpoints[0].recv_from::<String>(0).unwrap_err();
+        match err {
+            CommError::ProtocolMismatch {
+                expected,
+                actual,
+                src,
+                dst,
+                event,
+            } => {
+                assert_eq!(expected, std::any::type_name::<String>());
+                assert_eq!(actual, std::any::type_name::<u32>());
+                assert_eq!((src, dst), (0, 0));
+                assert_eq!(event, 2); // send was event 1, recv event 2
+            }
+            other => panic!("expected ProtocolMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_peer_disconnects_instead_of_blocking() {
+        let mut endpoints = fabric(2);
+        let b = endpoints.pop().unwrap();
+        let a = endpoints.pop().unwrap();
+        drop(b); // rank 1 "dies"
+        let err = a.recv_from::<u32>(1).unwrap_err();
+        assert_eq!(
+            err,
+            CommError::PeerDisconnected {
+                peer: 1,
+                rank: 0,
+                event: 1
+            }
+        );
+        let err = a.send_to(1, 5u8).unwrap_err();
+        assert_eq!(
+            err,
+            CommError::PeerDisconnected {
+                peer: 1,
+                rank: 0,
+                event: 2
+            }
+        );
+    }
+
+    #[test]
+    fn dropped_message_times_out() {
+        // Rank 0's first send (event #1) is dropped; rank 1's recv
+        // must time out rather than block forever.
+        let plan = FaultPlan::new().drop_message(0, 1);
+        let endpoints = fabric_with_faults(2, plan, Some(Duration::from_millis(20)));
+        endpoints[0].send_to(1, 7u32).unwrap(); // discarded
+        let err = endpoints[1].recv_from::<u32>(0).unwrap_err();
+        assert_eq!(
+            err,
+            CommError::Timeout {
+                src: 0,
+                dst: 1,
+                event: 1,
+                waited: Duration::from_millis(20)
+            }
+        );
+        // The fabric stays usable: the next send is delivered.
+        endpoints[0].send_to(1, 8u32).unwrap();
+        assert_eq!(endpoints[1].recv_from::<u32>(0).unwrap(), 8);
+    }
+
+    #[test]
+    fn kill_fires_at_the_scheduled_event() {
+        let plan = FaultPlan::new().kill(0, 2);
+        let endpoints = fabric_with_faults(1, plan, None);
+        endpoints[0].send_to(0, 1u8).unwrap(); // event 1: fine
+        let err = endpoints[0].recv_from::<u8>(0).unwrap_err(); // event 2: dies
+        assert_eq!(err, CommError::Injected { rank: 0, event: 2 });
+    }
+
+    #[test]
+    fn delay_preserves_results() {
+        let plan = FaultPlan::new().delay(0, 1, Duration::from_millis(5));
+        let endpoints = fabric_with_faults(1, plan, None);
+        let start = std::time::Instant::now();
+        endpoints[0].send_to(0, 3u16).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(5));
+        assert_eq!(endpoints[0].recv_from::<u16>(0).unwrap(), 3);
     }
 }

@@ -19,5 +19,5 @@ pub mod sampling;
 
 pub use collectives::{allgatherv, allreduce, barrier, bcast, exscan, reduce};
 pub use sampling::{select_unif_rand_dist, select_wtd_log_dist, select_wtd_rand_dist};
-pub use engine::{spmd_allgatherv, spmd_allreduce, spmd_run, SpmdEngine};
-pub use fabric::{fabric, Endpoint};
+pub use engine::{spmd_allgatherv, spmd_allreduce, spmd_run, spmd_run_faulty, SpmdEngine};
+pub use fabric::{fabric, fabric_with_faults, Endpoint, RECV_TIMEOUT_ENV};

@@ -14,6 +14,7 @@
 //! gathered list) would choose — a property the tests assert directly
 //! against `mn-rand`'s shared-list oracles.
 
+use crate::fault::CommError;
 use crate::msg::collectives::{allreduce, exscan};
 use crate::msg::fabric::Endpoint;
 use mn_rand::Stream;
@@ -21,12 +22,16 @@ use mn_rand::Stream;
 /// Distributed `Select-Unif-Rand`: choose an element of the
 /// distributed list uniformly; every rank returns the chosen *global*
 /// index. `local_len` is this rank's block length.
-pub fn select_unif_rand_dist(ep: &Endpoint, stream: &mut Stream, local_len: usize) -> usize {
-    let offset = exscan(ep, local_len, 0usize, |a, b| a + b);
-    let total = allreduce(ep, local_len, |a, b| a + b);
+pub fn select_unif_rand_dist(
+    ep: &Endpoint,
+    stream: &mut Stream,
+    local_len: usize,
+) -> Result<usize, CommError> {
+    let offset = exscan(ep, local_len, 0usize, |a, b| a + b)?;
+    let total = allreduce(ep, local_len, |a, b| a + b)?;
     assert!(total > 0, "cannot sample from an empty distributed list");
     let _ = offset;
-    stream.index_one_draw(total)
+    Ok(stream.index_one_draw(total))
 }
 
 /// Distributed `Select-Wtd-Rand` over linear weights: every rank holds
@@ -38,17 +43,17 @@ pub fn select_wtd_rand_dist(
     ep: &Endpoint,
     stream: &mut Stream,
     local_weights: &[f64],
-) -> usize {
+) -> Result<usize, CommError> {
     let local_sum: f64 = local_weights.iter().sum();
     // Prefix of the weight mass before this rank, and the global total.
-    let prefix = exscan(ep, local_sum, 0.0, |a, b| a + b);
-    let total = allreduce(ep, local_sum, |a, b| a + b);
+    let prefix = exscan(ep, local_sum, 0.0, |a, b| a + b)?;
+    let total = allreduce(ep, local_sum, |a, b| a + b)?;
     assert!(
         total > 0.0 && total.is_finite(),
         "weight sum must be positive and finite, got {total}"
     );
     // Index offset of this rank's block.
-    let index_offset = exscan(ep, local_weights.len(), 0usize, |a, b| a + b);
+    let index_offset = exscan(ep, local_weights.len(), 0usize, |a, b| a + b)?;
 
     // Same draw on every rank.
     let target = stream.next_f64() * total;
@@ -88,16 +93,16 @@ pub fn select_wtd_rand_dist(
         (Some(x), Some(y)) => Some(x.min(y)),
         (Some(x), None) | (None, Some(x)) => Some(x),
         (None, None) => None,
-    });
-    match claim {
+    })?;
+    Ok(match claim {
         Some(idx) => idx,
         None => allreduce(ep, local_last_valid, |a, b| match (a, b) {
             (Some(x), Some(y)) => Some(x.max(y)),
             (Some(x), None) | (None, Some(x)) => Some(x),
             (None, None) => None,
-        })
+        })?
         .expect("all choices have zero probability"),
-    }
+    })
 }
 
 /// Distributed log-space weighted selection (the Gibbs-move form):
@@ -108,12 +113,12 @@ pub fn select_wtd_log_dist(
     ep: &Endpoint,
     stream: &mut Stream,
     local_log_weights: &[f64],
-) -> usize {
+) -> Result<usize, CommError> {
     let local_max = local_log_weights
         .iter()
         .copied()
         .fold(f64::NEG_INFINITY, f64::max);
-    let global_max = allreduce(ep, local_max, f64::max);
+    let global_max = allreduce(ep, local_max, f64::max)?;
     assert!(
         global_max > f64::NEG_INFINITY,
         "all choices have zero probability"
@@ -157,7 +162,7 @@ mod tests {
                 let (lo, hi) = block_range(weights.len(), p, ep.rank());
                 let mut stream = master.stream(Domain::User, 0);
                 (0..50)
-                    .map(|_| select_wtd_rand_dist(ep, &mut stream, &weights[lo..hi]))
+                    .map(|_| select_wtd_rand_dist(ep, &mut stream, &weights[lo..hi]).unwrap())
                     .collect::<Vec<usize>>()
             });
             for (rank, picks) in results.iter().enumerate() {
@@ -178,7 +183,7 @@ mod tests {
                 let (lo, hi) = block_range(logw.len(), p, ep.rank());
                 let mut stream = master.stream(Domain::User, 1);
                 (0..30)
-                    .map(|_| select_wtd_log_dist(ep, &mut stream, &logw[lo..hi]))
+                    .map(|_| select_wtd_log_dist(ep, &mut stream, &logw[lo..hi]).unwrap())
                     .collect::<Vec<usize>>()
             });
             for picks in &results {
@@ -200,7 +205,7 @@ mod tests {
                 let (lo, hi) = block_range(n, p, ep.rank());
                 let mut stream = master.stream(Domain::User, 2);
                 (0..40)
-                    .map(|_| select_unif_rand_dist(ep, &mut stream, hi - lo))
+                    .map(|_| select_unif_rand_dist(ep, &mut stream, hi - lo).unwrap())
                     .collect::<Vec<usize>>()
             });
             for picks in &results {
@@ -218,7 +223,7 @@ mod tests {
             let (lo, hi) = block_range(weights.len(), 3, ep.rank());
             let mut stream = master.stream(Domain::User, 3);
             (0..20)
-                .map(|_| select_wtd_rand_dist(ep, &mut stream, &weights[lo..hi]))
+                .map(|_| select_wtd_rand_dist(ep, &mut stream, &weights[lo..hi]).unwrap())
                 .collect::<Vec<usize>>()
         });
         for picks in &results {

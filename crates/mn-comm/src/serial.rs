@@ -8,6 +8,7 @@
 
 use crate::cost::Collective;
 use crate::engine::{Costed, ParEngine, SegmentBatchFn};
+use crate::fault::{FaultClock, FaultPlan};
 use crate::metrics::{PhaseReport, RunReport};
 use crate::segments::Segments;
 use mn_obs::Recorder;
@@ -23,6 +24,10 @@ pub struct SerialEngine {
     work_units: u64,
     obs: Recorder,
     epoch: Instant,
+    /// Engine-event clock for deterministic fault injection: every
+    /// `dist_map*`/`collective`/`replicated` call is one event,
+    /// attributed to rank 0 (the single-process convention).
+    faults: FaultClock,
 }
 
 impl SerialEngine {
@@ -34,7 +39,22 @@ impl SerialEngine {
             work_units: 0,
             obs: Recorder::new(1),
             epoch: Instant::now(),
+            faults: FaultClock::new(FaultPlan::new(), 0),
         }
+    }
+
+    /// Attach a deterministic fault plan. Engine events (each
+    /// `dist_map*`, `collective`, or `replicated` call) are counted
+    /// from 1 and attributed to rank 0; a scheduled `Kill` unwinds
+    /// with [`crate::fault::InjectedCrash`].
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = FaultClock::new(plan, 0);
+        self
+    }
+
+    /// Engine events counted so far (for choosing sweep fault points).
+    pub fn fault_events(&self) -> u64 {
+        self.faults.events()
     }
 
     /// Work units accumulated so far.
@@ -73,6 +93,7 @@ impl ParEngine for SerialEngine {
         words_per_item: usize,
         f: &(dyn Fn(usize) -> Costed<T> + Sync),
     ) -> Vec<T> {
+        self.faults.tick_or_die();
         self.obs.count_dist_map(n_items, words_per_item);
         let start = Instant::now();
         let mut out = Vec::with_capacity(n_items);
@@ -91,6 +112,7 @@ impl ParEngine for SerialEngine {
         words_per_item: usize,
         f: SegmentBatchFn<'_, T>,
     ) -> Vec<T> {
+        self.faults.tick_or_die();
         self.obs.count_dist_map(segments.n_items(), words_per_item);
         let start = Instant::now();
         let mut out = Vec::with_capacity(segments.n_items());
@@ -111,10 +133,12 @@ impl ParEngine for SerialEngine {
     fn collective(&mut self, _op: Collective, words: usize) {
         // One rank: nothing to communicate, but the logical event still
         // counts (the counter contract is engine-independent).
+        self.faults.tick_or_die();
         self.obs.count_collective(words);
     }
 
     fn replicated(&mut self, work_units: u64) {
+        self.faults.tick_or_die();
         self.work_units += work_units;
         self.obs.count_replicated(work_units);
     }

@@ -26,6 +26,7 @@
 
 use crate::cost::{Collective, CostModel};
 use crate::engine::{Costed, ParEngine, SegmentBatchFn};
+use crate::fault::{FaultClock, FaultPlan};
 use crate::metrics::{PhaseReport, RunReport};
 use crate::partition::{assign_owners, block_range, PartitionStrategy};
 use crate::segments::Segments;
@@ -51,6 +52,10 @@ pub struct SimEngine {
     /// engine creation. Spans are stamped with this, so the trace
     /// timeline is in *simulated* seconds, as the ISSUE requires.
     sim_now: f64,
+    /// Engine-event clock for deterministic fault injection: every
+    /// `dist_map*`/`collective`/`replicated` call is one event,
+    /// attributed to rank 0 (the single-process convention).
+    faults: FaultClock,
 }
 
 impl SimEngine {
@@ -74,7 +79,21 @@ impl SimEngine {
             current_phase: None,
             obs: Recorder::new(p),
             sim_now: 0.0,
+            faults: FaultClock::new(FaultPlan::new(), 0),
         }
+    }
+
+    /// Attach a deterministic fault plan (rank-0 entries apply; see
+    /// [`crate::fault::FaultPlan`]). A scheduled `Kill` unwinds with
+    /// [`crate::fault::InjectedCrash`] at that engine event.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = FaultClock::new(plan, 0);
+        self
+    }
+
+    /// Engine events counted so far (for choosing sweep fault points).
+    pub fn fault_events(&self) -> u64 {
+        self.faults.events()
     }
 
     /// Select the partitioning strategy (ablation hook; the default is
@@ -186,6 +205,7 @@ impl ParEngine for SimEngine {
         words_per_item: usize,
         f: &(dyn Fn(usize) -> Costed<T> + Sync),
     ) -> Vec<T> {
+        self.faults.tick_or_die();
         self.obs.count_dist_map(n_items, words_per_item);
         self.map_with_owners(None, n_items, words_per_item, f)
     }
@@ -203,6 +223,7 @@ impl ParEngine for SimEngine {
                 // assignment, so evaluate first (costs are deterministic
                 // functions of the item), then attribute.
                 let n = segments.n_items();
+                self.faults.tick_or_die();
                 self.obs.count_dist_map(n, words_per_item);
                 let mut values = Vec::with_capacity(n);
                 let mut costs = Vec::with_capacity(n);
@@ -224,6 +245,7 @@ impl ParEngine for SimEngine {
         f: SegmentBatchFn<'_, T>,
     ) -> Vec<T> {
         let n = segments.n_items();
+        self.faults.tick_or_die();
         self.obs.count_dist_map(n, words_per_item);
         match self.strategy {
             PartitionStrategy::Block => {
@@ -271,6 +293,7 @@ impl ParEngine for SimEngine {
     }
 
     fn collective(&mut self, op: Collective, words: usize) {
+        self.faults.tick_or_die();
         self.obs.count_collective(words);
         let comm = self.cost.collective_s(op, words, self.p);
         let zeros = vec![0.0; self.p];
@@ -278,6 +301,7 @@ impl ParEngine for SimEngine {
     }
 
     fn replicated(&mut self, work_units: u64) {
+        self.faults.tick_or_die();
         self.obs.count_replicated(work_units);
         let s = self.cost.compute_s(work_units);
         let busy = vec![s; self.p];

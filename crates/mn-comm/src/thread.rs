@@ -15,6 +15,7 @@
 
 use crate::cost::Collective;
 use crate::engine::{Costed, ParEngine, SegmentBatchFn};
+use crate::fault::{FaultClock, FaultPlan};
 use crate::metrics::{PhaseReport, RunReport};
 use crate::partition::block_range;
 use crate::segments::Segments;
@@ -32,6 +33,10 @@ pub struct ThreadEngine {
     current: Option<(String, Instant)>,
     obs: Recorder,
     epoch: Instant,
+    /// Engine-event clock for deterministic fault injection: every
+    /// `dist_map*`/`collective`/`replicated` call is one event,
+    /// attributed to rank 0 (the single-process convention).
+    faults: FaultClock,
 }
 
 impl ThreadEngine {
@@ -45,7 +50,21 @@ impl ThreadEngine {
             current: None,
             obs: Recorder::new(p),
             epoch: Instant::now(),
+            faults: FaultClock::new(FaultPlan::new(), 0),
         }
+    }
+
+    /// Attach a deterministic fault plan (rank-0 entries apply; see
+    /// [`crate::fault::FaultPlan`]). A scheduled `Kill` unwinds with
+    /// [`crate::fault::InjectedCrash`] at that engine event.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = FaultClock::new(plan, 0);
+        self
+    }
+
+    /// Engine events counted so far (for choosing sweep fault points).
+    pub fn fault_events(&self) -> u64 {
+        self.faults.events()
     }
 
     fn close_phase(&mut self) {
@@ -76,6 +95,7 @@ impl ParEngine for ThreadEngine {
         words_per_item: usize,
         f: &(dyn Fn(usize) -> Costed<T> + Sync),
     ) -> Vec<T> {
+        self.faults.tick_or_die();
         self.obs.count_dist_map(n_items, words_per_item);
         if self.p == 1 || n_items <= 1 {
             let mut out = Vec::with_capacity(n_items);
@@ -127,6 +147,7 @@ impl ParEngine for ThreadEngine {
         f: SegmentBatchFn<'_, T>,
     ) -> Vec<T> {
         let n_items = segments.n_items();
+        self.faults.tick_or_die();
         self.obs.count_dist_map(n_items, words_per_item);
         if self.p == 1 || n_items <= 1 {
             let start = Instant::now();
@@ -180,12 +201,14 @@ impl ParEngine for ThreadEngine {
     fn collective(&mut self, _op: Collective, words: usize) {
         // Shared memory: collectives are free, but the logical event
         // still counts (the counter contract is engine-independent).
+        self.faults.tick_or_die();
         self.obs.count_collective(words);
     }
 
     fn replicated(&mut self, work_units: u64) {
         // Real engines do the replicated work inline in the caller;
         // only the logical units are counted.
+        self.faults.tick_or_die();
         self.obs.count_replicated(work_units);
     }
 

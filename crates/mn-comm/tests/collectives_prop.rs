@@ -21,7 +21,7 @@ proptest! {
         let root = root_pick % p;
         let out = spmd(p, |ep| {
             let value = (ep.rank() == root).then_some(payload);
-            bcast(ep, root, value)
+            bcast(ep, root, value).unwrap()
         });
         prop_assert!(out.iter().all(|&v| v == payload));
     }
@@ -31,7 +31,7 @@ proptest! {
         p in 1usize..10,
         values in prop::collection::vec(-1000i64..1000, 10),
     ) {
-        let out = spmd(p, |ep| reduce(ep, 0, values[ep.rank() % values.len()], |a, b| a + b));
+        let out = spmd(p, |ep| reduce(ep, 0, values[ep.rank() % values.len()], |a, b| a + b).unwrap());
         let expected: i64 = (0..p).map(|r| values[r % values.len()]).sum();
         prop_assert_eq!(out[0], Some(expected));
     }
@@ -42,7 +42,7 @@ proptest! {
         values in prop::collection::vec(0u32..1_000_000, 10),
     ) {
         let out = spmd(p, |ep| {
-            allreduce(ep, values[ep.rank() % values.len()], |a, b| a.max(b))
+            allreduce(ep, values[ep.rank() % values.len()], |a, b| a.max(b)).unwrap()
         });
         let expected = (0..p).map(|r| values[r % values.len()]).max().unwrap();
         prop_assert!(out.iter().all(|&v| v == expected));
@@ -56,7 +56,7 @@ proptest! {
         let out = spmd(p, |ep| {
             let len = lens[ep.rank()];
             let local: Vec<(usize, usize)> = (0..len).map(|i| (ep.rank(), i)).collect();
-            allgatherv(ep, local)
+            allgatherv(ep, local).unwrap()
         });
         let expected: Vec<(usize, usize)> = (0..p)
             .flat_map(|r| (0..lens[r]).map(move |i| (r, i)))
@@ -71,7 +71,7 @@ proptest! {
         p in 1usize..10,
         values in prop::collection::vec(0u64..1000, 10),
     ) {
-        let out = spmd(p, |ep| exscan(ep, values[ep.rank() % values.len()], 0u64, |a, b| a + b));
+        let out = spmd(p, |ep| exscan(ep, values[ep.rank() % values.len()], 0u64, |a, b| a + b).unwrap());
         for (r, &v) in out.iter().enumerate() {
             let expected: u64 = (0..r).map(|q| values[q % values.len()]).sum();
             prop_assert_eq!(v, expected);

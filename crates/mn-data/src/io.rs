@@ -14,34 +14,111 @@ use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-/// Errors raised while reading an expression table.
+/// Typed errors raised while reading an expression table. Each
+/// variant carries the coordinates a user needs to fix the input; the
+/// CLI surfaces them verbatim as clean nonzero exits.
 #[derive(Debug)]
-pub enum ReadError {
-    /// Underlying I/O failure.
+pub enum DataError {
+    /// The file could not be opened (missing, permissions, a
+    /// directory, ...). Carries the path that failed.
+    Unreadable {
+        /// The path that could not be opened.
+        path: std::path::PathBuf,
+        /// The underlying I/O failure.
+        source: io::Error,
+    },
+    /// An I/O failure while streaming an already-open table.
     Io(io::Error),
-    /// Structural problem in the table, with a 1-based line number.
-    Parse {
-        /// 1-based line number of the offending line (0 = whole file).
+    /// A cell parsed as a float but is NaN or infinite — expression
+    /// values must be finite for the Gaussian sufficient statistics.
+    NonFinite {
+        /// 1-based line number of the offending row.
         line: usize,
-        /// Human-readable description of the problem.
+        /// 1-based data-column index (excluding the gene-name column).
+        column: usize,
+        /// The offending value as written in the file.
+        value: String,
+    },
+    /// A cell that is not a number at all.
+    BadNumber {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// The offending field as written in the file.
+        field: String,
+        /// The parser's description of the failure.
         message: String,
     },
+    /// A data row whose width differs from the header's.
+    RaggedRow {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Number of values the header promises.
+        expected: usize,
+        /// Number of values the row actually has.
+        found: usize,
+    },
+    /// A header row with no observation names.
+    EmptyHeader {
+        /// 1-based line number of the header row.
+        line: usize,
+    },
+    /// The table has no header (and therefore no data) at all.
+    EmptyMatrix,
 }
 
-impl fmt::Display for ReadError {
+/// Backward-compatible name for [`DataError`].
+pub type ReadError = DataError;
+
+impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ReadError::Io(e) => write!(f, "i/o error: {e}"),
-            ReadError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            DataError::Unreadable { path, source } => {
+                write!(f, "cannot open {}: {source}", path.display())
+            }
+            DataError::Io(e) => write!(f, "i/o error: {e}"),
+            DataError::NonFinite {
+                line,
+                column,
+                value,
+            } => write!(
+                f,
+                "line {line}, column {column}: non-finite value {value:?} \
+                 (expression values must be finite)"
+            ),
+            DataError::BadNumber {
+                line,
+                field,
+                message,
+            } => write!(f, "line {line}: bad numeric value {field:?}: {message}"),
+            DataError::RaggedRow {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "line {line}: ragged row — expected {expected} values, found {found}"
+            ),
+            DataError::EmptyHeader { line } => {
+                write!(f, "line {line}: header row has no observation names")
+            }
+            DataError::EmptyMatrix => write!(f, "empty table: no header or data rows"),
         }
     }
 }
 
-impl std::error::Error for ReadError {}
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Unreadable { source, .. } => Some(source),
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
-impl From<io::Error> for ReadError {
+impl From<io::Error> for DataError {
     fn from(e: io::Error) -> Self {
-        ReadError::Io(e)
+        DataError::Io(e)
     }
 }
 
@@ -53,7 +130,7 @@ impl From<io::Error> for ReadError {
 /// <gene>\t<value>\t<value>...
 /// ```
 /// Empty lines and lines starting with `#` are ignored.
-pub fn read_tsv<R: Read>(reader: R) -> Result<Dataset, ReadError> {
+pub fn read_tsv<R: Read>(reader: R) -> Result<Dataset, DataError> {
     let reader = BufReader::new(reader);
     let mut obs_names: Option<Vec<String>> = None;
     let mut var_names: Vec<String> = Vec::new();
@@ -72,10 +149,7 @@ pub fn read_tsv<R: Read>(reader: R) -> Result<Dataset, ReadError> {
         if obs_names.is_none() {
             let names: Vec<String> = fields.map(|s| s.to_string()).collect();
             if names.is_empty() {
-                return Err(ReadError::Parse {
-                    line: lineno,
-                    message: "header row has no observation names".into(),
-                });
+                return Err(DataError::EmptyHeader { line: lineno });
             }
             width = names.len();
             obs_names = Some(names);
@@ -84,32 +158,46 @@ pub fn read_tsv<R: Read>(reader: R) -> Result<Dataset, ReadError> {
         var_names.push(first.to_string());
         let mut count = 0usize;
         for field in fields {
-            let v: f64 = field.trim().parse().map_err(|e| ReadError::Parse {
-                line: lineno,
-                message: format!("bad numeric value {field:?}: {e}"),
+            let v: f64 = field.trim().parse().map_err(|e: std::num::ParseFloatError| {
+                DataError::BadNumber {
+                    line: lineno,
+                    field: field.to_string(),
+                    message: e.to_string(),
+                }
             })?;
+            if !v.is_finite() {
+                return Err(DataError::NonFinite {
+                    line: lineno,
+                    column: count + 1,
+                    value: field.trim().to_string(),
+                });
+            }
             values.push(v);
             count += 1;
         }
         if count != width {
-            return Err(ReadError::Parse {
+            return Err(DataError::RaggedRow {
                 line: lineno,
-                message: format!("expected {width} values, found {count}"),
+                expected: width,
+                found: count,
             });
         }
     }
 
-    let obs_names = obs_names.ok_or(ReadError::Parse {
-        line: 0,
-        message: "empty table".into(),
-    })?;
+    let obs_names = obs_names.ok_or(DataError::EmptyMatrix)?;
     let matrix = Matrix::from_vec(var_names.len(), width, values);
     Ok(Dataset::new(matrix, Some(var_names), Some(obs_names)))
 }
 
-/// Read a TSV expression table from a file path.
-pub fn read_tsv_file<P: AsRef<Path>>(path: P) -> Result<Dataset, ReadError> {
-    read_tsv(File::open(path)?)
+/// Read a TSV expression table from a file path. An unopenable path
+/// yields [`DataError::Unreadable`] carrying the path.
+pub fn read_tsv_file<P: AsRef<Path>>(path: P) -> Result<Dataset, DataError> {
+    let path = path.as_ref();
+    let file = File::open(path).map_err(|source| DataError::Unreadable {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    read_tsv(file)
 }
 
 /// Write a data set as a TSV expression table.
@@ -160,24 +248,67 @@ mod tests {
     fn rejects_ragged_rows() {
         let err = read_tsv("g\tc1\tc2\ng1\t1.0\n".as_bytes()).unwrap_err();
         match err {
-            ReadError::Parse { line, message } => {
-                assert_eq!(line, 2);
-                assert!(message.contains("expected 2"));
+            DataError::RaggedRow {
+                line,
+                expected,
+                found,
+            } => {
+                assert_eq!((line, expected, found), (2, 2, 1));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.to_string().contains("expected 2 values, found 1"));
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let err = read_tsv("g\tc1\ng1\tbanana\n".as_bytes()).unwrap_err();
+        match &err {
+            DataError::BadNumber { line, field, .. } => {
+                assert_eq!(*line, 2);
+                assert_eq!(field, "banana");
             }
             other => panic!("unexpected error {other:?}"),
         }
     }
 
     #[test]
-    fn rejects_bad_numbers() {
-        let err = read_tsv("g\tc1\ng1\tbanana\n".as_bytes()).unwrap_err();
-        assert!(matches!(err, ReadError::Parse { line: 2, .. }), "{err}");
+    fn rejects_non_finite_cells() {
+        for bad in ["NaN", "nan", "inf", "-inf"] {
+            let input = format!("g\tc1\tc2\ng1\t1.0\t{bad}\n");
+            let err = read_tsv(input.as_bytes()).unwrap_err();
+            match &err {
+                DataError::NonFinite { line, column, value } => {
+                    assert_eq!((*line, *column), (2, 2), "{bad}");
+                    assert_eq!(value, bad);
+                }
+                other => panic!("{bad}: unexpected error {other:?}"),
+            }
+        }
     }
 
     #[test]
     fn rejects_empty_input() {
-        assert!(read_tsv("".as_bytes()).is_err());
-        assert!(read_tsv("\n\n# only comments\n".as_bytes()).is_err());
+        assert!(matches!(
+            read_tsv("".as_bytes()).unwrap_err(),
+            DataError::EmptyMatrix
+        ));
+        assert!(matches!(
+            read_tsv("\n\n# only comments\n".as_bytes()).unwrap_err(),
+            DataError::EmptyMatrix
+        ));
+    }
+
+    #[test]
+    fn unreadable_file_names_the_path() {
+        let err = read_tsv_file("/definitely/not/here.tsv").unwrap_err();
+        match &err {
+            DataError::Unreadable { path, .. } => {
+                assert_eq!(path.to_str().unwrap(), "/definitely/not/here.tsv");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.to_string().contains("/definitely/not/here.tsv"));
     }
 
     #[test]

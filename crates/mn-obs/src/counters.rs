@@ -47,6 +47,15 @@ pub const TREE_TREES: &str = "tree.trees";
 /// Pair merges performed across all tree builds.
 pub const TREE_MERGES: &str = "tree.merges";
 
+/// Checkpoint units computed and persisted this run. Only present
+/// when checkpointing is enabled; together with
+/// [`CHECKPOINT_UNITS_SKIPPED`] it is excluded from cross-run
+/// equivalence comparisons and from the golden files (a resumed run
+/// legitimately skips what the interrupted run wrote).
+pub const CHECKPOINT_UNITS_WRITTEN: &str = "checkpoint.units_written";
+/// Checkpoint units restored from disk instead of recomputed.
+pub const CHECKPOINT_UNITS_SKIPPED: &str = "checkpoint.units_skipped";
+
 /// Candidate splits scored in the split-assignment phase.
 pub const SPLITS_SCORED: &str = "splits.scored";
 /// Tree nodes that received split assignments.

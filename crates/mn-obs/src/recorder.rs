@@ -211,6 +211,13 @@ impl Recorder {
         self.counters.get(counter).copied().unwrap_or(0)
     }
 
+    /// All counters, by name. Checkpointed execution snapshots this
+    /// around each unit of work to persist the unit's exact counter
+    /// deltas (see `monet::checkpoint`).
+    pub fn counters(&self) -> &std::collections::BTreeMap<String, u64> {
+        &self.counters
+    }
+
     /// Count one `dist_map*` call: the map itself, its logical item
     /// total, and the implied all-gather payload. Call with the
     /// *global* `n_items`, never a rank-local block size.

@@ -7,6 +7,8 @@
 //!       [--sampling-steps S] [--threshold T] [--reference]
 //!       [--gibbs-naive] [--candidates file.txt] [--xml out.xml] [--json out.json]
 //!       [--trace trace.json] [--metrics-out metrics.json]
+//!       [--checkpoint-dir dir] [--resume] [--force-restart]
+//!       [--fault spec] [--comm-timeout-ms T]
 //!       [--dag] [--quiet]
 //! monet --synthetic n,m [--engine ...]   # demo without an input file
 //! ```
@@ -19,15 +21,30 @@
 //! `chrome://tracing` or <https://ui.perfetto.dev>) with one track per
 //! rank; `--metrics-out` writes `RUN_METRICS.json`, the machine-readable
 //! superset of the run report (see [`monet::RunMetrics`]).
+//!
+//! `--checkpoint-dir` enables fine-grained checkpointing (per GaneSH
+//! run / per module tree; DESIGN.md §10): a killed run resumes after
+//! the last completed unit. `--resume` requires a valid checkpoint to
+//! exist (a corrupt or mismatched one is a clean error); add
+//! `--force-restart` to wipe it and start over. `--fault` plants
+//! deterministic faults (`kill:<rank>@<event>`, `delay:<rank>@<event>:<ms>`,
+//! `drop:<rank>@<event>`, `seed:<n>`) for kill–resume drills; a
+//! fault-aborted run exits with code 3. `--comm-timeout-ms` bounds
+//! every fabric receive on the msg engine so dropped messages surface
+//! as timeouts instead of hangs.
 
 use mn_comm::{
-    spmd_run, EngineSpec, ObsSnapshot, ParEngine, RunReport, SerialEngine, SimEngine,
-    ThreadEngine,
+    silence_injected_panics, spmd_run_faulty, CommError, EngineSpec, FaultAbort, FaultPlan,
+    InjectedCrash, ObsSnapshot, ParEngine, RunReport, SerialEngine, SimEngine, ThreadEngine,
 };
 use mn_data::Dataset;
 use mn_score::{CandidateScoring, ScoreMode};
-use monet::{learn_module_network, LearnerConfig, ModuleNetwork, RunMetrics};
+use monet::{
+    learn_module_network, learn_with_checkpoint_policy, LearnerConfig, ModuleNetwork,
+    ResumePolicy, RunMetrics,
+};
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Options {
     input: Option<String>,
@@ -48,6 +65,11 @@ struct Options {
     json: Option<String>,
     trace: Option<String>,
     metrics_out: Option<String>,
+    checkpoint_dir: Option<String>,
+    resume: bool,
+    force_restart: bool,
+    fault: Option<String>,
+    comm_timeout_ms: Option<u64>,
     dag: bool,
     quiet: bool,
 }
@@ -61,6 +83,9 @@ fn usage() -> ! {
          \x20      [--threshold T] [--reference] [--gibbs-naive] [--candidates file]\n\
          \x20      [--xml out.xml] [--json out.json]\n\
          \x20      [--trace trace.json] [--metrics-out metrics.json]\n\
+         \x20      [--checkpoint-dir dir] [--resume] [--force-restart]\n\
+         \x20      [--fault kill:<r>@<k>|delay:<r>@<k>:<ms>|drop:<r>@<k>|seed:<n>]\n\
+         \x20      [--comm-timeout-ms T]\n\
          \x20      [--dag] [--quiet]"
     );
     std::process::exit(2)
@@ -87,6 +112,11 @@ fn parse_options() -> Options {
         json: None,
         trace: None,
         metrics_out: None,
+        checkpoint_dir: None,
+        resume: false,
+        force_restart: false,
+        fault: None,
+        comm_timeout_ms: None,
         dag: false,
         quiet: false,
     };
@@ -142,6 +172,14 @@ fn parse_options() -> Options {
             "--json" => opts.json = Some(value(&args, &mut i)),
             "--trace" => opts.trace = Some(value(&args, &mut i)),
             "--metrics-out" => opts.metrics_out = Some(value(&args, &mut i)),
+            "--checkpoint-dir" => opts.checkpoint_dir = Some(value(&args, &mut i)),
+            "--resume" => opts.resume = true,
+            "--force-restart" => opts.force_restart = true,
+            "--fault" => opts.fault = Some(value(&args, &mut i)),
+            "--comm-timeout-ms" => {
+                opts.comm_timeout_ms =
+                    Some(value(&args, &mut i).parse().unwrap_or_else(|_| usage()))
+            }
             "--dag" => opts.dag = true,
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => usage(),
@@ -154,6 +192,10 @@ fn parse_options() -> Options {
     }
     if opts.input.is_none() == opts.synthetic.is_none() {
         eprintln!("exactly one of --input / --synthetic is required");
+        usage();
+    }
+    if (opts.resume || opts.force_restart) && opts.checkpoint_dir.is_none() {
+        eprintln!("--resume / --force-restart require --checkpoint-dir");
         usage();
     }
     opts
@@ -202,37 +244,144 @@ fn build_config(opts: &Options, data: &Dataset) -> Result<LearnerConfig, String>
     config.validated()
 }
 
+/// Why a run produced no network: an ordinary error (exit 1) or a
+/// fault abort — injected or observed communication failure (exit 3,
+/// so kill–resume drills can tell the two apart).
+enum RunFailure {
+    Error(String),
+    Fault(String),
+}
+
+/// The checkpoint request derived from the flags: directory plus
+/// resume policy.
+fn checkpoint_request(opts: &Options) -> Option<(String, ResumePolicy)> {
+    opts.checkpoint_dir.as_ref().map(|dir| {
+        let policy = if opts.force_restart {
+            ResumePolicy::ForceRestart
+        } else if opts.resume {
+            ResumePolicy::Strict
+        } else {
+            ResumePolicy::Auto
+        };
+        (dir.clone(), policy)
+    })
+}
+
 fn run_on<E: ParEngine>(
     engine: &mut E,
     data: &Dataset,
     config: &LearnerConfig,
-) -> (ModuleNetwork, RunReport, ObsSnapshot) {
-    let (network, report) = learn_module_network(engine, data, config);
+    ckpt: Option<&(String, ResumePolicy)>,
+) -> Result<(ModuleNetwork, RunReport, ObsSnapshot), RunFailure> {
+    let (network, report) = match ckpt {
+        Some((dir, policy)) => {
+            learn_with_checkpoint_policy(engine, data, config, dir, *policy)
+                .map_err(|e| RunFailure::Error(e.to_string()))?
+        }
+        None => learn_module_network(engine, data, config),
+    };
     let now = engine.now_s();
     let snapshot = engine.obs().snapshot(now);
-    (network, report, snapshot)
+    Ok((network, report, snapshot))
+}
+
+/// Convert a caught panic payload into a fault failure, or propagate
+/// it unchanged when it is not a fault-injection payload.
+fn fault_failure(payload: Box<dyn std::any::Any + Send>) -> RunFailure {
+    match payload.downcast::<InjectedCrash>() {
+        Ok(crash) => RunFailure::Fault(format!(
+            "injected kill: rank {} at event {}",
+            crash.rank, crash.event
+        )),
+        Err(payload) => match payload.downcast::<FaultAbort>() {
+            Ok(abort) => RunFailure::Fault(format!("communication failure: {}", abort.0)),
+            Err(payload) => std::panic::resume_unwind(payload),
+        },
+    }
+}
+
+/// Run a single-process engine, catching fault-injection unwinds so an
+/// aborted run exits cleanly (code 3) instead of with a panic trace.
+fn run_single<E: ParEngine>(
+    mut engine: E,
+    data: &Dataset,
+    config: &LearnerConfig,
+    ckpt: Option<&(String, ResumePolicy)>,
+) -> Result<(ModuleNetwork, RunReport, ObsSnapshot), RunFailure> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        run_on(&mut engine, data, config, ckpt)
+    })) {
+        Ok(result) => result,
+        Err(payload) => Err(fault_failure(payload)),
+    }
 }
 
 fn run(
     opts: &Options,
     data: &Dataset,
     config: &LearnerConfig,
-) -> (ModuleNetwork, RunReport, ObsSnapshot) {
+) -> Result<(ModuleNetwork, RunReport, ObsSnapshot), RunFailure> {
+    let ckpt = checkpoint_request(opts);
+    let nranks = match opts.engine {
+        EngineSpec::Serial => 1,
+        EngineSpec::Threads(p) | EngineSpec::Sim(p) | EngineSpec::Msg(p) => p,
+    };
+    let plan = match &opts.fault {
+        Some(spec) => FaultPlan::parse(spec, nranks).map_err(RunFailure::Error)?,
+        None => FaultPlan::new(),
+    };
+    if !plan.is_empty() {
+        silence_injected_panics();
+    }
     match opts.engine {
-        EngineSpec::Serial => run_on(&mut SerialEngine::new(), data, config),
-        EngineSpec::Threads(p) => run_on(&mut ThreadEngine::new(p), data, config),
-        EngineSpec::Sim(p) => run_on(&mut SimEngine::new(p), data, config),
+        // Single-process engines count *engine* events (each dist_map /
+        // collective / replicated call), attributed to rank 0.
+        EngineSpec::Serial => {
+            run_single(SerialEngine::new().with_fault_plan(plan), data, config, ckpt.as_ref())
+        }
+        EngineSpec::Threads(p) => run_single(
+            ThreadEngine::new(p).with_fault_plan(plan),
+            data,
+            config,
+            ckpt.as_ref(),
+        ),
+        EngineSpec::Sim(p) => run_single(
+            SimEngine::new(p).with_fault_plan(plan),
+            data,
+            config,
+            ckpt.as_ref(),
+        ),
         EngineSpec::Msg(p) => {
             // True SPMD: every rank learns the full network. All ranks
             // produce the identical network and report (the determinism
             // contract); the per-rank observability snapshots are merged
-            // so the timeline carries every rank's busy time.
-            let mut results = spmd_run(p, |engine| run_on(engine, data, config));
+            // so the timeline carries every rank's busy time. Faults are
+            // fabric events (sends + receives, per endpoint); an empty
+            // plan makes this path identical to the plain spmd_run.
+            let timeout = opts.comm_timeout_ms.map(Duration::from_millis);
+            let outcomes = spmd_run_faulty(p, plan, timeout, |engine| {
+                run_on(engine, data, config, ckpt.as_ref())
+            });
+            let mut results = Vec::with_capacity(p);
+            for (rank, outcome) in outcomes.into_iter().enumerate() {
+                match outcome {
+                    Ok(Ok(triple)) => results.push(triple),
+                    Ok(Err(failure)) => return Err(failure),
+                    Err(CommError::Injected { rank: r, event }) => {
+                        return Err(RunFailure::Fault(format!(
+                            "injected kill: rank {r} at fabric event {event}"
+                        )))
+                    }
+                    Err(e) => {
+                        return Err(RunFailure::Fault(format!("rank {rank} aborted: {e}")))
+                    }
+                }
+            }
             let snapshots: Vec<ObsSnapshot> =
                 results.iter().map(|(_, _, s)| s.clone()).collect();
             let merged = mn_comm::obs::merge_ranks(&snapshots);
             let (network, report, _) = results.swap_remove(0);
-            (network, report, merged)
+            Ok((network, report, merged))
         }
     }
 }
@@ -256,7 +405,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let (network, report, snapshot) = run(&opts, &data, &config);
+    let (network, report, snapshot) = match run(&opts, &data, &config) {
+        Ok(result) => result,
+        Err(RunFailure::Error(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        Err(RunFailure::Fault(e)) => {
+            eprintln!("fault: {e}");
+            return ExitCode::from(3);
+        }
+    };
 
     if !opts.quiet {
         let summary = network.summary();

@@ -1,0 +1,670 @@
+//! Crash-consistent fine-grained checkpointing.
+//!
+//! [`crate::stages::learn_with_checkpoint`] persists the pipeline at
+//! *unit* granularity — one GaneSH run, the consensus partition, one
+//! module's tree ensemble — so a killed run resumes mid-task instead
+//! of repeating a whole stage. This module is the storage layer:
+//!
+//! * A checkpoint is a **directory** holding one JSON file per
+//!   completed unit plus `manifest.json`, a versioned index carrying
+//!   the `(seed, data-fingerprint)` guard of the original run and an
+//!   FNV-1a-64 content checksum per unit file.
+//! * Every write is **atomic**: bytes go to `<file>.tmp` first, then a
+//!   same-directory `rename` publishes them. The manifest is rewritten
+//!   (atomically) *after* the unit file it references, so a crash at
+//!   any instruction leaves either an ignored `.tmp` file or a
+//!   complete-but-unreferenced unit file — never a manifest pointing
+//!   at torn data.
+//! * Loading verifies the version, the guard, and every checksum up
+//!   front; what a [`ResumePolicy`] does about a problem is the
+//!   caller's choice (silently start fresh, fail loudly, or wipe).
+//!
+//! Under SPMD every rank opens the store and tracks puts in memory so
+//! resume decisions stay replicated, but only the I/O rank
+//! ([`mn_comm::ParEngine::io_rank`]) touches the disk — the paper's
+//! "rank 0 writes intermediate files" convention (§5.3), and what
+//! makes tmp-file + rename atomicity race-free.
+
+use mn_data::Dataset;
+use serde::{Content, DeError, Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Manifest format version; bumped on incompatible layout changes.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// File name of the manifest inside a checkpoint directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// FNV-1a 64-bit hash — the unit-file content checksum. Not
+/// cryptographic; it guards against truncation and bit rot, not
+/// adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The `(n_vars, n_obs, cell sum)` fingerprint guarding a checkpoint
+/// against being resumed with a different matrix. Cheap, and exact
+/// float summation makes it deterministic across runs.
+pub fn data_fingerprint(data: &Dataset) -> (usize, usize, f64) {
+    (
+        data.n_vars(),
+        data.n_obs(),
+        data.matrix.as_slice().iter().sum(),
+    )
+}
+
+/// What `open` does when the on-disk state is unusable (corrupt,
+/// version-skewed, or guarded against a different problem).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumePolicy {
+    /// Start fresh, silently overwriting the unusable state — the
+    /// default for `--checkpoint-dir` without `--resume`.
+    Auto,
+    /// Fail with a descriptive [`CheckpointError`] — `--resume`, where
+    /// the user asserted a resumable checkpoint exists.
+    Strict,
+    /// Delete the existing checkpoint files and start fresh —
+    /// `--resume --force-restart`, the recovery path for a corrupt
+    /// checkpoint.
+    ForceRestart,
+}
+
+/// Typed failures of the checkpoint layer. Corruption is always an
+/// `Err`, never a panic — the [`ResumePolicy`] decides whether the
+/// caller sees it.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// An underlying filesystem failure.
+    Io(io::Error),
+    /// A file exists but its content is unusable (truncated or
+    /// bit-flipped manifest, checksum mismatch, missing unit file).
+    Corrupt {
+        /// The offending file.
+        file: PathBuf,
+        /// Human-readable description of what is wrong with it.
+        reason: String,
+    },
+    /// The manifest was written by an incompatible format version.
+    Version {
+        /// Version found in the manifest.
+        found: u32,
+        /// Version this build writes and reads.
+        expected: u32,
+    },
+    /// The checkpoint belongs to a different problem — its seed or
+    /// data fingerprint does not match the current run.
+    Mismatch {
+        /// Which guard failed and the two values.
+        reason: String,
+    },
+    /// `--resume` was requested but the directory holds no manifest.
+    NothingToResume {
+        /// The checkpoint directory that was searched.
+        dir: PathBuf,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::Corrupt { file, reason } => {
+                write!(f, "corrupt checkpoint: {}: {reason}", file.display())
+            }
+            CheckpointError::Version { found, expected } => write!(
+                f,
+                "checkpoint manifest version {found} is not supported \
+                 (this build reads version {expected})"
+            ),
+            CheckpointError::Mismatch { reason } => {
+                write!(f, "checkpoint belongs to a different run: {reason}")
+            }
+            CheckpointError::NothingToResume { dir } => write!(
+                f,
+                "--resume: no checkpoint manifest in {}",
+                dir.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// One persisted unit of progress: the unit's value plus the
+/// deterministic counter increments its computation produced. Replaying
+/// the increments when a unit is skipped on resume keeps the final
+/// counter state bit-identical to the uninterrupted run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitRecord<T> {
+    /// The unit's computed output.
+    pub value: T,
+    /// Counter deltas (`mn_obs` counter name → increment) accumulated
+    /// while computing the unit.
+    pub counters: BTreeMap<String, u64>,
+}
+
+// The vendored serde_derive subset does not handle generics; the two
+// impls below are exactly what it would emit for a named-field struct.
+impl<T: Serialize> Serialize for UnitRecord<T> {
+    fn serialize_value(&self) -> Content {
+        Content::Map(vec![
+            ("value".to_string(), self.value.serialize_value()),
+            ("counters".to_string(), self.counters.serialize_value()),
+        ])
+    }
+}
+
+impl<T: Deserialize> Deserialize for UnitRecord<T> {
+    fn deserialize_value(value: &Content) -> Result<Self, DeError> {
+        Ok(Self {
+            value: serde::map_field(value, "value")?,
+            counters: serde::map_field(value, "counters")?,
+        })
+    }
+}
+
+/// The versioned checkpoint index: identity guard plus one checksum
+/// per completed unit file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Format version ([`MANIFEST_VERSION`]).
+    pub version: u32,
+    /// Master seed of the run that wrote this checkpoint.
+    pub seed: u64,
+    /// Data fingerprint of the run ([`data_fingerprint`]).
+    pub fingerprint: (usize, usize, f64),
+    /// Unit name → FNV-1a-64 checksum of `<unit>.json`.
+    pub entries: BTreeMap<String, u64>,
+}
+
+impl Manifest {
+    fn fresh(seed: u64, fingerprint: (usize, usize, f64)) -> Self {
+        Self {
+            version: MANIFEST_VERSION,
+            seed,
+            fingerprint,
+            entries: BTreeMap::new(),
+        }
+    }
+}
+
+/// A checkpoint directory opened for a specific `(seed, data)` run.
+///
+/// Completed units live both on disk and in an in-memory cache of
+/// checksum-verified bytes; [`CheckpointStore::get`] reads only the
+/// cache, so resume decisions are identical on every SPMD rank
+/// regardless of how far the writer rank has raced ahead (all ranks
+/// load before anyone writes — the engine's `io_barrier` orders this).
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    write_enabled: bool,
+    manifest: Manifest,
+    units: BTreeMap<String, Vec<u8>>,
+}
+
+impl CheckpointStore {
+    /// Open (or create) the checkpoint directory `dir` for the run
+    /// identified by `(seed, fingerprint)`. `write_enabled` should be
+    /// `engine.io_rank()` — non-writer ranks mirror every operation in
+    /// memory only.
+    pub fn open<P: AsRef<Path>>(
+        dir: P,
+        seed: u64,
+        fingerprint: (usize, usize, f64),
+        policy: ResumePolicy,
+        write_enabled: bool,
+    ) -> Result<Self, CheckpointError> {
+        let dir = dir.as_ref().to_path_buf();
+        let fresh = Self {
+            manifest: Manifest::fresh(seed, fingerprint),
+            units: BTreeMap::new(),
+            write_enabled,
+            dir: dir.clone(),
+        };
+
+        if policy == ResumePolicy::ForceRestart {
+            if write_enabled {
+                wipe_checkpoint_files(&dir)?;
+            }
+            return fresh.published();
+        }
+
+        match load_verified(&dir, seed, fingerprint) {
+            Ok(Some((manifest, units))) => Ok(Self {
+                manifest,
+                units,
+                write_enabled,
+                dir,
+            }),
+            Ok(None) => {
+                if policy == ResumePolicy::Strict {
+                    return Err(CheckpointError::NothingToResume { dir });
+                }
+                fresh.published()
+            }
+            Err(e) => match policy {
+                // Auto recovers silently: the fresh (empty) manifest
+                // immediately supersedes the unusable state on disk.
+                ResumePolicy::Auto => fresh.published(),
+                ResumePolicy::Strict => Err(e),
+                ResumePolicy::ForceRestart => unreachable!("handled above"),
+            },
+        }
+    }
+
+    /// Publish a fresh store: on the writer rank, create the directory
+    /// and write the (empty) manifest so even a run killed before its
+    /// first completed unit leaves a resumable, correctly-stamped
+    /// checkpoint behind.
+    fn published(self) -> Result<Self, CheckpointError> {
+        if self.write_enabled {
+            fs::create_dir_all(&self.dir)?;
+            self.write_manifest()?;
+        }
+        Ok(self)
+    }
+
+    /// Atomically (re)write `manifest.json` from the in-memory state.
+    fn write_manifest(&self) -> Result<(), CheckpointError> {
+        let manifest =
+            serde_json::to_string_pretty(&self.manifest).expect("manifest serialization");
+        write_atomic(&self.dir.join(MANIFEST_FILE), manifest.as_bytes())?;
+        Ok(())
+    }
+
+    /// The unit names currently recorded as complete.
+    pub fn completed_units(&self) -> impl Iterator<Item = &str> {
+        self.manifest.entries.keys().map(String::as_str)
+    }
+
+    /// Number of completed units.
+    pub fn len(&self) -> usize {
+        self.manifest.entries.len()
+    }
+
+    /// Whether no units are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.manifest.entries.is_empty()
+    }
+
+    /// The directory this store persists to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Fetch a completed unit. Returns `None` when the unit was never
+    /// recorded (or its bytes, though checksum-clean, fail to parse as
+    /// `T` — schema drift; the caller simply recomputes).
+    pub fn get<T: Deserialize>(&self, unit: &str) -> Option<UnitRecord<T>> {
+        let bytes = self.units.get(unit)?;
+        serde_json::from_str(std::str::from_utf8(bytes).ok()?).ok()
+    }
+
+    /// Record a completed unit: cache it in memory (every rank) and —
+    /// on the writer rank — publish `<unit>.json` then the updated
+    /// manifest, each via atomic tmp-file + rename, in that order.
+    pub fn put<T: Serialize>(
+        &mut self,
+        unit: &str,
+        record: &UnitRecord<T>,
+    ) -> Result<(), CheckpointError> {
+        let bytes = serde_json::to_string(record)
+            .expect("unit serialization")
+            .into_bytes();
+        self.manifest
+            .entries
+            .insert(unit.to_string(), fnv1a64(&bytes));
+        self.units.insert(unit.to_string(), bytes.clone());
+        if self.write_enabled {
+            write_atomic(&self.dir.join(format!("{unit}.json")), &bytes)?;
+            self.write_manifest()?;
+        }
+        Ok(())
+    }
+}
+
+/// Write `bytes` to `path` atomically: `<path>.tmp` first, then
+/// rename. A crash before the rename leaves only the `.tmp` file,
+/// which loading ignores.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)
+}
+
+/// Load and fully verify an existing checkpoint. `Ok(None)` means no
+/// manifest exists (nothing to resume); every defect in files that do
+/// exist is a typed error.
+#[allow(clippy::type_complexity)]
+fn load_verified(
+    dir: &Path,
+    seed: u64,
+    fingerprint: (usize, usize, f64),
+) -> Result<Option<(Manifest, BTreeMap<String, Vec<u8>>)>, CheckpointError> {
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let text = match fs::read(&manifest_path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let text = String::from_utf8(text).map_err(|e| CheckpointError::Corrupt {
+        file: manifest_path.clone(),
+        reason: format!("unparseable manifest: {e}"),
+    })?;
+    let manifest: Manifest =
+        serde_json::from_str(&text).map_err(|e| CheckpointError::Corrupt {
+            file: manifest_path.clone(),
+            reason: format!("unparseable manifest: {e}"),
+        })?;
+    if manifest.version != MANIFEST_VERSION {
+        return Err(CheckpointError::Version {
+            found: manifest.version,
+            expected: MANIFEST_VERSION,
+        });
+    }
+    if manifest.seed != seed {
+        return Err(CheckpointError::Mismatch {
+            reason: format!("seed {} on disk, {} requested", manifest.seed, seed),
+        });
+    }
+    if manifest.fingerprint != fingerprint {
+        return Err(CheckpointError::Mismatch {
+            reason: format!(
+                "data fingerprint {:?} on disk, {:?} requested",
+                manifest.fingerprint, fingerprint
+            ),
+        });
+    }
+    let mut units = BTreeMap::new();
+    for (unit, &checksum) in &manifest.entries {
+        let path = dir.join(format!("{unit}.json"));
+        let bytes = fs::read(&path).map_err(|e| CheckpointError::Corrupt {
+            file: path.clone(),
+            reason: format!("unit {unit:?} listed in manifest but unreadable: {e}"),
+        })?;
+        let found = fnv1a64(&bytes);
+        if found != checksum {
+            return Err(CheckpointError::Corrupt {
+                file: path,
+                reason: format!(
+                    "unit {unit:?} checksum mismatch: manifest says {checksum:#018x}, \
+                     file hashes to {found:#018x}"
+                ),
+            });
+        }
+        units.insert(unit.clone(), bytes);
+    }
+    Ok(Some((manifest, units)))
+}
+
+/// Remove the files a checkpoint owns (`*.json`, `*.json.tmp`) from
+/// `dir`, leaving anything else in the directory alone. Missing
+/// directory is fine.
+fn wipe_checkpoint_files(dir: &Path) -> io::Result<()> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_file() && (name.ends_with(".json") || name.ends_with(".json.tmp")) {
+            fs::remove_file(&path)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("monet_ckpt_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    const FP: (usize, usize, f64) = (3, 4, 12.5);
+
+    fn record(v: u32) -> UnitRecord<u32> {
+        let mut counters = BTreeMap::new();
+        counters.insert("gibbs.sweeps".to_string(), 7);
+        UnitRecord { value: v, counters }
+    }
+
+    #[test]
+    fn put_get_roundtrip_across_reopen() {
+        let dir = tmpdir("roundtrip");
+        let mut store =
+            CheckpointStore::open(&dir, 1, FP, ResumePolicy::Auto, true).unwrap();
+        assert!(store.is_empty());
+        store.put("unit_a", &record(42)).unwrap();
+        store.put("unit_b", &record(43)).unwrap();
+
+        let reopened =
+            CheckpointStore::open(&dir, 1, FP, ResumePolicy::Strict, true).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(reopened.get::<u32>("unit_a").unwrap(), record(42));
+        assert_eq!(reopened.get::<u32>("unit_b").unwrap(), record(43));
+        assert!(reopened.get::<u32>("unit_c").is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_manifest_is_typed_not_a_panic() {
+        let dir = tmpdir("truncated");
+        let mut store =
+            CheckpointStore::open(&dir, 1, FP, ResumePolicy::Auto, true).unwrap();
+        store.put("unit_a", &record(1)).unwrap();
+        let manifest = dir.join(MANIFEST_FILE);
+        let full = fs::read(&manifest).unwrap();
+        fs::write(&manifest, &full[..full.len() / 2]).unwrap();
+
+        let err = CheckpointStore::open(&dir, 1, FP, ResumePolicy::Strict, true).unwrap_err();
+        match &err {
+            CheckpointError::Corrupt { file, reason } => {
+                assert_eq!(file, &manifest);
+                assert!(reason.contains("unparseable manifest"), "{reason}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Auto silently starts fresh on the same corruption.
+        let store = CheckpointStore::open(&dir, 1, FP, ResumePolicy::Auto, true).unwrap();
+        assert!(store.is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flipped_unit_file_fails_its_checksum() {
+        let dir = tmpdir("bitflip");
+        let mut store =
+            CheckpointStore::open(&dir, 1, FP, ResumePolicy::Auto, true).unwrap();
+        store.put("unit_a", &record(9)).unwrap();
+        let unit = dir.join("unit_a.json");
+        let mut bytes = fs::read(&unit).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&unit, &bytes).unwrap();
+
+        let err = CheckpointStore::open(&dir, 1, FP, ResumePolicy::Strict, true).unwrap_err();
+        match &err {
+            CheckpointError::Corrupt { file, reason } => {
+                assert_eq!(file, &unit);
+                assert!(reason.contains("checksum mismatch"), "{reason}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_seed_and_wrong_fingerprint_are_mismatches() {
+        let dir = tmpdir("mismatch");
+        let mut store =
+            CheckpointStore::open(&dir, 1, FP, ResumePolicy::Auto, true).unwrap();
+        store.put("unit_a", &record(5)).unwrap();
+
+        let err = CheckpointStore::open(&dir, 2, FP, ResumePolicy::Strict, true).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch { .. }), "{err:?}");
+        assert!(err.to_string().contains("seed 1 on disk, 2 requested"));
+
+        let err = CheckpointStore::open(&dir, 1, (3, 4, 99.0), ResumePolicy::Strict, true)
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch { .. }), "{err:?}");
+
+        // Auto discards the mismatched checkpoint instead of erroring.
+        let store = CheckpointStore::open(&dir, 2, FP, ResumePolicy::Auto, true).unwrap();
+        assert!(store.is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn version_skew_is_reported() {
+        let dir = tmpdir("version");
+        let mut store =
+            CheckpointStore::open(&dir, 1, FP, ResumePolicy::Auto, true).unwrap();
+        store.put("unit_a", &record(5)).unwrap();
+        let manifest = dir.join(MANIFEST_FILE);
+        let text = fs::read_to_string(&manifest).unwrap();
+        fs::write(&manifest, text.replace("\"version\": 1", "\"version\": 99")).unwrap();
+
+        let err = CheckpointStore::open(&dir, 1, FP, ResumePolicy::Strict, true).unwrap_err();
+        match err {
+            CheckpointError::Version { found, expected } => {
+                assert_eq!((found, expected), (99, MANIFEST_VERSION));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_window_tmp_written_rename_not_applied() {
+        // Simulate a crash between fs::write(tmp) and fs::rename: the
+        // tmp file exists, the published unit does not, the manifest
+        // never mentioned it. Loading must ignore the leftover.
+        let dir = tmpdir("crash_tmp");
+        let mut store =
+            CheckpointStore::open(&dir, 1, FP, ResumePolicy::Auto, true).unwrap();
+        store.put("unit_a", &record(1)).unwrap();
+        fs::write(dir.join("unit_b.json.tmp"), b"{\"torn\":").unwrap();
+
+        let reopened =
+            CheckpointStore::open(&dir, 1, FP, ResumePolicy::Strict, true).unwrap();
+        assert_eq!(reopened.len(), 1);
+        assert!(reopened.get::<u32>("unit_b").is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_window_unit_renamed_manifest_not_updated() {
+        // Crash between the unit rename and the manifest rewrite: a
+        // complete unit file exists but no manifest entry references
+        // it. It is simply recomputed (and overwritten) on resume.
+        let dir = tmpdir("crash_unref");
+        let mut store =
+            CheckpointStore::open(&dir, 1, FP, ResumePolicy::Auto, true).unwrap();
+        store.put("unit_a", &record(1)).unwrap();
+        let orphan = serde_json::to_string(&record(2)).unwrap();
+        fs::write(dir.join("unit_b.json"), orphan.as_bytes()).unwrap();
+
+        let reopened =
+            CheckpointStore::open(&dir, 1, FP, ResumePolicy::Strict, true).unwrap();
+        assert_eq!(reopened.len(), 1, "orphan unit must not be trusted");
+        assert!(reopened.get::<u32>("unit_b").is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_unit_file_is_corrupt() {
+        let dir = tmpdir("missing_unit");
+        let mut store =
+            CheckpointStore::open(&dir, 1, FP, ResumePolicy::Auto, true).unwrap();
+        store.put("unit_a", &record(1)).unwrap();
+        fs::remove_file(dir.join("unit_a.json")).unwrap();
+        let err = CheckpointStore::open(&dir, 1, FP, ResumePolicy::Strict, true).unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt { .. }), "{err:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn force_restart_wipes_and_starts_fresh() {
+        let dir = tmpdir("force");
+        let mut store =
+            CheckpointStore::open(&dir, 1, FP, ResumePolicy::Auto, true).unwrap();
+        store.put("unit_a", &record(1)).unwrap();
+        // Corrupt the manifest; ForceRestart must recover anyway.
+        fs::write(dir.join(MANIFEST_FILE), b"garbage").unwrap();
+
+        let store =
+            CheckpointStore::open(&dir, 1, FP, ResumePolicy::ForceRestart, true).unwrap();
+        assert!(store.is_empty());
+        assert!(!dir.join("unit_a.json").exists());
+        // A fresh store is published immediately: the wiped directory
+        // holds a valid empty manifest, so a crash straight after the
+        // restart still resumes cleanly.
+        let reopened =
+            CheckpointStore::open(&dir, 1, FP, ResumePolicy::Strict, true).unwrap();
+        assert!(reopened.is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn strict_with_no_manifest_is_nothing_to_resume() {
+        let dir = tmpdir("nothing");
+        let err = CheckpointStore::open(&dir, 1, FP, ResumePolicy::Strict, true).unwrap_err();
+        match &err {
+            CheckpointError::NothingToResume { dir: d } => assert_eq!(d, &dir),
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.to_string().contains("--resume"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn non_writer_rank_stays_off_disk() {
+        let dir = tmpdir("nonwriter");
+        let mut store =
+            CheckpointStore::open(&dir, 1, FP, ResumePolicy::Auto, false).unwrap();
+        store.put("unit_a", &record(1)).unwrap();
+        // In-memory view sees the unit; the disk was never touched.
+        assert_eq!(store.get::<u32>("unit_a").unwrap(), record(1));
+        assert!(!dir.exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod acyclic;
+pub mod checkpoint;
 pub mod config;
 pub mod genomica;
 pub mod learn;
@@ -52,11 +53,13 @@ pub mod output;
 pub mod run_metrics;
 pub mod stages;
 
+pub use checkpoint::{CheckpointError, CheckpointStore, ResumePolicy};
 pub use config::LearnerConfig;
 pub use learn::{learn_module_network, phases};
 pub use model::{Module, ModuleEdge, ModuleNetwork, NetworkSummary};
 pub use output::{from_json, to_json, to_xml, write_json_file, write_xml_file};
 pub use run_metrics::RunMetrics;
+pub use stages::{learn_with_checkpoint, learn_with_checkpoint_policy};
 
 // Re-export the sibling crates so downstream users (and the examples)
 // need only one dependency.

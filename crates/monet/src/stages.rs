@@ -11,16 +11,20 @@
 //! [`crate::learn_module_network`] is the one-shot composition of
 //! these stages; [`learn_with_checkpoint`] is the resumable one.
 
+use crate::checkpoint::{
+    data_fingerprint, CheckpointError, CheckpointStore, ResumePolicy, UnitRecord,
+};
 use crate::config::LearnerConfig;
 use crate::learn::phases;
 use crate::model::{Module, ModuleNetwork};
 use mn_comm::ParEngine;
 use mn_consensus::{cooccurrence_matrix, cooccurrence_work, spectral_clusters_counted};
 use mn_data::Dataset;
-use mn_gibbs::ganesh_ensemble;
+use mn_gibbs::{ganesh, ganesh_ensemble};
 use mn_rand::MasterRng;
-use mn_tree::{assign_splits, learn_module_trees, learn_parents};
+use mn_tree::{assign_splits, learn_module_trees, learn_parents, ModuleEnsemble};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::path::Path;
 
 /// Output of task 1 (GaneSH): the sampled variable-cluster ensemble.
@@ -87,15 +91,23 @@ pub fn run_module_learning<E: ParEngine>(
         .enumerate()
         .map(|(k, vars)| learn_module_trees(engine, data, &master, k, vars, &config.tree))
         .collect();
+    finish_module_learning(engine, data, config, &master, ensembles)
+}
+
+/// The tail of task 3 shared by the one-shot and checkpointed paths:
+/// split assignment over the global candidate list, parent scoring,
+/// and network assembly. Deterministic given the tree ensembles (the
+/// split/parent streams are keyed, not positional), so checkpointed
+/// runs recompute it instead of persisting it.
+fn finish_module_learning<E: ParEngine>(
+    engine: &mut E,
+    data: &Dataset,
+    config: &LearnerConfig,
+    master: &MasterRng,
+    ensembles: Vec<ModuleEnsemble>,
+) -> ModuleNetwork {
     let parents_list = config.resolved_parents(data.n_vars());
-    let assignment = assign_splits(
-        engine,
-        data,
-        &master,
-        &ensembles,
-        &parents_list,
-        &config.tree,
-    );
+    let assignment = assign_splits(engine, data, master, &ensembles, &parents_list, &config.tree);
     let parents = learn_parents(engine, &ensembles, &assignment);
 
     let mut var_assignment: Vec<Option<usize>> = vec![None; data.n_vars()];
@@ -174,33 +186,146 @@ impl Checkpoint {
     }
 }
 
-/// Run the pipeline, resuming from (and updating) the checkpoint file
-/// at `path`. A checkpoint that does not match the problem is ignored
-/// and overwritten. Returns the network and the engine report covering
-/// only the stages that actually executed.
+/// Counter increments produced since the `before` snapshot — the
+/// deltas persisted with a checkpoint unit so a resume can replay
+/// them.
+fn counter_delta<E: ParEngine>(
+    before: &BTreeMap<String, u64>,
+    engine: &E,
+) -> BTreeMap<String, u64> {
+    engine
+        .obs()
+        .counters()
+        .iter()
+        .filter_map(|(name, &after)| {
+            let delta = after - before.get(name).copied().unwrap_or(0);
+            (delta > 0).then(|| (name.clone(), delta))
+        })
+        .collect()
+}
+
+/// Execute one checkpoint unit: restore it (replaying its counter
+/// deltas so the recorder state is bit-identical to having computed
+/// it) when the store holds it, otherwise compute it, capture the
+/// deltas, and persist both. `checkpoint.units_written` /
+/// `checkpoint.units_skipped` are bumped *outside* the captured
+/// window, identically on every rank, and excluded from cross-run
+/// equivalence (see [`mn_obs::counters`]).
+fn run_unit<E, T>(
+    engine: &mut E,
+    store: &mut CheckpointStore,
+    unit: &str,
+    compute: impl FnOnce(&mut E) -> T,
+) -> Result<T, CheckpointError>
+where
+    E: ParEngine,
+    T: Serialize + Deserialize,
+{
+    if let Some(record) = store.get::<T>(unit) {
+        for (name, by) in &record.counters {
+            engine.obs_mut().incr(name, *by);
+        }
+        engine.count(mn_obs::counters::CHECKPOINT_UNITS_SKIPPED, 1);
+        return Ok(record.value);
+    }
+    let before = engine.obs().counters().clone();
+    let value = compute(engine);
+    let counters = counter_delta(&before, engine);
+    let record = UnitRecord { value, counters };
+    store.put(unit, &record)?;
+    engine.count(mn_obs::counters::CHECKPOINT_UNITS_WRITTEN, 1);
+    Ok(record.value)
+}
+
+/// Run the pipeline with fine-grained checkpointing in the directory
+/// `dir`, under [`ResumePolicy::Auto`] (an unusable or mismatched
+/// checkpoint is silently discarded). See
+/// [`learn_with_checkpoint_policy`] for the semantics.
 pub fn learn_with_checkpoint<E: ParEngine, P: AsRef<Path>>(
     engine: &mut E,
     data: &Dataset,
     config: &LearnerConfig,
-    path: P,
-) -> std::io::Result<(ModuleNetwork, mn_comm::RunReport)> {
-    let path = path.as_ref();
-    let mut checkpoint = match Checkpoint::load(path) {
-        Ok(cp) if cp.matches(data, config) => cp,
-        _ => Checkpoint::new(data, config),
-    };
+    dir: P,
+) -> Result<(ModuleNetwork, mn_comm::RunReport), CheckpointError> {
+    learn_with_checkpoint_policy(engine, data, config, dir, ResumePolicy::Auto)
+}
 
-    if checkpoint.ganesh.is_none() {
-        checkpoint.ganesh = Some(run_ganesh(engine, data, config));
-        checkpoint.save(path)?;
+/// Run the pipeline, resuming from (and extending) the checkpoint
+/// directory `dir`.
+///
+/// Progress is persisted per *unit* — each GaneSH run of task 1
+/// (`ganesh_run_<g>.json`), the consensus partition of task 2
+/// (`consensus.json`), and each module's tree ensemble of task 3
+/// (`module_<k>.json`) — so a run killed mid-task resumes after the
+/// last completed unit rather than at a stage boundary. Split
+/// assignment and parent scoring recompute from the stored ensembles
+/// (they are deterministic under the keyed-stream discipline).
+///
+/// Restored units replay their recorded counter deltas, and every
+/// phase is begun whether or not its units were skipped, so a resumed
+/// run finishes with the same counters, phase sequence, and (by the
+/// keyed-stream discipline) bit-identical network as the uninterrupted
+/// run — the property `tests/fault_resume.rs` sweeps. Only
+/// [`ParEngine::io_rank`] writes; an uncounted
+/// [`ParEngine::io_barrier`] after the load keeps SPMD ranks' resume
+/// decisions replicated without perturbing the accounting.
+pub fn learn_with_checkpoint_policy<E: ParEngine, P: AsRef<Path>>(
+    engine: &mut E,
+    data: &Dataset,
+    config: &LearnerConfig,
+    dir: P,
+    policy: ResumePolicy,
+) -> Result<(ModuleNetwork, mn_comm::RunReport), CheckpointError> {
+    let config = config.clone().validated().expect("invalid configuration");
+    let mut store = CheckpointStore::open(
+        dir,
+        config.seed,
+        data_fingerprint(data),
+        policy,
+        engine.io_rank(),
+    )?;
+    engine.io_barrier();
+
+    // Task 1 — one unit per GaneSH run (independent keyed streams).
+    let master = MasterRng::new(config.seed);
+    engine.begin_phase(phases::GANESH);
+    let mut ensemble = Vec::with_capacity(config.ganesh_runs);
+    for run in 0..config.ganesh_runs as u64 {
+        let unit = format!("ganesh_run_{run}");
+        ensemble.push(run_unit(engine, &mut store, &unit, |engine| {
+            ganesh(engine, data, &master, run, &config.ganesh).var_cluster_members()
+        })?);
     }
-    if checkpoint.consensus.is_none() {
-        let ganesh = checkpoint.ganesh.as_ref().expect("stage 1 present");
-        checkpoint.consensus = Some(run_consensus(engine, data, config, ganesh));
-        checkpoint.save(path)?;
+    let ganesh_out = GaneshOutput { ensemble };
+
+    // Task 2 — a single unit (sequential, replicated on all ranks).
+    engine.begin_phase(phases::CONSENSUS);
+    let modules = run_unit(engine, &mut store, "consensus", |engine| {
+        let matrix = cooccurrence_matrix(
+            data.n_vars(),
+            &ganesh_out.ensemble,
+            config.consensus_threshold,
+        );
+        let (modules, spectral_work) = spectral_clusters_counted(&matrix, &config.spectral);
+        engine.replicated(
+            cooccurrence_work(data.n_vars(), ganesh_out.ensemble.len()) + spectral_work,
+        );
+        modules
+    })?;
+    let consensus = ConsensusOutput { modules };
+
+    // Task 3 — one unit per module's tree ensemble, then the
+    // deterministic tail (splits, parents, assembly) recomputed.
+    let master = MasterRng::new(config.seed);
+    engine.begin_phase(phases::MODULES);
+    let mut ensembles = Vec::with_capacity(consensus.modules.len());
+    for (k, vars) in consensus.modules.iter().enumerate() {
+        let unit = format!("module_{k}");
+        ensembles.push(run_unit(engine, &mut store, &unit, |engine| {
+            learn_module_trees(engine, data, &master, k, vars, &config.tree)
+        })?);
     }
-    let consensus = checkpoint.consensus.as_ref().expect("stage 2 present");
-    let network = run_module_learning(engine, data, config, consensus);
+    let network = finish_module_learning(engine, data, &config, &master, ensembles);
     Ok((network, engine.report()))
 }
 
@@ -210,12 +335,32 @@ mod tests {
     use crate::learn::learn_module_network;
     use mn_comm::SerialEngine;
     use mn_data::synthetic;
+    use std::path::PathBuf;
 
     fn setup() -> (Dataset, LearnerConfig) {
         (
             synthetic::yeast_like(20, 14, 31).dataset,
             LearnerConfig::paper_minimum(6),
         )
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("monet_stages_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    /// Counters minus the `checkpoint.*` bookkeeping — the set the
+    /// cross-run equivalence contract covers.
+    fn equivalence_counters(engine: &SerialEngine) -> BTreeMap<String, u64> {
+        engine
+            .obs()
+            .counters()
+            .iter()
+            .filter(|(name, _)| !name.starts_with("checkpoint."))
+            .map(|(name, &v)| (name.clone(), v))
+            .collect()
     }
 
     #[test]
@@ -231,48 +376,119 @@ mod tests {
     }
 
     #[test]
+    fn checkpointed_run_is_identical_to_plain_run() {
+        // The crash-consistency contract's fault-free half: enabling
+        // checkpointing perturbs neither the network nor the counters.
+        let (d, c) = setup();
+        let dir = tmpdir("plain_eq");
+        let mut plain_engine = SerialEngine::new();
+        let (plain, plain_report) = learn_module_network(&mut plain_engine, &d, &c);
+
+        let mut ckpt_engine = SerialEngine::new();
+        let (ckpt, ckpt_report) =
+            learn_with_checkpoint(&mut ckpt_engine, &d, &c, &dir).unwrap();
+        assert_eq!(
+            crate::to_json(&plain),
+            crate::to_json(&ckpt),
+            "checkpoint writes must not perturb the learned network"
+        );
+        assert_eq!(
+            equivalence_counters(&plain_engine),
+            equivalence_counters(&ckpt_engine)
+        );
+        let phase_names =
+            |r: &mn_comm::RunReport| r.phases.iter().map(|p| p.name.clone()).collect::<Vec<_>>();
+        assert_eq!(phase_names(&plain_report), phase_names(&ckpt_report));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn checkpoint_roundtrips_and_resumes() {
         let (d, c) = setup();
-        let path = std::env::temp_dir().join("monet_checkpoint_test.json");
-        std::fs::remove_file(&path).ok();
+        let dir = tmpdir("resume");
 
-        // First run writes stage outputs.
-        let (first, report1) =
-            learn_with_checkpoint(&mut SerialEngine::new(), &d, &c, &path).unwrap();
-        assert!(report1.phases.iter().any(|p| p.name == phases::GANESH));
+        let mut e1 = SerialEngine::new();
+        let (first, _) = learn_with_checkpoint(&mut e1, &d, &c, &dir).unwrap();
+        let written = e1.obs().counter(mn_obs::counters::CHECKPOINT_UNITS_WRITTEN);
+        assert!(written >= 3, "expected ≥3 units (G runs + consensus + modules)");
+        assert_eq!(e1.obs().counter(mn_obs::counters::CHECKPOINT_UNITS_SKIPPED), 0);
 
-        // Second run resumes: tasks 1-2 are skipped (no such phases in
-        // the report), the network is identical.
-        let (second, report2) =
-            learn_with_checkpoint(&mut SerialEngine::new(), &d, &c, &path).unwrap();
+        // Second run restores every unit; network, equivalence
+        // counters, and phase sequence are bit-identical.
+        let mut e2 = SerialEngine::new();
+        let (second, report2) = learn_with_checkpoint(&mut e2, &d, &c, &dir).unwrap();
         assert_eq!(first, second);
-        assert!(
-            !report2.phases.iter().any(|p| p.name == phases::GANESH),
-            "GaneSH should have been resumed from the checkpoint"
+        assert_eq!(
+            e2.obs().counter(mn_obs::counters::CHECKPOINT_UNITS_SKIPPED),
+            written,
+            "every persisted unit should have been restored"
         );
-        assert!(report2.phases.iter().any(|p| p.name == phases::MODULES));
-        std::fs::remove_file(&path).ok();
+        assert_eq!(equivalence_counters(&e1), equivalence_counters(&e2));
+        assert_eq!(report2.phases.len(), 3, "phases are begun even when skipped");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn partial_checkpoint_resumes_mid_task() {
+        // Drop the consensus + module units from a finished checkpoint:
+        // the resumed run restores the GaneSH runs, recomputes the rest,
+        // and still matches bit-for-bit.
+        let (d, c) = setup();
+        let dir = tmpdir("partial");
+        let mut e1 = SerialEngine::new();
+        let (first, _) = learn_with_checkpoint(&mut e1, &d, &c, &dir).unwrap();
+
+        let manifest_path = dir.join(crate::checkpoint::MANIFEST_FILE);
+        let mut manifest: crate::checkpoint::Manifest =
+            serde_json::from_str(&std::fs::read_to_string(&manifest_path).unwrap()).unwrap();
+        manifest
+            .entries
+            .retain(|unit, _| unit.starts_with("ganesh_run_"));
+        std::fs::write(&manifest_path, serde_json::to_string(&manifest).unwrap()).unwrap();
+
+        let mut e2 = SerialEngine::new();
+        let (second, _) = learn_with_checkpoint(&mut e2, &d, &c, &dir).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(equivalence_counters(&e1), equivalence_counters(&e2));
+        assert!(
+            e2.obs().counter(mn_obs::counters::CHECKPOINT_UNITS_SKIPPED) > 0
+                && e2.obs().counter(mn_obs::counters::CHECKPOINT_UNITS_WRITTEN) > 0,
+            "resume should mix restored and recomputed units"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn mismatched_checkpoint_is_ignored() {
         let (d, c) = setup();
-        let path = std::env::temp_dir().join("monet_checkpoint_mismatch.json");
-        std::fs::remove_file(&path).ok();
-        learn_with_checkpoint(&mut SerialEngine::new(), &d, &c, &path).unwrap();
+        let dir = tmpdir("mismatch");
+        learn_with_checkpoint(&mut SerialEngine::new(), &d, &c, &dir).unwrap();
 
-        // Different seed: stale checkpoint must not be reused.
+        // Different seed: stale checkpoint must not be reused (Auto
+        // discards it silently).
         let mut c2 = c.clone();
         c2.seed = 999;
-        let (net2, report) =
-            learn_with_checkpoint(&mut SerialEngine::new(), &d, &c2, &path).unwrap();
-        assert!(
-            report.phases.iter().any(|p| p.name == phases::GANESH),
+        let mut e2 = SerialEngine::new();
+        let (net2, _) = learn_with_checkpoint(&mut e2, &d, &c2, &dir).unwrap();
+        assert_eq!(
+            e2.obs().counter(mn_obs::counters::CHECKPOINT_UNITS_SKIPPED),
+            0,
             "stale checkpoint should have been discarded"
         );
         let (reference, _) = learn_module_network(&mut SerialEngine::new(), &d, &c2);
         assert_eq!(net2, reference);
-        std::fs::remove_file(&path).ok();
+
+        // Strict refuses the same mismatch with a typed error.
+        let err = learn_with_checkpoint_policy(
+            &mut SerialEngine::new(),
+            &d,
+            &c,
+            &dir,
+            ResumePolicy::Strict,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch { .. }), "{err:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -287,5 +503,29 @@ mod tests {
         let loaded = Checkpoint::load(&path).unwrap();
         assert_eq!(cp, loaded);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_matches_same_dims_different_data() {
+        // Same (n, m) but different cells: the cell-sum component of
+        // the fingerprint must reject the swap.
+        let (d, c) = setup();
+        let cp = Checkpoint::new(&d, &c);
+        let mut other = d.clone();
+        let first = other.matrix.get(0, 0);
+        other.matrix.set(0, 0, first + 1.0);
+        assert_eq!((d.n_vars(), d.n_obs()), (other.n_vars(), other.n_obs()));
+        assert!(cp.matches(&d, &c));
+        assert!(!cp.matches(&other, &c), "same dims, different cells");
+    }
+
+    #[test]
+    fn checkpoint_matches_same_data_different_seed() {
+        let (d, c) = setup();
+        let cp = Checkpoint::new(&d, &c);
+        let mut c2 = c.clone();
+        c2.seed = c.seed + 1;
+        assert!(cp.matches(&d, &c));
+        assert!(!cp.matches(&d, &c2), "same data, different seed");
     }
 }

@@ -218,6 +218,168 @@ fn cli_msg_engine_matches_serial_network() {
 }
 
 #[test]
+fn cli_non_finite_input_is_a_clean_typed_error() {
+    // A NaN cell must exit nonzero with the typed DataError message
+    // (line/column/value), not a panic backtrace.
+    let dir = std::env::temp_dir();
+    let tsv = dir.join("monet_cli_nan.tsv");
+    std::fs::write(&tsv, "gene\to1\to2\nG0\t1.0\t2.0\nG1\tNaN\t0.5\n").unwrap();
+    let output = Command::new(monet_bin())
+        .args(["--input", tsv.to_str().unwrap()])
+        .output()
+        .expect("run monet");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("non-finite") && stderr.contains("line 3"),
+        "stderr: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+    std::fs::remove_file(tsv).ok();
+}
+
+/// A scratch checkpoint directory plus the common argument set the
+/// fault/resume CLI tests share.
+fn checkpoint_scenario(tag: &str) -> (PathBuf, Vec<String>) {
+    let ckpt = std::env::temp_dir().join(format!("monet_cli_ckpt_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&ckpt).ok();
+    let args = [
+        "--synthetic",
+        "18,12",
+        "--seed",
+        "4",
+        "--ganesh-runs",
+        "2",
+        "--quiet",
+        "--checkpoint-dir",
+        ckpt.to_str().unwrap(),
+    ]
+    .map(String::from)
+    .to_vec();
+    (ckpt, args)
+}
+
+#[test]
+fn cli_fault_kill_then_resume_reproduces_uninterrupted_network() {
+    let dir = std::env::temp_dir();
+
+    // Uninterrupted, checkpoint-free reference network.
+    let ref_json = dir.join("monet_cli_fr_ref.json");
+    let output = Command::new(monet_bin())
+        .args([
+            "--synthetic",
+            "18,12",
+            "--seed",
+            "4",
+            "--ganesh-runs",
+            "2",
+            "--quiet",
+            "--json",
+            ref_json.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run monet");
+    assert!(output.status.success());
+
+    for engine in ["serial", "msg:3"] {
+        let tag = engine.replace(':', "_");
+        let (ckpt, args) = checkpoint_scenario(&tag);
+
+        // Phase 1: inject a kill mid-run. Fault aborts exit with 3 and
+        // a descriptive message, never a panic trace.
+        let output = Command::new(monet_bin())
+            .args(&args)
+            .args(["--engine", engine, "--fault", "kill:0@40"])
+            .output()
+            .expect("run monet");
+        assert_eq!(
+            output.status.code(),
+            Some(3),
+            "{engine}: stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(stderr.contains("injected kill"), "{engine}: stderr: {stderr}");
+        assert!(!stderr.contains("panicked"), "{engine}: stderr: {stderr}");
+        assert!(
+            ckpt.join("manifest.json").exists(),
+            "{engine}: killed run left no checkpoint"
+        );
+
+        // Phase 2: --resume finishes the run; the network is identical
+        // to the uninterrupted reference.
+        let json = dir.join(format!("monet_cli_fr_{tag}.json"));
+        let output = Command::new(monet_bin())
+            .args(&args)
+            .args(["--engine", engine, "--resume", "--json", json.to_str().unwrap()])
+            .output()
+            .expect("run monet");
+        assert!(
+            output.status.success(),
+            "{engine}: resume failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        assert_eq!(
+            std::fs::read_to_string(&json).unwrap(),
+            std::fs::read_to_string(&ref_json).unwrap(),
+            "{engine}: resumed network diverged"
+        );
+        std::fs::remove_file(json).ok();
+        std::fs::remove_dir_all(&ckpt).ok();
+    }
+    std::fs::remove_file(ref_json).ok();
+}
+
+#[test]
+fn cli_corrupt_checkpoint_is_a_clean_error_and_force_restart_recovers() {
+    let (ckpt, args) = checkpoint_scenario("corrupt");
+
+    // Seed a valid checkpoint, then corrupt the manifest.
+    let output = Command::new(monet_bin()).args(&args).output().expect("run monet");
+    assert!(output.status.success());
+    let manifest = ckpt.join("manifest.json");
+    std::fs::write(&manifest, "{\"version\": 1, \"truncated").unwrap();
+
+    // --resume on garbage: descriptive error, exit 1, no panic.
+    let output = Command::new(monet_bin())
+        .args(&args)
+        .arg("--resume")
+        .output()
+        .expect("run monet");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("corrupt checkpoint"), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+
+    // --resume --force-restart wipes the directory and completes.
+    let output = Command::new(monet_bin())
+        .args(&args)
+        .args(["--resume", "--force-restart"])
+        .output()
+        .expect("run monet");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    std::fs::remove_dir_all(&ckpt).ok();
+}
+
+#[test]
+fn cli_resume_with_no_checkpoint_is_a_clean_error() {
+    let (ckpt, args) = checkpoint_scenario("missing");
+    let output = Command::new(monet_bin())
+        .args(&args)
+        .arg("--resume")
+        .output()
+        .expect("run monet");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("no checkpoint manifest"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&ckpt).ok();
+}
+
+#[test]
 fn cli_rejects_bad_usage() {
     // No input source.
     let output = Command::new(monet_bin()).output().expect("run monet");
@@ -236,4 +398,16 @@ fn cli_rejects_bad_usage() {
     assert!(!output.status.success());
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(stderr.contains("error"), "stderr: {stderr}");
+    // --resume without --checkpoint-dir is a usage error (exit 2).
+    let output = Command::new(monet_bin())
+        .args(["--synthetic", "10,10", "--resume"])
+        .output()
+        .expect("run monet");
+    assert_eq!(output.status.code(), Some(2));
+    // Malformed --fault spec.
+    let output = Command::new(monet_bin())
+        .args(["--synthetic", "10,10", "--fault", "explode:everything"])
+        .output()
+        .expect("run monet");
+    assert_eq!(output.status.code(), Some(1));
 }

@@ -1,0 +1,282 @@
+//! Kill–resume equivalence: a run killed at an arbitrary fault point
+//! and resumed from its fine-grained checkpoint must finish with the
+//! network, counters, and phase sequence of an uninterrupted run —
+//! bit-identically, on every engine.
+//!
+//! Fault points are deterministic event indices ([`mn_comm::FaultPlan`]):
+//! engine events (each `dist_map*` / `collective` / `replicated` call)
+//! on the single-process engines, per-endpoint fabric events
+//! (sends + receives) on the message-passing engine. Each sweep probes
+//! the event ranges of the three pipeline tasks first, then plants
+//! kills across all of them — GaneSH mid-ensemble, consensus, and
+//! module learning mid-task — so resume is exercised *within* tasks,
+//! not just at stage boundaries.
+
+use mn_comm::{
+    silence_injected_panics, FaultPlan, ParEngine, SerialEngine, SimEngine, ThreadEngine,
+};
+use mn_data::{synthetic, Dataset};
+use monet::stages::{run_consensus, run_ganesh, run_module_learning};
+use monet::{learn_with_checkpoint, to_json, LearnerConfig};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+fn setup() -> (Dataset, LearnerConfig) {
+    let mut config = LearnerConfig::paper_minimum(9);
+    // Two GaneSH runs so task 1 spans multiple checkpoint units.
+    config.ganesh_runs = 2;
+    (synthetic::yeast_like(20, 14, 5).dataset, config)
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("monet_fault_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Counters under the cross-run equivalence contract: everything
+/// except the `checkpoint.*` bookkeeping (a resumed run legitimately
+/// skips units the killed run wrote) and `fault.*` (reserved).
+fn equivalence_counters<E: ParEngine>(engine: &E) -> BTreeMap<String, u64> {
+    engine
+        .obs()
+        .counters()
+        .iter()
+        .filter(|(name, _)| !name.starts_with("checkpoint.") && !name.starts_with("fault."))
+        .map(|(name, &v)| (name.clone(), v))
+        .collect()
+}
+
+fn phase_names(report: &mn_comm::RunReport) -> Vec<String> {
+    report.phases.iter().map(|p| p.name.clone()).collect()
+}
+
+/// A single-process engine the sweep can construct fresh or with a
+/// fault plan, and whose deterministic event clock it can read.
+trait SweepEngine: ParEngine + Sized {
+    const LABEL: &'static str;
+    fn fresh() -> Self;
+    fn with_plan(plan: FaultPlan) -> Self;
+    fn events(&self) -> u64;
+}
+
+impl SweepEngine for SerialEngine {
+    const LABEL: &'static str = "serial";
+    fn fresh() -> Self {
+        SerialEngine::new()
+    }
+    fn with_plan(plan: FaultPlan) -> Self {
+        SerialEngine::new().with_fault_plan(plan)
+    }
+    fn events(&self) -> u64 {
+        self.fault_events()
+    }
+}
+
+impl SweepEngine for ThreadEngine {
+    const LABEL: &'static str = "threads:3";
+    fn fresh() -> Self {
+        ThreadEngine::new(3)
+    }
+    fn with_plan(plan: FaultPlan) -> Self {
+        ThreadEngine::new(3).with_fault_plan(plan)
+    }
+    fn events(&self) -> u64 {
+        self.fault_events()
+    }
+}
+
+impl SweepEngine for SimEngine {
+    const LABEL: &'static str = "sim:4";
+    fn fresh() -> Self {
+        SimEngine::new(4)
+    }
+    fn with_plan(plan: FaultPlan) -> Self {
+        SimEngine::new(4).with_fault_plan(plan)
+    }
+    fn events(&self) -> u64 {
+        self.fault_events()
+    }
+}
+
+/// Engine-event index of the last event of each task, probed by
+/// running the three stages and reading the fault clock in between.
+/// The staged run and the checkpointed run issue the identical event
+/// sequence (`staged_run_equals_one_shot_run` pins that), so these
+/// boundaries are valid targets for kills inside a checkpointed run.
+fn probe_task_boundaries<E: SweepEngine>(data: &Dataset, config: &LearnerConfig) -> (u64, u64, u64) {
+    let mut engine = E::fresh();
+    let t1 = run_ganesh(&mut engine, data, config);
+    let e1 = engine.events();
+    let t2 = run_consensus(&mut engine, data, config, &t1);
+    let e2 = engine.events();
+    run_module_learning(&mut engine, data, config, &t2);
+    let e3 = engine.events();
+    (e1, e2, e3)
+}
+
+/// Fault points covering all three tasks: early / mid / end of task 1,
+/// the consensus event, and early / mid / final events of task 3.
+fn fault_points(e1: u64, e2: u64, e3: u64) -> Vec<u64> {
+    let mut points = vec![1, e1.div_ceil(2), e1, e2, e2 + 1, e2 + (e3 - e2).div_ceil(2), e3];
+    points.sort_unstable();
+    points.dedup();
+    points
+}
+
+fn sweep_single_process<E: SweepEngine>() {
+    silence_injected_panics();
+    let (d, c) = setup();
+
+    // Uninterrupted, checkpoint-free reference.
+    let mut ref_engine = E::fresh();
+    let (ref_net, ref_report) = monet::learn_module_network(&mut ref_engine, &d, &c);
+    let ref_json = to_json(&ref_net);
+    let ref_counters = equivalence_counters(&ref_engine);
+
+    let (e1, e2, e3) = probe_task_boundaries::<E>(&d, &c);
+    assert!(e1 < e2 && e2 < e3, "degenerate task boundaries {e1}/{e2}/{e3}");
+
+    for event in fault_points(e1, e2, e3) {
+        let label = format!("{} kill@{event} (t1≤{e1}, t2≤{e2}, t3≤{e3})", E::LABEL);
+        let dir = tmpdir(&format!("{}_{event}", E::LABEL));
+
+        // Phase 1: run with a kill planted at `event`; the injected
+        // crash unwinds out of the learner mid-run.
+        let killed = catch_unwind(AssertUnwindSafe(|| {
+            let mut engine = E::with_plan(FaultPlan::new().kill(0, event));
+            learn_with_checkpoint(&mut engine, &d, &c, &dir)
+        }));
+        assert!(killed.is_err(), "{label}: fault did not fire");
+
+        // Phase 2: resume on a fresh, fault-free engine. Everything
+        // observable must be bit-identical to the uninterrupted run.
+        let mut engine = E::fresh();
+        let (net, report) = learn_with_checkpoint(&mut engine, &d, &c, &dir)
+            .unwrap_or_else(|e| panic!("{label}: resume failed: {e}"));
+        assert_eq!(to_json(&net), ref_json, "{label}: network diverged");
+        assert_eq!(
+            equivalence_counters(&engine),
+            ref_counters,
+            "{label}: counters diverged"
+        );
+        assert_eq!(
+            phase_names(&report),
+            phase_names(&ref_report),
+            "{label}: phase sequence diverged"
+        );
+        assert_eq!(report.nranks, ref_report.nranks, "{label}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn kill_resume_equivalence_serial() {
+    sweep_single_process::<SerialEngine>();
+}
+
+#[test]
+fn kill_resume_equivalence_threads() {
+    sweep_single_process::<ThreadEngine>();
+}
+
+#[test]
+fn kill_resume_equivalence_sim() {
+    sweep_single_process::<SimEngine>();
+}
+
+#[test]
+fn kill_resume_equivalence_msg() {
+    silence_injected_panics();
+    let (d, c) = setup();
+    let p = 3;
+
+    // Uninterrupted, checkpoint-free reference (rank 0's view; the
+    // determinism suite already asserts all ranks agree).
+    let reference = mn_comm::spmd_run(p, |engine| {
+        let (net, report) = monet::learn_module_network(engine, &d, &c);
+        (
+            to_json(&net),
+            equivalence_counters(engine),
+            phase_names(&report),
+        )
+    });
+    let (ref_json, ref_counters, ref_phases) = reference[0].clone();
+
+    // Probe the per-endpoint fabric-event total of a full checkpointed
+    // run (checkpointing adds io_barrier traffic, so probe the same
+    // code path the kills will interrupt).
+    let probe_dir = tmpdir("msg_probe");
+    let totals = mn_comm::spmd_run(p, |engine| {
+        learn_with_checkpoint(engine, &d, &c, &probe_dir).unwrap();
+        engine.endpoint().events()
+    });
+    std::fs::remove_dir_all(&probe_dir).ok();
+    let total = totals.iter().copied().min().unwrap();
+    assert!(total > 12, "fabric event total {total} too small to sweep");
+
+    // Kill the I/O rank (0) and a non-writer rank (1) at fabric events
+    // spread over the whole run.
+    let cases: Vec<(usize, u64)> = vec![
+        (1, total / 6),
+        (0, total / 3),
+        (1, total / 2),
+        (0, 2 * total / 3),
+        (1, 5 * total / 6),
+    ];
+    for (victim, event) in cases {
+        let label = format!("msg:{p} kill rank {victim}@{event}/{total}");
+        let dir = tmpdir(&format!("msg_{victim}_{event}"));
+
+        let outcomes = mn_comm::spmd_run_faulty(
+            p,
+            FaultPlan::new().kill(victim, event),
+            None,
+            |engine| learn_with_checkpoint(engine, &d, &c, &dir).map(|_| ()),
+        );
+        assert!(
+            outcomes[victim].is_err(),
+            "{label}: victim survived: {outcomes:?}"
+        );
+
+        // Resume fault-free; every rank must reproduce the reference.
+        let resumed = mn_comm::spmd_run(p, |engine| {
+            let (net, report) = learn_with_checkpoint(engine, &d, &c, &dir)
+                .unwrap_or_else(|e| panic!("{label}: resume failed: {e}"));
+            (
+                to_json(&net),
+                equivalence_counters(engine),
+                phase_names(&report),
+                report.nranks,
+            )
+        });
+        for (rank, (json, counters, phases, nranks)) in resumed.iter().enumerate() {
+            assert_eq!(json, &ref_json, "{label}: rank {rank} network diverged");
+            assert_eq!(counters, &ref_counters, "{label}: rank {rank} counters diverged");
+            assert_eq!(phases, &ref_phases, "{label}: rank {rank} phases diverged");
+            assert_eq!(*nranks, p, "{label}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn fault_free_checkpointed_msg_run_matches_plain_run() {
+    // The fault-free half of the contract on the real fabric: enabling
+    // checkpointing (including its uncounted io_barrier) must not
+    // perturb the network or the equivalence counters.
+    let (d, c) = setup();
+    let p = 3;
+    let plain = mn_comm::spmd_run(p, |engine| {
+        let (net, _) = monet::learn_module_network(engine, &d, &c);
+        (to_json(&net), equivalence_counters(engine))
+    });
+    let dir = tmpdir("msg_plain_eq");
+    let ckpt = mn_comm::spmd_run(p, |engine| {
+        let (net, _) = learn_with_checkpoint(engine, &d, &c, &dir).unwrap();
+        (to_json(&net), equivalence_counters(engine))
+    });
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(plain, ckpt);
+}
