@@ -7,21 +7,151 @@
 //! by power iteration, cluster = heavy components, deflate, repeat.
 //!
 //! Per §3.2.2 the paper leaves this task *sequential* (it is < 0.04 %
-//! of the total runtime) and executes it redundantly on all ranks; the
-//! orchestrator in `monet` charges engines accordingly via
-//! `ParEngine::replicated` with [`cooccurrence_work`].
+//! of the total runtime) and executes it redundantly on all ranks.
+//! That is the [`ConsensusBackend::Dense`] baseline, charged through
+//! `ParEngine::replicated`. The default [`ConsensusBackend::Sparse`]
+//! path departs from §3.2.2 for north-star scale: the thresholded
+//! matrix is built directly in sparse form by tiled accumulation
+//! ([`sparse_cooccurrence`]) and the power iteration is sharded over
+//! the engine ([`spectral::power_iteration_sparse`]), with real work
+//! charged per row through `dist_map`. Both backends produce
+//! bit-identical clusters and eigenvalues on every engine and rank
+//! count (`tests/backend_ab.rs`; argument in DESIGN.md §11).
 
 #![warn(missing_docs)]
 
 pub mod cooccurrence;
 pub mod rand_index;
+pub mod sparse;
 pub mod spectral;
 pub mod symmatrix;
 
-pub use cooccurrence::{cooccurrence_matrix, cooccurrence_work};
+pub use cooccurrence::{
+    cooccurrence_matrix, cooccurrence_work, sparse_cooccurrence, COOC_TILE_ROWS,
+};
 pub use rand_index::{adjusted_rand_index, labels_from_clusters};
+pub use sparse::{SparseParts, SparseSymMatrix};
 pub use spectral::{
-    consensus_clustering, power_iteration, spectral_clusters, spectral_clusters_counted,
+    consensus_clustering, power_iteration, power_iteration_sparse, spectral_clusters,
+    spectral_clusters_counted, spectral_outcome, spectral_outcome_sparse, SpectralOutcome,
     SpectralParams,
 };
 pub use symmatrix::SymMatrix;
+
+use mn_comm::obs::counters;
+use mn_comm::{with_span, ParEngine};
+use serde::{Deserialize, Serialize};
+
+/// Which task-2 execution path to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ConsensusBackend {
+    /// Sparse thresholded matrix, power iteration sharded over the
+    /// engine (the default).
+    #[default]
+    Sparse,
+    /// Dense `SymMatrix`, sequential extraction replicated on every
+    /// rank — §3.2.2 taken literally (`--consensus-dense`).
+    Dense,
+}
+
+/// Task-2 configuration: threshold, backend, and the spectral
+/// extraction parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConsensusParams {
+    /// Co-occurrence fractions strictly below this are zeroed.
+    pub threshold: f64,
+    /// Dense replicated baseline or sharded sparse path.
+    pub backend: ConsensusBackend,
+    /// Spectral extraction loop parameters.
+    pub spectral: SpectralParams,
+}
+
+impl Default for ConsensusParams {
+    fn default() -> Self {
+        Self {
+            threshold: 0.0,
+            backend: ConsensusBackend::default(),
+            spectral: SpectralParams::default(),
+        }
+    }
+}
+
+/// The co-occurrence matrix in whichever representation the backend
+/// produced.
+#[derive(Debug, Clone)]
+pub enum CoMatrix {
+    /// Dense full matrix (the replicated baseline).
+    Dense(SymMatrix),
+    /// Sparse upper-triangle CSR (the sharded path).
+    Sparse(SparseSymMatrix),
+}
+
+/// Build the thresholded co-occurrence matrix with the configured
+/// backend, inside a `cooccurrence` span. Both backends report the
+/// same `consensus.nnz` (stored upper-triangle entries after
+/// thresholding, diagonal included) so the counter stream is
+/// backend-independent.
+pub fn build_cooccurrence<E: ParEngine + ?Sized>(
+    engine: &mut E,
+    n: usize,
+    ensemble: &[Vec<Vec<usize>>],
+    params: &ConsensusParams,
+) -> CoMatrix {
+    with_span(engine, "cooccurrence", |engine| match params.backend {
+        ConsensusBackend::Dense => {
+            let a = cooccurrence_matrix(n, ensemble, params.threshold);
+            engine.replicated(cooccurrence_work(n, ensemble.len()));
+            // Count post-threshold non-zeros exactly as the sparse
+            // path counts stored entries: upper triangle, diagonal
+            // included (always 1.0, hence always stored).
+            let mut nnz = 0u64;
+            for i in 0..n {
+                for (j, &v) in a.row(i).iter().enumerate().skip(i) {
+                    if v != 0.0 || j == i {
+                        nnz += 1;
+                    }
+                }
+            }
+            engine.count(counters::CONSENSUS_NNZ, nnz);
+            CoMatrix::Dense(a)
+        }
+        ConsensusBackend::Sparse => {
+            CoMatrix::Sparse(sparse_cooccurrence(engine, n, ensemble, params.threshold))
+        }
+    })
+}
+
+/// Run the spectral extraction loop on a built co-occurrence matrix,
+/// inside a `spectral` span, and emit the `consensus.*` counters
+/// (matvec dispatches; dropped variables per the no-silent-caps rule).
+pub fn extract_clusters<E: ParEngine + ?Sized>(
+    engine: &mut E,
+    matrix: &CoMatrix,
+    params: &ConsensusParams,
+) -> SpectralOutcome {
+    with_span(engine, "spectral", |engine| {
+        let out = match matrix {
+            CoMatrix::Dense(a) => {
+                let out = spectral_outcome(a, &params.spectral);
+                engine.replicated(out.work);
+                out
+            }
+            CoMatrix::Sparse(a) => spectral_outcome_sparse(engine, a, &params.spectral),
+        };
+        engine.count(counters::CONSENSUS_MATVEC_DISPATCHES, out.matvecs);
+        engine.count(counters::CONSENSUS_DROPPED_VARS, out.dropped_vars);
+        out
+    })
+}
+
+/// Task 2 end to end on the configured backend: build the matrix,
+/// extract the consensus clusters.
+pub fn consensus_outcome<E: ParEngine + ?Sized>(
+    engine: &mut E,
+    n: usize,
+    ensemble: &[Vec<Vec<usize>>],
+    params: &ConsensusParams,
+) -> SpectralOutcome {
+    let matrix = build_cooccurrence(engine, n, ensemble, params);
+    extract_clusters(engine, &matrix, params)
+}

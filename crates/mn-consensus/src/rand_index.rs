@@ -23,7 +23,6 @@ pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
         rows[x] += 1;
         cols[y] += 1;
     }
-    let choose2 = |x: u64| -> f64 { (x * x.saturating_sub(1)) as f64 / 2.0 };
     let sum_table: f64 = table.iter().map(|&v| choose2(v)).sum();
     let sum_rows: f64 = rows.iter().map(|&v| choose2(v)).sum();
     let sum_cols: f64 = cols.iter().map(|&v| choose2(v)).sum();
@@ -34,6 +33,14 @@ pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
         return 1.0;
     }
     (sum_table - expected) / (max_index - expected)
+}
+
+/// `x·(x−1)/2` computed in f64. The multiplication must not happen in
+/// `u64`: `x·(x−1)` wraps for counts ≥ 2³², which silently corrupted
+/// the index for very large clusterings. f64 loses at most relative
+/// 2⁻⁵³ per factor, which is harmless in the ARI's ratios.
+fn choose2(x: u64) -> f64 {
+    x as f64 * (x as f64 - 1.0) / 2.0
 }
 
 /// Convert cluster member-lists over `n` items into a label vector;
@@ -110,5 +117,22 @@ mod tests {
     #[should_panic(expected = "two clusters")]
     fn overlapping_clusters_rejected() {
         labels_from_clusters(3, &[vec![0, 1], vec![1, 2]]);
+    }
+
+    /// Regression (ISSUE 5 satellite 3): `choose2` must not multiply
+    /// in u64 — for counts ≥ 2³² the product wraps. 2³³ choose 2 is
+    /// exactly representable via u128 and must match.
+    #[test]
+    fn choose2_survives_counts_past_u32_range() {
+        let x: u64 = 1 << 33;
+        let exact = (x as u128 * (x as u128 - 1) / 2) as f64;
+        assert_eq!(choose2(x), exact);
+        // The old u64 expression wrapped to a wildly different value.
+        let wrapped = (x.wrapping_mul(x.saturating_sub(1))) as f64 / 2.0;
+        assert_ne!(wrapped, exact, "fixture must actually exercise the overflow");
+        // Small counts are exact.
+        assert_eq!(choose2(0), 0.0);
+        assert_eq!(choose2(1), 0.0);
+        assert_eq!(choose2(5), 10.0);
     }
 }

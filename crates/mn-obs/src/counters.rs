@@ -56,6 +56,20 @@ pub const CHECKPOINT_UNITS_WRITTEN: &str = "checkpoint.units_written";
 /// Checkpoint units restored from disk instead of recomputed.
 pub const CHECKPOINT_UNITS_SKIPPED: &str = "checkpoint.units_skipped";
 
+/// Stored upper-triangle entries (diagonal included) of the
+/// thresholded co-occurrence matrix of task 2. Backend-independent:
+/// the dense path counts its post-threshold non-zeros exactly as the
+/// sparse path counts its stored entries.
+pub const CONSENSUS_NNZ: &str = "consensus.nnz";
+/// Power-iteration matrix–vector products executed by task 2's
+/// spectral extraction (on the sparse backend each one is a sharded
+/// `dist_map` over the active rows).
+pub const CONSENSUS_MATVEC_DISPATCHES: &str = "consensus.matvec_dispatches";
+/// Variables discarded by the spectral extraction's minimum-cluster-
+/// size filter — truncation made observable, per the no-silent-caps
+/// rule.
+pub const CONSENSUS_DROPPED_VARS: &str = "consensus.dropped_vars";
+
 /// Candidate splits scored in the split-assignment phase.
 pub const SPLITS_SCORED: &str = "splits.scored";
 /// Tree nodes that received split assignments.

@@ -5,7 +5,8 @@
 //!       [--seed N] [--ganesh-runs G] [--update-steps U]
 //!       [--init-clusters K0] [--trees R] [--splits-per-node J]
 //!       [--sampling-steps S] [--threshold T] [--reference]
-//!       [--gibbs-naive] [--candidates file.txt] [--xml out.xml] [--json out.json]
+//!       [--gibbs-naive] [--consensus-dense]
+//!       [--candidates file.txt] [--xml out.xml] [--json out.json]
 //!       [--trace trace.json] [--metrics-out metrics.json]
 //!       [--checkpoint-dir dir] [--resume] [--force-restart]
 //!       [--fault spec] [--comm-timeout-ms T]
@@ -60,6 +61,7 @@ struct Options {
     threshold: f64,
     reference: bool,
     gibbs_naive: bool,
+    consensus_dense: bool,
     candidates: Option<String>,
     xml: Option<String>,
     json: Option<String>,
@@ -80,7 +82,8 @@ fn usage() -> ! {
          \x20      [--engine serial|threads:<p>|sim:<p>|msg:<p>] [--seed N]\n\
          \x20      [--ganesh-runs G] [--update-steps U] [--init-clusters K0]\n\
          \x20      [--trees R] [--splits-per-node J] [--sampling-steps S]\n\
-         \x20      [--threshold T] [--reference] [--gibbs-naive] [--candidates file]\n\
+         \x20      [--threshold T] [--reference] [--gibbs-naive] [--consensus-dense]\n\
+         \x20      [--candidates file]\n\
          \x20      [--xml out.xml] [--json out.json]\n\
          \x20      [--trace trace.json] [--metrics-out metrics.json]\n\
          \x20      [--checkpoint-dir dir] [--resume] [--force-restart]\n\
@@ -107,6 +110,7 @@ fn parse_options() -> Options {
         threshold: 0.0,
         reference: false,
         gibbs_naive: false,
+        consensus_dense: false,
         candidates: None,
         xml: None,
         json: None,
@@ -167,6 +171,7 @@ fn parse_options() -> Options {
             }
             "--reference" => opts.reference = true,
             "--gibbs-naive" => opts.gibbs_naive = true,
+            "--consensus-dense" => opts.consensus_dense = true,
             "--candidates" => opts.candidates = Some(value(&args, &mut i)),
             "--xml" => opts.xml = Some(value(&args, &mut i)),
             "--json" => opts.json = Some(value(&args, &mut i)),
@@ -214,7 +219,13 @@ fn build_config(opts: &Options, data: &Dataset) -> Result<LearnerConfig, String>
     config.ganesh_runs = opts.ganesh_runs;
     config.ganesh.update_steps = opts.update_steps;
     config.ganesh.init_clusters = opts.init_clusters;
-    config.consensus_threshold = opts.threshold;
+    config.consensus.threshold = opts.threshold;
+    if opts.consensus_dense {
+        // A/B baseline: §3.2.2's dense sequential consensus, replicated
+        // on every rank. Extracts the identical modules (bit-identical
+        // eigenvector stream); only footprint and wall-clock differ.
+        config.consensus.backend = monet::mn_consensus::ConsensusBackend::Dense;
+    }
     config.tree.update_steps = opts.trees + 1;
     config.tree.burn_in = 1;
     config.tree.splits_per_node = opts.splits_per_node;

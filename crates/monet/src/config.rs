@@ -1,6 +1,6 @@
 //! Learner configuration.
 
-use mn_consensus::SpectralParams;
+use mn_consensus::ConsensusParams;
 use mn_gibbs::GaneshParams;
 use mn_score::{CandidateScoring, NormalGamma, ScoreMode};
 use mn_tree::TreeParams;
@@ -18,10 +18,10 @@ pub struct LearnerConfig {
     pub ganesh_runs: usize,
     /// GaneSH co-clustering parameters (task 1).
     pub ganesh: GaneshParams,
-    /// Co-occurrence threshold of the consensus task (task 2).
-    pub consensus_threshold: f64,
-    /// Spectral-extraction parameters (task 2).
-    pub spectral: SpectralParams,
+    /// Consensus-clustering parameters (task 2): threshold, backend
+    /// (sparse sharded by default, `--consensus-dense` for the
+    /// replicated §3.2.2 baseline), spectral extraction.
+    pub consensus: ConsensusParams,
     /// Module-learning parameters (task 3).
     pub tree: TreeParams,
     /// Candidate parents `P`; `None` = every variable (§5.1: "we use
@@ -35,8 +35,7 @@ impl Default for LearnerConfig {
             seed: 0,
             ganesh_runs: 1,
             ganesh: GaneshParams::default(),
-            consensus_threshold: 0.0,
-            spectral: SpectralParams::default(),
+            consensus: ConsensusParams::default(),
             tree: TreeParams::default(),
             candidate_parents: None,
         }
@@ -95,10 +94,10 @@ impl LearnerConfig {
         if self.ganesh.update_steps == 0 {
             return Err("ganesh.update_steps must be >= 1".into());
         }
-        if !(0.0..=1.0).contains(&self.consensus_threshold) {
+        if !(0.0..=1.0).contains(&self.consensus.threshold) {
             return Err(format!(
-                "consensus_threshold must be in [0,1], got {}",
-                self.consensus_threshold
+                "consensus threshold must be in [0,1], got {}",
+                self.consensus.threshold
             ));
         }
         let _ = self.tree.clone().validated()?;
@@ -147,7 +146,10 @@ mod tests {
         };
         assert!(c.validated().is_err());
         let c = LearnerConfig {
-            consensus_threshold: 1.5,
+            consensus: ConsensusParams {
+                threshold: 1.5,
+                ..ConsensusParams::default()
+            },
             ..LearnerConfig::default()
         };
         assert!(c.validated().is_err());

@@ -69,6 +69,18 @@ impl RunMetrics {
             .find(|s| s.path == path)
             .map_or(0.0, |s| s.imbalance)
     }
+
+    /// Variables the consensus extraction dropped because their
+    /// cluster fell below the minimum size (the
+    /// `consensus.dropped_vars` counter; 0 when the run never reached
+    /// task 2). Surfaced here so truncation is observable from the
+    /// metrics record alone, per the no-silent-caps rule.
+    pub fn consensus_dropped_vars(&self) -> u64 {
+        self.counters
+            .get(mn_obs::counters::CONSENSUS_DROPPED_VARS)
+            .copied()
+            .unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +134,30 @@ mod tests {
         let text = metrics.to_json();
         let back: RunMetrics = serde_json::from_str(&text).expect("parse");
         assert_eq!(metrics, back);
+    }
+
+    /// Regression (ISSUE 5 satellite 4): variables discarded by the
+    /// minimum-cluster-size filter are no longer silent — the counter
+    /// lands in the metrics record.
+    #[test]
+    fn dropped_vars_surface_in_metrics() {
+        use crate::stages::{run_consensus, run_ganesh};
+        let d = synthetic::yeast_like(16, 10, 5).dataset;
+        let mut config = LearnerConfig::paper_minimum(5);
+        // Impossible bar: every extracted cluster is dropped.
+        config.consensus.spectral.min_cluster_size = d.n_vars() + 1;
+        let mut engine = SimEngine::new(2);
+        let t1 = run_ganesh(&mut engine, &d, &config);
+        let t2 = run_consensus(&mut engine, &d, &config, &t1);
+        assert!(t2.modules.is_empty(), "nothing can clear the size bar");
+        let report = engine.report();
+        let now = engine.now_s();
+        let metrics = RunMetrics::new(&report, &engine.obs().snapshot(now));
+        assert!(
+            metrics.consensus_dropped_vars() > 0,
+            "dropped variables must be observable: {:?}",
+            metrics.counters
+        );
     }
 
     #[test]

@@ -18,7 +18,10 @@ use crate::config::LearnerConfig;
 use crate::learn::phases;
 use crate::model::{Module, ModuleNetwork};
 use mn_comm::ParEngine;
-use mn_consensus::{cooccurrence_matrix, cooccurrence_work, spectral_clusters_counted};
+use mn_consensus::{
+    build_cooccurrence, consensus_outcome, extract_clusters, CoMatrix, ConsensusBackend,
+    SparseSymMatrix,
+};
 use mn_data::Dataset;
 use mn_gibbs::{ganesh, ganesh_ensemble};
 use mn_rand::MasterRng;
@@ -54,8 +57,9 @@ pub fn run_ganesh<E: ParEngine>(
     }
 }
 
-/// Task 2: consensus clustering of the ensemble (sequential,
-/// replicated on all ranks per §3.2.2).
+/// Task 2: consensus clustering of the ensemble on the configured
+/// backend — sharded sparse by default, or the dense path replicated
+/// on all ranks per §3.2.2 (`--consensus-dense`).
 pub fn run_consensus<E: ParEngine>(
     engine: &mut E,
     data: &Dataset,
@@ -63,16 +67,10 @@ pub fn run_consensus<E: ParEngine>(
     ganesh: &GaneshOutput,
 ) -> ConsensusOutput {
     engine.begin_phase(phases::CONSENSUS);
-    let matrix = cooccurrence_matrix(
-        data.n_vars(),
-        &ganesh.ensemble,
-        config.consensus_threshold,
-    );
-    let (modules, spectral_work) = spectral_clusters_counted(&matrix, &config.spectral);
-    engine.replicated(
-        cooccurrence_work(data.n_vars(), ganesh.ensemble.len()) + spectral_work,
-    );
-    ConsensusOutput { modules }
+    let outcome = consensus_outcome(engine, data.n_vars(), &ganesh.ensemble, &config.consensus);
+    ConsensusOutput {
+        modules: outcome.clusters,
+    }
 }
 
 /// Task 3: learn trees, assign splits, score parents, and assemble the
@@ -199,7 +197,11 @@ fn counter_delta<E: ParEngine>(
         .iter()
         .filter_map(|(name, &after)| {
             let delta = after - before.get(name).copied().unwrap_or(0);
-            (delta > 0).then(|| (name.clone(), delta))
+            // Keys that first appeared inside the window are recorded
+            // even at delta 0 (`incr(_, 0)` creates a counter — e.g. a
+            // consensus run that dropped nothing), so a resumed run
+            // exposes the identical counter key set.
+            (delta > 0 || !before.contains_key(name)).then(|| (name.clone(), delta))
         })
         .collect()
 }
@@ -298,20 +300,37 @@ pub fn learn_with_checkpoint_policy<E: ParEngine, P: AsRef<Path>>(
     }
     let ganesh_out = GaneshOutput { ensemble };
 
-    // Task 2 — a single unit (sequential, replicated on all ranks).
+    // Task 2 — on the sparse backend, two units: the thresholded
+    // matrix (persisted in its canonical upper-triangle CSR form,
+    // `consensus_cooc.json`) and the extracted partition
+    // (`consensus.json`), so a run killed between the build and the
+    // extraction resumes from the matrix. The dense baseline keeps the
+    // single `consensus.json` unit (the full matrix is exactly the
+    // footprint the sparse path exists to avoid persisting).
     engine.begin_phase(phases::CONSENSUS);
-    let modules = run_unit(engine, &mut store, "consensus", |engine| {
-        let matrix = cooccurrence_matrix(
-            data.n_vars(),
-            &ganesh_out.ensemble,
-            config.consensus_threshold,
-        );
-        let (modules, spectral_work) = spectral_clusters_counted(&matrix, &config.spectral);
-        engine.replicated(
-            cooccurrence_work(data.n_vars(), ganesh_out.ensemble.len()) + spectral_work,
-        );
-        modules
-    })?;
+    let modules = match config.consensus.backend {
+        ConsensusBackend::Dense => run_unit(engine, &mut store, "consensus", |engine| {
+            consensus_outcome(engine, data.n_vars(), &ganesh_out.ensemble, &config.consensus)
+                .clusters
+        })?,
+        ConsensusBackend::Sparse => {
+            let parts = run_unit(engine, &mut store, "consensus_cooc", |engine| {
+                match build_cooccurrence(
+                    engine,
+                    data.n_vars(),
+                    &ganesh_out.ensemble,
+                    &config.consensus,
+                ) {
+                    CoMatrix::Sparse(m) => m.to_parts(),
+                    CoMatrix::Dense(_) => unreachable!("sparse backend built a dense matrix"),
+                }
+            })?;
+            let matrix = CoMatrix::Sparse(SparseSymMatrix::from_parts(parts));
+            run_unit(engine, &mut store, "consensus", |engine| {
+                extract_clusters(engine, &matrix, &config.consensus).clusters
+            })?
+        }
+    };
     let consensus = ConsensusOutput { modules };
 
     // Task 3 — one unit per module's tree ensemble, then the

@@ -66,6 +66,10 @@ fn counters_bit_identical_across_all_engines_and_rank_counts() {
         "splits.scored",
         "splits.nodes",
         "comm.collectives",
+        // Task 2 on the default sparse backend: stored post-threshold
+        // entries and sharded power-iteration matvecs.
+        "consensus.nnz",
+        "consensus.matvec_dispatches",
     ] {
         assert!(
             serial.get(key).copied().unwrap_or(0) > 0,
