@@ -38,7 +38,8 @@ use crate::moves::row_stats_by_obs_cluster;
 use crate::state::CoClustering;
 use mn_data::Dataset;
 use mn_score::gibbs_kernel::{addition_term, removal_term, EpochCache};
-use mn_score::{NormalGamma, SuffStats, COST_CELL, COST_LOGMARG};
+use mn_score::{LnGammaTable, NormalGamma, SuffStats, COST_CELL, COST_LOGMARG};
+use std::cell::Cell;
 
 /// One tile-local addition term of a candidate's weight: the
 /// candidate tile, the moving item's statistics restricted to it, and
@@ -154,9 +155,42 @@ fn bump(v: &mut Vec<u64>, slot: usize) {
     v[slot] += 1;
 }
 
+/// Table-backed `log_marginal` with analytic hit accounting.
+///
+/// Only ever invoked from the scorer's replicated-control-flow prep
+/// methods (never from the block-partitioned candidate loop), so both
+/// the memo's fill order and the counts are engine- and
+/// rank-count-independent. Empty blocks short-circuit to 0 without a
+/// table lookup and are therefore not counted.
+fn lm_via(
+    prior: &NormalGamma,
+    table: &LnGammaTable,
+    calls: &Cell<u64>,
+    hits: &Cell<u64>,
+    stats: &SuffStats,
+) -> f64 {
+    if !stats.is_empty() {
+        calls.set(calls.get() + 1);
+        if (table.len() as u64) > stats.count() {
+            hits.set(hits.get() + 1);
+        }
+    }
+    prior.log_marginal_with(stats, table)
+}
+
 /// Per-sweep candidate-scoring cache (see the module docs).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SweepScorer {
+    /// The sweep's `ln Γ(α₀ + k/2)` memo — scoped to this scorer (one
+    /// checkpoint unit's sweep), never wider, so kill/resume replays
+    /// observe the same fill pattern the uninterrupted run recorded.
+    table: LnGammaTable,
+    /// `ln Γ` evaluations requested through the table / served from
+    /// the memo. `Cell` so the epoch-cache fill closures (which hold a
+    /// shared borrow of the scorer's fields) can count; prep runs in
+    /// replicated flow, so no synchronization is needed.
+    lg_calls: Cell<u64>,
+    lg_hits: Cell<u64>,
     // Variable sweeps.
     row_stats: EpochCache<(usize, usize), Vec<(usize, SuffStats)>>,
     whole_row_lm: EpochCache<usize, f64>,
@@ -184,9 +218,34 @@ pub struct SweepScorer {
 }
 
 impl SweepScorer {
-    /// A fresh (empty) per-sweep scorer.
-    pub fn new() -> Self {
-        Self::default()
+    /// A fresh (empty) per-sweep scorer, with its `ln Γ` memo keyed to
+    /// `prior`'s shape `α₀`.
+    pub fn new(prior: &NormalGamma) -> Self {
+        Self {
+            table: LnGammaTable::new(prior.alpha0),
+            lg_calls: Cell::new(0),
+            lg_hits: Cell::new(0),
+            row_stats: EpochCache::default(),
+            whole_row_lm: EpochCache::default(),
+            var_tile_lm: EpochCache::default(),
+            var_add: EpochCache::default(),
+            part_epoch: Vec::new(),
+            var_tile_epoch: Vec::new(),
+            col: EpochCache::default(),
+            obs_tile_lm: EpochCache::default(),
+            obs_add: EpochCache::default(),
+            obs_tile_epoch: Vec::new(),
+        }
+    }
+
+    /// `ln Γ` evaluations requested through the sweep's memo table.
+    pub fn ln_gamma_calls(&self) -> u64 {
+        self.lg_calls.get()
+    }
+
+    /// `ln Γ` evaluations served from the memo (no Lanczos run).
+    pub fn ln_gamma_table_hits(&self) -> u64 {
+        self.lg_hits.get()
     }
 
     /// Total cache lookups served without recomputation.
@@ -229,9 +288,9 @@ impl SweepScorer {
         let mut delta = 0.0;
         for (oslot, xs) in &rs {
             let tile = cluster.obs.cluster(*oslot).stats;
-            let lm_tile = self
-                .var_tile_lm
-                .fetch((cur, *oslot), te, || prior.log_marginal(&tile));
+            let lm_tile = self.var_tile_lm.fetch((cur, *oslot), te, || {
+                lm_via(&prior, &self.table, &self.lg_calls, &self.lg_hits, &tile)
+            });
             delta += removal_term(&prior, &tile, xs, lm_tile);
         }
         let work = data.n_obs() as u64 * COST_CELL + 2 * rs.len() as u64 * COST_LOGMARG;
@@ -271,9 +330,9 @@ impl SweepScorer {
             let mut terms = Vec::with_capacity(rs.len());
             for (oslot, xs) in &rs {
                 let tile = cluster.obs.cluster(*oslot).stats;
-                let lm_tile = self
-                    .var_tile_lm
-                    .fetch((slot, *oslot), te, || prior.log_marginal(&tile));
+                let lm_tile = self.var_tile_lm.fetch((slot, *oslot), te, || {
+                    lm_via(&prior, &self.table, &self.lg_calls, &self.lg_hits, &tile)
+                });
                 terms.push(TileTerm {
                     tile,
                     item: *xs,
@@ -284,7 +343,8 @@ impl SweepScorer {
             cands.push(CandEval::Tiles { terms, work });
         }
         let lm = self.whole_row_lm.fetch(x, 0, || {
-            prior.log_marginal(&SuffStats::from_values(data.values(x)))
+            let row = SuffStats::from_values(data.values(x));
+            lm_via(&prior, &self.table, &self.lg_calls, &self.lg_hits, &row)
         });
         cands.push(CandEval::Fresh {
             lm,
@@ -347,8 +407,9 @@ impl SweepScorer {
             .iter_active()
             .map(|(oslot, oc)| {
                 let stats = oc.stats;
-                self.var_tile_lm
-                    .fetch((slot, oslot), te_src, || prior.log_marginal(&stats))
+                self.var_tile_lm.fetch((slot, oslot), te_src, || {
+                    lm_via(&prior, &self.table, &self.lg_calls, &self.lg_hits, &stats)
+                })
             })
             .collect();
         let mut dst_tile_lms = Vec::with_capacity(candidates.len());
@@ -364,8 +425,9 @@ impl SweepScorer {
                 .iter_active()
                 .map(|(oslot, oc)| {
                     let stats = oc.stats;
-                    self.var_tile_lm
-                        .fetch((t, oslot), te, || prior.log_marginal(&stats))
+                    self.var_tile_lm.fetch((t, oslot), te, || {
+                        lm_via(&prior, &self.table, &self.lg_calls, &self.lg_hits, &stats)
+                    })
                 })
                 .collect();
             dst_tile_lms.push(Some(lms));
@@ -399,7 +461,8 @@ impl SweepScorer {
         let prior = *state.prior();
         let (col, lm) = self.col.fetch(o, 0, || {
             let (col, _) = state.column_stats(data, slot, o);
-            (col, prior.log_marginal(&col))
+            let lm = lm_via(&prior, &self.table, &self.lg_calls, &self.lg_hits, &col);
+            (col, lm)
         });
         let col_work = state.cluster(slot).members.len() as u64 * COST_CELL;
         (col, lm, col_work)
@@ -419,9 +482,9 @@ impl SweepScorer {
         let cur = state.cluster(slot).obs.slot_of(o);
         let tile = state.cluster(slot).obs.cluster(cur).stats;
         let te = epoch(&mut self.obs_tile_epoch, cur);
-        let lm_tile = self
-            .obs_tile_lm
-            .fetch(cur, te, || prior.log_marginal(&tile));
+        let lm_tile = self.obs_tile_lm.fetch(cur, te, || {
+            lm_via(&prior, &self.table, &self.lg_calls, &self.lg_hits, &tile)
+        });
         (
             removal_term(&prior, &tile, &col, lm_tile),
             col_work + 2 * COST_LOGMARG,
@@ -454,7 +517,9 @@ impl SweepScorer {
                 continue;
             }
             let tile = state.cluster(slot).obs.cluster(t).stats;
-            let lm_tile = self.obs_tile_lm.fetch(t, te, || prior.log_marginal(&tile));
+            let lm_tile = self.obs_tile_lm.fetch(t, te, || {
+                lm_via(&prior, &self.table, &self.lg_calls, &self.lg_hits, &tile)
+            });
             cands.push(CandEval::Tile {
                 term: TileTerm {
                     tile,
@@ -507,9 +572,9 @@ impl SweepScorer {
         let prior = *state.prior();
         let sa = state.cluster(slot).obs.cluster(oslot).stats;
         let te_a = epoch(&mut self.obs_tile_epoch, oslot);
-        let lm_a = self
-            .obs_tile_lm
-            .fetch(oslot, te_a, || prior.log_marginal(&sa));
+        let lm_a = self.obs_tile_lm.fetch(oslot, te_a, || {
+            lm_via(&prior, &self.table, &self.lg_calls, &self.lg_hits, &sa)
+        });
         let mut cand_lms = Vec::with_capacity(candidates.len());
         for &t in candidates {
             if t == oslot {
@@ -518,9 +583,9 @@ impl SweepScorer {
             }
             let sb = state.cluster(slot).obs.cluster(t).stats;
             let te = epoch(&mut self.obs_tile_epoch, t);
-            cand_lms.push(Some(
-                self.obs_tile_lm.fetch(t, te, || prior.log_marginal(&sb)),
-            ));
+            cand_lms.push(Some(self.obs_tile_lm.fetch(t, te, || {
+                lm_via(&prior, &self.table, &self.lg_calls, &self.lg_hits, &sb)
+            })));
         }
         ObsMergePrep { lm_a, cand_lms }
     }
@@ -654,7 +719,7 @@ mod tests {
         for seed in [3u64, 11, 29] {
             let (d, s) = setup(seed);
             let prior = *s.prior();
-            let mut scorer = SweepScorer::new();
+            let mut scorer = SweepScorer::new(s.prior());
             for x in 0..d.n_vars() {
                 let cur = s.slot_of_var(x);
                 let slots = s.active_slots();
@@ -696,7 +761,7 @@ mod tests {
             let (d, s) = setup(seed);
             let prior = *s.prior();
             let slot = s.active_slots()[0];
-            let mut scorer = SweepScorer::new();
+            let mut scorer = SweepScorer::new(s.prior());
             for o in 0..d.n_obs() {
                 let cur = s.cluster(slot).obs.slot_of(o);
                 let oslots = s.cluster(slot).obs.active_slots();
@@ -726,7 +791,7 @@ mod tests {
     #[test]
     fn caches_invalidate_on_moves_and_stay_consistent() {
         let (d, mut s) = setup(7);
-        let mut scorer = SweepScorer::new();
+        let mut scorer = SweepScorer::new(s.prior());
         // Warm the caches.
         for x in 0..d.n_vars() {
             let cur = s.slot_of_var(x);

@@ -91,11 +91,17 @@ fn dispatch<E: ParEngine>(
 }
 
 /// Flush a sweep's cache-traffic totals into the deterministic
-/// counters. Cache lookups only happen in replicated control flow, so
-/// the totals are identical on every rank.
+/// counters. Cache lookups (and the scorer's `ln Γ` memo traffic) only
+/// happen in replicated control flow, so the totals are identical on
+/// every rank.
 fn flush_cache_counters<E: ParEngine>(engine: &mut E, scorer: &SweepScorer) {
     engine.count(counters::GIBBS_CACHE_HITS, scorer.hits());
     engine.count(counters::GIBBS_CACHE_MISSES, scorer.misses());
+    engine.count(counters::SCORE_LN_GAMMA_CALLS, scorer.ln_gamma_calls());
+    engine.count(
+        counters::SCORE_LN_GAMMA_TABLE_HITS,
+        scorer.ln_gamma_table_hits(),
+    );
 }
 
 /// Per-candidate segments: one `Segments` boundary per candidate, so
@@ -120,7 +126,7 @@ pub fn reassign_vars<E: ParEngine>(
     engine.span_enter("sweep:reassign-vars");
     engine.count(counters::GIBBS_SWEEPS, 1);
     let kernel = dispatch(engine, scoring, state.mode());
-    let mut scorer = SweepScorer::new();
+    let mut scorer = SweepScorer::new(state.prior());
     for _ in 0..n {
         engine.count(counters::GIBBS_MOVES_PROPOSED, 1);
         let x = select_unif_rand(&mut stream, n);
@@ -222,7 +228,7 @@ pub fn merge_vars<E: ParEngine>(
     engine.span_enter("sweep:merge-vars");
     engine.count(counters::GIBBS_SWEEPS, 1);
     let kernel = dispatch(engine, scoring, state.mode());
-    let mut scorer = SweepScorer::new();
+    let mut scorer = SweepScorer::new(state.prior());
     let snapshot = state.active_slots();
     for &slot in &snapshot {
         // The cluster may have been absorbed by an earlier merge in
@@ -324,7 +330,7 @@ pub fn reassign_obs<E: ParEngine>(
     engine.span_enter("sweep:reassign-obs");
     engine.count(counters::GIBBS_SWEEPS, 1);
     let kernel = dispatch(engine, scoring, state.mode());
-    let mut scorer = SweepScorer::new();
+    let mut scorer = SweepScorer::new(state.prior());
     for _ in 0..m {
         engine.count(counters::GIBBS_MOVES_PROPOSED, 1);
         let o = select_unif_rand(&mut stream, m);
@@ -414,7 +420,7 @@ pub fn merge_obs<E: ParEngine>(
     engine.span_enter("sweep:merge-obs");
     engine.count(counters::GIBBS_SWEEPS, 1);
     let kernel = dispatch(engine, scoring, state.mode());
-    let mut scorer = SweepScorer::new();
+    let mut scorer = SweepScorer::new(state.prior());
     let snapshot = state.cluster(slot).obs.active_slots();
     for &oslot in &snapshot {
         if !state

@@ -81,6 +81,8 @@ fn counters_agree_modulo_path_markers() {
             counters::GIBBS_NAIVE_DISPATCHES,
             counters::GIBBS_CACHE_HITS,
             counters::GIBBS_CACHE_MISSES,
+            counters::SCORE_LN_GAMMA_CALLS,
+            counters::SCORE_LN_GAMMA_TABLE_HITS,
         ] {
             c.remove(key);
         }
@@ -96,6 +98,10 @@ fn counters_agree_modulo_path_markers() {
     let kernel = counts(CandidateScoring::Kernel);
     let naive = counts(CandidateScoring::Naive);
     assert!(kernel[counters::GIBBS_CACHE_HITS] > 0, "kernel cache never hit");
+    let lg_calls = kernel[counters::SCORE_LN_GAMMA_CALLS];
+    let lg_hits = kernel[counters::SCORE_LN_GAMMA_TABLE_HITS];
+    assert!(lg_hits > 0, "ln-gamma memo never hit");
+    assert!(lg_hits < lg_calls, "memo cannot hit before it fills");
     assert_eq!(strip(kernel), strip(naive));
 }
 

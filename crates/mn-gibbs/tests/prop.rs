@@ -177,7 +177,7 @@ proptest! {
             &MasterRng::new(seed),
             0,
         );
-        let mut scorer = SweepScorer::new();
+        let mut scorer = SweepScorer::new(state.prior());
         for &(a, b, merge) in &moves {
             if merge {
                 let slots = state.active_slots();
@@ -246,7 +246,7 @@ proptest! {
         );
         let slots = state.active_slots();
         let slot = slots[k % slots.len()];
-        let mut scorer = SweepScorer::new();
+        let mut scorer = SweepScorer::new(state.prior());
         for &(a, b, merge) in &moves {
             let oslots = state.cluster(slot).obs.active_slots();
             if merge {

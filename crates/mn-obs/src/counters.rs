@@ -78,3 +78,23 @@ pub const SPLITS_NODES: &str = "splits.nodes";
 pub const SPLITS_KERNEL_DISPATCHES: &str = "splits.kernel_dispatches";
 /// Split-assignment phases executed with the naive per-candidate pass.
 pub const SPLITS_NAIVE_DISPATCHES: &str = "splits.naive_dispatches";
+
+/// `ln Γ` evaluations requested through a memoized half-integer table
+/// ([`LnGammaTable`](../mn_score/special/struct.LnGammaTable.html)).
+/// Counted analytically in replicated control flow — never from the
+/// table's internal state, which fills in a scheduling-dependent order
+/// under threaded engines — so the value is deterministic across
+/// engines and rank counts.
+pub const SCORE_LN_GAMMA_CALLS: &str = "score.ln_gamma_calls";
+/// Table-served `ln Γ` evaluations: requests answered from the memo
+/// instead of running the Lanczos series. Counted analytically
+/// alongside [`SCORE_LN_GAMMA_CALLS`]; `calls - hits` is the number of
+/// Lanczos evaluations actually performed.
+pub const SCORE_LN_GAMMA_TABLE_HITS: &str = "score.ln_gamma_table_hits";
+/// Scratch-arena reuses in the split-assignment kernel: segments
+/// scored into arena buffers that were already warm from an earlier
+/// segment of the same phase (i.e. segments beyond the first). A
+/// canonical per-call count — actual pool handoffs vary with thread
+/// scheduling, so the counter records the scheduling-independent
+/// reuse opportunity instead.
+pub const SCORE_SCRATCH_REUSES: &str = "score.scratch_reuses";

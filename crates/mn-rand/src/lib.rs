@@ -31,6 +31,9 @@ pub mod splitmix;
 pub mod stream;
 
 pub use distributions::{Gamma, Normal};
-pub use sampling::{select_unif_rand, select_wtd_log, select_wtd_rand, select_wtd_rand_distinct};
+pub use sampling::{
+    select_unif_rand, select_wtd_log, select_wtd_rand, select_wtd_rand_batch,
+    select_wtd_rand_distinct,
+};
 pub use splitmix::{Lcg128, SplitMix64};
 pub use stream::{Domain, MasterRng, Stream};

@@ -89,6 +89,71 @@ pub fn select_wtd_log(stream: &mut Stream, log_weights: &[f64]) -> usize {
     last_valid
 }
 
+/// Batched weighted selection: bit-equivalent to `k` sequential
+/// [`select_wtd_rand`] calls on the same stream, in one prefix walk.
+///
+/// The sequential oracle walks the full weight list once *per draw*;
+/// callers picking several elements from the same (unchanged) weights —
+/// the `J` split draws per tree node in Algorithm 5 — pay `k` walks.
+/// Here the `k` targets are drawn first, in stream order (so the stream
+/// advances by exactly `k` draws, identically to the sequential calls),
+/// then a single merged walk assigns every target its pick.
+///
+/// Equivalence argument: the total is the same left-to-right sum, each
+/// target is the same `next_f64() * total` at the same stream position,
+/// and a target's pick is the first index `i` with
+/// `target < prefix(i)` under the same accumulation order — the merged
+/// walk pops each pending target at exactly that first crossing.
+/// Targets left unassigned by floating-point slack fall back to the last
+/// positive-weight index, as in the sequential walk.
+///
+/// `scratch` is a reusable `(target, draw index)` buffer so steady-state
+/// callers stay allocation-free; `out` receives the `k` picks in draw
+/// order.
+pub fn select_wtd_rand_batch(
+    stream: &mut Stream,
+    weights: &[f64],
+    k: usize,
+    scratch: &mut Vec<(f64, usize)>,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
+    assert!(!weights.is_empty(), "cannot sample from an empty list");
+    let total: f64 = weights.iter().sum();
+    assert!(
+        total > 0.0 && total.is_finite(),
+        "weight sum must be positive and finite, got {total}"
+    );
+    if k == 0 {
+        return;
+    }
+    out.resize(k, 0);
+    scratch.clear();
+    for d in 0..k {
+        scratch.push((stream.next_f64() * total, d));
+    }
+    // Ascending targets; the stable sort keeps equal targets in draw
+    // order (they resolve to the same pick either way).
+    scratch.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut acc = 0.0;
+    let mut last_valid = 0;
+    let mut next = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        debug_assert!(w >= 0.0, "negative weight {w} at index {i}");
+        if w > 0.0 {
+            last_valid = i;
+        }
+        acc += w;
+        while next < k && scratch[next].0 < acc {
+            out[scratch[next].1] = i;
+            next += 1;
+        }
+    }
+    for &(_, d) in &scratch[next..] {
+        out[d] = last_valid;
+    }
+}
+
 /// Shared prefix-walk for linear weights.
 fn pick_by_prefix(weights: &[f64], target: f64) -> usize {
     let mut acc = 0.0;
@@ -228,6 +293,63 @@ mod tests {
             sorted.sort_unstable();
             sorted.dedup();
             assert_eq!(sorted.len(), k, "duplicates in {chosen:?}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_weighted_draws() {
+        // The batched oracle must reproduce k sequential calls exactly:
+        // same picks, same stream advance. Exercised over weight lists
+        // with zeros at the edges and interior, and across k values.
+        let cases: Vec<Vec<f64>> = vec![
+            vec![1.0],
+            vec![0.5, 2.5, 4.0, 1.0],
+            vec![0.0, 3.0, 0.0, 0.0, 1.0, 0.0],
+            vec![1e-12, 1e12, 1e-12],
+            vec![0.0, 0.0, 7.0],
+        ];
+        for weights in &cases {
+            for k in [0usize, 1, 2, 3, 7, 32] {
+                let mut s_seq = stream();
+                let mut s_bat = stream();
+                let seq: Vec<usize> = (0..k).map(|_| select_wtd_rand(&mut s_seq, weights)).collect();
+                let mut scratch = Vec::new();
+                let mut out = Vec::new();
+                select_wtd_rand_batch(&mut s_bat, weights, k, &mut scratch, &mut out);
+                assert_eq!(seq, out, "picks diverged for weights {weights:?}, k={k}");
+                assert_eq!(s_seq.draw_pos(), s_bat.draw_pos(), "stream advance diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_on_random_weights() {
+        // Randomized sweep: many weight vectors (some entries zeroed) and
+        // draw counts, always comparing against the sequential oracle.
+        let mut gen = stream();
+        for round in 0..200 {
+            let n = 1 + (round % 17);
+            let weights: Vec<f64> = (0..n)
+                .map(|_| {
+                    let v = gen.next_f64();
+                    if v < 0.3 {
+                        0.0
+                    } else {
+                        v * 10.0
+                    }
+                })
+                .collect();
+            if weights.iter().sum::<f64>() <= 0.0 {
+                continue;
+            }
+            let k = 1 + (round % 5);
+            let mut s_seq = MasterRng::new(round as u64).stream(Domain::User, 1);
+            let mut s_bat = MasterRng::new(round as u64).stream(Domain::User, 1);
+            let seq: Vec<usize> = (0..k).map(|_| select_wtd_rand(&mut s_seq, &weights)).collect();
+            let mut scratch = Vec::new();
+            let mut out = Vec::new();
+            select_wtd_rand_batch(&mut s_bat, &weights, k, &mut scratch, &mut out);
+            assert_eq!(seq, out, "round {round}: weights {weights:?}");
         }
     }
 

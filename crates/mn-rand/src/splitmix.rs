@@ -70,6 +70,24 @@ const LCG_MUL: u128 = 0x2360_ed05_1fc6_5da4_4385_df64_9fcc_f645;
 const LCG_INC: u128 = 0x5851_f42d_4c95_7f2d_1405_7b7e_f767_814f;
 
 impl Lcg128 {
+    /// The LCG multiplier `a` in `state' = a·state + c (mod 2^128)`.
+    ///
+    /// Exposed so that vectorized re-implementations of the *same*
+    /// recurrence (e.g. limb-decomposed SIMD steppers) can be built and
+    /// verified bit-for-bit against this scalar reference.
+    pub const MULTIPLIER: u128 = LCG_MUL;
+    /// The LCG increment `c` in `state' = a·state + c (mod 2^128)`.
+    pub const INCREMENT: u128 = LCG_INC;
+
+    /// The raw 128-bit state.
+    ///
+    /// Together with [`Lcg128::MULTIPLIER`]/[`Lcg128::INCREMENT`] this
+    /// fully determines the future output sequence; vectorized steppers
+    /// seed their lanes from it.
+    #[inline]
+    pub fn state(&self) -> u128 {
+        self.state
+    }
     /// Create a generator from a 64-bit seed (expanded via SplitMix64).
     pub fn new(seed: u64) -> Self {
         let mut sm = SplitMix64::new(seed);

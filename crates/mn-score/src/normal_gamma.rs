@@ -18,7 +18,7 @@
 //!              + ½ (ln λ₀ - ln λ_N) - (N/2) ln(2π)
 //! ```
 
-use crate::special::ln_gamma;
+use crate::special::{ln_gamma, LnGammaTable};
 use crate::suffstats::SuffStats;
 use serde::{Deserialize, Serialize};
 use std::f64::consts::PI;
@@ -94,6 +94,57 @@ impl NormalGamma {
         self.log_marginal(&SuffStats::from_values(values))
     }
 
+    /// [`NormalGamma::log_marginal`] with the two `ln Γ` evaluations
+    /// served from a memo `table` keyed to this prior's `α₀`.
+    ///
+    /// Bit-identical to the direct form: `α_N = α₀ + ½·N` is exactly
+    /// the argument [`LnGammaTable::get`] memoizes at index `N`, and
+    /// `ln Γ(α₀)` is the table's hoisted [`LnGammaTable::base`]. Every
+    /// other term is computed by the same expressions in the same
+    /// order.
+    pub fn log_marginal_with(&self, stats: &SuffStats, table: &LnGammaTable) -> f64 {
+        debug_assert_eq!(
+            table.alpha0().to_bits(),
+            self.alpha0.to_bits(),
+            "ln-gamma table keyed to a different prior shape"
+        );
+        let n = stats.count() as f64;
+        if stats.is_empty() {
+            return 0.0;
+        }
+        let mean = stats.mean();
+        let lambda_n = self.lambda0 + n;
+        let alpha_n = self.alpha0 + 0.5 * n;
+        let dm = mean - self.mu0;
+        let beta_n = self.beta0
+            + 0.5 * stats.centered_sumsq()
+            + self.lambda0 * n * dm * dm / (2.0 * lambda_n);
+        table.get(stats.count() as usize) - table.base() + self.alpha0 * self.beta0.ln()
+            - alpha_n * beta_n.ln()
+            + 0.5 * (self.lambda0.ln() - lambda_n.ln())
+            - 0.5 * n * (2.0 * PI).ln()
+    }
+
+    /// Batched [`NormalGamma::log_marginal`]: score every block in
+    /// `stats` through `scratch`'s memo table, returning the scores in
+    /// input order (bit-identical to per-block direct calls).
+    ///
+    /// The table is warmed once to the largest count in the batch, so
+    /// the per-block lookups take only the read lock.
+    pub fn log_marginal_batch<'a>(
+        &self,
+        stats: &[SuffStats],
+        scratch: &'a mut ScoreScratch,
+    ) -> &'a [f64] {
+        let kmax = stats.iter().map(|s| s.count()).max().unwrap_or(0);
+        scratch.table.warm(kmax as usize);
+        scratch.out.clear();
+        for s in stats {
+            scratch.out.push(self.log_marginal_with(s, &scratch.table));
+        }
+        &scratch.out
+    }
+
     /// Log posterior-predictive density of one further value `x` after
     /// observing `stats` — a Student-t density. Used by tests to verify
     /// the chain-rule consistency of [`NormalGamma::log_marginal`], and
@@ -110,6 +161,42 @@ impl NormalGamma {
     /// separate.
     pub fn log_merge_gain(&self, a: &SuffStats, b: &SuffStats) -> f64 {
         self.log_marginal(&SuffStats::merged(a, b)) - self.log_marginal(a) - self.log_marginal(b)
+    }
+
+    /// [`NormalGamma::log_merge_gain`] with all three marginals served
+    /// through the memo `table` (three table lookups, zero fresh
+    /// Lanczos evaluations once warmed). Bit-identical to the direct
+    /// form.
+    pub fn log_merge_gain_with(&self, a: &SuffStats, b: &SuffStats, table: &LnGammaTable) -> f64 {
+        self.log_marginal_with(&SuffStats::merged(a, b), table)
+            - self.log_marginal_with(a, table)
+            - self.log_marginal_with(b, table)
+    }
+}
+
+/// Reusable scratch for [`NormalGamma::log_marginal_batch`]: the memo
+/// table plus the output buffer, owned by one scoring phase (one
+/// checkpoint unit) and reused across batches so the steady state is
+/// allocation-free.
+#[derive(Debug)]
+pub struct ScoreScratch {
+    table: LnGammaTable,
+    out: Vec<f64>,
+}
+
+impl ScoreScratch {
+    /// Create scratch keyed to `prior`'s shape `α₀`.
+    pub fn new(prior: &NormalGamma) -> Self {
+        Self {
+            table: LnGammaTable::new(prior.alpha0),
+            out: Vec::new(),
+        }
+    }
+
+    /// The underlying memo table (for callers mixing batched and
+    /// single-block scoring against the same memo).
+    pub fn table(&self) -> &LnGammaTable {
+        &self.table
     }
 }
 
@@ -225,7 +312,69 @@ mod tests {
         assert!(prior().validated().is_ok());
     }
 
+    #[test]
+    fn table_backed_marginal_is_bit_identical() {
+        let p = prior();
+        let table = LnGammaTable::new(p.alpha0);
+        let samples: Vec<Vec<f64>> = vec![
+            vec![],
+            vec![0.7],
+            vec![0.3, -1.2, 2.5, 0.0, 0.9],
+            (0..57).map(|i| (i as f64) * 0.37 - 9.0).collect(),
+        ];
+        for xs in &samples {
+            let stats = SuffStats::from_values(xs);
+            let direct = p.log_marginal(&stats);
+            let memo = p.log_marginal_with(&stats, &table);
+            assert_eq!(memo.to_bits(), direct.to_bits(), "n={}", xs.len());
+        }
+    }
+
+    #[test]
+    fn table_backed_merge_gain_is_bit_identical() {
+        let p = prior();
+        let table = LnGammaTable::new(p.alpha0);
+        let a = SuffStats::from_values(&[0.1, -0.2, 0.05, 0.12]);
+        let b = SuffStats::from_values(&[-0.08, 0.15, -0.11]);
+        assert_eq!(
+            p.log_merge_gain_with(&a, &b, &table).to_bits(),
+            p.log_merge_gain(&a, &b).to_bits()
+        );
+    }
+
+    #[test]
+    fn batch_matches_single_block_calls() {
+        let p = prior();
+        let blocks: Vec<SuffStats> = vec![
+            SuffStats::empty(),
+            SuffStats::from_values(&[1.0]),
+            SuffStats::from_values(&[0.4, -0.6, 0.2]),
+            SuffStats::from_values(&[3.0, 3.1, 2.9, 3.05, 3.2, 2.8]),
+        ];
+        let mut scratch = ScoreScratch::new(&p);
+        for _ in 0..2 {
+            // Second pass runs fully memoized — still bit-identical.
+            let got: Vec<f64> = p.log_marginal_batch(&blocks, &mut scratch).to_vec();
+            let want: Vec<f64> = blocks.iter().map(|s| p.log_marginal(s)).collect();
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.to_bits(), w.to_bits());
+            }
+        }
+    }
+
     proptest! {
+        #[test]
+        fn prop_table_backed_marginal_bits(xs in prop::collection::vec(-1e2f64..1e2, 0..60)) {
+            let p = prior();
+            let table = LnGammaTable::new(p.alpha0);
+            let stats = SuffStats::from_values(&xs);
+            prop_assert_eq!(
+                p.log_marginal_with(&stats, &table).to_bits(),
+                p.log_marginal(&stats).to_bits()
+            );
+        }
+
         #[test]
         fn prop_marginal_is_finite(xs in prop::collection::vec(-1e2f64..1e2, 1..60)) {
             let v = prior().log_marginal_values(&xs);

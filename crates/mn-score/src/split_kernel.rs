@@ -61,6 +61,7 @@ fn order_key(v: f64) -> u64 {
 pub struct SplitScratch {
     keyed: Vec<u128>,
     sigmas: Vec<f64>,
+    cons: Vec<u64>,
 }
 
 impl SplitScratch {
@@ -121,6 +122,82 @@ impl SplitScratch {
         }
         &self.sigmas
     }
+
+    /// [`SplitScratch::compute`] for small nodes (`n ≤ 64`) with a
+    /// bit-packed left mask, additionally emitting each candidate's
+    /// *consistency mask*: bit `i` of `cons[j]` is set iff
+    /// `(row[node_obs[i]] ≤ row[node_obs[j]]) == (bit i of lmask)` —
+    /// exactly the per-pick predicate of the Monte-Carlo confirmation
+    /// loop, so `s_eff · n` random picks reduce to `s_eff · n` bit
+    /// tests against one precomputed word per candidate.
+    ///
+    /// The masks fall out of the same sorted run walk that produces σ:
+    /// `bmask` accumulates the positions whose value is ≤ the current
+    /// run's value, so a run's consistency mask is
+    /// `!(bmask ^ lmask)` (a pick agrees iff its ≤-bit equals its
+    /// left-bit). σ values are bit-identical to
+    /// [`SplitScratch::compute`] — same integer counts through the
+    /// same float expression.
+    ///
+    /// Returns `(sigmas, cons)` indexed by candidate position.
+    pub fn compute_small(
+        &mut self,
+        row: &[f64],
+        node_obs: &[usize],
+        lmask: u64,
+    ) -> (&[f64], &[u64]) {
+        let n = node_obs.len();
+        assert!(n <= 64, "compute_small requires n ≤ 64, got {n}");
+        debug_assert!(node_obs.iter().all(|&o| !row[o].is_nan()));
+
+        self.keyed.clear();
+        self.keyed.extend(
+            node_obs
+                .iter()
+                .enumerate()
+                .map(|(i, &o)| (u128::from(order_key(row[o])) << 32) | i as u128),
+        );
+        self.keyed.sort_unstable();
+
+        let mask_n: u64 = if n == 64 { !0 } else { (1u64 << n) - 1 };
+        let lmask = lmask & mask_n;
+        let total_left = lmask.count_ones() as usize;
+        let total_right = n - total_left;
+
+        self.sigmas.clear();
+        self.sigmas.resize(n, 0.0);
+        self.cons.clear();
+        self.cons.resize(n, 0);
+
+        let mut t = 0usize;
+        let mut acc = 0usize;
+        let mut bmask = 0u64;
+        while t < n {
+            let key = self.keyed[t] >> 32;
+            let mut end = t + 1;
+            while end < n && self.keyed[end] >> 32 == key {
+                end += 1;
+            }
+            for &packed in &self.keyed[t..end] {
+                let idx = packed as u32 as usize;
+                acc += usize::from(lmask >> idx & 1 == 1);
+                bmask |= 1u64 << idx;
+            }
+            let k = end;
+            let left_le = acc;
+            let right_gt = total_right - (k - left_le);
+            let correct = left_le + right_gt;
+            let sigma = (2.0 * correct as f64 - n as f64) / n as f64;
+            let cons = !(bmask ^ lmask) & mask_n;
+            for &packed in &self.keyed[t..end] {
+                let idx = packed as u32 as usize;
+                self.sigmas[idx] = sigma;
+                self.cons[idx] = cons;
+            }
+            t = end;
+        }
+        (&self.sigmas, &self.cons)
+    }
 }
 
 /// The naive per-candidate pass over gathered values — O(n) per
@@ -143,18 +220,23 @@ pub fn naive_sigmas(vals: &[f64], left_mask: &[bool], out: &mut Vec<f64>) {
     }));
 }
 
-/// A pool of [`SplitScratch`] buffers shared across worker threads.
+/// A pool of reusable scratch buffers shared across worker threads
+/// (by default [`SplitScratch`], but any `Default` scratch type works —
+/// the split phase pools richer per-worker state through the same
+/// mechanism).
 ///
 /// Engines hand segments to whichever thread owns the block; a worker
 /// checks a scratch out for the duration of one batch call and returns
 /// it on drop, so the number of live buffers equals the peak number of
-/// concurrent workers, not the number of segments.
+/// concurrent workers, not the number of segments — and a pool owned
+/// by a long-lived phase context keeps its buffers warm across calls,
+/// making the steady state allocation-free.
 #[derive(Debug, Default)]
-pub struct ScratchPool {
-    pool: Mutex<Vec<SplitScratch>>,
+pub struct ScratchPool<T: Default = SplitScratch> {
+    pool: Mutex<Vec<T>>,
 }
 
-impl ScratchPool {
+impl<T: Default> ScratchPool<T> {
     /// An empty pool.
     pub fn new() -> Self {
         Self::default()
@@ -162,7 +244,7 @@ impl ScratchPool {
 
     /// Check a scratch out of the pool (allocating a fresh one if the
     /// pool is dry). Returned to the pool when the guard drops.
-    pub fn acquire(&self) -> ScratchGuard<'_> {
+    pub fn acquire(&self) -> ScratchGuard<'_, T> {
         let scratch = self.pool.lock().unwrap().pop().unwrap_or_default();
         ScratchGuard {
             pool: self,
@@ -178,25 +260,25 @@ impl ScratchPool {
 
 /// Checked-out scratch; returns its buffers to the pool on drop.
 #[derive(Debug)]
-pub struct ScratchGuard<'a> {
-    pool: &'a ScratchPool,
-    scratch: Option<SplitScratch>,
+pub struct ScratchGuard<'a, T: Default = SplitScratch> {
+    pool: &'a ScratchPool<T>,
+    scratch: Option<T>,
 }
 
-impl std::ops::Deref for ScratchGuard<'_> {
-    type Target = SplitScratch;
-    fn deref(&self) -> &SplitScratch {
+impl<T: Default> std::ops::Deref for ScratchGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
         self.scratch.as_ref().unwrap()
     }
 }
 
-impl std::ops::DerefMut for ScratchGuard<'_> {
-    fn deref_mut(&mut self) -> &mut SplitScratch {
+impl<T: Default> std::ops::DerefMut for ScratchGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
         self.scratch.as_mut().unwrap()
     }
 }
 
-impl Drop for ScratchGuard<'_> {
+impl<T: Default> Drop for ScratchGuard<'_, T> {
     fn drop(&mut self) {
         if let Some(scratch) = self.scratch.take() {
             self.pool.pool.lock().unwrap().push(scratch);
@@ -298,9 +380,72 @@ mod tests {
         assert_eq!(a, b);
     }
 
+    fn check_small(vals: &[f64], left: &[bool]) {
+        let n = vals.len();
+        let obs: Vec<usize> = (0..n).collect();
+        let mut lmask = 0u64;
+        for (i, &b) in left.iter().enumerate() {
+            lmask |= (b as u64) << i;
+        }
+        let mut scratch = SplitScratch::new();
+        let wide = scratch.compute(vals, &obs, left).to_vec();
+        let (sigmas, cons) = scratch.compute_small(vals, &obs, lmask);
+        let (sigmas, cons) = (sigmas.to_vec(), cons.to_vec());
+        for j in 0..n {
+            assert_eq!(
+                sigmas[j].to_bits(),
+                wide[j].to_bits(),
+                "sigma {j} diverged for {vals:?}"
+            );
+            for i in 0..n {
+                let want = (vals[i] <= vals[j]) == left[i];
+                let got = cons[j] >> i & 1 == 1;
+                assert_eq!(got, want, "cons[{j}] bit {i} for {vals:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_masks_match_direct_predicate() {
+        check_small(
+            &[3.0, -1.0, 2.0, 0.5, 7.0],
+            &[true, true, false, true, false],
+        );
+        check_small(
+            &[1.0, 1.0, 1.0, 2.0, 2.0, 1.0],
+            &[true, false, true, false, true, false],
+        );
+        check_small(&[-0.0, 0.0, -1.0, 0.0, -0.0], &[true, false, true, false, true]);
+        check_small(&[5.0; 8], &[true, false, true, true, false, false, true, false]);
+    }
+
+    #[test]
+    fn small_handles_full_64_wide_node() {
+        let vals: Vec<f64> = (0..64).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        let left: Vec<bool> = (0..64).map(|i| i % 3 == 0).collect();
+        check_small(&vals, &left);
+    }
+
+    #[test]
+    fn small_randomized_against_wide() {
+        // Deterministic pseudo-random sweep across sizes and tie
+        // densities.
+        let mut state = 0x9e37u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for round in 0..60 {
+            let n = 1 + (round % 64);
+            let vals: Vec<f64> = (0..n).map(|_| (next() % 7) as f64 - 3.0).collect();
+            let left: Vec<bool> = (0..n).map(|_| next() % 2 == 0).collect();
+            check_small(&vals, &left);
+        }
+    }
+
     #[test]
     fn pool_recycles_buffers() {
-        let pool = ScratchPool::new();
+        let pool: ScratchPool<SplitScratch> = ScratchPool::new();
         assert_eq!(pool.idle(), 0);
         {
             let mut g1 = pool.acquire();

@@ -14,9 +14,12 @@
 //!   with data-dependent sampling cost (the paper's load-imbalance
 //!   source), and split selection.
 //! * [`parents`] — parent-score aggregation.
+//! * [`mc_kernel`] — batched replay of the per-candidate Monte-Carlo
+//!   confirmation streams (scalar and AVX-512 IFMA engines).
 
 #![warn(missing_docs)]
 
+pub mod mc_kernel;
 pub mod params;
 pub mod parents;
 pub mod splits;
@@ -24,5 +27,8 @@ pub mod tree;
 
 pub use params::TreeParams;
 pub use parents::{learn_parents, ModuleParents};
-pub use splits::{assign_splits, ChosenSplit, NodeSplits, SplitAssignment, SplitIndex};
-pub use tree::{build_tree, learn_module_trees, ModuleEnsemble, RegTree, TreeNode};
+pub use splits::{
+    assign_splits, assign_splits_in, ChosenSplit, NodeSplits, SplitAssignment, SplitContext,
+    SplitIndex,
+};
+pub use tree::{build_tree, build_tree_with, learn_module_trees, ModuleEnsemble, RegTree, TreeNode};

@@ -41,13 +41,14 @@
 //!    an artifact of the merge order, so a predicate that cleanly
 //!    separates the children in *either* orientation is a good split.
 
+use crate::mc_kernel;
 use crate::params::TreeParams;
 use crate::tree::ModuleEnsemble;
 use mn_comm::{Collective, ParEngine, Segments};
 use mn_data::Dataset;
 use mn_obs::counters;
-use mn_rand::{select_unif_rand, select_wtd_rand, Domain, Lcg128, MasterRng};
-use mn_score::{ScoreMode, ScratchPool, SplitScoring, COST_CELL};
+use mn_rand::{select_unif_rand, select_wtd_rand_batch, Domain, Lcg128, MasterRng};
+use mn_score::{ScoreMode, ScratchPool, SplitScoring, SplitScratch, COST_CELL};
 use serde::{Deserialize, Serialize};
 
 /// One node's entry in the flat candidate-split index.
@@ -167,12 +168,35 @@ pub struct SplitAssignment {
     pub node_splits: Vec<NodeSplits>,
 }
 
-/// The left-child membership mask of a node: `mask[i]` is true iff
-/// `node_obs[i]` appears in `left_obs`. Both observation lists are
-/// maintained in sorted order by the tree builder — the
-/// `binary_search` below silently returns garbage on unsorted input,
-/// so the assumption is checked in debug builds.
-fn left_membership_mask(node_obs: &[usize], left_obs: &[usize]) -> Vec<bool> {
+/// Read-only view of one node's bit-packed left-membership mask:
+/// bit `i` is set iff `node_obs[i]` belongs to the node's left child.
+///
+/// The masks of all nodes live contiguously in one arena
+/// ([`SplitContext`]), replacing the per-node `Vec<Vec<bool>>` the
+/// phase used to allocate on every call.
+#[derive(Debug, Clone, Copy)]
+struct Bits<'a> {
+    words: &'a [u64],
+}
+
+impl Bits<'_> {
+    #[inline]
+    fn get(self, i: usize) -> bool {
+        self.words[i >> 6] >> (i & 63) & 1 == 1
+    }
+
+    /// The whole mask of a small node (`n ≤ 64`) as one word.
+    #[inline]
+    fn small(self) -> u64 {
+        self.words[0]
+    }
+}
+
+/// Append a node's bit-packed left-membership mask to the arena. Both
+/// observation lists are maintained in sorted order by the tree
+/// builder — the `binary_search` below silently returns garbage on
+/// unsorted input, so the assumption is checked in debug builds.
+fn push_left_membership_mask(node_obs: &[usize], left_obs: &[usize], words: &mut Vec<u64>) {
     debug_assert!(
         node_obs.windows(2).all(|w| w[0] < w[1]),
         "node observation list must be sorted and duplicate-free"
@@ -181,22 +205,25 @@ fn left_membership_mask(node_obs: &[usize], left_obs: &[usize]) -> Vec<bool> {
         left_obs.windows(2).all(|w| w[0] < w[1]),
         "left-child observation list must be sorted and duplicate-free"
     );
-    node_obs
-        .iter()
-        .map(|o| left_obs.binary_search(o).is_ok())
-        .collect()
+    let base = words.len();
+    words.resize(base + node_obs.len().div_ceil(64).max(1), 0);
+    for (i, o) in node_obs.iter().enumerate() {
+        if left_obs.binary_search(o).is_ok() {
+            words[base + (i >> 6)] |= 1u64 << (i & 63);
+        }
+    }
 }
 
 /// The separation score σ of the predicate `parent ≤ value` against a
 /// node's two children. Exactly one pass over the node's observations;
-/// `left_mask[i]` marks whether `node_obs[i]` belongs to the left child.
-fn separation_score(row: &[f64], value: f64, node_obs: &[usize], left_mask: &[bool]) -> f64 {
+/// bit `i` of `mask` marks whether `node_obs[i]` belongs to the left
+/// child.
+fn separation_score(row: &[f64], value: f64, node_obs: &[usize], mask: Bits<'_>) -> f64 {
     let total = node_obs.len();
     debug_assert!(total > 0);
-    debug_assert_eq!(total, left_mask.len());
     let mut correct = 0usize;
-    for (&o, &on_left) in node_obs.iter().zip(left_mask) {
-        if (row[o] <= value) == on_left {
+    for (i, &o) in node_obs.iter().enumerate() {
+        if (row[o] <= value) == mask.get(i) {
             correct += 1;
         }
     }
@@ -219,10 +246,13 @@ fn split_posterior(
     item: usize,
     value: f64,
     node_obs: &[usize],
-    left_mask: &[bool],
+    mask: Bits<'_>,
 ) -> (f64, u64) {
-    let sigma = separation_score(row, value, node_obs, left_mask);
-    mc_confirm(row, seed, params, item, value, node_obs, left_mask, sigma)
+    let sigma = separation_score(row, value, node_obs, mask);
+    let mut gather = Vec::new();
+    mc_confirm(
+        row, seed, params, item, value, node_obs, mask, sigma, &mut gather,
+    )
 }
 
 /// The Monte-Carlo confirmation shared by the naive and the batched
@@ -240,8 +270,9 @@ fn mc_confirm(
     item: usize,
     value: f64,
     node_obs: &[usize],
-    left_mask: &[bool],
+    mask: Bits<'_>,
     sigma: f64,
+    gather: &mut Vec<f64>,
 ) -> (f64, u64) {
     let n = node_obs.len();
     let s_eff = 1 + (params.max_sampling_steps as f64 * (1.0 - sigma.abs())).floor() as usize;
@@ -256,17 +287,20 @@ fn mc_confirm(
         // One O(m) sampling step: examine |obs(N)| sampled observations.
         for _ in 0..n {
             let pick = rng.index_one_draw(n);
-            let consistent = (row[node_obs[pick]] <= value) == left_mask[pick];
+            let consistent = (row[node_obs[pick]] <= value) == mask.get(pick);
             agree += if consistent { 1 } else { -1 };
         }
         if params.mode == ScoreMode::Reference {
             // The Java cost profile: no caching of the exact pass — the
             // reference implementation re-materializes the node's value
-            // list (per-candidate object churn) and re-derives the
-            // separation score every sampling round.
-            let values: Vec<f64> = node_obs.iter().map(|&o| row[o]).collect();
-            std::hint::black_box(&values);
-            std::hint::black_box(separation_score(row, value, node_obs, left_mask));
+            // list and re-derives the separation score every sampling
+            // round. The gather lands in a reusable arena buffer; the
+            // per-round work charge (the actual cost model) is
+            // unchanged.
+            gather.clear();
+            gather.extend(node_obs.iter().map(|&o| row[o]));
+            std::hint::black_box(&*gather);
+            std::hint::black_box(separation_score(row, value, node_obs, mask));
             work += 2 * n as u64 * COST_CELL;
         }
     }
@@ -279,10 +313,73 @@ fn mc_confirm(
     (posterior, work)
 }
 
+/// One `s_eff` class of Monte-Carlo survivors: every lane in a bucket
+/// draws the same number of rounds, so the bucket maps directly onto
+/// fixed-trip SIMD lane groups.
+#[derive(Debug, Default)]
+struct McBucket {
+    /// Initial per-item LCG states.
+    states: Vec<u128>,
+    /// Per-observation consistency masks.
+    cons: Vec<u64>,
+    /// Range-relative result indices.
+    rel: Vec<u32>,
+    /// Exact separation scores (the posterior magnitude if confirmed).
+    sigma: Vec<f64>,
+}
+
+/// Per-worker scratch for the batched scoring kernel: the sort/scan
+/// buffers of [`SplitScratch`] plus the result staging and SIMD lane
+/// buffers of the fused Monte-Carlo path. Pooled in a [`ScratchPool`]
+/// so the steady-state scoring loop performs no allocation.
+#[derive(Debug, Default)]
+struct SegScratch {
+    split: SplitScratch,
+    /// Unpacked membership mask for wide nodes (`n > 64`).
+    bools: Vec<bool>,
+    /// Per-item `(posterior, work)` results for the covered range.
+    res: Vec<(f64, u64)>,
+    /// Monte-Carlo survivors bucketed by `s_eff` in one pass
+    /// (`buckets[se - 1]` holds the `s_eff = se` class, item order
+    /// preserved within each bucket).
+    buckets: Vec<McBucket>,
+    hits: Vec<u64>,
+    /// Reference-mode per-round value gather.
+    gather: Vec<f64>,
+}
+
+/// Reusable state of the split-assignment phase: the scoring scratch
+/// pool, the bit-packed membership-mask arena, and the selection
+/// buffers. Create one per learner run (or benchmark) and pass it to
+/// [`assign_splits_in`]; after the first call warms the arenas, the
+/// steady-state phase allocates nothing.
+///
+/// The context holds no clustering-dependent state — every buffer is
+/// cleared or overwritten before use — so reusing it across calls,
+/// sweeps, and GaneSH runs cannot change any result.
+#[derive(Debug, Default)]
+pub struct SplitContext {
+    pool: ScratchPool<SegScratch>,
+    mask_words: Vec<u64>,
+    mask_offsets: Vec<usize>,
+    sel_scratch: Vec<(f64, usize)>,
+    sel_out: Vec<usize>,
+}
+
+impl SplitContext {
+    /// A fresh context with cold arenas.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Compute posteriors for the full candidate list and choose `J`
 /// weighted plus `J` uniform splits per node (Algorithm 5).
 ///
 /// `candidate_parents` is the paper's `P` (§5.1 uses all variables).
+/// Convenience wrapper over [`assign_splits_in`] with a fresh
+/// [`SplitContext`]; callers invoking the phase repeatedly should hold
+/// a context of their own to keep the arenas warm.
 pub fn assign_splits<E: ParEngine>(
     engine: &mut E,
     data: &Dataset,
@@ -290,6 +387,28 @@ pub fn assign_splits<E: ParEngine>(
     ensembles: &[ModuleEnsemble],
     candidate_parents: &[usize],
     params: &TreeParams,
+) -> SplitAssignment {
+    let mut ctx = SplitContext::new();
+    assign_splits_in(
+        engine,
+        data,
+        master,
+        ensembles,
+        candidate_parents,
+        params,
+        &mut ctx,
+    )
+}
+
+/// [`assign_splits`] against caller-owned scratch arenas.
+pub fn assign_splits_in<E: ParEngine>(
+    engine: &mut E,
+    data: &Dataset,
+    master: &MasterRng,
+    ensembles: &[ModuleEnsemble],
+    candidate_parents: &[usize],
+    params: &TreeParams,
+    ctx: &mut SplitContext,
 ) -> SplitAssignment {
     let index = SplitIndex::build(ensembles, candidate_parents.len());
     let segments = index.segments();
@@ -304,27 +423,42 @@ pub fn assign_splits<E: ParEngine>(
         },
         1,
     );
+    // Arena reuse made observable. Actual pool handoffs depend on
+    // thread scheduling, so the counter records the canonical
+    // scheduling-independent quantity: every segment after the first
+    // scores into buffers a previous segment already warmed.
+    let scratch_reuses = index.nodes.len().saturating_sub(1) as u64;
+    if params.split_scoring == SplitScoring::Kernel && scratch_reuses > 0 {
+        engine.count(counters::SCORE_SCRATCH_REUSES, scratch_reuses);
+    }
 
-    // Precompute each node's left-child membership mask so the hot
-    // per-split loops test membership in O(1).
-    let left_masks: Vec<Vec<bool>> = index
-        .nodes
-        .iter()
-        .map(|entry| {
-            let tree = &ensembles[entry.module].trees[entry.tree];
-            let node = &tree.nodes[entry.node];
-            let left = &tree.nodes[node.left.expect("internal node")].obs;
-            left_membership_mask(&node.obs, left)
-        })
-        .collect();
+    // Precompute each node's left-child membership mask, bit-packed
+    // into one contiguous arena, so the hot per-split loops test
+    // membership in O(1) without any per-node allocation.
+    ctx.mask_words.clear();
+    ctx.mask_offsets.clear();
+    ctx.mask_offsets.push(0);
+    for entry in &index.nodes {
+        let tree = &ensembles[entry.module].trees[entry.tree];
+        let node = &tree.nodes[entry.node];
+        let left = &tree.nodes[node.left.expect("internal node")].obs;
+        push_left_membership_mask(&node.obs, left, &mut ctx.mask_words);
+        ctx.mask_offsets.push(ctx.mask_words.len());
+    }
 
     // Lines 6–7: block-partitioned posterior computation over the flat
     // candidate list — the phase whose imbalance the paper measures.
     // Both execution paths produce bit-identical posteriors and report
     // identical per-item costs; the kernel amortizes the exact
-    // separation pass over each (node, parent) run it is handed.
+    // separation pass over each (node, parent) run it is handed and,
+    // for small nodes, batches the Monte-Carlo confirmation draws
+    // through a vectorized replay of the same per-item generators.
     let index_ref = &index;
-    let left_masks_ref = &left_masks;
+    let mask_words: &[u64] = &ctx.mask_words;
+    let mask_offsets: &[usize] = &ctx.mask_offsets;
+    let node_mask = |pos: usize| Bits {
+        words: &mask_words[mask_offsets[pos]..mask_offsets[pos + 1]],
+    };
     let seed = master.seed();
     engine.span_enter("score-splits");
     let posteriors: Vec<f64> = match params.split_scoring {
@@ -335,24 +469,17 @@ pub fn assign_splits<E: ParEngine>(
             let var = candidate_parents[parent_pos];
             let row = data.values(var);
             let value = row[node.obs[obs_pos]];
-            split_posterior(
-                row,
-                seed,
-                params,
-                item,
-                value,
-                &node.obs,
-                &left_masks_ref[pos],
-            )
+            split_posterior(row, seed, params, item, value, &node.obs, node_mask(pos))
         }),
         SplitScoring::Kernel => {
-            let pool = ScratchPool::new();
+            let pool = &ctx.pool;
             engine.dist_map_segmented_batch(&segments, 1, &|pos, range, out| {
                 let entry = &index_ref.nodes[pos];
                 let node = &ensembles[entry.module].trees[entry.tree].nodes[entry.node];
-                let mask = &left_masks_ref[pos];
+                let mask = node_mask(pos);
                 let n = entry.n_obs;
-                let mut scratch = pool.acquire();
+                let mut guard = pool.acquire();
+                let sc = &mut *guard;
                 // The range may start or end mid-run when a block
                 // boundary bisects the segment; each overlapped
                 // (node, parent) run still needs the full sorted pass
@@ -361,28 +488,48 @@ pub fn assign_splits<E: ParEngine>(
                 // emitted.
                 let first_parent = (range.start - entry.base) / n;
                 let last_parent = (range.end - 1 - entry.base) / n;
-                for (off, &var) in candidate_parents[first_parent..=last_parent]
-                    .iter()
-                    .enumerate()
-                {
-                    let run_start = entry.base + (first_parent + off) * n;
-                    let lo = range.start.max(run_start);
-                    let hi = range.end.min(run_start + n);
-                    let row = data.values(var);
-                    let sigmas = scratch.compute(row, &node.obs, mask);
-                    for item in lo..hi {
-                        let obs_pos = item - run_start;
-                        let value = row[node.obs[obs_pos]];
-                        out.push(mc_confirm(
-                            row,
-                            seed,
-                            params,
-                            item,
-                            value,
-                            &node.obs,
-                            mask,
-                            sigmas[obs_pos],
-                        ));
+                if params.mode == ScoreMode::Incremental && n <= 64 {
+                    score_range_fast(
+                        sc,
+                        data,
+                        seed,
+                        params,
+                        entry,
+                        &node.obs,
+                        mask,
+                        candidate_parents,
+                        &range,
+                        first_parent,
+                        last_parent,
+                    );
+                    out.extend_from_slice(&sc.res);
+                } else {
+                    sc.bools.clear();
+                    sc.bools.extend((0..n).map(|i| mask.get(i)));
+                    for (off, &var) in candidate_parents[first_parent..=last_parent]
+                        .iter()
+                        .enumerate()
+                    {
+                        let run_start = entry.base + (first_parent + off) * n;
+                        let lo = range.start.max(run_start);
+                        let hi = range.end.min(run_start + n);
+                        let row = data.values(var);
+                        let sigmas = sc.split.compute(row, &node.obs, &sc.bools);
+                        for item in lo..hi {
+                            let obs_pos = item - run_start;
+                            let value = row[node.obs[obs_pos]];
+                            out.push(mc_confirm(
+                                row,
+                                seed,
+                                params,
+                                item,
+                                value,
+                                &node.obs,
+                                mask,
+                                sigmas[obs_pos],
+                                &mut sc.gather,
+                            ));
+                        }
                     }
                 }
             })
@@ -398,6 +545,8 @@ pub fn assign_splits<E: ParEngine>(
     engine.collective(Collective::Scan, 1);
 
     let j = params.splits_per_node;
+    let sel_scratch = &mut ctx.sel_scratch;
+    let sel_out = &mut ctx.sel_out;
     let mut node_splits = Vec::with_capacity(index.nodes.len());
     for pos in 0..index.nodes.len() {
         let (start, end) = index.node_range(pos);
@@ -418,11 +567,14 @@ pub fn assign_splits<E: ParEngine>(
         let mut wstream = master.stream(Domain::SplitSelectWeighted, pos as u64);
         let total_weight: f64 = weights.iter().sum();
         let weighted: Vec<ChosenSplit> = if total_weight > 0.0 {
-            (0..j)
-                .map(|_| {
-                    let within = select_wtd_rand(&mut wstream, weights);
-                    resolve(within, weights[within])
-                })
+            // Fused selection: all J targets are drawn up front (in
+            // stream order) and served by ONE merged prefix walk over
+            // the node's posteriors instead of J independent walks —
+            // same draws, same picks, a J-fold cheaper scan.
+            select_wtd_rand_batch(&mut wstream, weights, j, sel_scratch, sel_out);
+            sel_out
+                .iter()
+                .map(|&within| resolve(within, weights[within]))
                 .collect()
         } else {
             // Every candidate was discarded: the node gets no weighted
@@ -452,6 +604,108 @@ pub fn assign_splits<E: ParEngine>(
     engine.span_exit(); // assign-splits
 
     SplitAssignment { index, node_splits }
+}
+
+/// The fast Monte-Carlo path for small nodes (`n ≤ 64`, Incremental
+/// mode): score `range` of node `entry` into `sc.res`.
+///
+/// Bit-identical to the scalar path by construction:
+///
+/// * the exact pass is [`SplitScratch::compute_small`], whose σ values
+///   are the same f64 expressions as [`separation_score`] and whose
+///   consistency masks encode exactly the scalar predicate
+///   `(row[node_obs[pick]] <= value) == left(pick)`;
+/// * `σ == 0` ⇒ the confirmation can only yield posterior `0.0`
+///   (`confirmed` multiplies `|σ| = 0`), and `|σ| == 1` ⇒ the mask is
+///   all-ones/all-zeros so every draw agrees and the posterior is
+///   `1.0` — both shortcuts skip draws safely because each item owns a
+///   private keyed generator (no shared stream to keep in step);
+/// * the remaining items replay their own `Lcg128` streams inside
+///   [`mc_kernel::mc_hits`], which is verified draw-for-draw against
+///   [`Lcg128`] (and the IFMA engine lane-for-lane against the scalar
+///   engine) in `mc_kernel`'s tests.
+///
+/// Work accounting is the same closed form the scalar path charges:
+/// `(n + s_eff·n) · COST_CELL` per item.
+#[allow(clippy::too_many_arguments)]
+fn score_range_fast(
+    sc: &mut SegScratch,
+    data: &Dataset,
+    seed: u64,
+    params: &TreeParams,
+    entry: &NodeEntry,
+    node_obs: &[usize],
+    mask: Bits<'_>,
+    candidate_parents: &[usize],
+    range: &std::ops::Range<usize>,
+    first_parent: usize,
+    last_parent: usize,
+) {
+    let n = entry.n_obs;
+    sc.res.clear();
+    sc.res.resize(range.end - range.start, (0.0, 0));
+    // MC items have 0 < |σ| < 1, hence s_eff ∈ [1, S]; the max(1)
+    // keeps one bucket alive for S = 0 (where s_eff is pinned to 1).
+    let n_buckets = (params.max_sampling_steps).max(1);
+    sc.buckets.resize_with(n_buckets, McBucket::default);
+    for b in &mut sc.buckets[..n_buckets] {
+        b.states.clear();
+        b.cons.clear();
+        b.rel.clear();
+        b.sigma.clear();
+    }
+    let s = params.max_sampling_steps as f64;
+    for (off, &var) in candidate_parents[first_parent..=last_parent]
+        .iter()
+        .enumerate()
+    {
+        let run_start = entry.base + (first_parent + off) * n;
+        let lo = range.start.max(run_start);
+        let hi = range.end.min(run_start + n);
+        let row = data.values(var);
+        let (sigmas, cons) = sc.split.compute_small(row, node_obs, mask.small());
+        for item in lo..hi {
+            let obs_pos = item - run_start;
+            let sigma = sigmas[obs_pos];
+            let s_eff = 1 + (s * (1.0 - sigma.abs())).floor() as usize;
+            let work = (n + s_eff * n) as u64 * COST_CELL;
+            let rel = item - range.start;
+            if sigma == 0.0 {
+                // Unconfirmable: posterior would be |σ| = 0 whether or
+                // not the draws agree.
+                sc.res[rel] = (0.0, work);
+            } else if sigma.abs() == 1.0 {
+                // Every observation satisfies (or violates) the
+                // predicate, so every draw agrees with σ's direction.
+                sc.res[rel] = (1.0, work);
+            } else {
+                // Bucket by s_eff in this same pass, so every lane of
+                // a SIMD batch draws the same number of rounds.
+                sc.res[rel] = (0.0, work);
+                let b = &mut sc.buckets[s_eff - 1];
+                b.states.push(
+                    Lcg128::from_key(seed, Domain::SplitPosterior.tag(), item as u64).state(),
+                );
+                b.cons.push(cons[obs_pos]);
+                b.rel.push(rel as u32);
+                b.sigma.push(sigma);
+            }
+        }
+    }
+    for (bi, b) in sc.buckets[..n_buckets].iter().enumerate() {
+        if b.states.is_empty() {
+            continue;
+        }
+        let t = (bi + 1) * n;
+        mc_kernel::mc_hits(&b.states, &b.cons, n, t, &mut sc.hits);
+        for l in 0..b.rel.len() {
+            let agree = 2 * sc.hits[l] as i64 - t as i64;
+            let sigma = b.sigma[l];
+            if agree != 0 && (agree > 0) == (sigma > 0.0) {
+                sc.res[b.rel[l] as usize].0 = sigma.abs();
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -520,38 +774,53 @@ mod tests {
     }
 
     #[test]
-    fn left_membership_mask_marks_members() {
-        assert_eq!(
-            left_membership_mask(&[1, 4, 7, 9], &[4, 9]),
-            vec![false, true, false, true]
-        );
-        assert_eq!(left_membership_mask(&[2, 3], &[]), vec![false, false]);
+    fn membership_mask_marks_members() {
+        let mut words = Vec::new();
+        push_left_membership_mask(&[1, 4, 7, 9], &[4, 9], &mut words);
+        let mask = Bits { words: &words };
+        assert!(!mask.get(0) && mask.get(1) && !mask.get(2) && mask.get(3));
+        assert_eq!(mask.small(), 0b1010);
+        // A second node appends after the first without disturbing it.
+        let base = words.len();
+        push_left_membership_mask(&[2, 3], &[], &mut words);
+        assert_eq!(&words[base..], &[0]);
+        assert_eq!(Bits { words: &words[..base] }.small(), 0b1010);
+        // Wide nodes span multiple words.
+        let wide_obs: Vec<usize> = (0..70).collect();
+        let wide_left: Vec<usize> = vec![0, 63, 64, 69];
+        let mut wide = Vec::new();
+        push_left_membership_mask(&wide_obs, &wide_left, &mut wide);
+        assert_eq!(wide.len(), 2);
+        let wmask = Bits { words: &wide };
+        for i in 0..70 {
+            assert_eq!(wmask.get(i), wide_left.contains(&i), "bit {i}");
+        }
     }
 
     #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "must be sorted")]
-    fn left_membership_mask_rejects_unsorted_input() {
-        left_membership_mask(&[5, 1, 3], &[1]);
+    fn membership_mask_rejects_unsorted_input() {
+        push_left_membership_mask(&[5, 1, 3], &[1], &mut Vec::new());
     }
 
     #[test]
     fn separation_score_limits() {
         let row = [0.0, 1.0, 2.0, 3.0];
         let obs = [0usize, 1, 2, 3];
-        // Perfect split: left = low values.
+        // Perfect split: left = low values (bits 0 and 1 set).
         assert_eq!(
-            separation_score(&row, 1.5, &obs, &[true, true, false, false]),
+            separation_score(&row, 1.5, &obs, Bits { words: &[0b0011] }),
             1.0
         );
         // Anti-perfect.
         assert_eq!(
-            separation_score(&row, 1.5, &obs, &[false, false, true, true]),
+            separation_score(&row, 1.5, &obs, Bits { words: &[0b1100] }),
             -1.0
         );
         // Useless value (everything on one side): half correct.
         assert_eq!(
-            separation_score(&row, 10.0, &obs, &[true, true, false, false]),
+            separation_score(&row, 10.0, &obs, Bits { words: &[0b0011] }),
             0.0
         );
     }
@@ -688,5 +957,84 @@ mod tests {
             .collect::<Vec<_>>();
         assert!(!any_weighted.is_empty());
         assert!(any_weighted.iter().all(|s| s.var == 0));
+    }
+
+    #[test]
+    fn context_reuse_is_bit_identical() {
+        let (d, ensembles, master) = setup();
+        let parents: Vec<usize> = (0..d.n_vars()).collect();
+        let params = TreeParams::default();
+        let fresh = assign_splits(
+            &mut SerialEngine::new(),
+            &d,
+            &master,
+            &ensembles,
+            &parents,
+            &params,
+        );
+        // One warm context across repeated calls (the intended steady
+        // state) must match fresh-context results exactly.
+        let mut ctx = SplitContext::new();
+        for _ in 0..3 {
+            let again = assign_splits_in(
+                &mut SerialEngine::new(),
+                &d,
+                &master,
+                &ensembles,
+                &parents,
+                &params,
+                &mut ctx,
+            );
+            assert_eq!(fresh, again);
+        }
+    }
+
+    #[test]
+    fn wide_nodes_match_naive_path() {
+        // > 64 observations forces the kernel's wide (multi-word mask)
+        // path; it must agree with the naive per-candidate pass.
+        let d = synthetic::yeast_like(8, 80, 31).dataset;
+        let master = MasterRng::new(5);
+        let mut e = SerialEngine::new();
+        let params = TreeParams::default();
+        let ensembles = vec![learn_module_trees(
+            &mut e,
+            &d,
+            &master,
+            0,
+            &(0..4).collect::<Vec<_>>(),
+            &params,
+        )];
+        let parents: Vec<usize> = (0..d.n_vars()).collect();
+        assert!(
+            ensembles[0].trees.iter().any(|t| t
+                .internal_nodes()
+                .into_iter()
+                .any(|node| t.nodes[node].obs.len() > 64)),
+            "setup must produce at least one wide node"
+        );
+        let naive = assign_splits(
+            &mut SerialEngine::new(),
+            &d,
+            &master,
+            &ensembles,
+            &parents,
+            &TreeParams {
+                split_scoring: SplitScoring::Naive,
+                ..TreeParams::default()
+            },
+        );
+        let kernel = assign_splits(
+            &mut SerialEngine::new(),
+            &d,
+            &master,
+            &ensembles,
+            &parents,
+            &TreeParams {
+                split_scoring: SplitScoring::Kernel,
+                ..TreeParams::default()
+            },
+        );
+        assert_eq!(naive, kernel);
     }
 }

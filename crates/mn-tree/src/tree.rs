@@ -16,7 +16,7 @@ use mn_data::Dataset;
 use mn_gibbs::{sample_obs_partitions, ObsPartition};
 use mn_obs::counters;
 use mn_rand::MasterRng;
-use mn_score::{ScoreMode, SuffStats, COST_CELL, COST_LOGMARG};
+use mn_score::{LnGammaTable, ScoreMode, SuffStats, COST_CELL, COST_LOGMARG};
 use serde::{Deserialize, Serialize};
 
 /// One node of a regression tree.
@@ -109,16 +109,22 @@ impl RegTree {
 }
 
 /// Merge gain of two subtree roots, with the cost profile of `mode`.
+///
+/// The incremental path evaluates all three marginals through the
+/// build's shared [`LnGammaTable`], which is pre-warmed in replicated
+/// control flow before each merge round — so lookups here are
+/// read-only (and bit-identical to direct Lanczos by construction).
 fn merge_gain(
     data: &Dataset,
     vars: &[usize],
     a: &TreeNode,
     b: &TreeNode,
     params: &TreeParams,
+    table: &LnGammaTable,
 ) -> (f64, u64) {
     match params.mode {
         ScoreMode::Incremental => (
-            params.prior.log_merge_gain(&a.stats, &b.stats),
+            params.prior.log_merge_gain_with(&a.stats, &b.stats, table),
             3 * COST_LOGMARG,
         ),
         ScoreMode::Reference => {
@@ -151,6 +157,27 @@ pub fn build_tree<E: ParEngine>(
     partition: &ObsPartition,
     params: &TreeParams,
 ) -> RegTree {
+    // A fresh memo table per build keeps standalone callers simple;
+    // ensemble learning shares one table across its trees (see
+    // `learn_module_trees`).
+    let table = LnGammaTable::new(params.prior.alpha0);
+    build_tree_with(engine, data, vars, partition, params, &table)
+}
+
+/// [`build_tree`] against a caller-owned `ln Γ` memo table.
+///
+/// The table is scoped to the enclosing checkpoint unit (one
+/// `learn_module_trees` call) — never wider — so a resumed run that
+/// recomputes only some units observes exactly the counter deltas the
+/// interrupted run recorded for them.
+pub fn build_tree_with<E: ParEngine>(
+    engine: &mut E,
+    data: &Dataset,
+    vars: &[usize],
+    partition: &ObsPartition,
+    params: &TreeParams,
+    table: &LnGammaTable,
+) -> RegTree {
     let mut nodes: Vec<TreeNode> = partition
         .iter_active()
         .map(|(_, oc)| TreeNode {
@@ -175,6 +202,28 @@ pub fn build_tree<E: ParEngine>(
         engine.count(counters::TREE_MERGES, 1);
         let k = roots.len();
         let n_pairs = k * (k - 1) / 2;
+        if params.mode == ScoreMode::Incremental {
+            // Pre-warm the memo through the largest possible merged
+            // count (the two biggest roots), in replicated control
+            // flow: the scoring map below then only ever read-locks
+            // the table, and the fill/hit counts are engine- and
+            // rank-count-independent. Each pair's gain performs three
+            // table lookups (merged, left, right), all served from
+            // the memo.
+            let (mut m1, mut m2) = (0u64, 0u64);
+            for &r in &roots {
+                let c = nodes[r].stats.count();
+                if c >= m1 {
+                    m2 = m1;
+                    m1 = c;
+                } else if c > m2 {
+                    m2 = c;
+                }
+            }
+            let filled = table.warm((m1 + m2) as usize) as u64;
+            engine.count(counters::SCORE_LN_GAMMA_CALLS, filled + 3 * n_pairs as u64);
+            engine.count(counters::SCORE_LN_GAMMA_TABLE_HITS, 3 * n_pairs as u64);
+        }
         let nodes_ref = &nodes;
         let roots_ref = &roots;
         // Map a flat pair index to (i, j), i < j, in lexicographic order.
@@ -196,6 +245,7 @@ pub fn build_tree<E: ParEngine>(
                 &nodes_ref[roots_ref[i]],
                 &nodes_ref[roots_ref[j]],
                 params,
+                table,
             )
         });
         // Alg. 4 line 15: all-reduce max over the per-rank best scores.
@@ -272,9 +322,14 @@ pub fn learn_module_trees<E: ParEngine>(
         params.mode,
         params.candidate_scoring,
     );
+    // One ln Γ memo per module call — the checkpoint unit. Merged-tile
+    // sizes repeat heavily across the ensemble's trees (every tree
+    // covers the same observations), so the table is hot from the
+    // second tree on.
+    let table = LnGammaTable::new(params.prior.alpha0);
     let trees = partitions
         .iter()
-        .map(|part| build_tree(engine, data, &sorted, part, params))
+        .map(|part| build_tree_with(engine, data, &sorted, part, params, &table))
         .collect();
     engine.span_exit();
     ModuleEnsemble {
@@ -354,6 +409,23 @@ mod tests {
         let a = build_tree(&mut SerialEngine::new(), &d, &vars, &part, &pi);
         let b = build_tree(&mut SerialEngine::new(), &d, &vars, &part, &pr);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shared_warm_table_builds_identical_trees() {
+        // Reusing one memo table across builds (the ensemble steady
+        // state) must not perturb any merge decision.
+        let (d, vars) = setup();
+        let part = partition(&d, &vars);
+        let p = TreeParams::default();
+        let fresh = build_tree(&mut SerialEngine::new(), &d, &vars, &part, &p);
+        let table = LnGammaTable::new(p.prior.alpha0);
+        for _ in 0..2 {
+            let shared =
+                build_tree_with(&mut SerialEngine::new(), &d, &vars, &part, &p, &table);
+            assert_eq!(fresh, shared);
+        }
+        assert!(!table.is_empty());
     }
 
     #[test]

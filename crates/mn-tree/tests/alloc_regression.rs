@@ -1,0 +1,89 @@
+//! Allocation regression for the steady-state split-assignment loop
+//! (ISSUE 6 satellite 3): once a [`SplitContext`]'s arenas are warm,
+//! repeated `assign_splits_in` calls must allocate only the O(nodes)
+//! result structures — never per-candidate — and the allocation count
+//! must be exactly reproducible call over call.
+//!
+//! Single test on purpose: the counting allocator is process-global,
+//! so a second concurrent test would perturb the counts.
+
+use mn_comm::SerialEngine;
+use mn_data::synthetic;
+use mn_rand::MasterRng;
+use mn_tree::{assign_splits_in, learn_module_trees, SplitContext, TreeParams};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_split_assignment_does_not_allocate_per_candidate() {
+    let d = synthetic::yeast_like(20, 30, 9).dataset;
+    let master = MasterRng::new(4);
+    let params = TreeParams::default();
+    let mut engine = SerialEngine::new();
+    let ensembles = vec![
+        learn_module_trees(&mut engine, &d, &master, 0, &(0..10).collect::<Vec<_>>(), &params),
+        learn_module_trees(&mut engine, &d, &master, 1, &(10..20).collect::<Vec<_>>(), &params),
+    ];
+    let parents: Vec<usize> = (0..d.n_vars()).collect();
+
+    let mut ctx = SplitContext::new();
+    let run = |ctx: &mut SplitContext| {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        let out = assign_splits_in(
+            &mut SerialEngine::new(),
+            &d,
+            &master,
+            &ensembles,
+            &parents,
+            &params,
+            ctx,
+        );
+        (ALLOCS.load(Ordering::Relaxed) - before, out)
+    };
+
+    // First call warms the arenas (and may allocate freely).
+    let (_, baseline) = run(&mut ctx);
+    let total_candidates = baseline.index.total as u64;
+    assert!(total_candidates > 1000, "setup too small to be meaningful");
+
+    // Steady state: the allocation count is exactly reproducible...
+    let (warm_a, out_a) = run(&mut ctx);
+    let (warm_b, out_b) = run(&mut ctx);
+    assert_eq!(out_a, baseline);
+    assert_eq!(out_b, baseline);
+    assert_eq!(
+        warm_a, warm_b,
+        "steady-state allocation count must be deterministic"
+    );
+    // ...and scales with nodes/results, not with the candidate list:
+    // the per-candidate structures (membership masks, gather buffers,
+    // MC lane staging, selection scratch) all live in the context.
+    assert!(
+        warm_a < total_candidates / 4,
+        "warm call allocated {warm_a} times for {total_candidates} candidates — \
+         a per-candidate allocation crept back into the hot loop"
+    );
+}

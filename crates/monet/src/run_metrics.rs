@@ -81,6 +81,34 @@ impl RunMetrics {
             .copied()
             .unwrap_or(0)
     }
+
+    /// `ln Γ` evaluations requested through the half-integer memo
+    /// tables (tree building and Gibbs candidate scoring). Together
+    /// with [`RunMetrics::ln_gamma_table_hits`], `calls - hits` is the
+    /// number of Lanczos series evaluations the run actually executed.
+    pub fn ln_gamma_calls(&self) -> u64 {
+        self.counters
+            .get(mn_obs::counters::SCORE_LN_GAMMA_CALLS)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// `ln Γ` evaluations served from a memo table (no Lanczos run).
+    pub fn ln_gamma_table_hits(&self) -> u64 {
+        self.counters
+            .get(mn_obs::counters::SCORE_LN_GAMMA_TABLE_HITS)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Scratch-arena reuses in the split-assignment kernel (segments
+    /// scored into already-warm buffers).
+    pub fn scratch_reuses(&self) -> u64 {
+        self.counters
+            .get(mn_obs::counters::SCORE_SCRATCH_REUSES)
+            .copied()
+            .unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +149,11 @@ mod tests {
         }
         assert!(metrics.counters["gibbs.sweeps"] > 0);
         assert!(metrics.counters["splits.scored"] > 0);
+        // The memoization/arena counters of the default (kernel)
+        // scoring paths surface in the record.
+        assert!(metrics.ln_gamma_calls() > metrics.ln_gamma_table_hits());
+        assert!(metrics.ln_gamma_table_hits() > 0);
+        assert!(metrics.scratch_reuses() > 0);
     }
 
     #[test]

@@ -65,6 +65,13 @@ fn counters_bit_identical_across_all_engines_and_rank_counts() {
         "tree.merges",
         "splits.scored",
         "splits.nodes",
+        // The score-layer memoization and arena counters of the
+        // default kernel paths (PR 6): table-served ln Γ lookups in
+        // tree building + Gibbs scoring, and split-kernel scratch
+        // reuse.
+        "score.ln_gamma_calls",
+        "score.ln_gamma_table_hits",
+        "score.scratch_reuses",
         "comm.collectives",
         // Task 2 on the default sparse backend: stored post-threshold
         // entries and sharded power-iteration matvecs.
