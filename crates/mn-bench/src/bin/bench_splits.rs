@@ -60,9 +60,19 @@ struct CountersRow {
 }
 
 #[derive(Serialize)]
+struct OverheadRow {
+    label: String,
+    engine: String,
+    recorder_on_s: f64,
+    recorder_off_s: f64,
+    overhead_pct: f64,
+}
+
+#[derive(Serialize)]
 struct Record {
     exact_pass: Vec<ExactPassRow>,
     full_phase: Vec<PhaseRow>,
+    flight_recorder: Vec<OverheadRow>,
     span_breakdown: Vec<SpanRow>,
     counters: Vec<CountersRow>,
 }
@@ -224,6 +234,44 @@ fn main() {
         full_phase.push(row);
     }
 
+    // --- Flight-recorder overhead -------------------------------------
+    // The recorder is always-on in production; this A/B pins its cost
+    // on the dominant phase (kernel scoring, same steady-state setup):
+    // identical runs with the ring buffers recording vs disabled. The
+    // acceptance bar is < 2% overhead.
+    let mut flight_recorder = Vec::new();
+    for engine_label in ["serial", "threads:3"] {
+        let timed = |enabled: bool| -> f64 {
+            if engine_label == "serial" {
+                let mut engine = SerialEngine::new();
+                engine.obs().flight().set_enabled(enabled);
+                time_phase(&mut engine, &setup, SplitScoring::Kernel)
+            } else {
+                let mut engine = ThreadEngine::new(3);
+                engine.obs().flight().set_enabled(enabled);
+                time_phase(&mut engine, &setup, SplitScoring::Kernel)
+            }
+        };
+        let recorder_off_s = timed(false);
+        let recorder_on_s = timed(true);
+        let overhead_pct = (recorder_on_s - recorder_off_s) / recorder_off_s * 100.0;
+        println!(
+            "flight recorder [{engine_label}]: on {:.3} ms, off {:.3} ms — {overhead_pct:+.2}% overhead",
+            recorder_on_s * 1e3,
+            recorder_off_s * 1e3,
+        );
+        if overhead_pct >= 2.0 {
+            println!("  WARNING: overhead above the 2% budget");
+        }
+        flight_recorder.push(OverheadRow {
+            label: "assign_splits (steady-state, yeast-like 48×40)".into(),
+            engine: engine_label.into(),
+            recorder_on_s,
+            recorder_off_s,
+            overhead_pct,
+        });
+    }
+
     // One instrumented run per scoring mode: the deterministic event
     // counters put the timings in context (how many split scores the
     // phase computed and through which dispatch path) and the span
@@ -286,6 +334,7 @@ fn main() {
     let record = Record {
         exact_pass,
         full_phase,
+        flight_recorder,
         span_breakdown,
         counters,
     };

@@ -123,6 +123,16 @@ pub trait ParEngine {
     /// Mutable access to the recorder, for counters and custom spans.
     fn obs_mut(&mut self) -> &mut Recorder;
 
+    /// The stash this engine fills with a final observability snapshot
+    /// just before it dies on an injected fault or communication
+    /// failure. The handle is an `Arc`: clone it *before* handing the
+    /// engine to `catch_unwind`, then read it after the unwind for
+    /// post-mortem export. The default (for engines with no fault
+    /// path) is a stash that stays empty.
+    fn death_stash(&self) -> mn_obs::SnapshotStash {
+        mn_obs::SnapshotStash::new()
+    }
+
     /// Seconds since the engine's epoch, on the engine's own clock:
     /// wall time for the real engines, the simulated bulk-synchronous
     /// clock for [`crate::sim::SimEngine`].

@@ -139,6 +139,17 @@ pub enum FaultAction {
     Drop,
 }
 
+impl FaultAction {
+    /// Short action label, as recorded by the flight recorder.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultAction::Kill => "kill",
+            FaultAction::Delay(_) => "delay",
+            FaultAction::Drop => "drop",
+        }
+    }
+}
+
 /// A deterministic schedule of faults keyed by `(rank, event#)`.
 ///
 /// Event numbers are 1-based and counted per rank: on the message
@@ -319,6 +330,11 @@ impl FaultClock {
     /// Events counted so far.
     pub fn events(&self) -> u64 {
         self.events
+    }
+
+    /// The rank this clock ticks for.
+    pub fn rank(&self) -> usize {
+        self.rank
     }
 
     /// Count one event and return the scheduled action, if any.

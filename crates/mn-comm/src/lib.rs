@@ -30,6 +30,7 @@
 pub mod cost;
 pub mod engine;
 pub mod fault;
+mod hooks;
 pub mod metrics;
 pub mod msg;
 pub mod partition;
@@ -43,7 +44,7 @@ pub use fault::{
     silence_injected_panics, CommError, FaultAction, FaultAbort, FaultClock, FaultPlan,
     InjectedCrash,
 };
-pub use msg::{spmd_run, spmd_run_faulty, SpmdEngine};
+pub use msg::{spmd_run, spmd_run_faulty, spmd_run_faulty_recorded, SpmdCapture, SpmdEngine};
 pub use engine::{with_phase, with_span, Costed, ParEngine, SegmentBatchFn};
 pub use metrics::{PhaseReport, RunReport};
 pub use mn_obs::{self as obs, ObsSnapshot, Recorder};

@@ -29,12 +29,34 @@
 
 use crate::fault::CommError;
 use crate::msg::fabric::Endpoint;
+use std::mem::size_of;
+
+/// Shallow wire size of one `Vec<T>` payload: `len * size_of::<T>()`.
+/// This is the accounting convention of the communication matrix — a
+/// deliberate, documented estimate (nested heap structure is not
+/// traversed), applied consistently by the msg fabric and the sim
+/// engine's synthesized traffic.
+fn vec_wire<T>(v: &[T]) -> u64 {
+    (std::mem::size_of_val(v)) as u64
+}
 
 /// Binomial-tree broadcast of `value` from `root` to all ranks.
 pub fn bcast<T: Clone + Send + 'static>(
     ep: &Endpoint,
     root: usize,
     value: Option<T>,
+) -> Result<T, CommError> {
+    bcast_sized(ep, root, value, &|_| size_of::<T>() as u64)
+}
+
+/// [`bcast`] with a caller-supplied wire-size function, so payloads
+/// with heap storage (`Vec<T>`) report honest byte counts to the
+/// communication matrix.
+fn bcast_sized<T: Clone + Send + 'static>(
+    ep: &Endpoint,
+    root: usize,
+    value: Option<T>,
+    wire: &dyn Fn(&T) -> u64,
 ) -> Result<T, CommError> {
     let p = ep.nranks();
     let rank = ep.rank();
@@ -62,7 +84,9 @@ pub fn bcast<T: Clone + Send + 'static>(
     while mask > 0 {
         if vrank + mask < p {
             let dst = (vrank + mask + root) % p;
-            ep.send_to(dst, data.clone().expect("data present by schedule"))?;
+            let payload = data.clone().expect("data present by schedule");
+            let bytes = wire(&payload);
+            ep.send_to_sized(dst, payload, bytes)?;
         }
         mask >>= 1;
     }
@@ -130,10 +154,11 @@ pub fn allgatherv<T: Clone + Send + 'static>(
             let part = ep.recv_from::<Vec<T>>(src)?;
             all.extend(part);
         }
-        bcast(ep, 0, Some(all))
+        bcast_sized(ep, 0, Some(all), &|v| vec_wire(v))
     } else {
-        ep.send_to(0, local)?;
-        bcast::<Vec<T>>(ep, 0, None)
+        let bytes = vec_wire(&local);
+        ep.send_to_sized(0, local, bytes)?;
+        bcast_sized::<Vec<T>>(ep, 0, None, &|v| vec_wire(v))
     }
 }
 
@@ -271,6 +296,40 @@ mod tests {
             (sum, max)
         });
         assert!(out.iter().all(|&(s, m)| s == 10 && m == 14));
+    }
+
+    #[test]
+    fn fabric_traffic_matches_synthesized_edge_schedules() {
+        // The sim engine synthesizes msg traffic from the edge
+        // schedules in mn_obs::commatrix. This test pins the two
+        // implementations together: real barrier and allgatherv
+        // traffic over the fabric, summed across ranks, must equal the
+        // synthesized matrices byte for byte.
+        use mn_obs::commatrix::{CommMatrix, CommMatrixHandle};
+        use mn_obs::flightrec::FlightRec;
+        for p in [1usize, 2, 3, 4, 5, 7, 8, 9] {
+            let endpoints = fabric(p);
+            let handles: Vec<CommMatrixHandle> =
+                (0..p).map(|_| CommMatrixHandle::new(p)).collect();
+            for (ep, handle) in endpoints.iter().zip(&handles) {
+                ep.attach_obs(FlightRec::new(p, ep.rank()), handle.clone());
+            }
+            spmd_over(endpoints, |ep| {
+                barrier(ep).unwrap();
+                let local = vec![ep.rank() as u64; ep.rank() + 2];
+                allgatherv(ep, local).unwrap();
+            });
+            let merged = CommMatrix::merged(
+                &handles.iter().map(|h| h.snapshot()).collect::<Vec<_>>(),
+            )
+            .unwrap();
+
+            let synth = CommMatrixHandle::new(p);
+            synth.record_allreduce(0); // barrier payload is ()
+            let counts: Vec<usize> = (0..p).map(|r| r + 2).collect();
+            synth.record_allgatherv(&counts, std::mem::size_of::<u64>() as u64);
+            assert_eq!(merged, synth.snapshot(), "p={p}");
+        }
     }
 
     #[test]

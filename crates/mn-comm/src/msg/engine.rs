@@ -17,12 +17,13 @@
 use crate::cost::Collective;
 use crate::engine::{Costed, ParEngine, SegmentBatchFn};
 use crate::fault::{CommError, FaultAbort, FaultPlan, InjectedCrash};
+use crate::hooks;
 use crate::metrics::{PhaseReport, RunReport};
 use crate::msg::collectives::{allgatherv, allreduce, barrier};
 use crate::msg::fabric::{fabric, fabric_with_faults, Endpoint};
 use crate::partition::block_range;
 use crate::segments::Segments;
-use mn_obs::Recorder;
+use mn_obs::{FlightEvent, FlightRec, Recorder, SnapshotStash};
 use std::time::{Duration, Instant};
 
 /// Unwrap a fabric result or abort this rank by unwinding with a typed
@@ -54,11 +55,26 @@ pub struct SpmdEngine {
     /// (and, as a side effect, verifies the counters agree).
     obs: Recorder,
     epoch: Instant,
+    /// Last-snapshot stash filled just before this rank aborts (the
+    /// handle is an `Arc`; [`spmd_run_faulty_recorded`] keeps clones
+    /// outside the rank threads, so the dying rank's final counters
+    /// and spans survive the unwind).
+    stash: SnapshotStash,
 }
 
 impl SpmdEngine {
     fn new(ep: Endpoint) -> Self {
-        let obs = Recorder::for_rank(ep.nranks(), ep.rank());
+        let flight = FlightRec::new(ep.nranks(), ep.rank());
+        Self::with_capture(ep, flight, SnapshotStash::new())
+    }
+
+    /// Build the engine around externally-held capture handles: the
+    /// flight recorder is shared with the endpoint (so fabric traffic
+    /// and injected faults land in it) and with whoever holds `flight`
+    /// outside this rank's thread.
+    fn with_capture(ep: Endpoint, flight: FlightRec, stash: SnapshotStash) -> Self {
+        let obs = Recorder::for_rank_with_flight(ep.nranks(), ep.rank(), flight.clone());
+        ep.attach_obs(flight, obs.comm_matrix());
         Self {
             ep,
             phases: Vec::new(),
@@ -66,6 +82,7 @@ impl SpmdEngine {
             busy: 0.0,
             obs,
             epoch: Instant::now(),
+            stash,
         }
     }
 
@@ -77,6 +94,26 @@ impl SpmdEngine {
     /// Direct access to the endpoint, for custom protocols.
     pub fn endpoint(&self) -> &Endpoint {
         &self.ep
+    }
+
+    /// Unwrap a fabric result or abort this rank like [`ok_or_abort`],
+    /// but first leave a post-mortem trail: a `CommFailure` flight
+    /// event (injected kills already recorded their `FaultInjected` at
+    /// the fabric) and a final snapshot in the death stash.
+    fn abort_on<T>(&mut self, result: Result<T, CommError>) -> T {
+        match result {
+            Ok(value) => value,
+            Err(err) => {
+                if !matches!(err, CommError::Injected { .. }) {
+                    self.obs.flight_event(FlightEvent::CommFailure {
+                        detail: err.to_string(),
+                    });
+                }
+                let now = self.now_s();
+                self.stash.store(self.obs.snapshot(now));
+                ok_or_abort::<T>(Err(err))
+            }
+        }
     }
 
     fn close_phase(&mut self) {
@@ -108,6 +145,8 @@ impl ParEngine for SpmdEngine {
         // Counters record the *logical* global call, identically on
         // every rank — never this rank's block size.
         self.obs.count_dist_map(n_items, words_per_item);
+        let now = self.now_s();
+        self.obs.telemetry_tick(now);
         let p = self.ep.nranks();
         let rank = self.ep.rank();
         let (lo, hi) = block_range(n_items, p, rank);
@@ -117,9 +156,9 @@ impl ParEngine for SpmdEngine {
         self.busy += dt;
         self.obs.charge_busy_rank(rank, dt);
         let comm_start = Instant::now();
-        let out = ok_or_abort(allgatherv(&self.ep, local));
+        let gathered = allgatherv(&self.ep, local);
         self.obs.charge_comm(comm_start.elapsed().as_secs_f64());
-        out
+        self.abort_on(gathered)
     }
 
     fn dist_map_segmented_batch<T: Send + Clone + 'static>(
@@ -129,6 +168,8 @@ impl ParEngine for SpmdEngine {
         f: SegmentBatchFn<'_, T>,
     ) -> Vec<T> {
         self.obs.count_dist_map(segments.n_items(), words_per_item);
+        let now = self.now_s();
+        self.obs.telemetry_tick(now);
         let p = self.ep.nranks();
         let rank = self.ep.rank();
         let (lo, hi) = block_range(segments.n_items(), p, rank);
@@ -143,18 +184,21 @@ impl ParEngine for SpmdEngine {
         self.busy += dt;
         self.obs.charge_busy_rank(rank, dt);
         let comm_start = Instant::now();
-        let out = ok_or_abort(allgatherv(&self.ep, local));
+        let gathered = allgatherv(&self.ep, local);
         self.obs.charge_comm(comm_start.elapsed().as_secs_f64());
-        out
+        self.abort_on(gathered)
     }
 
     fn collective(&mut self, _op: Collective, words: usize) {
         // The sampling oracles of §3.1 are collective calls; keep the
         // ranks lock-step with a real barrier.
         self.obs.count_collective(words);
+        let now = self.now_s();
+        self.obs.telemetry_tick(now);
         let start = Instant::now();
-        ok_or_abort(barrier(&self.ep));
+        let synced = barrier(&self.ep);
         self.obs.charge_comm(start.elapsed().as_secs_f64());
+        self.abort_on(synced);
     }
 
     fn replicated(&mut self, work_units: u64) {
@@ -168,6 +212,7 @@ impl ParEngine for SpmdEngine {
         self.current = Some((name.to_string(), Instant::now()));
         let now = self.now_s();
         self.obs.begin_phase(name, now);
+        self.obs.telemetry_tick(now);
     }
 
     fn report(&mut self) -> RunReport {
@@ -188,6 +233,10 @@ impl ParEngine for SpmdEngine {
         &mut self.obs
     }
 
+    fn death_stash(&self) -> SnapshotStash {
+        self.stash.clone()
+    }
+
     fn now_s(&self) -> f64 {
         self.epoch.elapsed().as_secs_f64()
     }
@@ -201,8 +250,14 @@ impl ParEngine for SpmdEngine {
     fn io_barrier(&mut self) {
         // A real barrier, but uncounted: file-I/O ordering is not part
         // of the accounted algorithm, so enabling checkpointing leaves
-        // every counter and cost figure untouched.
-        ok_or_abort(barrier(&self.ep));
+        // every counter and cost figure untouched. The same goes for
+        // the traffic matrix and flight record — SimEngine's
+        // io_barrier is a no-op, and muting here keeps the msg and sim
+        // matrices comparable (and checkpointing invisible to both).
+        self.ep.set_obs_muted(true);
+        let synced = barrier(&self.ep);
+        self.ep.set_obs_muted(false);
+        self.abort_on(synced);
     }
 }
 
@@ -218,6 +273,7 @@ pub fn spmd_run<R: Send>(p: usize, program: impl Fn(&mut SpmdEngine) -> R + Sync
                 let program = &program;
                 scope.spawn(move || {
                     let mut engine = SpmdEngine::new(ep);
+                    hooks::install_thread_hooks(engine.obs.flight());
                     let out = program(&mut engine);
                     ok_or_abort(barrier(engine.endpoint()));
                     out
@@ -226,6 +282,18 @@ pub fn spmd_run<R: Send>(p: usize, program: impl Fn(&mut SpmdEngine) -> R + Sync
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     })
+}
+
+/// The per-rank capture handles a recorded SPMD run keeps *outside*
+/// the rank threads: flight recorders (every event up to each rank's
+/// death survives the unwind) and death stashes (the final
+/// observability snapshot of each rank that aborted). Index = rank.
+pub struct SpmdCapture {
+    /// Each rank's flight recorder, usable after the run for dumps and
+    /// replay comparison even if the rank died.
+    pub flights: Vec<FlightRec>,
+    /// Each rank's death stash; empty for ranks that finished cleanly.
+    pub stashes: Vec<SnapshotStash>,
 }
 
 /// Run `program` as SPMD over `p` ranks under a [`FaultPlan`],
@@ -245,14 +313,35 @@ pub fn spmd_run_faulty<R: Send>(
     recv_timeout: Option<Duration>,
     program: impl Fn(&mut SpmdEngine) -> R + Sync,
 ) -> Vec<Result<R, CommError>> {
+    spmd_run_faulty_recorded(p, plan, recv_timeout, program).0
+}
+
+/// [`spmd_run_faulty`], returning in addition the per-rank capture
+/// handles ([`SpmdCapture`]): flight recorders and death stashes that
+/// are created *before* the rank threads start and therefore survive
+/// every rank's unwind. This is the entry point for post-mortem
+/// tooling — on a failed run, dump `capture.flights[k]` to
+/// `flightrec-rank<k>.jsonl` and export the stashed snapshots.
+pub fn spmd_run_faulty_recorded<R: Send>(
+    p: usize,
+    plan: FaultPlan,
+    recv_timeout: Option<Duration>,
+    program: impl Fn(&mut SpmdEngine) -> R + Sync,
+) -> (Vec<Result<R, CommError>>, SpmdCapture) {
+    let flights: Vec<FlightRec> = (0..p).map(|r| FlightRec::new(p, r)).collect();
+    let stashes: Vec<SnapshotStash> = (0..p).map(|_| SnapshotStash::new()).collect();
     let endpoints = fabric_with_faults(p, plan, recv_timeout);
-    std::thread::scope(|scope| {
+    let outcomes = std::thread::scope(|scope| {
         let handles: Vec<_> = endpoints
             .into_iter()
-            .map(|ep| {
+            .enumerate()
+            .map(|(rank, ep)| {
                 let program = &program;
+                let flight = flights[rank].clone();
+                let stash = stashes[rank].clone();
                 scope.spawn(move || {
-                    let mut engine = SpmdEngine::new(ep);
+                    let mut engine = SpmdEngine::with_capture(ep, flight, stash);
+                    hooks::install_thread_hooks(engine.obs.flight());
                     let out = program(&mut engine);
                     // Best-effort exit barrier: with faults active,
                     // peers may already be gone.
@@ -277,7 +366,8 @@ pub fn spmd_run_faulty<R: Send>(
                 },
             })
             .collect()
-    })
+    });
+    (outcomes, SpmdCapture { flights, stashes })
 }
 
 /// All-reduce helper for SPMD programs. Aborts the rank (unwinding
@@ -363,6 +453,49 @@ mod tests {
                 assert!(result.is_err(), "rank {rank} survived a dead peer: {out:?}");
             }
         }
+    }
+
+    #[test]
+    fn recorded_faulty_run_captures_flight_and_stash() {
+        crate::fault::silence_injected_panics();
+        let plan = FaultPlan::new().kill(1, 3);
+        let (out, capture) = spmd_run_faulty_recorded(3, plan, None, |engine| {
+            engine.begin_phase("w");
+            for _ in 0..5 {
+                engine.dist_map(12, 1, &|i| (i, 1));
+            }
+            engine.rank()
+        });
+        assert!(
+            matches!(out[1], Err(CommError::Injected { rank: 1, event: 3 })),
+            "{out:?}"
+        );
+        // The killed rank's flight record survived its unwind: traffic
+        // up to the death, then the injection itself.
+        let locals = capture.flights[1].local_events();
+        assert!(locals
+            .iter()
+            .any(|r| matches!(r.event, FlightEvent::FaultInjected { .. })));
+        // ...and its final snapshot landed in the death stash.
+        let snap = capture.stashes[1].get().expect("killed rank stashed");
+        assert_eq!(snap.nranks, 3);
+        // Survivors abort on the dead peer: comm failure recorded,
+        // snapshot stashed.
+        for r in [0usize, 2] {
+            assert!(capture.stashes[r].get().is_some(), "rank {r} stash");
+            assert!(
+                capture.flights[r]
+                    .local_events()
+                    .iter()
+                    .any(|rec| matches!(rec.event, FlightEvent::CommFailure { .. })),
+                "rank {r} comm failure"
+            );
+        }
+        // Deterministic span events agree on the overlap across every
+        // pair of ranks, timestamps excluded.
+        let a = capture.flights[0].det_events();
+        let b = capture.flights[2].det_events();
+        mn_obs::flightrec::det_overlap_matches(&a, &b).expect("survivor det overlap");
     }
 
     #[test]

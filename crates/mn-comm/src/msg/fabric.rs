@@ -25,13 +25,19 @@
 
 use crate::fault::{CommError, FaultAction, FaultPlan};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use mn_obs::commatrix::CommMatrixHandle;
+use mn_obs::flightrec::{FlightEvent, FlightRec};
 use std::any::Any;
+use std::mem::size_of;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
-/// A payload plus the `type_name` recorded at the send site, so a
-/// receive-side downcast failure can report what was actually sent.
-type Packet = (&'static str, Box<dyn Any + Send>);
+/// A payload plus the `type_name` and shallow wire-byte size recorded
+/// at the send site, so a receive-side downcast failure can report
+/// what was actually sent and the receiver can account the bytes it
+/// took delivery of.
+type Packet = (&'static str, u64, Box<dyn Any + Send>);
 
 /// Environment variable that sets the default receive timeout (in
 /// milliseconds) for fabrics built with [`fabric`]. Unset or `0`
@@ -41,6 +47,18 @@ pub const RECV_TIMEOUT_ENV: &str = "MN_RECV_TIMEOUT_MS";
 fn env_recv_timeout() -> Option<Duration> {
     let ms: u64 = std::env::var(RECV_TIMEOUT_ENV).ok()?.trim().parse().ok()?;
     (ms > 0).then(|| Duration::from_millis(ms))
+}
+
+/// Observability hooks attachable to an endpoint: the owning rank's
+/// flight recorder (per-message send/recv/fault events) and
+/// communication matrix (sender-side traffic accounting). `muted`
+/// suppresses both during checkpoint-I/O barriers, which are outside
+/// the deterministic accounting contract.
+#[derive(Default)]
+struct ObsHooks {
+    flight: Option<FlightRec>,
+    comm: Option<CommMatrixHandle>,
+    muted: bool,
 }
 
 /// One rank's view of the fabric.
@@ -58,6 +76,9 @@ pub struct Endpoint {
     recv_timeout: Option<Duration>,
     /// Deterministic fault schedule, if injection is active.
     faults: FaultPlan,
+    /// Attached observers (mutex only to keep `Endpoint: Sync`; each
+    /// endpoint is driven by one rank-thread).
+    obs: Mutex<ObsHooks>,
 }
 
 impl Endpoint {
@@ -79,15 +100,69 @@ impl Endpoint {
         self.events.load(Ordering::Relaxed)
     }
 
+    /// Attach the owning rank's flight recorder and communication
+    /// matrix: every subsequent send/recv/fault on this endpoint is
+    /// recorded.
+    pub fn attach_obs(&self, flight: FlightRec, comm: CommMatrixHandle) {
+        let mut obs = self.obs.lock().unwrap();
+        obs.flight = Some(flight);
+        obs.comm = Some(comm);
+    }
+
+    /// Suppress (or resume) observation. Checkpoint-I/O barriers mute
+    /// the endpoint so fsync coordination never perturbs the traffic
+    /// accounting — the same contract that keeps those barriers out of
+    /// the deterministic counters.
+    pub fn set_obs_muted(&self, muted: bool) {
+        self.obs.lock().unwrap().muted = muted;
+    }
+
+    /// Record a flight event through the attached observers. Fault
+    /// injections are never muted: a kill firing inside a muted
+    /// checkpoint barrier must still leave its mark in the dump.
+    fn note_flight(&self, event: FlightEvent) {
+        let obs = self.obs.lock().unwrap();
+        if obs.muted && !matches!(event, FlightEvent::FaultInjected { .. }) {
+            return;
+        }
+        if let Some(flight) = &obs.flight {
+            flight.record(event);
+        }
+    }
+
+    /// Record one delivered outgoing message (flight + matrix).
+    fn note_send(&self, dst: usize, bytes: u64) {
+        let obs = self.obs.lock().unwrap();
+        if obs.muted {
+            return;
+        }
+        if let Some(flight) = &obs.flight {
+            flight.record(FlightEvent::Send { peer: dst, bytes });
+        }
+        if let Some(comm) = &obs.comm {
+            comm.record(self.rank, dst, bytes);
+        }
+    }
+
     /// Count one fabric event and return any fault scheduled for it.
     fn tick(&self) -> Result<Option<FaultAction>, CommError> {
         let event = self.events.fetch_add(1, Ordering::Relaxed) + 1;
         match self.faults.action(self.rank, event) {
-            Some(FaultAction::Kill) => Err(CommError::Injected {
-                rank: self.rank,
-                event,
-            }),
+            Some(FaultAction::Kill) => {
+                self.note_flight(FlightEvent::FaultInjected {
+                    action: FaultAction::Kill.label().to_string(),
+                    event,
+                });
+                Err(CommError::Injected {
+                    rank: self.rank,
+                    event,
+                })
+            }
             Some(FaultAction::Delay(d)) => {
+                self.note_flight(FlightEvent::FaultInjected {
+                    action: FaultAction::Delay(d).label().to_string(),
+                    event,
+                });
                 std::thread::sleep(d);
                 Ok(None)
             }
@@ -97,18 +172,42 @@ impl Endpoint {
 
     /// Send `value` to rank `dst` (non-blocking; channels are
     /// unbounded). Fails if `dst` has dropped its endpoint or a fault
-    /// plan kills this rank at this event.
+    /// plan kills this rank at this event. The recorded wire size is
+    /// the payload's shallow `size_of`; senders of heap-backed
+    /// payloads use [`Endpoint::send_to_sized`].
     pub fn send_to<T: Send + 'static>(&self, dst: usize, value: T) -> Result<(), CommError> {
+        self.send_to_sized(dst, value, size_of::<T>() as u64)
+    }
+
+    /// [`Endpoint::send_to`] with an explicit wire-byte size for
+    /// traffic accounting (e.g. `len * size_of::<T>()` for a `Vec<T>`
+    /// whose shallow size would undercount).
+    pub fn send_to_sized<T: Send + 'static>(
+        &self,
+        dst: usize,
+        value: T,
+        wire_bytes: u64,
+    ) -> Result<(), CommError> {
         if let Some(FaultAction::Drop) = self.tick()? {
-            return Ok(()); // injected message loss: silently discard
+            // Injected message loss: silently discard. The drop is a
+            // local event — the message never traveled, so neither the
+            // matrix nor the peer sees it.
+            self.note_flight(FlightEvent::FaultInjected {
+                action: FaultAction::Drop.label().to_string(),
+                event: self.events(),
+            });
+            self.note_flight(FlightEvent::MsgDropped { peer: dst });
+            return Ok(());
         }
         self.to[dst]
-            .send((std::any::type_name::<T>(), Box::new(value)))
+            .send((std::any::type_name::<T>(), wire_bytes, Box::new(value)))
             .map_err(|_| CommError::PeerDisconnected {
                 peer: dst,
                 rank: self.rank,
                 event: self.events(),
-            })
+            })?;
+        self.note_send(dst, wire_bytes);
+        Ok(())
     }
 
     /// Receive the next message from rank `src`, waiting at most the
@@ -148,7 +247,11 @@ impl Endpoint {
                 }
             },
         };
-        let (sent_type, payload) = packet;
+        let (sent_type, wire_bytes, payload) = packet;
+        self.note_flight(FlightEvent::Recv {
+            peer: src,
+            bytes: wire_bytes,
+        });
         payload
             .downcast::<T>()
             .map(|boxed| *boxed)
@@ -200,6 +303,7 @@ pub fn fabric_with_faults(
             events: AtomicU64::new(0),
             recv_timeout,
             faults: faults.clone(),
+            obs: Mutex::new(ObsHooks::default()),
         })
         .collect()
 }
@@ -332,6 +436,62 @@ mod tests {
         endpoints[0].send_to(0, 1u8).unwrap(); // event 1: fine
         let err = endpoints[0].recv_from::<u8>(0).unwrap_err(); // event 2: dies
         assert_eq!(err, CommError::Injected { rank: 0, event: 2 });
+    }
+
+    #[test]
+    fn attached_obs_records_traffic_and_faults() {
+        let plan = FaultPlan::new().drop_message(0, 3);
+        let endpoints = fabric_with_faults(2, plan, Some(Duration::from_millis(20)));
+        let flight0 = FlightRec::new(2, 0);
+        let comm0 = CommMatrixHandle::new(2);
+        endpoints[0].attach_obs(flight0.clone(), comm0.clone());
+        let flight1 = FlightRec::new(2, 1);
+        let comm1 = CommMatrixHandle::new(2);
+        endpoints[1].attach_obs(flight1.clone(), comm1.clone());
+
+        endpoints[0].send_to(1, 7u32).unwrap(); // event 1: delivered
+        assert_eq!(endpoints[1].recv_from::<u32>(0).unwrap(), 7);
+        endpoints[0]
+            .send_to_sized(1, vec![1u64, 2, 3], 24)
+            .unwrap(); // event 2: delivered, explicit wire size
+        assert_eq!(endpoints[1].recv_from::<Vec<u64>>(0).unwrap(), vec![1, 2, 3]);
+        endpoints[0].send_to(1, 9u32).unwrap(); // event 3: dropped
+
+        let local0: Vec<FlightEvent> =
+            flight0.local_events().into_iter().map(|r| r.event).collect();
+        assert_eq!(
+            local0,
+            vec![
+                FlightEvent::Send { peer: 1, bytes: 4 },
+                FlightEvent::Send { peer: 1, bytes: 24 },
+                FlightEvent::FaultInjected {
+                    action: "drop".into(),
+                    event: 3
+                },
+                FlightEvent::MsgDropped { peer: 1 },
+            ]
+        );
+        let local1: Vec<FlightEvent> =
+            flight1.local_events().into_iter().map(|r| r.event).collect();
+        assert_eq!(
+            local1,
+            vec![
+                FlightEvent::Recv { peer: 0, bytes: 4 },
+                FlightEvent::Recv { peer: 0, bytes: 24 },
+            ]
+        );
+        // Matrix: sender-side only, dropped message not counted.
+        let mat = comm0.snapshot();
+        assert_eq!(mat.phases[0].msgs[1], 2);
+        assert_eq!(mat.phases[0].bytes[1], 28);
+        assert_eq!(comm1.snapshot().total_msgs(), 0);
+
+        // Muted endpoints record nothing.
+        endpoints[0].set_obs_muted(true);
+        endpoints[0].send_to(1, 1u8).unwrap();
+        endpoints[0].set_obs_muted(false);
+        assert_eq!(comm0.snapshot().total_msgs(), 2);
+        assert_eq!(flight0.local_events().len(), 4);
     }
 
     #[test]

@@ -8,10 +8,11 @@
 
 use crate::cost::Collective;
 use crate::engine::{Costed, ParEngine, SegmentBatchFn};
-use crate::fault::{FaultClock, FaultPlan};
+use crate::fault::{FaultAction, FaultClock, FaultPlan, InjectedCrash};
+use crate::hooks;
 use crate::metrics::{PhaseReport, RunReport};
 use crate::segments::Segments;
-use mn_obs::Recorder;
+use mn_obs::{FlightEvent, Recorder, SnapshotStash};
 use std::time::Instant;
 
 /// Sequential engine with wall-clock phase timing.
@@ -28,6 +29,10 @@ pub struct SerialEngine {
     /// `dist_map*`/`collective`/`replicated` call is one event,
     /// attributed to rank 0 (the single-process convention).
     faults: FaultClock,
+    /// Last-snapshot stash filled just before an injected crash, so a
+    /// post-mortem can still read the counters and spans of the dying
+    /// run (the handle is an `Arc`: clone it before `catch_unwind`).
+    stash: SnapshotStash,
 }
 
 impl SerialEngine {
@@ -40,6 +45,7 @@ impl SerialEngine {
             obs: Recorder::new(1),
             epoch: Instant::now(),
             faults: FaultClock::new(FaultPlan::new(), 0),
+            stash: SnapshotStash::new(),
         }
     }
 
@@ -60,6 +66,29 @@ impl SerialEngine {
     /// Work units accumulated so far.
     pub fn work_units(&self) -> u64 {
         self.work_units
+    }
+
+    /// Tick the fault clock; on a scheduled `Kill`, record the
+    /// injection in the flight recorder, stash a final snapshot for
+    /// post-mortems, and unwind with [`InjectedCrash`]. `Delay`/`Drop`
+    /// have no engine-level meaning (there is no fabric) and are
+    /// ignored, exactly as `tick_or_die` ignored them.
+    fn tick_fault(&mut self) {
+        match self.faults.tick() {
+            Some(FaultAction::Kill) => {
+                let event = self.faults.events();
+                self.obs.flight_event(FlightEvent::FaultInjected {
+                    action: "kill".to_string(),
+                    event,
+                });
+                self.stash.store(self.obs.snapshot(self.now_s()));
+                std::panic::panic_any(InjectedCrash {
+                    rank: self.faults.rank(),
+                    event,
+                });
+            }
+            Some(FaultAction::Delay(_)) | Some(FaultAction::Drop) | None => {}
+        }
     }
 
     fn close_phase(&mut self) {
@@ -93,8 +122,11 @@ impl ParEngine for SerialEngine {
         words_per_item: usize,
         f: &(dyn Fn(usize) -> Costed<T> + Sync),
     ) -> Vec<T> {
-        self.faults.tick_or_die();
+        self.tick_fault();
+        hooks::install_thread_hooks(self.obs.flight());
         self.obs.count_dist_map(n_items, words_per_item);
+        let now = self.now_s();
+        self.obs.telemetry_tick(now);
         let start = Instant::now();
         let mut out = Vec::with_capacity(n_items);
         for i in 0..n_items {
@@ -112,8 +144,11 @@ impl ParEngine for SerialEngine {
         words_per_item: usize,
         f: SegmentBatchFn<'_, T>,
     ) -> Vec<T> {
-        self.faults.tick_or_die();
+        self.tick_fault();
+        hooks::install_thread_hooks(self.obs.flight());
         self.obs.count_dist_map(segments.n_items(), words_per_item);
+        let now = self.now_s();
+        self.obs.telemetry_tick(now);
         let start = Instant::now();
         let mut out = Vec::with_capacity(segments.n_items());
         let mut buf: Vec<Costed<T>> = Vec::new();
@@ -133,12 +168,14 @@ impl ParEngine for SerialEngine {
     fn collective(&mut self, _op: Collective, words: usize) {
         // One rank: nothing to communicate, but the logical event still
         // counts (the counter contract is engine-independent).
-        self.faults.tick_or_die();
+        self.tick_fault();
         self.obs.count_collective(words);
+        let now = self.now_s();
+        self.obs.telemetry_tick(now);
     }
 
     fn replicated(&mut self, work_units: u64) {
-        self.faults.tick_or_die();
+        self.tick_fault();
         self.work_units += work_units;
         self.obs.count_replicated(work_units);
     }
@@ -148,12 +185,14 @@ impl ParEngine for SerialEngine {
         self.current = Some((name.to_string(), Instant::now()));
         let now = self.now_s();
         self.obs.begin_phase(name, now);
+        self.obs.telemetry_tick(now);
     }
 
     fn report(&mut self) -> RunReport {
         self.close_phase();
         let now = self.now_s();
         self.obs.finish(now);
+        hooks::clear_thread_hooks();
         RunReport {
             nranks: 1,
             phases: std::mem::take(&mut self.phases),
@@ -166,6 +205,10 @@ impl ParEngine for SerialEngine {
 
     fn obs_mut(&mut self) -> &mut Recorder {
         &mut self.obs
+    }
+
+    fn death_stash(&self) -> SnapshotStash {
+        self.stash.clone()
     }
 
     fn now_s(&self) -> f64 {

@@ -26,11 +26,12 @@
 
 use crate::cost::{Collective, CostModel};
 use crate::engine::{Costed, ParEngine, SegmentBatchFn};
-use crate::fault::{FaultClock, FaultPlan};
+use crate::fault::{FaultAction, FaultClock, FaultPlan, InjectedCrash};
+use crate::hooks;
 use crate::metrics::{PhaseReport, RunReport};
 use crate::partition::{assign_owners, block_range, PartitionStrategy};
 use crate::segments::Segments;
-use mn_obs::Recorder;
+use mn_obs::{FlightEvent, Recorder, SnapshotStash};
 
 /// Virtual-SPMD engine with per-rank clocks and τ/μ collective costs.
 #[derive(Debug, Clone)]
@@ -56,6 +57,9 @@ pub struct SimEngine {
     /// `dist_map*`/`collective`/`replicated` call is one event,
     /// attributed to rank 0 (the single-process convention).
     faults: FaultClock,
+    /// Last-snapshot stash filled just before an injected crash (the
+    /// handle is an `Arc`: clone it before `catch_unwind`).
+    stash: SnapshotStash,
 }
 
 impl SimEngine {
@@ -80,6 +84,7 @@ impl SimEngine {
             obs: Recorder::new(p),
             sim_now: 0.0,
             faults: FaultClock::new(FaultPlan::new(), 0),
+            stash: SnapshotStash::new(),
         }
     }
 
@@ -94,6 +99,38 @@ impl SimEngine {
     /// Engine events counted so far (for choosing sweep fault points).
     pub fn fault_events(&self) -> u64 {
         self.faults.events()
+    }
+
+    /// Tick the fault clock; on a scheduled `Kill`, record the
+    /// injection, stash a final snapshot, and unwind with
+    /// [`InjectedCrash`]. `Delay`/`Drop` are fabric-level actions the
+    /// simulation has no channel to apply them to; they stay ignored.
+    fn tick_fault(&mut self) {
+        match self.faults.tick() {
+            Some(FaultAction::Kill) => {
+                let event = self.faults.events();
+                self.obs.flight_event(FlightEvent::FaultInjected {
+                    action: "kill".to_string(),
+                    event,
+                });
+                self.stash.store(self.obs.snapshot(self.sim_now));
+                std::panic::panic_any(InjectedCrash {
+                    rank: self.faults.rank(),
+                    event,
+                });
+            }
+            Some(FaultAction::Delay(_)) | Some(FaultAction::Drop) | None => {}
+        }
+    }
+
+    /// Synthesize the message-fabric traffic of the all-gather that
+    /// ends every `dist_map` step: each non-root rank ships its block
+    /// to rank 0 along the binomial reduce tree's leaf edges, then the
+    /// concatenation is broadcast. Byte-for-byte the schedule
+    /// [`crate::msg::collectives::allgatherv`] executes, so the merged
+    /// sim matrix equals the merged msg matrix for the same program.
+    fn record_gather_traffic(&mut self, counts: &[usize], esize: u64) {
+        self.obs.comm_matrix().record_allgatherv(counts, esize);
     }
 
     /// Select the partitioning strategy (ablation hook; the default is
@@ -152,11 +189,13 @@ impl SimEngine {
     ) -> Vec<T> {
         let mut out = Vec::with_capacity(n_items);
         let mut step_busy = vec![0.0f64; self.p];
+        let mut counts = vec![0usize; self.p];
         match owners {
             None => {
                 // Paper's block partition: contiguous ranges.
                 for (r, busy) in step_busy.iter_mut().enumerate() {
                     let (lo, hi) = block_range(n_items, self.p, r);
+                    counts[r] = hi - lo;
                     for i in lo..hi {
                         let (value, units) = f(i);
                         *busy += self.cost.compute_s(units);
@@ -168,6 +207,7 @@ impl SimEngine {
                 for (i, &owner) in owners.iter().enumerate() {
                     let (value, units) = f(i);
                     step_busy[owner] += self.cost.compute_s(units);
+                    counts[owner] += 1;
                     out.push(value);
                 }
             }
@@ -176,21 +216,32 @@ impl SimEngine {
             .cost
             .collective_s(Collective::AllGather, n_items * words_per_item, self.p);
         self.account_step(&step_busy, comm);
+        self.record_gather_traffic(&counts, std::mem::size_of::<T>() as u64);
         out
     }
 
     /// Charge one bulk-synchronous step in which each item's cost goes
     /// to the rank the active (non-block) strategy assigns it to.
-    fn attribute_by_owner(&mut self, costs: &[u64], segments: &Segments, words_per_item: usize) {
+    /// `esize` is the wire size of one result, for the traffic matrix.
+    fn attribute_by_owner(
+        &mut self,
+        costs: &[u64],
+        segments: &Segments,
+        words_per_item: usize,
+        esize: u64,
+    ) {
         let owners = assign_owners(self.strategy, self.p, costs, segments);
         let mut step_busy = vec![0.0f64; self.p];
+        let mut counts = vec![0usize; self.p];
         for (&owner, &c) in owners.iter().zip(costs) {
             step_busy[owner] += self.cost.compute_s(c);
+            counts[owner] += 1;
         }
         let comm = self
             .cost
             .collective_s(Collective::AllGather, costs.len() * words_per_item, self.p);
         self.account_step(&step_busy, comm);
+        self.record_gather_traffic(&counts, esize);
     }
 }
 
@@ -205,8 +256,11 @@ impl ParEngine for SimEngine {
         words_per_item: usize,
         f: &(dyn Fn(usize) -> Costed<T> + Sync),
     ) -> Vec<T> {
-        self.faults.tick_or_die();
+        self.tick_fault();
+        hooks::install_thread_hooks(self.obs.flight());
         self.obs.count_dist_map(n_items, words_per_item);
+        let now = self.sim_now;
+        self.obs.telemetry_tick(now);
         self.map_with_owners(None, n_items, words_per_item, f)
     }
 
@@ -223,8 +277,11 @@ impl ParEngine for SimEngine {
                 // assignment, so evaluate first (costs are deterministic
                 // functions of the item), then attribute.
                 let n = segments.n_items();
-                self.faults.tick_or_die();
+                self.tick_fault();
+                hooks::install_thread_hooks(self.obs.flight());
                 self.obs.count_dist_map(n, words_per_item);
+                let now = self.sim_now;
+                self.obs.telemetry_tick(now);
                 let mut values = Vec::with_capacity(n);
                 let mut costs = Vec::with_capacity(n);
                 for i in 0..n {
@@ -232,7 +289,12 @@ impl ParEngine for SimEngine {
                     values.push(v);
                     costs.push(c);
                 }
-                self.attribute_by_owner(&costs, segments, words_per_item);
+                self.attribute_by_owner(
+                    &costs,
+                    segments,
+                    words_per_item,
+                    std::mem::size_of::<T>() as u64,
+                );
                 values
             }
         }
@@ -245,8 +307,11 @@ impl ParEngine for SimEngine {
         f: SegmentBatchFn<'_, T>,
     ) -> Vec<T> {
         let n = segments.n_items();
-        self.faults.tick_or_die();
+        self.tick_fault();
+        hooks::install_thread_hooks(self.obs.flight());
         self.obs.count_dist_map(n, words_per_item);
+        let now = self.sim_now;
+        self.obs.telemetry_tick(now);
         match self.strategy {
             PartitionStrategy::Block => {
                 // The paper's block partition of the flat list. A block
@@ -257,8 +322,10 @@ impl ParEngine for SimEngine {
                 let mut out = Vec::with_capacity(n);
                 let mut buf: Vec<Costed<T>> = Vec::new();
                 let mut step_busy = vec![0.0f64; self.p];
+                let mut counts = vec![0usize; self.p];
                 for (r, busy) in step_busy.iter_mut().enumerate() {
                     let (lo, hi) = block_range(n, self.p, r);
+                    counts[r] = hi - lo;
                     for (seg, range) in segments.overlapping(lo, hi) {
                         f(seg, range, &mut buf);
                         for (value, units) in buf.drain(..) {
@@ -271,6 +338,7 @@ impl ParEngine for SimEngine {
                     .cost
                     .collective_s(Collective::AllGather, n * words_per_item, self.p);
                 self.account_step(&step_busy, comm);
+                self.record_gather_traffic(&counts, std::mem::size_of::<T>() as u64);
                 out
             }
             PartitionStrategy::SegmentOwner | PartitionStrategy::SelfScheduling => {
@@ -286,22 +354,33 @@ impl ParEngine for SimEngine {
                         costs.push(c);
                     }
                 }
-                self.attribute_by_owner(&costs, segments, words_per_item);
+                self.attribute_by_owner(
+                    &costs,
+                    segments,
+                    words_per_item,
+                    std::mem::size_of::<T>() as u64,
+                );
                 values
             }
         }
     }
 
     fn collective(&mut self, op: Collective, words: usize) {
-        self.faults.tick_or_die();
+        self.tick_fault();
         self.obs.count_collective(words);
         let comm = self.cost.collective_s(op, words, self.p);
         let zeros = vec![0.0; self.p];
         self.account_step(&zeros, comm);
+        // The msg engine realizes `collective` as a zero-payload
+        // barrier (reduce + broadcast of a unit value); synthesize the
+        // same edges so the matrices agree.
+        self.obs.comm_matrix().record_allreduce(0);
+        let now = self.sim_now;
+        self.obs.telemetry_tick(now);
     }
 
     fn replicated(&mut self, work_units: u64) {
-        self.faults.tick_or_die();
+        self.tick_fault();
         self.obs.count_replicated(work_units);
         let s = self.cost.compute_s(work_units);
         let busy = vec![s; self.p];
@@ -312,11 +391,14 @@ impl ParEngine for SimEngine {
         self.close_phase();
         self.current_phase = Some(name.to_string());
         self.obs.begin_phase(name, self.sim_now);
+        let now = self.sim_now;
+        self.obs.telemetry_tick(now);
     }
 
     fn report(&mut self) -> RunReport {
         self.close_phase();
         self.obs.finish(self.sim_now);
+        hooks::clear_thread_hooks();
         RunReport {
             nranks: self.p,
             phases: std::mem::take(&mut self.phases),
@@ -329,6 +411,10 @@ impl ParEngine for SimEngine {
 
     fn obs_mut(&mut self) -> &mut Recorder {
         &mut self.obs
+    }
+
+    fn death_stash(&self) -> SnapshotStash {
+        self.stash.clone()
     }
 
     fn now_s(&self) -> f64 {
@@ -511,6 +597,40 @@ mod tests {
         let busy_max = span.busy_s.iter().copied().fold(0.0, f64::max);
         assert!((busy_max - r.phases[0].busy_max_s).abs() < 1e-12);
         assert_eq!(span.busy_s.len(), 4);
+    }
+
+    #[test]
+    fn comm_matrix_matches_msg_engine_per_phase() {
+        // The tentpole invariant: the sim engine's synthesized traffic
+        // matrix equals, per phase and per (src, dst) pair, the merged
+        // matrix of a real message-fabric run of the same program.
+        use crate::msg::spmd_run;
+        use mn_obs::CommMatrix;
+        for p in [1usize, 2, 3, 4, 7] {
+            let mut sim = SimEngine::new(p);
+            sim.begin_phase("a");
+            sim.dist_map(17, 1, &|i| (i as u64, 1));
+            sim.collective(Collective::AllReduce, 1);
+            sim.begin_phase("b");
+            sim.dist_map(9, 1, &|i| (i as u64, 1));
+            sim.report();
+            let sim_mat = sim.obs().comm_matrix().snapshot();
+
+            let rank_mats = spmd_run(p, |e| {
+                e.begin_phase("a");
+                e.dist_map(17, 1, &|i| (i as u64, 1));
+                e.collective(Collective::AllReduce, 1);
+                e.begin_phase("b");
+                e.dist_map(9, 1, &|i| (i as u64, 1));
+                e.report();
+                e.obs().comm_matrix().snapshot()
+            });
+            let msg_mat = CommMatrix::merged(&rank_mats).expect("aligned phases");
+            assert_eq!(sim_mat, msg_mat, "p={p}");
+            if p > 1 {
+                assert!(msg_mat.total_msgs() > 0, "p={p} recorded no traffic");
+            }
+        }
     }
 
     #[test]

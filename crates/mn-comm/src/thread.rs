@@ -15,11 +15,12 @@
 
 use crate::cost::Collective;
 use crate::engine::{Costed, ParEngine, SegmentBatchFn};
-use crate::fault::{FaultClock, FaultPlan};
+use crate::fault::{FaultAction, FaultClock, FaultPlan, InjectedCrash};
+use crate::hooks;
 use crate::metrics::{PhaseReport, RunReport};
 use crate::partition::block_range;
 use crate::segments::Segments;
-use mn_obs::Recorder;
+use mn_obs::{FlightEvent, Recorder, SnapshotStash};
 use parking_lot::Mutex;
 use std::time::Instant;
 
@@ -37,6 +38,9 @@ pub struct ThreadEngine {
     /// `dist_map*`/`collective`/`replicated` call is one event,
     /// attributed to rank 0 (the single-process convention).
     faults: FaultClock,
+    /// Last-snapshot stash filled just before an injected crash (the
+    /// handle is an `Arc`: clone it before `catch_unwind`).
+    stash: SnapshotStash,
 }
 
 impl ThreadEngine {
@@ -51,6 +55,7 @@ impl ThreadEngine {
             obs: Recorder::new(p),
             epoch: Instant::now(),
             faults: FaultClock::new(FaultPlan::new(), 0),
+            stash: SnapshotStash::new(),
         }
     }
 
@@ -65,6 +70,28 @@ impl ThreadEngine {
     /// Engine events counted so far (for choosing sweep fault points).
     pub fn fault_events(&self) -> u64 {
         self.faults.events()
+    }
+
+    /// Tick the fault clock; on a scheduled `Kill`, record the
+    /// injection, stash a final snapshot, and unwind with
+    /// [`InjectedCrash`]. `Delay`/`Drop` are fabric-level actions with
+    /// no shared-memory meaning and stay ignored.
+    fn tick_fault(&mut self) {
+        match self.faults.tick() {
+            Some(FaultAction::Kill) => {
+                let event = self.faults.events();
+                self.obs.flight_event(FlightEvent::FaultInjected {
+                    action: "kill".to_string(),
+                    event,
+                });
+                self.stash.store(self.obs.snapshot(self.now_s()));
+                std::panic::panic_any(InjectedCrash {
+                    rank: self.faults.rank(),
+                    event,
+                });
+            }
+            Some(FaultAction::Delay(_)) | Some(FaultAction::Drop) | None => {}
+        }
     }
 
     fn close_phase(&mut self) {
@@ -95,9 +122,12 @@ impl ParEngine for ThreadEngine {
         words_per_item: usize,
         f: &(dyn Fn(usize) -> Costed<T> + Sync),
     ) -> Vec<T> {
-        self.faults.tick_or_die();
+        self.tick_fault();
         self.obs.count_dist_map(n_items, words_per_item);
+        let now = self.now_s();
+        self.obs.telemetry_tick(now);
         if self.p == 1 || n_items <= 1 {
+            hooks::install_thread_hooks(self.obs.flight());
             let mut out = Vec::with_capacity(n_items);
             let start = Instant::now();
             for i in 0..n_items {
@@ -110,6 +140,7 @@ impl ParEngine for ThreadEngine {
         }
 
         let p = self.p;
+        let flight = self.obs.flight();
         let busy_acc: Mutex<Vec<f64>> = Mutex::new(vec![0.0; p]);
         let mut blocks: Vec<Vec<T>> = Vec::with_capacity(p);
         std::thread::scope(|scope| {
@@ -117,7 +148,9 @@ impl ParEngine for ThreadEngine {
             for r in 0..p {
                 let (lo, hi) = block_range(n_items, p, r);
                 let busy_acc = &busy_acc;
+                let flight = flight.clone();
                 handles.push(scope.spawn(move || {
+                    hooks::install_thread_hooks(flight);
                     let start = Instant::now();
                     let mut block = Vec::with_capacity(hi - lo);
                     for i in lo..hi {
@@ -147,9 +180,12 @@ impl ParEngine for ThreadEngine {
         f: SegmentBatchFn<'_, T>,
     ) -> Vec<T> {
         let n_items = segments.n_items();
-        self.faults.tick_or_die();
+        self.tick_fault();
         self.obs.count_dist_map(n_items, words_per_item);
+        let now = self.now_s();
+        self.obs.telemetry_tick(now);
         if self.p == 1 || n_items <= 1 {
+            hooks::install_thread_hooks(self.obs.flight());
             let start = Instant::now();
             let mut out = Vec::with_capacity(n_items);
             let mut buf: Vec<Costed<T>> = Vec::new();
@@ -164,6 +200,7 @@ impl ParEngine for ThreadEngine {
         }
 
         let p = self.p;
+        let flight = self.obs.flight();
         let busy_acc: Mutex<Vec<f64>> = Mutex::new(vec![0.0; p]);
         let mut blocks: Vec<Vec<T>> = Vec::with_capacity(p);
         std::thread::scope(|scope| {
@@ -174,7 +211,9 @@ impl ParEngine for ThreadEngine {
                 // handed the clipped sub-ranges.
                 let (lo, hi) = block_range(n_items, p, r);
                 let busy_acc = &busy_acc;
+                let flight = flight.clone();
                 handles.push(scope.spawn(move || {
+                    hooks::install_thread_hooks(flight);
                     let start = Instant::now();
                     let mut block = Vec::with_capacity(hi - lo);
                     let mut buf: Vec<Costed<T>> = Vec::new();
@@ -201,14 +240,16 @@ impl ParEngine for ThreadEngine {
     fn collective(&mut self, _op: Collective, words: usize) {
         // Shared memory: collectives are free, but the logical event
         // still counts (the counter contract is engine-independent).
-        self.faults.tick_or_die();
+        self.tick_fault();
         self.obs.count_collective(words);
+        let now = self.now_s();
+        self.obs.telemetry_tick(now);
     }
 
     fn replicated(&mut self, work_units: u64) {
         // Real engines do the replicated work inline in the caller;
         // only the logical units are counted.
-        self.faults.tick_or_die();
+        self.tick_fault();
         self.obs.count_replicated(work_units);
     }
 
@@ -217,12 +258,14 @@ impl ParEngine for ThreadEngine {
         self.current = Some((name.to_string(), Instant::now()));
         let now = self.now_s();
         self.obs.begin_phase(name, now);
+        self.obs.telemetry_tick(now);
     }
 
     fn report(&mut self) -> RunReport {
         self.close_phase();
         let now = self.now_s();
         self.obs.finish(now);
+        hooks::clear_thread_hooks();
         RunReport {
             nranks: self.p,
             phases: std::mem::take(&mut self.phases),
@@ -235,6 +278,10 @@ impl ParEngine for ThreadEngine {
 
     fn obs_mut(&mut self) -> &mut Recorder {
         &mut self.obs
+    }
+
+    fn death_stash(&self) -> SnapshotStash {
+        self.stash.clone()
     }
 
     fn now_s(&self) -> f64 {

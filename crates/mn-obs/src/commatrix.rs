@@ -1,0 +1,393 @@
+//! Per-phase src→dst communication matrix.
+//!
+//! The span tree answers *how long* ranks waited on communication; the
+//! matrix answers *who talked to whom, how much, per phase* — the
+//! traffic picture dynamic load balancing and the future TCP backend
+//! need. A [`CommMatrixHandle`] accumulates `(src, dst) → (messages,
+//! bytes)` into one [`PhaseTraffic`] per `begin_phase` call (phase
+//! instances are appended in call order, exactly like span records, so
+//! duplicate phase names stay distinct and rank merging aligns by
+//! index).
+//!
+//! Recording conventions:
+//!
+//! * The msg fabric records each message once, **at the sender**, with
+//!   the payload's shallow wire size. Merging the per-rank matrices
+//!   therefore sums disjoint rows into the full picture.
+//! * The sim engine *synthesizes* the exact same traffic its msg
+//!   counterpart would generate — the gather+broadcast of `dist_map`
+//!   and the reduce+broadcast barrier behind `collective` — using the
+//!   edge schedules below, which mirror `mn-comm`'s binomial-tree
+//!   collectives hop for hop. A merged msg matrix and a sim matrix for
+//!   the same run are equal, which the observability suite asserts.
+//! * Serial and threads engines move no messages; their matrices are
+//!   structurally present (one entry per phase) but all-zero.
+
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+/// The phase name traffic is charged to before the first
+/// `begin_phase` call (mirrors the recorder's root span).
+pub const ROOT_PHASE: &str = "run";
+
+/// Traffic accumulated during one phase instance: `p × p` counts in
+/// row-major `src * p + dst` order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseTraffic {
+    /// Phase name (span name of the phase; not unique — phases are
+    /// instances in call order).
+    pub phase: String,
+    /// Message counts, row-major `src * nranks + dst`.
+    pub msgs: Vec<u64>,
+    /// Shallow wire bytes, row-major `src * nranks + dst`.
+    pub bytes: Vec<u64>,
+}
+
+impl PhaseTraffic {
+    fn new(phase: &str, p: usize) -> Self {
+        Self {
+            phase: phase.to_string(),
+            msgs: vec![0; p * p],
+            bytes: vec![0; p * p],
+        }
+    }
+}
+
+/// A run's full communication matrix: one [`PhaseTraffic`] per phase
+/// instance, in `begin_phase` call order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommMatrix {
+    /// Rank count (matrix dimension).
+    pub nranks: usize,
+    /// Per-phase traffic, in phase call order (index 0 is the
+    /// pre-phase [`ROOT_PHASE`] bucket).
+    pub phases: Vec<PhaseTraffic>,
+}
+
+impl CommMatrix {
+    /// An empty matrix for `nranks` with only the root-phase bucket.
+    pub fn new(nranks: usize) -> Self {
+        let nranks = nranks.max(1);
+        Self {
+            nranks,
+            phases: vec![PhaseTraffic::new(ROOT_PHASE, nranks)],
+        }
+    }
+
+    /// Total messages across all phases and rank pairs.
+    pub fn total_msgs(&self) -> u64 {
+        self.phases.iter().flat_map(|t| &t.msgs).sum()
+    }
+
+    /// Total wire bytes across all phases and rank pairs.
+    pub fn total_bytes(&self) -> u64 {
+        self.phases.iter().flat_map(|t| &t.bytes).sum()
+    }
+
+    /// The first phase instance with the given name, if any.
+    pub fn phase(&self, name: &str) -> Option<&PhaseTraffic> {
+        self.phases.iter().find(|t| t.phase == name)
+    }
+
+    /// Elementwise sum of per-rank matrices (each message was recorded
+    /// once, at its sender, so the sum is the full traffic picture).
+    /// Phase lists must align by index and name — they do whenever the
+    /// ranks ran the same replicated control flow.
+    pub fn merged(mats: &[CommMatrix]) -> Result<CommMatrix, String> {
+        let mut iter = mats.iter();
+        let Some(first) = iter.next() else {
+            return Ok(CommMatrix::new(1));
+        };
+        let mut out = first.clone();
+        for (r, m) in iter.enumerate() {
+            if m.nranks != out.nranks {
+                return Err(format!(
+                    "comm matrix rank-count mismatch: {} vs {} (matrix {})",
+                    out.nranks,
+                    m.nranks,
+                    r + 1
+                ));
+            }
+            if m.phases.len() != out.phases.len() {
+                return Err(format!(
+                    "comm matrix phase-count mismatch: {} vs {} (matrix {})",
+                    out.phases.len(),
+                    m.phases.len(),
+                    r + 1
+                ));
+            }
+            for (i, (a, b)) in out.phases.iter_mut().zip(&m.phases).enumerate() {
+                if a.phase != b.phase {
+                    return Err(format!(
+                        "comm matrix phase {i} name mismatch: {:?} vs {:?} (matrix {})",
+                        a.phase,
+                        b.phase,
+                        r + 1
+                    ));
+                }
+                for (x, y) in a.msgs.iter_mut().zip(&b.msgs) {
+                    *x += y;
+                }
+                for (x, y) in a.bytes.iter_mut().zip(&b.bytes) {
+                    *x += y;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[derive(Debug)]
+struct State {
+    current: usize,
+    mat: CommMatrix,
+}
+
+/// Clonable handle to a run's (or one rank's) communication matrix.
+/// Fabric endpoints and the sim engine hold clones and record into the
+/// same accumulator the owning `Recorder` snapshots.
+#[derive(Debug, Clone)]
+pub struct CommMatrixHandle {
+    inner: Arc<Mutex<State>>,
+}
+
+impl CommMatrixHandle {
+    /// A fresh matrix for `nranks` positioned in the root phase.
+    pub fn new(nranks: usize) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(State {
+                current: 0,
+                mat: CommMatrix::new(nranks),
+            })),
+        }
+    }
+
+    /// Open a new phase instance (append-always, mirroring the span
+    /// recorder: a second phase with the same name is a new instance).
+    pub fn begin_phase(&self, name: &str) {
+        let mut state = self.inner.lock().unwrap();
+        let p = state.mat.nranks;
+        state.mat.phases.push(PhaseTraffic::new(name, p));
+        state.current = state.mat.phases.len() - 1;
+    }
+
+    /// Record one `src → dst` message of `bytes` shallow wire bytes
+    /// into the current phase.
+    pub fn record(&self, src: usize, dst: usize, bytes: u64) {
+        let mut state = self.inner.lock().unwrap();
+        let p = state.mat.nranks;
+        debug_assert!(src < p && dst < p, "rank out of range: {src}->{dst} of {p}");
+        let current = state.current;
+        let cell = src * p + dst;
+        let traffic = &mut state.mat.phases[current];
+        traffic.msgs[cell] += 1;
+        traffic.bytes[cell] += bytes;
+    }
+
+    /// Synthesize the traffic of one fabric `allreduce` (the schedule
+    /// behind `barrier`/`collective`): a binomial-tree reduce to rank
+    /// 0 followed by a binomial-tree broadcast, `bytes` per hop.
+    pub fn record_allreduce(&self, bytes: u64) {
+        let p = self.nranks();
+        for (src, dst) in allreduce_edges(p) {
+            self.record(src, dst, bytes);
+        }
+    }
+
+    /// Synthesize the traffic of one fabric `allgatherv` with
+    /// per-rank element counts `counts` and `esize` bytes per element:
+    /// ranks `1..p` send their slice to rank 0, which broadcasts the
+    /// concatenation. A single rank moves nothing (the fabric
+    /// short-circuits).
+    pub fn record_allgatherv(&self, counts: &[usize], esize: u64) {
+        let p = self.nranks();
+        debug_assert_eq!(counts.len(), p);
+        if p == 1 {
+            return;
+        }
+        for (src, &count) in counts.iter().enumerate().skip(1) {
+            self.record(src, 0, count as u64 * esize);
+        }
+        let total: usize = counts.iter().sum();
+        for (src, dst) in bcast_edges(p, 0) {
+            self.record(src, dst, total as u64 * esize);
+        }
+    }
+
+    /// The matrix dimension.
+    pub fn nranks(&self) -> usize {
+        self.inner.lock().unwrap().mat.nranks
+    }
+
+    /// A snapshot of the accumulated matrix.
+    pub fn snapshot(&self) -> CommMatrix {
+        self.inner.lock().unwrap().mat.clone()
+    }
+}
+
+/// The `(src, dst)` hops of a binomial-tree broadcast from `root` over
+/// `p` ranks — hop for hop the schedule of the msg fabric's `bcast`
+/// (MPICH-style: virtual rank `v` receives in the round of its lowest
+/// set bit, then forwards to `v + m` for each lower mask `m`).
+pub fn bcast_edges(p: usize, root: usize) -> Vec<(usize, usize)> {
+    let mut edges = Vec::new();
+    for v in 0..p {
+        let mut mask = 1usize;
+        while mask < p {
+            if v & mask != 0 {
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if v + mask < p {
+                edges.push(((v + root) % p, (v + mask + root) % p));
+            }
+            mask >>= 1;
+        }
+    }
+    edges
+}
+
+/// The `(src, dst)` hops of a mirror binomial-tree reduce to `root`
+/// over `p` ranks: every non-root virtual rank sends its partial to
+/// the partner below its lowest set bit, once.
+pub fn reduce_edges(p: usize, root: usize) -> Vec<(usize, usize)> {
+    (1..p)
+        .map(|v| {
+            let low = v & v.wrapping_neg();
+            ((v + root) % p, (v - low + root) % p)
+        })
+        .collect()
+}
+
+/// The hops of the fabric's `allreduce`: reduce to rank 0, then
+/// broadcast from rank 0.
+pub fn allreduce_edges(p: usize) -> Vec<(usize, usize)> {
+    let mut edges = reduce_edges(p, 0);
+    edges.extend(bcast_edges(p, 0));
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_edge_counts_are_p_minus_one() {
+        for p in 1..=9 {
+            for root in 0..p {
+                assert_eq!(bcast_edges(p, root).len(), p - 1, "bcast p={p} root={root}");
+                assert_eq!(reduce_edges(p, root).len(), p - 1, "reduce p={p} root={root}");
+            }
+            assert_eq!(allreduce_edges(p).len(), 2 * (p - 1), "allreduce p={p}");
+        }
+    }
+
+    #[test]
+    fn bcast_edges_span_all_ranks() {
+        // Every non-root rank is the destination of exactly one hop,
+        // and every hop's source already had the data (reachable from
+        // the root through earlier-listed hops or is the root).
+        for p in [2usize, 3, 5, 8, 9] {
+            for root in [0, p - 1] {
+                let edges = bcast_edges(p, root);
+                let mut have = vec![false; p];
+                have[root] = true;
+                for (src, dst) in edges {
+                    assert!(have[src], "p={p} root={root}: {src} sends before receiving");
+                    assert!(!have[dst], "p={p} root={root}: {dst} receives twice");
+                    have[dst] = true;
+                }
+                assert!(have.iter().all(|&h| h), "p={p} root={root}: not all reached");
+            }
+        }
+    }
+
+    #[test]
+    fn handle_accumulates_per_phase() {
+        let handle = CommMatrixHandle::new(3);
+        handle.record(1, 0, 100);
+        handle.begin_phase("ganesh");
+        handle.record(1, 0, 8);
+        handle.record(1, 0, 8);
+        handle.record(2, 0, 16);
+        handle.begin_phase("ganesh"); // same name: a new instance
+        handle.record(0, 2, 4);
+        let mat = handle.snapshot();
+        assert_eq!(mat.phases.len(), 3);
+        assert_eq!(mat.phases[0].phase, ROOT_PHASE);
+        assert_eq!(mat.phases[0].msgs[3], 1); // src 1 dst 0
+        assert_eq!(mat.phases[1].msgs[3], 2); // src 1 dst 0
+        assert_eq!(mat.phases[1].bytes[3], 16); // src 1 dst 0
+        assert_eq!(mat.phases[1].bytes[2 * 3], 16);
+        assert_eq!(mat.phases[2].msgs[2], 1); // src 0 dst 2
+        assert_eq!(mat.total_msgs(), 5);
+        assert_eq!(mat.total_bytes(), 136);
+    }
+
+    #[test]
+    fn allgatherv_synthesis_matches_gather_plus_bcast() {
+        let handle = CommMatrixHandle::new(4);
+        handle.record_allgatherv(&[3, 0, 2, 5], 8);
+        let mat = handle.snapshot();
+        let t = &mat.phases[0];
+        // Gather sends: ranks 1..4 each send once to rank 0.
+        assert_eq!(t.msgs[4], 1); // 1 -> 0
+        assert_eq!(t.bytes[4], 0);
+        assert_eq!(t.bytes[2 * 4], 16);
+        assert_eq!(t.bytes[3 * 4], 40);
+        // Broadcast: 3 hops of the full 10-element payload.
+        assert_eq!(mat.total_msgs(), 3 + 3);
+        assert_eq!(mat.total_bytes(), 16 + 40 + 3 * 80); // rank 1's gather leg is empty
+        // Single rank: no traffic at all.
+        let solo = CommMatrixHandle::new(1);
+        solo.record_allgatherv(&[7], 8);
+        assert_eq!(solo.snapshot().total_msgs(), 0);
+    }
+
+    #[test]
+    fn merged_sums_disjoint_sender_rows() {
+        let p = 3;
+        let mk = |rank: usize| {
+            let handle = CommMatrixHandle::new(p);
+            handle.begin_phase("work");
+            // Each rank records only its own outgoing row.
+            for (src, dst) in allreduce_edges(p) {
+                if src == rank {
+                    handle.record(src, dst, 8);
+                }
+            }
+            handle.snapshot()
+        };
+        let per_rank: Vec<CommMatrix> = (0..p).map(mk).collect();
+        let merged = CommMatrix::merged(&per_rank).unwrap();
+        let whole = CommMatrixHandle::new(p);
+        whole.begin_phase("work");
+        whole.record_allreduce(8);
+        assert_eq!(merged, whole.snapshot());
+    }
+
+    #[test]
+    fn merged_rejects_phase_misalignment() {
+        let a = CommMatrixHandle::new(2);
+        a.begin_phase("ganesh");
+        let b = CommMatrixHandle::new(2);
+        b.begin_phase("modules");
+        let err = CommMatrix::merged(&[a.snapshot(), b.snapshot()]).unwrap_err();
+        assert!(err.contains("name mismatch"), "{err}");
+    }
+
+    #[test]
+    fn matrix_roundtrips_through_json() {
+        let handle = CommMatrixHandle::new(2);
+        handle.begin_phase("ganesh");
+        handle.record(0, 1, 42);
+        let mat = handle.snapshot();
+        let text = serde_json::to_string(&mat).unwrap();
+        let back: CommMatrix = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, mat);
+    }
+}

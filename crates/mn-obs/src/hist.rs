@@ -63,6 +63,49 @@ impl Histogram {
         }
     }
 
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) in seconds from the
+    /// log₂ buckets: find the bucket holding the `⌈q·count⌉`-th
+    /// duration and interpolate linearly inside its `[2^i, 2^{i+1})` µs
+    /// range (bucket 0 interpolates from 0). The estimate is clamped to
+    /// the observed maximum, so `percentile_s(1.0) == max_s`.
+    pub fn percentile_s(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                // Position of the target inside this bucket, in (0, 1].
+                let frac = (target - seen) as f64 / c as f64;
+                let lo_us = if i == 0 { 0.0 } else { (1u64 << i) as f64 };
+                let hi_us = (1u64 << (i + 1)) as f64;
+                let est_s = (lo_us + frac * (hi_us - lo_us)) * 1e-6;
+                return est_s.min(self.max_s);
+            }
+            seen += c;
+        }
+        self.max_s
+    }
+
+    /// Median duration estimate, seconds.
+    pub fn p50_s(&self) -> f64 {
+        self.percentile_s(0.50)
+    }
+
+    /// 95th-percentile duration estimate, seconds.
+    pub fn p95_s(&self) -> f64 {
+        self.percentile_s(0.95)
+    }
+
+    /// 99th-percentile duration estimate, seconds.
+    pub fn p99_s(&self) -> f64 {
+        self.percentile_s(0.99)
+    }
+
     /// Merge another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         self.count += other.count;
@@ -117,5 +160,38 @@ mod tests {
     #[test]
     fn empty_mean_is_zero() {
         assert_eq!(Histogram::default().mean_s(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_bracket_the_data() {
+        let mut h = Histogram::default();
+        // 90 fast durations (~3 µs, bucket 1) and 10 slow (~1 ms).
+        for _ in 0..90 {
+            h.record(3e-6);
+        }
+        for _ in 0..10 {
+            h.record(1e-3);
+        }
+        // p50 lands in the fast bucket [2, 4) µs.
+        let p50 = h.p50_s();
+        assert!((2e-6..4e-6).contains(&p50), "p50 = {p50}");
+        // p95 and p99 land in the slow bucket [512, 1024) µs, clamped
+        // to the observed max.
+        for q in [h.p95_s(), h.p99_s()] {
+            assert!((512e-6..=1e-3).contains(&q), "tail = {q}");
+        }
+        assert_eq!(h.percentile_s(1.0), h.max_s);
+        assert!(h.p50_s() <= h.p95_s() && h.p95_s() <= h.p99_s());
+    }
+
+    #[test]
+    fn percentiles_of_empty_and_single() {
+        assert_eq!(Histogram::default().p99_s(), 0.0);
+        let mut h = Histogram::default();
+        h.record(5e-6);
+        // Every quantile of a single observation is that observation
+        // (clamped to max).
+        assert_eq!(h.p50_s(), 5e-6);
+        assert_eq!(h.p99_s(), 5e-6);
     }
 }

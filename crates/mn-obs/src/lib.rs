@@ -22,7 +22,19 @@
 //!   cheap cross-engine equivalence check that the integration tests
 //!   assert on.
 //! * **Timing histograms** ([`Histogram`]): log₂-bucketed span
-//!   durations, cheap enough to stay always-on.
+//!   durations with p50/p95/p99 estimators, cheap enough to stay
+//!   always-on.
+//! * **Flight recorder** ([`flightrec`]): an always-on, bounded-memory
+//!   ring of compact per-rank events (span enter/exit, send/recv,
+//!   checkpoint units, fault injections, RNG jumps) dumped as
+//!   `flightrec-rank<k>.jsonl` when a run fails — the black box for
+//!   post-mortem debugging of rank deaths.
+//! * **Communication matrix** ([`commatrix`]): per-phase src→dst
+//!   message and byte counts, recorded at the sender inside the msg
+//!   fabric and synthesized identically by the sim engine.
+//! * **Live telemetry** ([`snapshot`]): versioned JSONL snapshot
+//!   deltas with heartbeats ([`TelemetrySink`]), the streaming surface
+//!   a future `monet-serve` will put on the wire.
 //! * **Artifact export** ([`trace`]): a chrome://tracing JSON timeline
 //!   with one track per rank, and a serializable [`ObsSnapshot`] that
 //!   the `monet` CLI embeds into `RUN_METRICS.json`.
@@ -48,13 +60,21 @@
 
 #![warn(missing_docs)]
 
+pub mod commatrix;
 pub mod counters;
+pub mod flightrec;
 pub mod hist;
 pub mod recorder;
 pub mod sink;
+pub mod snapshot;
 pub mod trace;
 
+pub use commatrix::{CommMatrix, CommMatrixHandle};
+pub use flightrec::{FlightEvent, FlightRec};
 pub use hist::Histogram;
-pub use recorder::{merge_ranks, ObsSnapshot, Recorder, SpanAgg, SpanRecord};
+pub use recorder::{merge_ranks, MergeError, ObsSnapshot, Recorder, SpanAgg, SpanRecord};
 pub use sink::{is_quiet, set_quiet};
+pub use snapshot::{
+    SnapshotStash, TelemetryHandle, TelemetrySink, TelemetryStream, TELEMETRY_SCHEMA_VERSION,
+};
 pub use trace::chrome_trace_json;

@@ -13,11 +13,15 @@
 //! shape, which is what makes the chrome-trace export engine-agnostic.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+use crate::commatrix::{CommMatrix, CommMatrixHandle};
+use crate::flightrec::{FlightEvent, FlightRec};
 use crate::hist::Histogram;
 use crate::sink;
+use crate::snapshot::TelemetryHandle;
 
 /// The conventional name of the root span every [`Recorder`] opens.
 pub const ROOT_SPAN: &str = "run";
@@ -73,8 +77,18 @@ impl OpenSpan {
     }
 }
 
+/// Telemetry push state: the sink's sender half plus the wall-clock
+/// rate limiter (wall clock even under sim, whose `now_s` is virtual —
+/// cadence is about the observer, not the simulated run).
+#[derive(Debug, Clone)]
+struct Telemetry {
+    handle: TelemetryHandle,
+    last_push: Option<Instant>,
+}
+
 /// The per-engine (or, under SPMD, per-rank) observability state:
-/// span stack, closed-span log, counters, and timing histograms.
+/// span stack, closed-span log, counters, timing histograms, flight
+/// recorder, and communication matrix.
 #[derive(Debug, Clone)]
 pub struct Recorder {
     nranks: usize,
@@ -83,32 +97,49 @@ pub struct Recorder {
     spans: Vec<SpanRecord>,
     counters: BTreeMap<String, u64>,
     hists: BTreeMap<String, Histogram>,
+    flight: FlightRec,
+    comm: CommMatrixHandle,
+    telemetry: Option<Telemetry>,
 }
 
 impl Recorder {
-    /// A recorder for an engine that observes all `nranks` ranks at
-    /// once (serial, thread, sim). Opens the root `"run"` span at
-    /// time 0.
-    pub fn new(nranks: usize) -> Self {
+    fn build(nranks: usize, rank: Option<usize>, flight: Option<FlightRec>) -> Self {
+        let nranks = nranks.max(1);
         let mut r = Self {
-            nranks: nranks.max(1),
-            rank: None,
+            nranks,
+            rank,
             stack: Vec::new(),
             spans: Vec::new(),
             counters: BTreeMap::new(),
             hists: BTreeMap::new(),
+            flight: flight.unwrap_or_else(|| FlightRec::new(nranks, rank.unwrap_or(0))),
+            comm: CommMatrixHandle::new(nranks),
+            telemetry: None,
         };
         r.push_span(ROOT_SPAN, 0.0);
         r
+    }
+
+    /// A recorder for an engine that observes all `nranks` ranks at
+    /// once (serial, thread, sim). Opens the root `"run"` span at
+    /// time 0.
+    pub fn new(nranks: usize) -> Self {
+        Self::build(nranks, None, None)
     }
 
     /// A recorder owned by one rank of an SPMD program. Busy charges
     /// from this rank land in slot `rank`; [`merge_ranks`] later
     /// combines the per-rank recorders into one snapshot.
     pub fn for_rank(nranks: usize, rank: usize) -> Self {
-        let mut r = Self::new(nranks);
-        r.rank = Some(rank);
-        r
+        Self::build(nranks, Some(rank), None)
+    }
+
+    /// Like [`Recorder::for_rank`], but recording flight events into a
+    /// caller-supplied black box — the launch harness keeps a clone of
+    /// `flight` outside the rank's unwind path so it can dump the
+    /// record after the rank dies.
+    pub fn for_rank_with_flight(nranks: usize, rank: usize, flight: FlightRec) -> Self {
+        Self::build(nranks, Some(rank), Some(flight))
     }
 
     /// Number of ranks this recorder attributes busy time across.
@@ -121,11 +152,31 @@ impl Recorder {
         self.rank
     }
 
+    /// A handle to this recorder's flight recorder (clones share the
+    /// same ring buffers).
+    pub fn flight(&self) -> FlightRec {
+        self.flight.clone()
+    }
+
+    /// A handle to this recorder's communication matrix. Fabric
+    /// endpoints attach a clone so sends land in the right phase.
+    pub fn comm_matrix(&self) -> CommMatrixHandle {
+        self.comm.clone()
+    }
+
+    /// Record a flight-recorder event on behalf of the engine (fault
+    /// injections, communication failures).
+    pub fn flight_event(&self, event: FlightEvent) {
+        self.flight.record(event);
+    }
+
     fn push_span(&mut self, name: &str, now_s: f64) {
         let (path, depth) = match self.stack.last() {
             Some(parent) => (format!("{}/{}", parent.path, name), parent.depth + 1),
             None => (name.to_string(), 0),
         };
+        self.flight
+            .record(FlightEvent::SpanEnter { path: path.clone() });
         self.stack.push(OpenSpan {
             name: name.to_string(),
             path,
@@ -139,6 +190,9 @@ impl Recorder {
     fn pop_span(&mut self, now_s: f64) {
         if let Some(span) = self.stack.pop() {
             let record = span.close(now_s);
+            self.flight.record(FlightEvent::SpanExit {
+                path: record.path.clone(),
+            });
             self.hists
                 .entry(record.name.clone())
                 .or_default()
@@ -161,19 +215,55 @@ impl Recorder {
     }
 
     /// Close any open phase (and its descendants) and open a new
-    /// depth-1 span named `name` under the root.
+    /// depth-1 span named `name` under the root. The communication
+    /// matrix opens a matching phase bucket.
     pub fn begin_phase(&mut self, name: &str, now_s: f64) {
         while self.stack.len() > 1 {
             self.pop_span(now_s);
         }
         self.push_span(name, now_s);
+        self.comm.begin_phase(name);
     }
 
-    /// Close every open span, root included.
+    /// Close every open span, root included, and push a final
+    /// telemetry snapshot if a sink is attached.
     pub fn finish(&mut self, now_s: f64) {
         while !self.stack.is_empty() {
             self.pop_span(now_s);
         }
+        self.telemetry_flush(now_s);
+    }
+
+    /// Attach a telemetry sink: [`Recorder::telemetry_tick`] starts
+    /// pushing rate-limited snapshots through `handle`.
+    pub fn set_telemetry(&mut self, handle: TelemetryHandle) {
+        self.telemetry = Some(Telemetry {
+            handle,
+            last_push: None,
+        });
+    }
+
+    /// Push a telemetry snapshot if one is due (at most one per the
+    /// sink's configured interval). Engines call this from their
+    /// replicated entry points; it is a cheap clock check when no sink
+    /// is attached or the interval has not elapsed.
+    pub fn telemetry_tick(&mut self, now_s: f64) {
+        let Some(tel) = &self.telemetry else { return };
+        let due = match tel.last_push {
+            None => true,
+            Some(last) => last.elapsed() >= tel.handle.interval(),
+        };
+        if due {
+            self.telemetry_flush(now_s);
+        }
+    }
+
+    /// Push a telemetry snapshot unconditionally (run end, death).
+    pub fn telemetry_flush(&mut self, now_s: f64) {
+        let Some(tel) = &mut self.telemetry else { return };
+        tel.last_push = Some(Instant::now());
+        let handle = tel.handle.clone();
+        handle.push(self.snapshot(now_s), now_s);
     }
 
     /// Charge per-rank busy seconds to every open span.
@@ -270,6 +360,7 @@ impl Recorder {
             spans,
             counters: self.counters.clone(),
             histograms: hists,
+            comm: self.comm.snapshot(),
         }
     }
 }
@@ -287,6 +378,9 @@ pub struct ObsSnapshot {
     pub counters: BTreeMap<String, u64>,
     /// Span-duration histograms, keyed by span *name* (not path).
     pub histograms: BTreeMap<String, Histogram>,
+    /// Per-phase src→dst communication matrix. Under SPMD each rank's
+    /// snapshot holds its own sender rows; [`merge_ranks`] sums them.
+    pub comm: CommMatrix,
 }
 
 /// Per-path aggregate over all spans sharing that path: totals plus
@@ -307,6 +401,13 @@ pub struct SpanAgg {
     pub comm_s: f64,
     /// `(busy_max − busy_avg)/busy_avg`, 0 when idle.
     pub imbalance: f64,
+    /// Median span duration, from the span-name histogram (shared by
+    /// all paths ending in the same name).
+    pub p50_s: f64,
+    /// 95th-percentile span duration, from the span-name histogram.
+    pub p95_s: f64,
+    /// 99th-percentile span duration, from the span-name histogram.
+    pub p99_s: f64,
 }
 
 impl ObsSnapshot {
@@ -334,6 +435,8 @@ impl ObsSnapshot {
                 } else {
                     0.0
                 };
+                let name = path.rsplit('/').next().unwrap_or(path);
+                let hist = self.histograms.get(name);
                 SpanAgg {
                     path: path.to_string(),
                     count,
@@ -342,40 +445,161 @@ impl ObsSnapshot {
                     busy_avg_s,
                     comm_s,
                     imbalance,
+                    p50_s: hist.map_or(0.0, Histogram::p50_s),
+                    p95_s: hist.map_or(0.0, Histogram::p95_s),
+                    p99_s: hist.map_or(0.0, Histogram::p99_s),
                 }
             })
             .collect()
     }
 }
 
+/// Why [`merge_ranks`] refused to combine per-rank snapshots, carrying
+/// the *first* divergence so the operator can see exactly which
+/// counter or span broke the replicated-control-flow contract on which
+/// rank.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeError {
+    /// No snapshots were supplied.
+    NoSnapshots,
+    /// A counter differs between rank 0 and `rank`. A divergence here
+    /// means a counter was incremented from partition-dependent code.
+    CounterDivergence {
+        /// The diverging rank.
+        rank: usize,
+        /// First diverging counter name (in sorted counter order).
+        counter: String,
+        /// Rank 0's value (`None` if rank 0 never incremented it).
+        rank0: Option<u64>,
+        /// The diverging rank's value (`None` if never incremented).
+        other: Option<u64>,
+    },
+    /// The span logs have different lengths.
+    SpanLogLength {
+        /// The diverging rank.
+        rank: usize,
+        /// Rank 0's span count.
+        rank0: usize,
+        /// The diverging rank's span count.
+        other: usize,
+    },
+    /// The span logs disagree on a span path.
+    SpanPathDivergence {
+        /// The diverging rank.
+        rank: usize,
+        /// Index of the first diverging span in the span log.
+        index: usize,
+        /// Rank 0's span path at that index.
+        rank0: String,
+        /// The diverging rank's span path at that index.
+        other: String,
+    },
+    /// The per-rank communication matrices cannot be summed (phase
+    /// lists misaligned).
+    CommMatrix(
+        /// Description of the misalignment.
+        String,
+    ),
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::NoSnapshots => write!(f, "merge_ranks: no snapshots"),
+            MergeError::CounterDivergence {
+                rank,
+                counter,
+                rank0,
+                other,
+            } => write!(
+                f,
+                "counter divergence between rank 0 and rank {rank}: \
+                 counter {counter:?} is {rank0:?} on rank 0 but {other:?} on rank {rank}"
+            ),
+            MergeError::SpanLogLength { rank, rank0, other } => write!(
+                f,
+                "span-log length divergence between rank 0 and rank {rank}: \
+                 {rank0} spans vs {other}"
+            ),
+            MergeError::SpanPathDivergence {
+                rank,
+                index,
+                rank0,
+                other,
+            } => write!(
+                f,
+                "span-log path divergence between rank 0 and rank {rank} \
+                 at span {index}: {rank0:?} vs {other:?}"
+            ),
+            MergeError::CommMatrix(detail) => {
+                write!(f, "communication-matrix divergence: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// First key at which two counter maps differ, walking the union of
+/// keys in sorted order.
+fn first_counter_divergence(
+    a: &BTreeMap<String, u64>,
+    b: &BTreeMap<String, u64>,
+) -> Option<(String, Option<u64>, Option<u64>)> {
+    a.iter()
+        .map(|(k, v)| (k, Some(*v), b.get(k).copied()))
+        .chain(
+            b.iter()
+                .filter(|(k, _)| !a.contains_key(*k))
+                .map(|(k, v)| (k, None, Some(*v))),
+        )
+        .filter(|(_, va, vb)| va != vb)
+        .min_by(|(ka, ..), (kb, ..)| ka.cmp(kb))
+        .map(|(k, va, vb)| (k.clone(), va, vb))
+}
+
 /// Combine per-rank SPMD snapshots into one. All ranks run the same
 /// program, so their span logs must align span-for-span; per-rank busy
 /// vectors are summed elementwise (each rank only fills its own slot),
-/// span windows take the min start / max end across ranks, and comm
-/// takes the per-span max (ranks overlap inside the same collective).
+/// span windows take the min start / max end across ranks, comm
+/// seconds take the per-span max (ranks overlap inside the same
+/// collective), and communication matrices sum elementwise (each rank
+/// recorded only its own sender rows).
 ///
 /// Counters are part of the determinism contract: they must be
-/// identical on every rank, and this function panics if they are not —
-/// a divergence here means a counter was incremented from
-/// partition-dependent code.
-pub fn merge_ranks(snapshots: &[ObsSnapshot]) -> ObsSnapshot {
-    assert!(!snapshots.is_empty(), "merge_ranks: no snapshots");
-    let mut merged = snapshots[0].clone();
+/// identical on every rank, and any divergence is returned as a typed
+/// [`MergeError`] carrying the first differing counter or span so the
+/// CLI can surface it as a nonzero exit instead of a panic.
+pub fn merge_ranks(snapshots: &[ObsSnapshot]) -> Result<ObsSnapshot, MergeError> {
+    let mut merged = snapshots.first().cloned().ok_or(MergeError::NoSnapshots)?;
     for (r, snap) in snapshots.iter().enumerate().skip(1) {
-        assert_eq!(
-            snap.counters, merged.counters,
-            "counter divergence between rank 0 and rank {r}"
-        );
-        assert_eq!(
-            snap.spans.len(),
-            merged.spans.len(),
-            "span-log length divergence between rank 0 and rank {r}"
-        );
-        for (m, s) in merged.spans.iter_mut().zip(&snap.spans) {
-            assert_eq!(
-                m.path, s.path,
-                "span-log path divergence between rank 0 and rank {r}"
-            );
+        if snap.counters != merged.counters {
+            let (counter, rank0, other) =
+                first_counter_divergence(&snapshots[0].counters, &snap.counters)
+                    .expect("maps differ, so a first divergence exists");
+            return Err(MergeError::CounterDivergence {
+                rank: r,
+                counter,
+                rank0,
+                other,
+            });
+        }
+        if snap.spans.len() != merged.spans.len() {
+            return Err(MergeError::SpanLogLength {
+                rank: r,
+                rank0: merged.spans.len(),
+                other: snap.spans.len(),
+            });
+        }
+        for (index, (m, s)) in merged.spans.iter_mut().zip(&snap.spans).enumerate() {
+            if m.path != s.path {
+                return Err(MergeError::SpanPathDivergence {
+                    rank: r,
+                    index,
+                    rank0: m.path.clone(),
+                    other: s.path.clone(),
+                });
+            }
             m.start_s = m.start_s.min(s.start_s);
             m.end_s = m.end_s.max(s.end_s);
             m.comm_s = m.comm_s.max(s.comm_s);
@@ -384,7 +608,11 @@ pub fn merge_ranks(snapshots: &[ObsSnapshot]) -> ObsSnapshot {
             }
         }
     }
-    merged
+    merged.comm = CommMatrix::merged(
+        &snapshots.iter().map(|s| s.comm.clone()).collect::<Vec<_>>(),
+    )
+    .map_err(MergeError::CommMatrix)?;
+    Ok(merged)
 }
 
 #[cfg(test)]
@@ -500,7 +728,7 @@ mod tests {
             rec.finish(1.0 + rank as f64);
             rec.snapshot(1.0 + rank as f64)
         };
-        let merged = merge_ranks(&[mk(0, 2.0), mk(1, 5.0)]);
+        let merged = merge_ranks(&[mk(0, 2.0), mk(1, 5.0)]).unwrap();
         let p = &merged.spans[0];
         assert_eq!(p.path, "run/p");
         assert_eq!(p.busy_s, vec![2.0, 5.0]);
@@ -510,15 +738,136 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "counter divergence")]
-    fn merge_ranks_panics_on_counter_divergence() {
+    fn merge_ranks_reports_first_counter_divergence() {
         let mk = |n: u64| {
             let mut rec = Recorder::for_rank(2, 0);
             rec.incr(counters::GIBBS_SWEEPS, n);
+            // A counter that agrees, sorting *before* the diverging
+            // one, must not be reported.
+            rec.incr("a.same", 7);
             rec.finish(1.0);
             rec.snapshot(1.0)
         };
-        merge_ranks(&[mk(1), mk(2)]);
+        let err = merge_ranks(&[mk(1), mk(2)]).unwrap_err();
+        assert_eq!(
+            err,
+            MergeError::CounterDivergence {
+                rank: 1,
+                counter: counters::GIBBS_SWEEPS.to_string(),
+                rank0: Some(1),
+                other: Some(2),
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("rank 1"), "{msg}");
+        assert!(msg.contains(counters::GIBBS_SWEEPS), "{msg}");
+    }
+
+    #[test]
+    fn merge_ranks_reports_missing_counter_and_span_divergence() {
+        let base = |extra: bool| {
+            let mut rec = Recorder::for_rank(2, 0);
+            if extra {
+                rec.incr("z.only", 1);
+            }
+            rec.finish(1.0);
+            rec.snapshot(1.0)
+        };
+        let err = merge_ranks(&[base(true), base(false)]).unwrap_err();
+        assert_eq!(
+            err,
+            MergeError::CounterDivergence {
+                rank: 1,
+                counter: "z.only".into(),
+                rank0: Some(1),
+                other: None,
+            }
+        );
+
+        let spanned = |name: &str| {
+            let mut rec = Recorder::for_rank(2, 0);
+            rec.begin_phase(name, 0.0);
+            rec.finish(1.0);
+            rec.snapshot(1.0)
+        };
+        let err = merge_ranks(&[spanned("a"), spanned("b")]).unwrap_err();
+        assert_eq!(
+            err,
+            MergeError::SpanPathDivergence {
+                rank: 1,
+                index: 0,
+                rank0: "run/a".into(),
+                other: "run/b".into(),
+            }
+        );
+        assert_eq!(merge_ranks(&[]).unwrap_err(), MergeError::NoSnapshots);
+    }
+
+    #[test]
+    fn merge_ranks_sums_comm_matrices() {
+        let mk = |rank: usize| {
+            let mut rec = Recorder::for_rank(2, rank);
+            rec.begin_phase("p", 0.0);
+            rec.comm_matrix().record(rank, 1 - rank, 10);
+            rec.finish(1.0);
+            rec.snapshot(1.0)
+        };
+        let merged = merge_ranks(&[mk(0), mk(1)]).unwrap();
+        assert_eq!(merged.comm.total_msgs(), 2);
+        assert_eq!(merged.comm.total_bytes(), 20);
+        let phase = merged.comm.phase("p").unwrap();
+        assert_eq!(phase.msgs, vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn span_flow_records_deterministic_flight_events() {
+        use crate::flightrec::FlightEvent;
+        let mut rec = Recorder::new(1);
+        rec.begin_phase("p", 0.0);
+        rec.span_enter("inner", 0.0);
+        rec.span_exit(1.0);
+        rec.finish(2.0);
+        let events: Vec<FlightEvent> = rec
+            .flight()
+            .det_events()
+            .into_iter()
+            .map(|r| r.event)
+            .collect();
+        assert_eq!(
+            events,
+            vec![
+                FlightEvent::SpanEnter { path: "run".into() },
+                FlightEvent::SpanEnter {
+                    path: "run/p".into()
+                },
+                FlightEvent::SpanEnter {
+                    path: "run/p/inner".into()
+                },
+                FlightEvent::SpanExit {
+                    path: "run/p/inner".into()
+                },
+                FlightEvent::SpanExit {
+                    path: "run/p".into()
+                },
+                FlightEvent::SpanExit { path: "run".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn aggregates_carry_histogram_percentiles() {
+        let mut rec = Recorder::new(1);
+        for i in 0..4 {
+            rec.begin_phase("p", i as f64);
+        }
+        rec.finish(4.0);
+        let aggs = rec.snapshot(4.0).aggregate_spans();
+        let p = aggs.iter().find(|a| a.path == "run/p").unwrap();
+        // Four 1 s instances: every percentile estimates ~1 s (clamped
+        // to the observed max).
+        assert!(p.p50_s > 0.0);
+        assert!(p.p50_s <= p.p95_s && p.p95_s <= p.p99_s);
+        assert!(p.p99_s <= rec.snapshot(4.0).histograms["p"].max_s + 1e-12);
     }
 
     #[test]

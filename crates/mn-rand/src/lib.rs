@@ -22,10 +22,13 @@
 //!   data generator.
 //! * [`splitmix`] — seed derivation + an independent O(1)-jump LCG used
 //!   to cross-check the block-splitting contract.
+//! * [`observe`] — thread-local jump-observation hook for the flight
+//!   recorder (no `mn-obs` dependency; engines install the bridge).
 
 #![warn(missing_docs)]
 
 pub mod distributions;
+pub mod observe;
 pub mod sampling;
 pub mod splitmix;
 pub mod stream;

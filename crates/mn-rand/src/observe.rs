@@ -1,0 +1,60 @@
+//! Observation hook for O(1) stream jumps.
+//!
+//! The deterministic-stream contract (§4.2) makes jump positions part
+//! of a run's identity: a rank that jumps to the wrong draw produces a
+//! different network. The flight recorder in `mn-obs` therefore wants
+//! to see every jump — but `mn-rand` must not depend on `mn-obs`, and
+//! jump sites sit deep inside partitioned loops with no recorder in
+//! scope. The bridge is a thread-local function pointer: engines
+//! install an observer on each compute thread, and the jump primitives
+//! call [`note_jump`]. No observer installed means a single
+//! thread-local read per jump — effectively free.
+
+use std::cell::Cell;
+
+/// An installed jump observer: receives the logical draw position (for
+/// absolute seeks) or jump length (for relative jumps).
+pub type JumpObserver = fn(u64);
+
+thread_local! {
+    static OBSERVER: Cell<Option<JumpObserver>> = const { Cell::new(None) };
+}
+
+/// Install (or clear, with `None`) this thread's jump observer.
+pub fn set_jump_observer(observer: Option<JumpObserver>) {
+    OBSERVER.with(|slot| slot.set(observer));
+}
+
+/// Report one O(1) jump to this thread's observer, if any.
+#[inline]
+pub fn note_jump(draw: u64) {
+    OBSERVER.with(|slot| {
+        if let Some(observer) = slot.get() {
+            observer(draw);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static SEEN: AtomicU64 = AtomicU64::new(0);
+
+    fn capture(draw: u64) {
+        SEEN.store(draw + 1, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn observer_sees_jumps_only_while_installed() {
+        note_jump(7); // no observer: ignored
+        assert_eq!(SEEN.load(Ordering::SeqCst), 0);
+        set_jump_observer(Some(capture));
+        note_jump(41);
+        assert_eq!(SEEN.load(Ordering::SeqCst), 42);
+        set_jump_observer(None);
+        note_jump(7);
+        assert_eq!(SEEN.load(Ordering::SeqCst), 42);
+    }
+}

@@ -139,6 +139,7 @@ impl Lcg128 {
     /// applying `x -> a x + c` n times equals `x -> a^n x + c (a^n - 1)/(a - 1)`,
     /// computed by binary decomposition without division.
     pub fn jump(&mut self, mut n: u64) {
+        crate::observe::note_jump(n);
         // Running composition g(x) = cur_a * x + cur_c.
         let mut cur_a: u128 = 1;
         let mut cur_c: u128 = 0;

@@ -196,6 +196,7 @@ impl Stream {
     /// O(1): seeks the ChaCha counter. Draw numbering counts 64-bit
     /// outputs from stream construction.
     pub fn jump_to_draw(&mut self, i: u64) {
+        crate::observe::note_jump(i);
         // ChaCha word position is counted in 32-bit words; one u64 draw
         // consumes two words.
         self.rng.set_word_pos((i as u128) * 2);

@@ -10,6 +10,8 @@
 //!       [--trace trace.json] [--metrics-out metrics.json]
 //!       [--checkpoint-dir dir] [--resume] [--force-restart]
 //!       [--fault spec] [--comm-timeout-ms T]
+//!       [--telemetry-out path|-] [--telemetry-interval-ms T]
+//!       [--flightrec-dir dir]
 //!       [--dag] [--quiet]
 //! monet --synthetic n,m [--engine ...]   # demo without an input file
 //! ```
@@ -33,12 +35,26 @@
 //! fault-aborted run exits with code 3. `--comm-timeout-ms` bounds
 //! every fabric receive on the msg engine so dropped messages surface
 //! as timeouts instead of hangs.
+//!
+//! `--telemetry-out` streams live run telemetry as versioned JSONL
+//! (DESIGN.md §13): a full snapshot line, then deltas, with heartbeat
+//! lines while the run is between snapshots; `-` streams to stdout.
+//! `--telemetry-interval-ms` sets both the snapshot rate limit and the
+//! heartbeat cadence (default 1000).
+//!
+//! The flight recorder is always on: every rank keeps a bounded ring
+//! of compact events (spans, sends/receives, checkpoint units, fault
+//! injections, RNG jumps). A failed run dumps one
+//! `flightrec-rank<k>.jsonl` per rank into `--flightrec-dir` (default
+//! `.`); passing the flag explicitly also dumps after successful runs.
 
 use mn_comm::{
-    silence_injected_panics, spmd_run_faulty, CommError, EngineSpec, FaultAbort, FaultPlan,
-    InjectedCrash, ObsSnapshot, ParEngine, RunReport, SerialEngine, SimEngine, ThreadEngine,
+    silence_injected_panics, spmd_run_faulty_recorded, CommError, EngineSpec, FaultAbort,
+    FaultPlan, InjectedCrash, ObsSnapshot, ParEngine, RunReport, SerialEngine, SimEngine,
+    ThreadEngine,
 };
 use mn_data::Dataset;
+use mn_obs::{FlightRec, SnapshotStash, TelemetryHandle, TelemetrySink};
 use mn_score::{CandidateScoring, ScoreMode};
 use monet::{
     learn_module_network, learn_with_checkpoint_policy, LearnerConfig, ModuleNetwork,
@@ -72,6 +88,9 @@ struct Options {
     force_restart: bool,
     fault: Option<String>,
     comm_timeout_ms: Option<u64>,
+    telemetry_out: Option<String>,
+    telemetry_interval_ms: u64,
+    flightrec_dir: Option<String>,
     dag: bool,
     quiet: bool,
 }
@@ -89,6 +108,8 @@ fn usage() -> ! {
          \x20      [--checkpoint-dir dir] [--resume] [--force-restart]\n\
          \x20      [--fault kill:<r>@<k>|delay:<r>@<k>:<ms>|drop:<r>@<k>|seed:<n>]\n\
          \x20      [--comm-timeout-ms T]\n\
+         \x20      [--telemetry-out path|-] [--telemetry-interval-ms T]\n\
+         \x20      [--flightrec-dir dir]\n\
          \x20      [--dag] [--quiet]"
     );
     std::process::exit(2)
@@ -121,6 +142,9 @@ fn parse_options() -> Options {
         force_restart: false,
         fault: None,
         comm_timeout_ms: None,
+        telemetry_out: None,
+        telemetry_interval_ms: 1000,
+        flightrec_dir: None,
         dag: false,
         quiet: false,
     };
@@ -185,6 +209,12 @@ fn parse_options() -> Options {
                 opts.comm_timeout_ms =
                     Some(value(&args, &mut i).parse().unwrap_or_else(|_| usage()))
             }
+            "--telemetry-out" => opts.telemetry_out = Some(value(&args, &mut i)),
+            "--telemetry-interval-ms" => {
+                opts.telemetry_interval_ms =
+                    value(&args, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--flightrec-dir" => opts.flightrec_dir = Some(value(&args, &mut i)),
             "--dag" => opts.dag = true,
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => usage(),
@@ -263,6 +293,46 @@ enum RunFailure {
     Fault(String),
 }
 
+/// Per-rank post-mortem handles collected *outside* the unwind path:
+/// flight recorders (always usable, even for ranks that died) and
+/// death stashes (filled by a dying rank with its final snapshot).
+/// Index = rank.
+#[derive(Default)]
+struct Capture {
+    flights: Vec<FlightRec>,
+    stashes: Vec<SnapshotStash>,
+}
+
+impl Capture {
+    /// Dump every rank's flight recorder as `flightrec-rank<k>.jsonl`
+    /// into `dir` (created if missing). Best-effort: dump failures are
+    /// reported but never change the exit code — post-mortem tooling
+    /// must not mask the original failure.
+    fn dump_flight_recorders(&self, dir: &str, quiet: bool) {
+        let dir = std::path::Path::new(dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: flight recorder dir {}: {e}", dir.display());
+            return;
+        }
+        for flight in &self.flights {
+            match flight.dump_to_dir(dir) {
+                Ok(path) => {
+                    if !quiet {
+                        eprintln!("flight recorder: {}", path.display());
+                    }
+                }
+                Err(e) => eprintln!("warning: flight recorder dump: {e}"),
+            }
+        }
+    }
+
+    /// The first stashed death snapshot, if any rank left one — the
+    /// best post-mortem timeline a failed run has.
+    fn death_snapshot(&self) -> Option<ObsSnapshot> {
+        self.stashes.iter().find_map(|s| s.get())
+    }
+}
+
 /// The checkpoint request derived from the flags: directory plus
 /// resume policy.
 fn checkpoint_request(opts: &Options) -> Option<(String, ResumePolicy)> {
@@ -313,12 +383,22 @@ fn fault_failure(payload: Box<dyn std::any::Any + Send>) -> RunFailure {
 
 /// Run a single-process engine, catching fault-injection unwinds so an
 /// aborted run exits cleanly (code 3) instead of with a panic trace.
+/// The engine's flight recorder and death stash are cloned into
+/// `capture` *before* the unwind-catching closure takes the engine, so
+/// post-mortem dumps work even when the run dies.
 fn run_single<E: ParEngine>(
     mut engine: E,
     data: &Dataset,
     config: &LearnerConfig,
     ckpt: Option<&(String, ResumePolicy)>,
+    telemetry: Option<&TelemetryHandle>,
+    capture: &mut Capture,
 ) -> Result<(ModuleNetwork, RunReport, ObsSnapshot), RunFailure> {
+    if let Some(handle) = telemetry {
+        engine.obs_mut().set_telemetry(handle.clone());
+    }
+    capture.flights.push(engine.obs().flight());
+    capture.stashes.push(engine.death_stash());
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
         run_on(&mut engine, data, config, ckpt)
     })) {
@@ -331,6 +411,8 @@ fn run(
     opts: &Options,
     data: &Dataset,
     config: &LearnerConfig,
+    telemetry: Option<&TelemetryHandle>,
+    capture: &mut Capture,
 ) -> Result<(ModuleNetwork, RunReport, ObsSnapshot), RunFailure> {
     let ckpt = checkpoint_request(opts);
     let nranks = match opts.engine {
@@ -347,20 +429,29 @@ fn run(
     match opts.engine {
         // Single-process engines count *engine* events (each dist_map /
         // collective / replicated call), attributed to rank 0.
-        EngineSpec::Serial => {
-            run_single(SerialEngine::new().with_fault_plan(plan), data, config, ckpt.as_ref())
-        }
+        EngineSpec::Serial => run_single(
+            SerialEngine::new().with_fault_plan(plan),
+            data,
+            config,
+            ckpt.as_ref(),
+            telemetry,
+            capture,
+        ),
         EngineSpec::Threads(p) => run_single(
             ThreadEngine::new(p).with_fault_plan(plan),
             data,
             config,
             ckpt.as_ref(),
+            telemetry,
+            capture,
         ),
         EngineSpec::Sim(p) => run_single(
             SimEngine::new(p).with_fault_plan(plan),
             data,
             config,
             ckpt.as_ref(),
+            telemetry,
+            capture,
         ),
         EngineSpec::Msg(p) => {
             // True SPMD: every rank learns the full network. All ranks
@@ -370,10 +461,22 @@ fn run(
             // fabric events (sends + receives, per endpoint); an empty
             // plan makes this path identical to the plain spmd_run.
             let timeout = opts.comm_timeout_ms.map(Duration::from_millis);
-            let outcomes = spmd_run_faulty(p, plan, timeout, |engine| {
+            let (outcomes, spmd_capture) = spmd_run_faulty_recorded(p, plan, timeout, |engine| {
+                // The telemetry delta stream is a single per-stream
+                // state machine, so exactly one rank feeds it.
+                if engine.rank() == 0 {
+                    if let Some(handle) = telemetry {
+                        engine.obs_mut().set_telemetry(handle.clone());
+                    }
+                }
                 run_on(engine, data, config, ckpt.as_ref())
             });
+            capture.flights = spmd_capture.flights;
+            capture.stashes = spmd_capture.stashes;
             let mut results = Vec::with_capacity(p);
+            // Survivors abort *because* a peer was killed; report the
+            // injected kill as the cause, not the downstream abort.
+            let mut survivor_failure: Option<RunFailure> = None;
             for (rank, outcome) in outcomes.into_iter().enumerate() {
                 match outcome {
                     Ok(Ok(triple)) => results.push(triple),
@@ -384,13 +487,21 @@ fn run(
                         )))
                     }
                     Err(e) => {
-                        return Err(RunFailure::Fault(format!("rank {rank} aborted: {e}")))
+                        survivor_failure.get_or_insert(RunFailure::Fault(format!(
+                            "rank {rank} aborted: {e}"
+                        )));
                     }
                 }
             }
+            if let Some(failure) = survivor_failure {
+                return Err(failure);
+            }
             let snapshots: Vec<ObsSnapshot> =
                 results.iter().map(|(_, _, s)| s.clone()).collect();
-            let merged = mn_comm::obs::merge_ranks(&snapshots);
+            // A merge failure here means the determinism contract
+            // itself broke — surface the first divergence, don't panic.
+            let merged = mn_comm::obs::merge_ranks(&snapshots)
+                .map_err(|e| RunFailure::Error(format!("rank merge failed: {e}")))?;
             let (network, report, _) = results.swap_remove(0);
             Ok((network, report, merged))
         }
@@ -416,15 +527,66 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let (network, report, snapshot) = match run(&opts, &data, &config) {
-        Ok(result) => result,
-        Err(RunFailure::Error(e)) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+    let sink = match &opts.telemetry_out {
+        Some(path) => {
+            let interval = Duration::from_millis(opts.telemetry_interval_ms);
+            match TelemetrySink::to_path(path, interval) {
+                Ok(sink) => Some(sink),
+                Err(e) => {
+                    eprintln!("error opening telemetry stream {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
-        Err(RunFailure::Fault(e)) => {
-            eprintln!("fault: {e}");
-            return ExitCode::from(3);
+        None => None,
+    };
+    let handle = sink.as_ref().map(|s| s.handle());
+    let mut capture = Capture::default();
+    let result = run(&opts, &data, &config, handle.as_ref(), &mut capture);
+    drop(handle);
+    if let Some(sink) = sink {
+        // The engines (and their cloned handles) are gone by now, so
+        // this only drains buffered lines and joins the writer.
+        if let Err(e) = sink.finish() {
+            eprintln!("warning: telemetry stream: {e}");
+        }
+    }
+    let (network, report, snapshot) = match result {
+        Ok(result) => {
+            // An explicit dump directory asks for recorders even from
+            // clean runs (replay comparison across engines).
+            if let Some(dir) = &opts.flightrec_dir {
+                capture.dump_flight_recorders(dir, opts.quiet);
+            }
+            result
+        }
+        Err(failure) => {
+            // Post-mortem: every failed run leaves its per-rank flight
+            // recorder dumps, and — when a dying rank stashed its final
+            // snapshot — the best-effort timeline the --trace flag asked
+            // for.
+            let dir = opts.flightrec_dir.clone().unwrap_or_else(|| ".".to_string());
+            capture.dump_flight_recorders(&dir, opts.quiet);
+            if let Some(path) = &opts.trace {
+                if let Some(snap) = capture.death_snapshot() {
+                    let trace = mn_comm::obs::chrome_trace_json(&snap);
+                    if let Err(e) = std::fs::write(path, trace) {
+                        eprintln!("warning: writing {path}: {e}");
+                    } else if !opts.quiet {
+                        eprintln!("post-mortem trace: {path}");
+                    }
+                }
+            }
+            match failure {
+                RunFailure::Error(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+                RunFailure::Fault(e) => {
+                    eprintln!("fault: {e}");
+                    return ExitCode::from(3);
+                }
+            }
         }
     };
 

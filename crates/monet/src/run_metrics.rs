@@ -13,7 +13,7 @@
 //! fields — CI's counter-golden check relies on exactly this.
 
 use mn_comm::RunReport;
-use mn_obs::{Histogram, ObsSnapshot, SpanAgg};
+use mn_obs::{CommMatrix, Histogram, ObsSnapshot, SpanAgg, TELEMETRY_SCHEMA_VERSION};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -22,6 +22,12 @@ use std::path::Path;
 /// --metrics-out`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunMetrics {
+    /// Format version, shared with the telemetry stream
+    /// ([`mn_obs::TELEMETRY_SCHEMA_VERSION`]). Version 1 denotes the
+    /// legacy record that carried no version field (and no `comm`
+    /// matrix or span percentiles); readers should treat a missing
+    /// field as `1`. See DESIGN.md §13 for the compatibility note.
+    pub schema_version: u32,
     /// Number of ranks that executed the run.
     pub nranks: usize,
     /// The engine's per-phase report, embedded verbatim: the span
@@ -34,6 +40,12 @@ pub struct RunMetrics {
     pub counters: BTreeMap<String, u64>,
     /// Span-duration histograms keyed by span name.
     pub histograms: BTreeMap<String, Histogram>,
+    /// Per-phase src→dst communication matrix (messages and shallow
+    /// wire bytes, recorded at the sender). Merged across ranks on the
+    /// msg engine; synthesized from the same collective edge schedules
+    /// on the sim engine; empty (all zeros, or 1×1) on the
+    /// shared-memory engines, whose collectives move no bytes.
+    pub comm: CommMatrix,
 }
 
 impl RunMetrics {
@@ -42,11 +54,13 @@ impl RunMetrics {
     /// spans are closed).
     pub fn new(report: &RunReport, snapshot: &ObsSnapshot) -> Self {
         Self {
+            schema_version: TELEMETRY_SCHEMA_VERSION,
             nranks: snapshot.nranks,
             report: report.clone(),
             spans: snapshot.aggregate_spans(),
             counters: snapshot.counters.clone(),
             histograms: snapshot.histograms.clone(),
+            comm: snapshot.comm.clone(),
         }
     }
 

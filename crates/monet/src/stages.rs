@@ -228,6 +228,14 @@ where
             engine.obs_mut().incr(name, *by);
         }
         engine.count(mn_obs::counters::CHECKPOINT_UNITS_SKIPPED, 1);
+        // Restores happen identically on every rank (the post-load
+        // io_barrier replicates the decision), so this is a
+        // *deterministic* flight event: replay-comparable across
+        // engines and rank counts.
+        engine.obs().flight_event(mn_obs::FlightEvent::CkptUnit {
+            unit: unit.to_string(),
+            written: false,
+        });
         return Ok(record.value);
     }
     let before = engine.obs().counters().clone();
@@ -236,6 +244,13 @@ where
     let record = UnitRecord { value, counters };
     store.put(unit, &record)?;
     engine.count(mn_obs::counters::CHECKPOINT_UNITS_WRITTEN, 1);
+    // Recorded on all ranks (not just the io rank): unit completion is
+    // replicated control flow, and the deterministic flight sequence
+    // must not depend on which rank holds the file handle.
+    engine.obs().flight_event(mn_obs::FlightEvent::CkptUnit {
+        unit: unit.to_string(),
+        written: true,
+    });
     Ok(record.value)
 }
 

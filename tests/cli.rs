@@ -253,6 +253,11 @@ fn checkpoint_scenario(tag: &str) -> (PathBuf, Vec<String>) {
         "--quiet",
         "--checkpoint-dir",
         ckpt.to_str().unwrap(),
+        // Failed runs always dump flight recorders; aim the default
+        // at the scratch dir (callers may override with a later
+        // --flightrec-dir) so no test litters the working directory.
+        "--flightrec-dir",
+        ckpt.to_str().unwrap(),
     ]
     .map(String::from)
     .to_vec();
@@ -284,12 +289,16 @@ fn cli_fault_kill_then_resume_reproduces_uninterrupted_network() {
     for engine in ["serial", "msg:3"] {
         let tag = engine.replace(':', "_");
         let (ckpt, args) = checkpoint_scenario(&tag);
+        let nranks = if engine == "serial" { 1 } else { 3 };
+        let frec = dir.join(format!("monet_cli_frec_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&frec).ok();
 
         // Phase 1: inject a kill mid-run. Fault aborts exit with 3 and
         // a descriptive message, never a panic trace.
         let output = Command::new(monet_bin())
             .args(&args)
             .args(["--engine", engine, "--fault", "kill:0@40"])
+            .args(["--flightrec-dir", frec.to_str().unwrap()])
             .output()
             .expect("run monet");
         assert_eq!(
@@ -305,6 +314,23 @@ fn cli_fault_kill_then_resume_reproduces_uninterrupted_network() {
             ckpt.join("manifest.json").exists(),
             "{engine}: killed run left no checkpoint"
         );
+
+        // Every failed run leaves one parseable black box per rank.
+        for rank in 0..nranks {
+            let dump = frec.join(format!("flightrec-rank{rank}.jsonl"));
+            let text = std::fs::read_to_string(&dump).unwrap_or_else(|e| {
+                panic!("{engine}: missing dump {}: {e}", dump.display())
+            });
+            mn_comm::obs::flightrec::parse_dump(&text)
+                .unwrap_or_else(|e| panic!("{engine}: rank {rank} dump unparseable: {e}"));
+        }
+        // The killed rank's dump records the injection itself.
+        let victim_dump = std::fs::read_to_string(frec.join("flightrec-rank0.jsonl")).unwrap();
+        assert!(
+            victim_dump.contains("fault-injected"),
+            "{engine}: kill not in victim dump"
+        );
+        std::fs::remove_dir_all(&frec).ok();
 
         // Phase 2: --resume finishes the run; the network is identical
         // to the uninterrupted reference.
@@ -377,6 +403,120 @@ fn cli_resume_with_no_checkpoint_is_a_clean_error() {
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(stderr.contains("no checkpoint manifest"), "stderr: {stderr}");
     std::fs::remove_dir_all(&ckpt).ok();
+}
+
+/// The quiet-able sink and the chrome-trace exporter survive a rank
+/// death on the real fabric: a mid-run kill under `--quiet --trace`
+/// must still produce a well-formed post-mortem trace (from the dying
+/// rank's stashed snapshot), keep stdout silent, and never print a
+/// panic backtrace.
+#[test]
+fn cli_quiet_trace_survive_msg_rank_death() {
+    let dir = std::env::temp_dir();
+    let trace = dir.join(format!("monet_cli_pm_trace_{}.json", std::process::id()));
+    let frec = dir.join(format!("monet_cli_pm_frec_{}", std::process::id()));
+    std::fs::remove_dir_all(&frec).ok();
+    std::fs::remove_file(&trace).ok();
+    let output = Command::new(monet_bin())
+        .args([
+            "--synthetic",
+            "18,12",
+            "--seed",
+            "4",
+            "--engine",
+            "msg:4",
+            "--quiet",
+            "--fault",
+            "kill:1@60",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--flightrec-dir",
+            frec.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run monet");
+    assert_eq!(
+        output.status.code(),
+        Some(3),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.stdout.is_empty(), "stdout not quiet: {:?}", output.stdout);
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+
+    // The post-mortem trace is well-formed chrome://tracing JSON even
+    // though a rank died mid-run.
+    let trace_text = std::fs::read_to_string(&trace).expect("post-mortem trace missing");
+    let value: serde_json::Value =
+        serde_json::from_str(&trace_text).expect("post-mortem trace is not valid JSON");
+    assert!(
+        !value["traceEvents"].as_array().expect("traceEvents").is_empty(),
+        "post-mortem trace is empty"
+    );
+    // All four ranks dumped their black boxes.
+    for rank in 0..4 {
+        assert!(
+            frec.join(format!("flightrec-rank{rank}.jsonl")).exists(),
+            "rank {rank} dump missing"
+        );
+    }
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_dir_all(&frec).ok();
+}
+
+/// `--telemetry-out` streams versioned JSONL: line 0 is a full
+/// snapshot, every line parses, carries the schema version, and `seq`
+/// is monotone.
+#[test]
+fn cli_telemetry_stream_is_versioned_jsonl() {
+    let dir = std::env::temp_dir();
+    let tel = dir.join(format!("monet_cli_tel_{}.jsonl", std::process::id()));
+    let output = Command::new(monet_bin())
+        .args([
+            "--synthetic",
+            "20,14",
+            "--seed",
+            "7",
+            "--engine",
+            "msg:4",
+            "--quiet",
+            "--telemetry-out",
+            tel.to_str().unwrap(),
+            "--telemetry-interval-ms",
+            "10",
+        ])
+        .output()
+        .expect("run monet");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = std::fs::read_to_string(&tel).expect("telemetry stream missing");
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert!(!lines.is_empty(), "telemetry stream is empty");
+    for (i, line) in lines.iter().enumerate() {
+        let value: serde_json::Value =
+            serde_json::from_str(line).unwrap_or_else(|e| panic!("line {i} unparseable: {e}"));
+        assert_eq!(
+            value["schema_version"].as_u64(),
+            Some(mn_comm::obs::TELEMETRY_SCHEMA_VERSION as u64),
+            "line {i} schema version"
+        );
+        assert_eq!(value["seq"].as_u64(), Some(i as u64), "seq not monotone");
+        let kind = value["kind"].as_str().expect("kind");
+        if i == 0 {
+            assert_eq!(kind, "snapshot", "line 0 must be a full snapshot");
+            assert_eq!(value["nranks"].as_u64(), Some(4));
+        } else {
+            assert!(
+                kind == "delta" || kind == "heartbeat",
+                "line {i}: unexpected kind {kind}"
+            );
+        }
+    }
+    std::fs::remove_file(&tel).ok();
 }
 
 #[test]

@@ -16,11 +16,13 @@ use mn_comm::{
     silence_injected_panics, FaultPlan, ParEngine, SerialEngine, SimEngine, ThreadEngine,
 };
 use mn_data::{synthetic, Dataset};
+use mn_obs::flightrec::{det_overlap_matches, parse_dump, FlightRecord};
+use mn_obs::{FlightEvent, FlightRec};
 use monet::stages::{run_consensus, run_ganesh, run_module_learning};
 use monet::{learn_with_checkpoint, to_json, LearnerConfig};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn setup() -> (Dataset, LearnerConfig) {
     let mut config = LearnerConfig::paper_minimum(9);
@@ -50,6 +52,34 @@ fn equivalence_counters<E: ParEngine>(engine: &E) -> BTreeMap<String, u64> {
 
 fn phase_names(report: &mn_comm::RunReport) -> Vec<String> {
     report.phases.iter().map(|p| p.name.clone()).collect()
+}
+
+/// Post-mortem dump contract: dumping `flight` into `dir` must produce
+/// a parseable `flightrec-rank<k>.jsonl`. Returns the deterministic
+/// records the dump holds, for replay comparison.
+fn assert_dump(flight: &FlightRec, dir: &Path, label: &str) -> Vec<FlightRecord> {
+    std::fs::create_dir_all(dir).unwrap();
+    let path = flight
+        .dump_to_dir(dir)
+        .unwrap_or_else(|e| panic!("{label}: flight dump failed: {e}"));
+    assert!(path.exists(), "{label}: dump missing at {}", path.display());
+    let records = parse_dump(&std::fs::read_to_string(&path).unwrap())
+        .unwrap_or_else(|e| panic!("{label}: dump unparseable: {e}"));
+    records
+        .into_iter()
+        .filter(|r| r.event.is_deterministic())
+        .collect()
+}
+
+/// The killed engine's black box must contain its own fault injection.
+fn assert_fault_recorded(flight: &FlightRec, label: &str) {
+    assert!(
+        flight
+            .local_events()
+            .iter()
+            .any(|r| matches!(r.event, FlightEvent::FaultInjected { .. })),
+        "{label}: kill not recorded in flight recorder"
+    );
 }
 
 /// A single-process engine the sweep can construct fresh or with a
@@ -138,17 +168,44 @@ fn sweep_single_process<E: SweepEngine>() {
     let (e1, e2, e3) = probe_task_boundaries::<E>(&d, &c);
     assert!(e1 < e2 && e2 < e3, "degenerate task boundaries {e1}/{e2}/{e3}");
 
+    // Fault-free *checkpointed* reference flight: a killed checkpointed
+    // run must replay-match its deterministic prefix (the CkptUnit
+    // events only exist on the checkpointed code path).
+    let ref_dir = tmpdir(&format!("{}_flightref", E::LABEL));
+    let mut flight_ref_engine = E::fresh();
+    learn_with_checkpoint(&mut flight_ref_engine, &d, &c, &ref_dir).unwrap();
+    let ref_det = flight_ref_engine.obs().flight().det_events();
+    std::fs::remove_dir_all(&ref_dir).ok();
+
     for event in fault_points(e1, e2, e3) {
         let label = format!("{} kill@{event} (t1≤{e1}, t2≤{e2}, t3≤{e3})", E::LABEL);
         let dir = tmpdir(&format!("{}_{event}", E::LABEL));
 
         // Phase 1: run with a kill planted at `event`; the injected
-        // crash unwinds out of the learner mid-run.
+        // crash unwinds out of the learner mid-run. Flight recorder and
+        // death stash are held outside the unwind path, like the CLI
+        // harness holds them.
+        let mut engine = E::with_plan(FaultPlan::new().kill(0, event));
+        let flight = engine.obs().flight();
+        let stash = engine.death_stash();
         let killed = catch_unwind(AssertUnwindSafe(|| {
-            let mut engine = E::with_plan(FaultPlan::new().kill(0, event));
             learn_with_checkpoint(&mut engine, &d, &c, &dir)
         }));
         assert!(killed.is_err(), "{label}: fault did not fire");
+
+        // Post-mortem contract at every fault point: the dead engine
+        // left a dumpable black box recording its own kill, a stashed
+        // final snapshot, and a deterministic record that replay-matches
+        // the fault-free reference up to the moment of death.
+        let dump_dir = tmpdir(&format!("{}_{event}_dump", E::LABEL));
+        let dumped_det = assert_dump(&flight, &dump_dir, &label);
+        std::fs::remove_dir_all(&dump_dir).ok();
+        assert!(!dumped_det.is_empty(), "{label}: empty deterministic record");
+        assert_fault_recorded(&flight, &label);
+        assert!(stash.get().is_some(), "{label}: no death snapshot stashed");
+        if let Err(e) = det_overlap_matches(&dumped_det, &ref_det) {
+            panic!("{label}: flight replay mismatch: {e}");
+        }
 
         // Phase 2: resume on a fresh, fault-free engine. Everything
         // observable must be bit-identical to the uninterrupted run.
@@ -206,14 +263,16 @@ fn kill_resume_equivalence_msg() {
 
     // Probe the per-endpoint fabric-event total of a full checkpointed
     // run (checkpointing adds io_barrier traffic, so probe the same
-    // code path the kills will interrupt).
+    // code path the kills will interrupt), and keep its deterministic
+    // flight record as the replay reference.
     let probe_dir = tmpdir("msg_probe");
-    let totals = mn_comm::spmd_run(p, |engine| {
+    let probe = mn_comm::spmd_run(p, |engine| {
         learn_with_checkpoint(engine, &d, &c, &probe_dir).unwrap();
-        engine.endpoint().events()
+        (engine.endpoint().events(), engine.obs().flight().det_events())
     });
     std::fs::remove_dir_all(&probe_dir).ok();
-    let total = totals.iter().copied().min().unwrap();
+    let total = probe.iter().map(|(e, _)| *e).min().unwrap();
+    let ref_det = probe[0].1.clone();
     assert!(total > 12, "fabric event total {total} too small to sweep");
 
     // Kill the I/O rank (0) and a non-writer rank (1) at fabric events
@@ -229,7 +288,7 @@ fn kill_resume_equivalence_msg() {
         let label = format!("msg:{p} kill rank {victim}@{event}/{total}");
         let dir = tmpdir(&format!("msg_{victim}_{event}"));
 
-        let outcomes = mn_comm::spmd_run_faulty(
+        let (outcomes, capture) = mn_comm::spmd_run_faulty_recorded(
             p,
             FaultPlan::new().kill(victim, event),
             None,
@@ -239,6 +298,35 @@ fn kill_resume_equivalence_msg() {
             outcomes[victim].is_err(),
             "{label}: victim survived: {outcomes:?}"
         );
+
+        // Post-mortem contract: *every* rank — victim included — leaves
+        // a parseable per-rank dump; the victim recorded its own kill
+        // and stashed a final snapshot; and the victim's deterministic
+        // record replay-matches every survivor and the fault-free
+        // reference on the seq overlap window.
+        let dump_dir = tmpdir(&format!("msg_{victim}_{event}_dump"));
+        let per_rank_det: Vec<Vec<FlightRecord>> = capture
+            .flights
+            .iter()
+            .enumerate()
+            .map(|(rank, flight)| assert_dump(flight, &dump_dir, &format!("{label} rank {rank}")))
+            .collect();
+        std::fs::remove_dir_all(&dump_dir).ok();
+        assert_fault_recorded(&capture.flights[victim], &label);
+        assert!(
+            capture.stashes[victim].get().is_some(),
+            "{label}: victim left no death snapshot"
+        );
+        for rank in 0..p {
+            if rank != victim {
+                if let Err(e) = det_overlap_matches(&per_rank_det[victim], &per_rank_det[rank]) {
+                    panic!("{label}: victim/rank-{rank} flight replay mismatch: {e}");
+                }
+            }
+        }
+        if let Err(e) = det_overlap_matches(&per_rank_det[victim], &ref_det) {
+            panic!("{label}: victim/reference flight replay mismatch: {e}");
+        }
 
         // Resume fault-free; every rank must reproduce the reference.
         let resumed = mn_comm::spmd_run(p, |engine| {
