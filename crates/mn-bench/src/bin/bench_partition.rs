@@ -1,0 +1,163 @@
+//! **Partitioning benchmark** — replays a skewed-segments map workload
+//! (the §5.3.1 shape: per-item cost "cannot be estimated a priori" and
+//! clusters unevenly) under every [`PartitionStrategy`] and writes
+//! `BENCH_partition.json` so the load-balance trajectory accumulates
+//! across revisions.
+//!
+//! For each strategy × rank count the harness runs one untimed warmup
+//! round (calibrates the online cost model; trips the cost-guided
+//! engagement ratchet) and then a measured steady-state round,
+//! recording the simulated phase time, the §5.3.1 imbalance
+//! `(max − avg) / avg` over per-rank busy time, and the host
+//! wall-clock. Every strategy must produce bit-identical map results —
+//! the determinism contract — and the record closes with a `gate`
+//! object CI checks with `jq`: cost-guided must cut the Block
+//! imbalance at least 2× at p = 16.
+//!
+//! ```text
+//! cargo run --release -p mn-bench --bin bench_partition [-- --quick]
+//! ```
+
+use mn_bench::{time_it, Args, Table};
+use mn_comm::{
+    CostModel, ParEngine, PartitionStrategy, Segments, SimEngine,
+};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    strategy: String,
+    p: usize,
+    /// Simulated steady-state phase time (seconds of virtual machine
+    /// time; comm is free so this is pure critical-path compute).
+    phase_s: f64,
+    /// §5.3.1 imbalance `(max − avg) / avg` over per-rank busy time in
+    /// the steady-state phase.
+    imbalance: f64,
+    /// Whether the engine's cost-guided ratchet had engaged by the end
+    /// of the run (always `false` for the non-adaptive strategies).
+    engaged: bool,
+    /// Host wall-clock for the measured round (planning overhead is in
+    /// here; the simulated workload itself costs nothing real).
+    host_s: f64,
+}
+
+#[derive(Serialize)]
+struct Gate {
+    p: usize,
+    block_imbalance: f64,
+    cost_guided_imbalance: f64,
+    /// `cost_guided_imbalance / block_imbalance` — the CI gate asserts
+    /// this is ≤ 0.5 (a ≥ 2× cut).
+    ratio: f64,
+}
+
+#[derive(Serialize)]
+struct Record {
+    rows: Vec<Row>,
+    gate: Gate,
+}
+
+/// The skewed workload: many short segments plus a few long ones, with
+/// the expensive items clustered at the front of the item list so a
+/// block split concentrates them on the low ranks.
+fn workload(scale: usize) -> (Segments, impl Fn(usize) -> u64 + Sync + Copy) {
+    let mut lens = Vec::new();
+    for s in 0..8 * scale {
+        lens.push(if s % 8 == 0 { 24 } else { 4 });
+    }
+    let segments = Segments::from_lens(lens);
+    let n = segments.n_items();
+    let heavy = n / 8;
+    let cost = move |i: usize| if i < heavy { 600u64 } else { 5 + (i % 7) as u64 };
+    (segments, cost)
+}
+
+fn main() {
+    let args = Args::capture();
+    let (scale, rounds) = if args.has("quick") { (4usize, 2usize) } else { (16, 4) };
+    let (segments, cost_of) = workload(scale);
+    let n = segments.n_items();
+    println!(
+        "Partition benchmark: {n} items in {} skewed segments, {} heavy\n",
+        segments.n_segments(),
+        n / 8
+    );
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(&["strategy", "p", "phase time (s)", "imbalance", "host (ms)"]);
+    let mut reference: Option<Vec<usize>> = None;
+    for &strategy in PartitionStrategy::ALL.iter() {
+        for &p in &[16usize, 64, 256] {
+            let mut engine =
+                SimEngine::with_model(p, CostModel::free_comm()).with_strategy(strategy);
+            // Warmup: calibrate the model / engage the ratchet.
+            engine.begin_phase("warmup");
+            for _ in 0..rounds {
+                engine.dist_map_segmented(&segments, 1, &|i| (i, cost_of(i)));
+                engine.partition_feedback();
+            }
+            // Measured steady state.
+            engine.begin_phase("steady");
+            let (out, host_s) = time_it(|| {
+                let mut out = Vec::new();
+                for _ in 0..rounds {
+                    out = engine.dist_map_segmented(&segments, 1, &|i| (i, cost_of(i)));
+                    engine.partition_feedback();
+                }
+                out
+            });
+            // Determinism contract: identical results under every
+            // strategy at every rank count.
+            match &reference {
+                None => reference = Some(out),
+                Some(base) => assert_eq!(base, &out, "{strategy} at p={p} changed results"),
+            }
+            let engaged = engine.governor().engaged();
+            let report = engine.report();
+            let row = Row {
+                strategy: strategy.slug().to_string(),
+                p,
+                phase_s: report.phase_s("steady"),
+                imbalance: report.phase_imbalance("steady"),
+                engaged,
+                host_s,
+            };
+            table.row(&[
+                row.strategy.clone(),
+                p.to_string(),
+                format!("{:.4}", row.phase_s),
+                format!("{:.3}", row.imbalance),
+                format!("{:.2}", host_s * 1e3),
+            ]);
+            rows.push(row);
+        }
+    }
+    table.print();
+
+    let imbalance_of = |slug: &str, p: usize| {
+        rows.iter()
+            .find(|r| r.strategy == slug && r.p == p)
+            .unwrap()
+            .imbalance
+    };
+    let gate = Gate {
+        p: 16,
+        block_imbalance: imbalance_of("block", 16),
+        cost_guided_imbalance: imbalance_of("cost-guided", 16),
+        ratio: imbalance_of("cost-guided", 16) / imbalance_of("block", 16),
+    };
+    println!(
+        "\ngate @ p=16: block imbalance {:.3}, cost-guided {:.3} — ratio {:.3} (must be ≤ 0.5)",
+        gate.block_imbalance, gate.cost_guided_imbalance, gate.ratio
+    );
+    assert!(
+        gate.ratio <= 0.5,
+        "cost-guided must cut the Block imbalance at least 2x at p=16"
+    );
+
+    let record = Record { rows, gate };
+    let text = serde_json::to_string_pretty(&record).expect("serialize record");
+    std::fs::write("BENCH_partition.json", &text).expect("write BENCH_partition.json");
+    println!("[record written to BENCH_partition.json]");
+}

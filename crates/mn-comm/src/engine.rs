@@ -25,6 +25,7 @@
 
 use crate::cost::Collective;
 use crate::metrics::RunReport;
+use crate::partition::PartitionStrategy;
 use crate::segments::Segments;
 use mn_obs::Recorder;
 use std::ops::Range;
@@ -165,6 +166,30 @@ pub trait ParEngine {
     fn io_rank(&self) -> bool {
         true
     }
+
+    /// Select the partitioning strategy for subsequent `dist_map*`
+    /// calls. The default implementation ignores the request (single
+    /// rank engines have nothing to partition). Strategies never
+    /// change results — only which rank computes which item — so this
+    /// is safe to flip mid-run; on the msg engine every rank must make
+    /// the identical call (replicated control flow).
+    fn set_partition_strategy(&mut self, strategy: PartitionStrategy) {
+        let _ = strategy;
+    }
+
+    /// The active partitioning strategy.
+    fn partition_strategy(&self) -> PartitionStrategy {
+        PartitionStrategy::Block
+    }
+
+    /// Imbalance-feedback hook (§5.3.1): called from replicated
+    /// control flow between GaneSH runs and split-selection rounds so
+    /// the engine can re-evaluate its partitioning (the CostGuided
+    /// strategy engages LPT packing here once the measured block-split
+    /// imbalance crosses the governor's threshold). Must never touch
+    /// counters or results — re-partitioning is observable only in the
+    /// per-rank time accounting.
+    fn partition_feedback(&mut self) {}
 
     /// Synchronize all ranks *without* touching the deterministic
     /// counters or the cost model — unlike [`ParEngine::collective`],

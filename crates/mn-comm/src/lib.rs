@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod costmodel;
 pub mod engine;
 pub mod fault;
 mod hooks;
@@ -40,6 +41,7 @@ pub mod sim;
 pub mod thread;
 
 pub use cost::{Collective, CostModel};
+pub use costmodel::{owner_runs, ItemCostModel, PartitionGovernor, ENGAGE_THRESHOLD};
 pub use fault::{
     silence_injected_panics, CommError, FaultAction, FaultAbort, FaultClock, FaultPlan,
     InjectedCrash,

@@ -15,13 +15,14 @@
 //! returns all of them so callers can (and tests do) assert equality.
 
 use crate::cost::Collective;
+use crate::costmodel::{owner_runs, PartitionGovernor};
 use crate::engine::{Costed, ParEngine, SegmentBatchFn};
 use crate::fault::{CommError, FaultAbort, FaultPlan, InjectedCrash};
 use crate::hooks;
 use crate::metrics::{PhaseReport, RunReport};
 use crate::msg::collectives::{allgatherv, allreduce, barrier};
 use crate::msg::fabric::{fabric, fabric_with_faults, Endpoint};
-use crate::partition::block_range;
+use crate::partition::{block_range, PartitionStrategy};
 use crate::segments::Segments;
 use mn_obs::{FlightEvent, FlightRec, Recorder, SnapshotStash};
 use std::time::{Duration, Instant};
@@ -60,6 +61,12 @@ pub struct SpmdEngine {
     /// outside the rank threads, so the dying rank's final counters
     /// and spans survive the unwind).
     stash: SnapshotStash,
+    /// Partitioning state. The governor is replicated SPMD state like
+    /// the learner itself: every rank sets the same strategy, plans
+    /// from the same model, and calibrates from the same *gathered*
+    /// global units — so owner assignments are identical on all ranks
+    /// by construction, which is what keeps the fabric deadlock-free.
+    gov: PartitionGovernor,
 }
 
 impl SpmdEngine {
@@ -83,7 +90,14 @@ impl SpmdEngine {
             obs,
             epoch: Instant::now(),
             stash,
+            gov: PartitionGovernor::new(PartitionStrategy::Block),
         }
+    }
+
+    /// The partitioning governor (strategy, cost model, feedback
+    /// state) — read access for tests and benches.
+    pub fn governor(&self) -> &PartitionGovernor {
+        &self.gov
     }
 
     /// This rank's id.
@@ -129,6 +143,72 @@ impl SpmdEngine {
             self.busy = 0.0;
         }
     }
+
+    /// Owner-partitioned map over the real fabric: plan owners from
+    /// the (replicated) governor, compute this rank's owned runs, and
+    /// all-gather *costed* results `(T, u64)` — shipping the units is
+    /// what replicates the calibration inputs, so every rank's model
+    /// evolves identically and the next plan agrees everywhere. The
+    /// gathered rank blocks are then scattered back to item order via
+    /// the owner vector.
+    fn map_owners<T: Send + Clone + 'static>(
+        &mut self,
+        segments: &Segments,
+        words_per_item: usize,
+        f: SegmentBatchFn<'_, T>,
+    ) -> Vec<T> {
+        let n_items = segments.n_items();
+        self.obs.count_dist_map(n_items, words_per_item);
+        let now = self.now_s();
+        self.obs.telemetry_tick(now);
+        let p = self.ep.nranks();
+        let rank = self.ep.rank();
+        let owners = self
+            .gov
+            .plan(p, segments)
+            .expect("map_owners is only reached for planning strategies");
+        let plans = owner_runs(p, &owners, segments);
+        let start = Instant::now();
+        let mut local: Vec<Costed<T>> = Vec::new();
+        let mut buf: Vec<Costed<T>> = Vec::new();
+        for (seg, range) in &plans[rank] {
+            f(*seg, range.clone(), &mut buf);
+            local.append(&mut buf);
+        }
+        let dt = start.elapsed().as_secs_f64();
+        self.busy += dt;
+        self.obs.charge_busy_rank(rank, dt);
+        let comm_start = Instant::now();
+        let gathered = allgatherv(&self.ep, local);
+        self.obs.charge_comm(comm_start.elapsed().as_secs_f64());
+        let gathered = self.abort_on(gathered);
+        // Split the rank-ordered concatenation back into per-rank
+        // blocks, then scatter to item order: each rank produced its
+        // owned items in ascending item order, so per-rank cursors
+        // driven by the owner vector restore the global order.
+        let counts: Vec<usize> = plans
+            .iter()
+            .map(|plan| plan.iter().map(|(_, r)| r.len()).sum())
+            .collect();
+        let mut cursors = Vec::with_capacity(p);
+        let mut rest = gathered;
+        for &c in &counts {
+            let tail = rest.split_off(c);
+            cursors.push(rest.into_iter());
+            rest = tail;
+        }
+        let mut out = Vec::with_capacity(n_items);
+        let mut costs = Vec::with_capacity(n_items);
+        for &owner in &owners {
+            let (value, cost) = cursors[owner]
+                .next()
+                .expect("owner gathered one result per owned item");
+            out.push(value);
+            costs.push(cost);
+        }
+        self.gov.observe_map(p, segments, &costs);
+        out
+    }
 }
 
 impl ParEngine for SpmdEngine {
@@ -142,6 +222,18 @@ impl ParEngine for SpmdEngine {
         words_per_item: usize,
         f: &(dyn Fn(usize) -> Costed<T> + Sync),
     ) -> Vec<T> {
+        if matches!(
+            self.gov.strategy(),
+            PartitionStrategy::Lpt | PartitionStrategy::Chunked | PartitionStrategy::CostGuided
+        ) {
+            // Flat lists have no segment structure: plan over one
+            // whole-list segment. The segment-aware oracle strategies
+            // only apply on the segmented paths, as before.
+            let segments = Segments::whole(n_items);
+            return self.map_owners(&segments, words_per_item, &|_seg, range, out| {
+                out.extend(range.map(&f))
+            });
+        }
         // Counters record the *logical* global call, identically on
         // every rank — never this rank's block size.
         self.obs.count_dist_map(n_items, words_per_item);
@@ -161,12 +253,31 @@ impl ParEngine for SpmdEngine {
         self.abort_on(gathered)
     }
 
+    fn dist_map_segmented<T: Send + Clone + 'static>(
+        &mut self,
+        segments: &Segments,
+        words_per_item: usize,
+        f: &(dyn Fn(usize) -> Costed<T> + Sync),
+    ) -> Vec<T> {
+        // The default delegates to `dist_map`, which would discard the
+        // segment structure every non-block strategy plans over.
+        if self.gov.strategy() == PartitionStrategy::Block {
+            return self.dist_map(segments.n_items(), words_per_item, f);
+        }
+        self.map_owners(segments, words_per_item, &|_seg, range, out| {
+            out.extend(range.map(&f))
+        })
+    }
+
     fn dist_map_segmented_batch<T: Send + Clone + 'static>(
         &mut self,
         segments: &Segments,
         words_per_item: usize,
         f: SegmentBatchFn<'_, T>,
     ) -> Vec<T> {
+        if self.gov.strategy() != PartitionStrategy::Block {
+            return self.map_owners(segments, words_per_item, f);
+        }
         self.obs.count_dist_map(segments.n_items(), words_per_item);
         let now = self.now_s();
         self.obs.telemetry_tick(now);
@@ -245,6 +356,22 @@ impl ParEngine for SpmdEngine {
         // One checkpoint writer per fabric, as the paper routes all
         // file I/O through rank 0.
         self.ep.rank() == 0
+    }
+
+    fn set_partition_strategy(&mut self, strategy: PartitionStrategy) {
+        self.gov.set_strategy(strategy);
+    }
+
+    fn partition_strategy(&self) -> PartitionStrategy {
+        self.gov.strategy()
+    }
+
+    fn partition_feedback(&mut self) {
+        // No measured hint: each rank only observes its own busy time,
+        // and the engagement decision must be identical on every rank.
+        // The governor still engages from the counterfactual block
+        // imbalance it computed over the *gathered* global units.
+        self.gov.feedback(None);
     }
 
     fn io_barrier(&mut self) {
@@ -506,6 +633,40 @@ mod tests {
         });
         for (a, b) in plain.iter().zip(&faulty) {
             assert_eq!(Some(a), b.as_ref().ok());
+        }
+    }
+
+    #[test]
+    fn every_strategy_matches_block_results_on_every_rank() {
+        let f = |i: usize| (i.wrapping_mul(2654435761) % 1013, (i as u64 % 17) + 1);
+        let expected_flat: Vec<usize> = (0..53).map(|i| f(i).0).collect();
+        for strategy in PartitionStrategy::ALL {
+            for p in [1usize, 2, 3, 5] {
+                let outs = spmd_run(p, |engine| {
+                    engine.set_partition_strategy(strategy);
+                    let segments = Segments::from_lens([7usize, 1, 30, 0, 12, 3]);
+                    let mut all = Vec::new();
+                    // Two rounds so the second plans from a calibrated
+                    // model (and, for CostGuided, a possibly-engaged
+                    // ratchet) — identically on every rank.
+                    for _ in 0..2 {
+                        all.push(engine.dist_map(53, 1, &f));
+                        all.push(engine.dist_map_segmented(&segments, 1, &f));
+                        all.push(engine.dist_map_segmented_batch(
+                            &segments,
+                            1,
+                            &|_seg, range, out| out.extend(range.map(f)),
+                        ));
+                        engine.partition_feedback();
+                    }
+                    all
+                });
+                for (r, out) in outs.iter().enumerate() {
+                    for round in out {
+                        assert_eq!(round, &expected_flat, "{strategy} p={p} rank={r}");
+                    }
+                }
+            }
         }
     }
 

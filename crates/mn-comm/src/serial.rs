@@ -11,6 +11,7 @@ use crate::engine::{Costed, ParEngine, SegmentBatchFn};
 use crate::fault::{FaultAction, FaultClock, FaultPlan, InjectedCrash};
 use crate::hooks;
 use crate::metrics::{PhaseReport, RunReport};
+use crate::partition::PartitionStrategy;
 use crate::segments::Segments;
 use mn_obs::{FlightEvent, Recorder, SnapshotStash};
 use std::time::Instant;
@@ -33,6 +34,11 @@ pub struct SerialEngine {
     /// post-mortem can still read the counters and spans of the dying
     /// run (the handle is an `Arc`: clone it before `catch_unwind`).
     stash: SnapshotStash,
+    /// Configured partition strategy. With a single rank every
+    /// strategy degenerates to "rank 0 owns everything", so this is
+    /// recorded for introspection (and so replicated programs can set
+    /// it unconditionally) but never changes execution.
+    strategy: PartitionStrategy,
 }
 
 impl SerialEngine {
@@ -46,6 +52,7 @@ impl SerialEngine {
             epoch: Instant::now(),
             faults: FaultClock::new(FaultPlan::new(), 0),
             stash: SnapshotStash::new(),
+            strategy: PartitionStrategy::Block,
         }
     }
 
@@ -213,6 +220,14 @@ impl ParEngine for SerialEngine {
 
     fn now_s(&self) -> f64 {
         self.epoch.elapsed().as_secs_f64()
+    }
+
+    fn set_partition_strategy(&mut self, strategy: PartitionStrategy) {
+        self.strategy = strategy;
+    }
+
+    fn partition_strategy(&self) -> PartitionStrategy {
+        self.strategy
     }
 }
 

@@ -25,6 +25,7 @@
 //! integration tests assert across engines.
 
 use crate::cost::{Collective, CostModel};
+use crate::costmodel::PartitionGovernor;
 use crate::engine::{Costed, ParEngine, SegmentBatchFn};
 use crate::fault::{FaultAction, FaultClock, FaultPlan, InjectedCrash};
 use crate::hooks;
@@ -38,7 +39,12 @@ use mn_obs::{FlightEvent, Recorder, SnapshotStash};
 pub struct SimEngine {
     p: usize,
     cost: CostModel,
-    strategy: PartitionStrategy,
+    /// Partitioning state. The oracle strategies (SegmentOwner /
+    /// SelfScheduling) keep their historical semantics — owners from
+    /// *true* per-item costs, a luxury only the simulator has; the
+    /// predictor strategies (Lpt / Chunked / CostGuided) plan from the
+    /// governor's calibrated model, exactly as the real engines must.
+    gov: PartitionGovernor,
     /// Per-rank busy seconds accumulated in the current phase.
     busy: Vec<f64>,
     /// Communication seconds accumulated in the current phase (charged
@@ -75,7 +81,7 @@ impl SimEngine {
         Self {
             p,
             cost,
-            strategy: PartitionStrategy::Block,
+            gov: PartitionGovernor::new(PartitionStrategy::Block),
             busy: vec![0.0; p],
             comm: 0.0,
             elapsed: 0.0,
@@ -136,8 +142,14 @@ impl SimEngine {
     /// Select the partitioning strategy (ablation hook; the default is
     /// the paper's block split).
     pub fn with_strategy(mut self, strategy: PartitionStrategy) -> Self {
-        self.strategy = strategy;
+        self.gov.set_strategy(strategy);
         self
+    }
+
+    /// The partitioning governor (strategy, cost model, feedback
+    /// state) — read access for tests and benches.
+    pub fn governor(&self) -> &PartitionGovernor {
+        &self.gov
     }
 
     /// The active cost model.
@@ -221,8 +233,10 @@ impl SimEngine {
     }
 
     /// Charge one bulk-synchronous step in which each item's cost goes
-    /// to the rank the active (non-block) strategy assigns it to.
-    /// `esize` is the wire size of one result, for the traffic matrix.
+    /// to the rank the active (non-block) *oracle* strategy assigns it
+    /// to, using the true measured costs — a luxury only the simulator
+    /// has. `esize` is the wire size of one result, for the traffic
+    /// matrix.
     fn attribute_by_owner(
         &mut self,
         costs: &[u64],
@@ -230,7 +244,20 @@ impl SimEngine {
         words_per_item: usize,
         esize: u64,
     ) {
-        let owners = assign_owners(self.strategy, self.p, costs, segments);
+        let owners = assign_owners(self.gov.strategy(), self.p, costs, segments);
+        self.attribute_with_owners(&owners, costs, words_per_item, esize);
+    }
+
+    /// Charge one bulk-synchronous step under an explicit owner
+    /// assignment (the predictor strategies plan owners before seeing
+    /// true costs, then the true costs land on the planned ranks).
+    fn attribute_with_owners(
+        &mut self,
+        owners: &[usize],
+        costs: &[u64],
+        words_per_item: usize,
+        esize: u64,
+    ) {
         let mut step_busy = vec![0.0f64; self.p];
         let mut counts = vec![0usize; self.p];
         for (&owner, &c) in owners.iter().zip(costs) {
@@ -242,6 +269,27 @@ impl SimEngine {
             .collective_s(Collective::AllGather, costs.len() * words_per_item, self.p);
         self.account_step(&step_busy, comm);
         self.record_gather_traffic(&counts, esize);
+    }
+
+    /// The predictor-strategy step shared by all three map entry
+    /// points: plan owners from the governor's calibrated model,
+    /// evaluate every item (the simulator executes the union of the
+    /// work once), attribute the true costs to the planned owners, and
+    /// feed the realized units back into the model. The gathered
+    /// element is the costed pair `(T, u64)` — the wire format the msg
+    /// engine ships in strategy mode so calibration inputs replicate.
+    fn predictor_step<T>(&mut self, segments: &Segments, words_per_item: usize, costs: Vec<u64>) {
+        let owners = self
+            .gov
+            .plan(self.p, segments)
+            .expect("predictor strategies always plan");
+        self.attribute_with_owners(
+            &owners,
+            &costs,
+            words_per_item,
+            std::mem::size_of::<(T, u64)>() as u64,
+        );
+        self.gov.observe_map(self.p, segments, &costs);
     }
 }
 
@@ -256,6 +304,15 @@ impl ParEngine for SimEngine {
         words_per_item: usize,
         f: &(dyn Fn(usize) -> Costed<T> + Sync),
     ) -> Vec<T> {
+        if matches!(
+            self.gov.strategy(),
+            PartitionStrategy::Lpt | PartitionStrategy::Chunked | PartitionStrategy::CostGuided
+        ) {
+            // Flat lists have no segment structure: plan over one
+            // whole-list segment. The segment-aware oracle strategies
+            // keep ignoring the plain map, as before.
+            return self.dist_map_segmented(&Segments::whole(n_items), words_per_item, f);
+        }
         self.tick_fault();
         hooks::install_thread_hooks(self.obs.flight());
         self.obs.count_dist_map(n_items, words_per_item);
@@ -270,8 +327,25 @@ impl ParEngine for SimEngine {
         words_per_item: usize,
         f: &(dyn Fn(usize) -> Costed<T> + Sync),
     ) -> Vec<T> {
-        match self.strategy {
+        match self.gov.strategy() {
             PartitionStrategy::Block => self.dist_map(segments.n_items(), words_per_item, f),
+            PartitionStrategy::Lpt | PartitionStrategy::Chunked | PartitionStrategy::CostGuided => {
+                let n = segments.n_items();
+                self.tick_fault();
+                hooks::install_thread_hooks(self.obs.flight());
+                self.obs.count_dist_map(n, words_per_item);
+                let now = self.sim_now;
+                self.obs.telemetry_tick(now);
+                let mut values = Vec::with_capacity(n);
+                let mut costs = Vec::with_capacity(n);
+                for i in 0..n {
+                    let (v, c) = f(i);
+                    values.push(v);
+                    costs.push(c);
+                }
+                self.predictor_step::<T>(segments, words_per_item, costs);
+                values
+            }
             PartitionStrategy::SegmentOwner | PartitionStrategy::SelfScheduling => {
                 // Both non-default strategies need item costs before the
                 // assignment, so evaluate first (costs are deterministic
@@ -312,7 +386,24 @@ impl ParEngine for SimEngine {
         self.obs.count_dist_map(n, words_per_item);
         let now = self.sim_now;
         self.obs.telemetry_tick(now);
-        match self.strategy {
+        match self.gov.strategy() {
+            PartitionStrategy::Lpt | PartitionStrategy::Chunked | PartitionStrategy::CostGuided => {
+                // Evaluate whole segments once (the batched kernel
+                // amortizes per-segment setup), then attribute true
+                // costs to the governor-planned owners and calibrate.
+                let mut values = Vec::with_capacity(n);
+                let mut costs = Vec::with_capacity(n);
+                let mut buf: Vec<Costed<T>> = Vec::new();
+                for (seg, range) in segments.iter() {
+                    f(seg, range, &mut buf);
+                    for (v, c) in buf.drain(..) {
+                        values.push(v);
+                        costs.push(c);
+                    }
+                }
+                self.predictor_step::<T>(segments, words_per_item, costs);
+                values
+            }
             PartitionStrategy::Block => {
                 // The paper's block partition of the flat list. A block
                 // boundary bisecting a segment is honored: each virtual
@@ -419,6 +510,28 @@ impl ParEngine for SimEngine {
 
     fn now_s(&self) -> f64 {
         self.sim_now
+    }
+
+    fn set_partition_strategy(&mut self, strategy: PartitionStrategy) {
+        self.gov.set_strategy(strategy);
+    }
+
+    fn partition_strategy(&self) -> PartitionStrategy {
+        self.gov.strategy()
+    }
+
+    fn partition_feedback(&mut self) {
+        // Simulated busy imbalance of the current phase window.
+        // Engage-only hint (see the governor's ratchet); the simulated
+        // clock is deterministic, so this is also deterministic.
+        let busy_max = self.busy.iter().copied().fold(0.0, f64::max);
+        let busy_avg = self.busy.iter().sum::<f64>() / self.p as f64;
+        let measured = if busy_avg > 0.0 {
+            Some((busy_max - busy_avg) / busy_avg)
+        } else {
+            None
+        };
+        self.gov.feedback(measured);
     }
 }
 
@@ -529,11 +642,7 @@ mod tests {
         // the property that keeps the imbalance figures identical.
         let segments = Segments::from_lens(vec![5usize, 9, 2, 16]);
         let cost_of = |i: usize| (i as u64 % 11) * 10 + 1;
-        for strategy in [
-            PartitionStrategy::Block,
-            PartitionStrategy::SegmentOwner,
-            PartitionStrategy::SelfScheduling,
-        ] {
+        for strategy in PartitionStrategy::ALL {
             for p in [1usize, 3, 7, 32] {
                 let mut per_item = SimEngine::new(p).with_strategy(strategy);
                 per_item.begin_phase("w");
@@ -549,6 +658,59 @@ mod tests {
 
                 assert_eq!(a, b, "{strategy:?} p={p}");
                 assert_eq!(ra, rb, "{strategy:?} p={p} accounting diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn cost_guided_engages_and_cuts_imbalance_on_skewed_segments() {
+        // Skewed workload of §5.3.1: long segments carry expensive
+        // items clustered at the list front. The first map calibrates
+        // the model and trips the engagement ratchet; subsequent maps
+        // run LPT over predicted costs and flatten the imbalance.
+        let segments = Segments::from_lens(vec![8usize; 8]);
+        let cost_of = |i: usize| if i < 8 { 500u64 } else { 5 };
+        let run = |strategy: PartitionStrategy| {
+            let mut e = SimEngine::with_model(16, CostModel::free_comm()).with_strategy(strategy);
+            for round in 0..3 {
+                e.begin_phase(if round == 0 { "warmup" } else { "steady" });
+                e.dist_map_segmented(&segments, 1, &|i| (i, cost_of(i)));
+                e.partition_feedback();
+            }
+            e
+        };
+        let mut block = run(PartitionStrategy::Block);
+        let mut guided = run(PartitionStrategy::CostGuided);
+        assert!(guided.governor().engaged());
+        let rb = block.report();
+        let rg = guided.report();
+        assert!(
+            rg.phase_imbalance("steady") < 0.5 * rb.phase_imbalance("steady"),
+            "guided {} vs block {}",
+            rg.phase_imbalance("steady"),
+            rb.phase_imbalance("steady")
+        );
+    }
+
+    #[test]
+    fn strategies_do_not_change_results_or_counters() {
+        let segments = Segments::from_lens(vec![3usize, 12, 1, 9]);
+        let mut reference: Option<(Vec<usize>, _)> = None;
+        for strategy in PartitionStrategy::ALL {
+            let mut e = SimEngine::new(5).with_strategy(strategy);
+            e.begin_phase("w");
+            let mut out = e.dist_map(18, 2, &|i| (i * 7, (i as u64 % 3) + 1));
+            out.extend(e.dist_map_segmented_batch(&segments, 1, &|_seg, range, out| {
+                out.extend(range.map(|i| (i + 100, (i as u64 % 6) + 1)))
+            }));
+            let _ = e.report();
+            let counters = e.obs().snapshot(e.now_s()).counters;
+            match &reference {
+                None => reference = Some((out, counters)),
+                Some((ref_out, ref_counters)) => {
+                    assert_eq!(&out, ref_out, "{strategy} changed results");
+                    assert_eq!(&counters, ref_counters, "{strategy} changed counters");
+                }
             }
         }
     }

@@ -14,11 +14,12 @@
 //! drive any engine uniformly.
 
 use crate::cost::Collective;
+use crate::costmodel::{owner_runs, PartitionGovernor};
 use crate::engine::{Costed, ParEngine, SegmentBatchFn};
 use crate::fault::{FaultAction, FaultClock, FaultPlan, InjectedCrash};
 use crate::hooks;
 use crate::metrics::{PhaseReport, RunReport};
-use crate::partition::block_range;
+use crate::partition::{block_range, PartitionStrategy};
 use crate::segments::Segments;
 use mn_obs::{FlightEvent, Recorder, SnapshotStash};
 use parking_lot::Mutex;
@@ -41,6 +42,11 @@ pub struct ThreadEngine {
     /// Last-snapshot stash filled just before an injected crash (the
     /// handle is an `Arc`: clone it before `catch_unwind`).
     stash: SnapshotStash,
+    /// Partitioning state: configured strategy, online cost model, and
+    /// the imbalance-feedback ratchet. Block (the default) takes the
+    /// unchanged fast paths below; any other strategy routes through
+    /// [`ThreadEngine::map_owners`].
+    gov: PartitionGovernor,
 }
 
 impl ThreadEngine {
@@ -56,7 +62,14 @@ impl ThreadEngine {
             epoch: Instant::now(),
             faults: FaultClock::new(FaultPlan::new(), 0),
             stash: SnapshotStash::new(),
+            gov: PartitionGovernor::new(PartitionStrategy::Block),
         }
+    }
+
+    /// The partitioning governor (strategy, cost model, feedback
+    /// state) — read access for tests and benches.
+    pub fn governor(&self) -> &PartitionGovernor {
+        &self.gov
     }
 
     /// Attach a deterministic fault plan (rank-0 entries apply; see
@@ -109,6 +122,99 @@ impl ThreadEngine {
             self.busy.iter_mut().for_each(|b| *b = 0.0);
         }
     }
+
+    /// Owner-partitioned map: the governor plans a per-item owner
+    /// vector, each rank-thread computes its owned runs, and the main
+    /// thread reassembles results in item order (the shared-memory
+    /// analogue of the owner-gather + reorder on the msg engine).
+    /// Measured per-item units are fed back into the governor's cost
+    /// model. Counters are charged exactly as the block path charges
+    /// them — partitioning is invisible to the deterministic counters.
+    fn map_owners<T: Send + Clone + 'static>(
+        &mut self,
+        segments: &Segments,
+        words_per_item: usize,
+        f: SegmentBatchFn<'_, T>,
+    ) -> Vec<T> {
+        let n_items = segments.n_items();
+        self.tick_fault();
+        self.obs.count_dist_map(n_items, words_per_item);
+        let now = self.now_s();
+        self.obs.telemetry_tick(now);
+        let p = self.p;
+        if p == 1 || n_items <= 1 {
+            hooks::install_thread_hooks(self.obs.flight());
+            let start = Instant::now();
+            let mut out = Vec::with_capacity(n_items);
+            let mut costs = Vec::with_capacity(n_items);
+            let mut buf: Vec<Costed<T>> = Vec::new();
+            for (seg, range) in segments.iter() {
+                f(seg, range, &mut buf);
+                for (value, cost) in buf.drain(..) {
+                    out.push(value);
+                    costs.push(cost);
+                }
+            }
+            let dt = start.elapsed().as_secs_f64();
+            self.busy[0] += dt;
+            self.obs.charge_busy_rank(0, dt);
+            self.gov.observe_map(p, segments, &costs);
+            return out;
+        }
+
+        let owners = self
+            .gov
+            .plan(p, segments)
+            .expect("map_owners is only reached for planning strategies");
+        let plans = owner_runs(p, &owners, segments);
+        let flight = self.obs.flight();
+        let busy_acc: Mutex<Vec<f64>> = Mutex::new(vec![0.0; p]);
+        let mut blocks: Vec<Vec<Costed<T>>> = Vec::with_capacity(p);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (r, plan) in plans.iter().enumerate() {
+                let busy_acc = &busy_acc;
+                let flight = flight.clone();
+                handles.push(scope.spawn(move || {
+                    hooks::install_thread_hooks(flight);
+                    let start = Instant::now();
+                    let mut block: Vec<Costed<T>> = Vec::new();
+                    let mut buf: Vec<Costed<T>> = Vec::new();
+                    for (seg, range) in plan {
+                        f(*seg, range.clone(), &mut buf);
+                        block.append(&mut buf);
+                    }
+                    busy_acc.lock()[r] = start.elapsed().as_secs_f64();
+                    block
+                }));
+            }
+            for handle in handles {
+                blocks.push(handle.join().expect("rank thread panicked"));
+            }
+        });
+        let extras = busy_acc.into_inner();
+        for (b, extra) in self.busy.iter_mut().zip(&extras) {
+            *b += extra;
+        }
+        self.obs.charge_busy(&extras);
+        // Scatter the per-rank blocks back to item order. Each rank
+        // produced its owned items in ascending item order, so a
+        // per-rank cursor driven by the owner vector restores the
+        // global order exactly.
+        let mut cursors: Vec<std::vec::IntoIter<Costed<T>>> =
+            blocks.into_iter().map(|b| b.into_iter()).collect();
+        let mut out = Vec::with_capacity(n_items);
+        let mut costs = Vec::with_capacity(n_items);
+        for &owner in &owners {
+            let (value, cost) = cursors[owner]
+                .next()
+                .expect("owner produced one result per owned item");
+            out.push(value);
+            costs.push(cost);
+        }
+        self.gov.observe_map(p, segments, &costs);
+        out
+    }
 }
 
 impl ParEngine for ThreadEngine {
@@ -122,6 +228,19 @@ impl ParEngine for ThreadEngine {
         words_per_item: usize,
         f: &(dyn Fn(usize) -> Costed<T> + Sync),
     ) -> Vec<T> {
+        if matches!(
+            self.gov.strategy(),
+            PartitionStrategy::Lpt | PartitionStrategy::Chunked | PartitionStrategy::CostGuided
+        ) {
+            // Flat lists have no segment structure: plan over one
+            // whole-list segment. The segment-aware oracle strategies
+            // (SegmentOwner / SelfScheduling) only apply on the
+            // segmented paths, as before.
+            let segments = Segments::whole(n_items);
+            return self.map_owners(&segments, words_per_item, &|_seg, range, out| {
+                out.extend(range.map(&f))
+            });
+        }
         self.tick_fault();
         self.obs.count_dist_map(n_items, words_per_item);
         let now = self.now_s();
@@ -173,12 +292,31 @@ impl ParEngine for ThreadEngine {
         blocks.into_iter().flatten().collect()
     }
 
+    fn dist_map_segmented<T: Send + Clone + 'static>(
+        &mut self,
+        segments: &Segments,
+        words_per_item: usize,
+        f: &(dyn Fn(usize) -> Costed<T> + Sync),
+    ) -> Vec<T> {
+        // The default delegates to `dist_map`, which would discard the
+        // segment structure every non-block strategy plans over.
+        if self.gov.strategy() == PartitionStrategy::Block {
+            return self.dist_map(segments.n_items(), words_per_item, f);
+        }
+        self.map_owners(segments, words_per_item, &|_seg, range, out| {
+            out.extend(range.map(&f))
+        })
+    }
+
     fn dist_map_segmented_batch<T: Send + Clone + 'static>(
         &mut self,
         segments: &Segments,
         words_per_item: usize,
         f: SegmentBatchFn<'_, T>,
     ) -> Vec<T> {
+        if self.gov.strategy() != PartitionStrategy::Block {
+            return self.map_owners(segments, words_per_item, f);
+        }
         let n_items = segments.n_items();
         self.tick_fault();
         self.obs.count_dist_map(n_items, words_per_item);
@@ -287,6 +425,30 @@ impl ParEngine for ThreadEngine {
     fn now_s(&self) -> f64 {
         self.epoch.elapsed().as_secs_f64()
     }
+
+    fn set_partition_strategy(&mut self, strategy: PartitionStrategy) {
+        self.gov.set_strategy(strategy);
+    }
+
+    fn partition_strategy(&self) -> PartitionStrategy {
+        self.gov.strategy()
+    }
+
+    fn partition_feedback(&mut self) {
+        // Measured thread busy imbalance of the current phase window.
+        // Engage-only hint: wall-clock noise can pull the CostGuided
+        // ratchet forward but never flips it back, and re-partitioning
+        // only moves work between threads — results and counters are
+        // unchanged by construction.
+        let busy_max = self.busy.iter().copied().fold(0.0, f64::max);
+        let busy_avg = self.busy.iter().sum::<f64>() / self.p as f64;
+        let measured = if busy_avg > 0.0 {
+            Some((busy_max - busy_avg) / busy_avg)
+        } else {
+            None
+        };
+        self.gov.feedback(measured);
+    }
 }
 
 #[cfg(test)]
@@ -343,5 +505,54 @@ mod tests {
         assert!(empty.is_empty());
         let one = e.dist_map(1, 1, &|i| (i + 5, 1));
         assert_eq!(one, vec![5]);
+    }
+
+    #[test]
+    fn every_strategy_matches_block_results() {
+        let f = |i: usize| (i.wrapping_mul(2654435761) % 1013, (i as u64 % 17) + 1);
+        let segments = Segments::from_lens([7usize, 1, 30, 0, 12, 3]);
+        let mut reference = ThreadEngine::new(3);
+        let expect_flat = reference.dist_map(53, 1, &f);
+        let expect_seg = reference.dist_map_segmented(&segments, 1, &f);
+        for strategy in PartitionStrategy::ALL {
+            for p in [1usize, 2, 3, 5, 8] {
+                let mut e = ThreadEngine::new(p);
+                e.set_partition_strategy(strategy);
+                assert_eq!(e.partition_strategy(), strategy);
+                // Repeat so the cost model has observations on the
+                // second round (exercises calibrated planning too).
+                for _ in 0..2 {
+                    let flat = e.dist_map(53, 1, &f);
+                    assert_eq!(flat, expect_flat, "{strategy} p={p} flat");
+                    let seg = e.dist_map_segmented(&segments, 1, &f);
+                    assert_eq!(seg, expect_seg, "{strategy} p={p} segmented");
+                    let batched = e.dist_map_segmented_batch(&segments, 1, &|_seg, range, out| {
+                        out.extend(range.map(f))
+                    });
+                    assert_eq!(batched, expect_seg, "{strategy} p={p} batched");
+                    e.partition_feedback();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_does_not_change_counters() {
+        let segments = Segments::from_lens([9usize, 4, 20]);
+        let mut snaps = Vec::new();
+        for strategy in PartitionStrategy::ALL {
+            let mut e = ThreadEngine::new(4);
+            e.set_partition_strategy(strategy);
+            e.begin_phase("t");
+            e.dist_map(33, 2, &|i| (i, 1));
+            e.dist_map_segmented_batch(&segments, 3, &|_seg, range, out| {
+                out.extend(range.map(|i| (i, (i as u64 % 5) + 1)))
+            });
+            let _ = e.report();
+            snaps.push(e.obs().snapshot(e.now_s()).counters);
+        }
+        for (i, snap) in snaps.iter().enumerate().skip(1) {
+            assert_eq!(snap, &snaps[0], "strategy #{i} perturbed counters");
+        }
     }
 }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! monet --input expression.tsv [--engine serial|threads:<p>|sim:<p>|msg:<p>]
+//!       [--partition block|segment-owner|self-scheduling|lpt|chunked|cost-guided]
 //!       [--seed N] [--ganesh-runs G] [--update-steps U]
 //!       [--init-clusters K0] [--trees R] [--splits-per-node J]
 //!       [--sampling-steps S] [--threshold T] [--reference]
@@ -50,8 +51,8 @@
 
 use mn_comm::{
     silence_injected_panics, spmd_run_faulty_recorded, CommError, EngineSpec, FaultAbort,
-    FaultPlan, InjectedCrash, ObsSnapshot, ParEngine, RunReport, SerialEngine, SimEngine,
-    ThreadEngine,
+    FaultPlan, InjectedCrash, ObsSnapshot, ParEngine, PartitionStrategy, RunReport, SerialEngine,
+    SimEngine, ThreadEngine,
 };
 use mn_data::Dataset;
 use mn_obs::{FlightRec, SnapshotStash, TelemetryHandle, TelemetrySink};
@@ -67,6 +68,7 @@ struct Options {
     input: Option<String>,
     synthetic: Option<(usize, usize)>,
     engine: EngineSpec,
+    partition: PartitionStrategy,
     seed: u64,
     ganesh_runs: usize,
     update_steps: usize,
@@ -99,6 +101,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: monet --input <expression.tsv> | --synthetic <n,m>\n\
          \x20      [--engine serial|threads:<p>|sim:<p>|msg:<p>] [--seed N]\n\
+         \x20      [--partition block|segment-owner|self-scheduling|lpt|chunked|cost-guided]\n\
          \x20      [--ganesh-runs G] [--update-steps U] [--init-clusters K0]\n\
          \x20      [--trees R] [--splits-per-node J] [--sampling-steps S]\n\
          \x20      [--threshold T] [--reference] [--gibbs-naive] [--consensus-dense]\n\
@@ -121,6 +124,7 @@ fn parse_options() -> Options {
         input: None,
         synthetic: None,
         engine: EngineSpec::Serial,
+        partition: PartitionStrategy::Block,
         seed: 0,
         ganesh_runs: 1,
         update_steps: 1,
@@ -168,6 +172,12 @@ fn parse_options() -> Options {
             }
             "--engine" => {
                 opts.engine = value(&args, &mut i).parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
+            "--partition" => {
+                opts.partition = value(&args, &mut i).parse().unwrap_or_else(|e| {
                     eprintln!("{e}");
                     usage()
                 })
@@ -388,12 +398,14 @@ fn fault_failure(payload: Box<dyn std::any::Any + Send>) -> RunFailure {
 /// post-mortem dumps work even when the run dies.
 fn run_single<E: ParEngine>(
     mut engine: E,
+    partition: PartitionStrategy,
     data: &Dataset,
     config: &LearnerConfig,
     ckpt: Option<&(String, ResumePolicy)>,
     telemetry: Option<&TelemetryHandle>,
     capture: &mut Capture,
 ) -> Result<(ModuleNetwork, RunReport, ObsSnapshot), RunFailure> {
+    engine.set_partition_strategy(partition);
     if let Some(handle) = telemetry {
         engine.obs_mut().set_telemetry(handle.clone());
     }
@@ -431,6 +443,7 @@ fn run(
         // collective / replicated call), attributed to rank 0.
         EngineSpec::Serial => run_single(
             SerialEngine::new().with_fault_plan(plan),
+            opts.partition,
             data,
             config,
             ckpt.as_ref(),
@@ -439,6 +452,7 @@ fn run(
         ),
         EngineSpec::Threads(p) => run_single(
             ThreadEngine::new(p).with_fault_plan(plan),
+            opts.partition,
             data,
             config,
             ckpt.as_ref(),
@@ -447,6 +461,7 @@ fn run(
         ),
         EngineSpec::Sim(p) => run_single(
             SimEngine::new(p).with_fault_plan(plan),
+            opts.partition,
             data,
             config,
             ckpt.as_ref(),
@@ -462,6 +477,9 @@ fn run(
             // plan makes this path identical to the plain spmd_run.
             let timeout = opts.comm_timeout_ms.map(Duration::from_millis);
             let (outcomes, spmd_capture) = spmd_run_faulty_recorded(p, plan, timeout, |engine| {
+                // Replicated SPMD call: every rank installs the same
+                // strategy so the governors stay in lock-step.
+                engine.set_partition_strategy(opts.partition);
                 // The telemetry delta stream is a single per-stream
                 // state machine, so exactly one rank feeds it.
                 if engine.rank() == 0 {

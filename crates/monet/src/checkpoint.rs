@@ -34,7 +34,9 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Manifest format version; bumped on incompatible layout changes.
-pub const MANIFEST_VERSION: u32 = 1;
+/// Version 2 added rank-count provenance (`nranks`); version-1
+/// manifests are still readable — they simply predate the field.
+pub const MANIFEST_VERSION: u32 = 2;
 
 /// File name of the manifest inside a checkpoint directory.
 pub const MANIFEST_FILE: &str = "manifest.json";
@@ -187,7 +189,7 @@ impl<T: Deserialize> Deserialize for UnitRecord<T> {
 
 /// The versioned checkpoint index: identity guard plus one checksum
 /// per completed unit file.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Manifest {
     /// Format version ([`MANIFEST_VERSION`]).
     pub version: u32,
@@ -195,16 +197,43 @@ pub struct Manifest {
     pub seed: u64,
     /// Data fingerprint of the run ([`data_fingerprint`]).
     pub fingerprint: (usize, usize, f64),
+    /// Rank count of the run that wrote this checkpoint (`None` for
+    /// version-1 manifests, which predate the field). Provenance, not
+    /// a guard: every stored unit is a rank-count-independent value
+    /// (the determinism contract), so a checkpoint taken at `p` ranks
+    /// resumes at any `p′` — elastic restart is asserting exactly this.
+    pub nranks: Option<u64>,
     /// Unit name → FNV-1a-64 checksum of `<unit>.json`.
     pub entries: BTreeMap<String, u64>,
 }
 
+// Hand-written so version-1 manifests (no `nranks` key) still load;
+// the derive's `map_field` would hard-error on the missing field.
+impl Deserialize for Manifest {
+    fn deserialize_value(value: &Content) -> Result<Self, DeError> {
+        let version: u32 = serde::map_field(value, "version")?;
+        let nranks: Option<u64> = if version >= 2 {
+            serde::map_field(value, "nranks")?
+        } else {
+            None
+        };
+        Ok(Self {
+            version,
+            seed: serde::map_field(value, "seed")?,
+            fingerprint: serde::map_field(value, "fingerprint")?,
+            nranks,
+            entries: serde::map_field(value, "entries")?,
+        })
+    }
+}
+
 impl Manifest {
-    fn fresh(seed: u64, fingerprint: (usize, usize, f64)) -> Self {
+    fn fresh(seed: u64, fingerprint: (usize, usize, f64), nranks: usize) -> Self {
         Self {
             version: MANIFEST_VERSION,
             seed,
             fingerprint,
+            nranks: Some(nranks as u64),
             entries: BTreeMap::new(),
         }
     }
@@ -227,19 +256,24 @@ pub struct CheckpointStore {
 
 impl CheckpointStore {
     /// Open (or create) the checkpoint directory `dir` for the run
-    /// identified by `(seed, fingerprint)`. `write_enabled` should be
-    /// `engine.io_rank()` — non-writer ranks mirror every operation in
-    /// memory only.
+    /// identified by `(seed, fingerprint)`. `nranks` is the *current*
+    /// engine's rank count, stamped into fresh manifests as
+    /// provenance; it is deliberately NOT a resume guard — stored
+    /// units are rank-count-independent, so a checkpoint taken at `p`
+    /// ranks resumes at any `p′` (elastic restart). `write_enabled`
+    /// should be `engine.io_rank()` — non-writer ranks mirror every
+    /// operation in memory only.
     pub fn open<P: AsRef<Path>>(
         dir: P,
         seed: u64,
         fingerprint: (usize, usize, f64),
+        nranks: usize,
         policy: ResumePolicy,
         write_enabled: bool,
     ) -> Result<Self, CheckpointError> {
         let dir = dir.as_ref().to_path_buf();
         let fresh = Self {
-            manifest: Manifest::fresh(seed, fingerprint),
+            manifest: Manifest::fresh(seed, fingerprint, nranks),
             units: BTreeMap::new(),
             write_enabled,
             dir: dir.clone(),
@@ -315,6 +349,14 @@ impl CheckpointStore {
         &self.dir
     }
 
+    /// Rank count of the run that originally created this checkpoint:
+    /// `Some(p)` from version-2 manifests, `None` when resuming a
+    /// version-1 checkpoint that predates the provenance field. Purely
+    /// informational — resume never requires it to match.
+    pub fn origin_nranks(&self) -> Option<usize> {
+        self.manifest.nranks.map(|n| n as usize)
+    }
+
     /// Fetch a completed unit. Returns `None` when the unit was never
     /// recorded (or its bytes, though checksum-clean, fail to parse as
     /// `T` — schema drift; the caller simply recomputes).
@@ -381,7 +423,9 @@ fn load_verified(
             file: manifest_path.clone(),
             reason: format!("unparseable manifest: {e}"),
         })?;
-    if manifest.version != MANIFEST_VERSION {
+    // Version 1 stays readable: it only lacks the rank-provenance
+    // field, which deserialization already defaulted to `None`.
+    if manifest.version != MANIFEST_VERSION && manifest.version != 1 {
         return Err(CheckpointError::Version {
             found: manifest.version,
             expected: MANIFEST_VERSION,
@@ -463,13 +507,13 @@ mod tests {
     fn put_get_roundtrip_across_reopen() {
         let dir = tmpdir("roundtrip");
         let mut store =
-            CheckpointStore::open(&dir, 1, FP, ResumePolicy::Auto, true).unwrap();
+            CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Auto, true).unwrap();
         assert!(store.is_empty());
         store.put("unit_a", &record(42)).unwrap();
         store.put("unit_b", &record(43)).unwrap();
 
         let reopened =
-            CheckpointStore::open(&dir, 1, FP, ResumePolicy::Strict, true).unwrap();
+            CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Strict, true).unwrap();
         assert_eq!(reopened.len(), 2);
         assert_eq!(reopened.get::<u32>("unit_a").unwrap(), record(42));
         assert_eq!(reopened.get::<u32>("unit_b").unwrap(), record(43));
@@ -481,13 +525,13 @@ mod tests {
     fn truncated_manifest_is_typed_not_a_panic() {
         let dir = tmpdir("truncated");
         let mut store =
-            CheckpointStore::open(&dir, 1, FP, ResumePolicy::Auto, true).unwrap();
+            CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Auto, true).unwrap();
         store.put("unit_a", &record(1)).unwrap();
         let manifest = dir.join(MANIFEST_FILE);
         let full = fs::read(&manifest).unwrap();
         fs::write(&manifest, &full[..full.len() / 2]).unwrap();
 
-        let err = CheckpointStore::open(&dir, 1, FP, ResumePolicy::Strict, true).unwrap_err();
+        let err = CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Strict, true).unwrap_err();
         match &err {
             CheckpointError::Corrupt { file, reason } => {
                 assert_eq!(file, &manifest);
@@ -496,7 +540,7 @@ mod tests {
             other => panic!("unexpected error {other:?}"),
         }
         // Auto silently starts fresh on the same corruption.
-        let store = CheckpointStore::open(&dir, 1, FP, ResumePolicy::Auto, true).unwrap();
+        let store = CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Auto, true).unwrap();
         assert!(store.is_empty());
         fs::remove_dir_all(&dir).ok();
     }
@@ -505,7 +549,7 @@ mod tests {
     fn bit_flipped_unit_file_fails_its_checksum() {
         let dir = tmpdir("bitflip");
         let mut store =
-            CheckpointStore::open(&dir, 1, FP, ResumePolicy::Auto, true).unwrap();
+            CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Auto, true).unwrap();
         store.put("unit_a", &record(9)).unwrap();
         let unit = dir.join("unit_a.json");
         let mut bytes = fs::read(&unit).unwrap();
@@ -513,7 +557,7 @@ mod tests {
         bytes[mid] ^= 0x01;
         fs::write(&unit, &bytes).unwrap();
 
-        let err = CheckpointStore::open(&dir, 1, FP, ResumePolicy::Strict, true).unwrap_err();
+        let err = CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Strict, true).unwrap_err();
         match &err {
             CheckpointError::Corrupt { file, reason } => {
                 assert_eq!(file, &unit);
@@ -528,19 +572,19 @@ mod tests {
     fn wrong_seed_and_wrong_fingerprint_are_mismatches() {
         let dir = tmpdir("mismatch");
         let mut store =
-            CheckpointStore::open(&dir, 1, FP, ResumePolicy::Auto, true).unwrap();
+            CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Auto, true).unwrap();
         store.put("unit_a", &record(5)).unwrap();
 
-        let err = CheckpointStore::open(&dir, 2, FP, ResumePolicy::Strict, true).unwrap_err();
+        let err = CheckpointStore::open(&dir, 2, FP, 4, ResumePolicy::Strict, true).unwrap_err();
         assert!(matches!(err, CheckpointError::Mismatch { .. }), "{err:?}");
         assert!(err.to_string().contains("seed 1 on disk, 2 requested"));
 
-        let err = CheckpointStore::open(&dir, 1, (3, 4, 99.0), ResumePolicy::Strict, true)
+        let err = CheckpointStore::open(&dir, 1, (3, 4, 99.0), 4, ResumePolicy::Strict, true)
             .unwrap_err();
         assert!(matches!(err, CheckpointError::Mismatch { .. }), "{err:?}");
 
         // Auto discards the mismatched checkpoint instead of erroring.
-        let store = CheckpointStore::open(&dir, 2, FP, ResumePolicy::Auto, true).unwrap();
+        let store = CheckpointStore::open(&dir, 2, FP, 4, ResumePolicy::Auto, true).unwrap();
         assert!(store.is_empty());
         fs::remove_dir_all(&dir).ok();
     }
@@ -549,13 +593,13 @@ mod tests {
     fn version_skew_is_reported() {
         let dir = tmpdir("version");
         let mut store =
-            CheckpointStore::open(&dir, 1, FP, ResumePolicy::Auto, true).unwrap();
+            CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Auto, true).unwrap();
         store.put("unit_a", &record(5)).unwrap();
         let manifest = dir.join(MANIFEST_FILE);
         let text = fs::read_to_string(&manifest).unwrap();
-        fs::write(&manifest, text.replace("\"version\": 1", "\"version\": 99")).unwrap();
+        fs::write(&manifest, text.replace("\"version\": 2", "\"version\": 99")).unwrap();
 
-        let err = CheckpointStore::open(&dir, 1, FP, ResumePolicy::Strict, true).unwrap_err();
+        let err = CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Strict, true).unwrap_err();
         match err {
             CheckpointError::Version { found, expected } => {
                 assert_eq!((found, expected), (99, MANIFEST_VERSION));
@@ -572,12 +616,12 @@ mod tests {
         // never mentioned it. Loading must ignore the leftover.
         let dir = tmpdir("crash_tmp");
         let mut store =
-            CheckpointStore::open(&dir, 1, FP, ResumePolicy::Auto, true).unwrap();
+            CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Auto, true).unwrap();
         store.put("unit_a", &record(1)).unwrap();
         fs::write(dir.join("unit_b.json.tmp"), b"{\"torn\":").unwrap();
 
         let reopened =
-            CheckpointStore::open(&dir, 1, FP, ResumePolicy::Strict, true).unwrap();
+            CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Strict, true).unwrap();
         assert_eq!(reopened.len(), 1);
         assert!(reopened.get::<u32>("unit_b").is_none());
         fs::remove_dir_all(&dir).ok();
@@ -590,13 +634,13 @@ mod tests {
         // it. It is simply recomputed (and overwritten) on resume.
         let dir = tmpdir("crash_unref");
         let mut store =
-            CheckpointStore::open(&dir, 1, FP, ResumePolicy::Auto, true).unwrap();
+            CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Auto, true).unwrap();
         store.put("unit_a", &record(1)).unwrap();
         let orphan = serde_json::to_string(&record(2)).unwrap();
         fs::write(dir.join("unit_b.json"), orphan.as_bytes()).unwrap();
 
         let reopened =
-            CheckpointStore::open(&dir, 1, FP, ResumePolicy::Strict, true).unwrap();
+            CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Strict, true).unwrap();
         assert_eq!(reopened.len(), 1, "orphan unit must not be trusted");
         assert!(reopened.get::<u32>("unit_b").is_none());
         fs::remove_dir_all(&dir).ok();
@@ -606,10 +650,10 @@ mod tests {
     fn missing_unit_file_is_corrupt() {
         let dir = tmpdir("missing_unit");
         let mut store =
-            CheckpointStore::open(&dir, 1, FP, ResumePolicy::Auto, true).unwrap();
+            CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Auto, true).unwrap();
         store.put("unit_a", &record(1)).unwrap();
         fs::remove_file(dir.join("unit_a.json")).unwrap();
-        let err = CheckpointStore::open(&dir, 1, FP, ResumePolicy::Strict, true).unwrap_err();
+        let err = CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Strict, true).unwrap_err();
         assert!(matches!(err, CheckpointError::Corrupt { .. }), "{err:?}");
         fs::remove_dir_all(&dir).ok();
     }
@@ -618,20 +662,20 @@ mod tests {
     fn force_restart_wipes_and_starts_fresh() {
         let dir = tmpdir("force");
         let mut store =
-            CheckpointStore::open(&dir, 1, FP, ResumePolicy::Auto, true).unwrap();
+            CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Auto, true).unwrap();
         store.put("unit_a", &record(1)).unwrap();
         // Corrupt the manifest; ForceRestart must recover anyway.
         fs::write(dir.join(MANIFEST_FILE), b"garbage").unwrap();
 
         let store =
-            CheckpointStore::open(&dir, 1, FP, ResumePolicy::ForceRestart, true).unwrap();
+            CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::ForceRestart, true).unwrap();
         assert!(store.is_empty());
         assert!(!dir.join("unit_a.json").exists());
         // A fresh store is published immediately: the wiped directory
         // holds a valid empty manifest, so a crash straight after the
         // restart still resumes cleanly.
         let reopened =
-            CheckpointStore::open(&dir, 1, FP, ResumePolicy::Strict, true).unwrap();
+            CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Strict, true).unwrap();
         assert!(reopened.is_empty());
         fs::remove_dir_all(&dir).ok();
     }
@@ -639,7 +683,7 @@ mod tests {
     #[test]
     fn strict_with_no_manifest_is_nothing_to_resume() {
         let dir = tmpdir("nothing");
-        let err = CheckpointStore::open(&dir, 1, FP, ResumePolicy::Strict, true).unwrap_err();
+        let err = CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Strict, true).unwrap_err();
         match &err {
             CheckpointError::NothingToResume { dir: d } => assert_eq!(d, &dir),
             other => panic!("unexpected error {other:?}"),
@@ -652,11 +696,48 @@ mod tests {
     fn non_writer_rank_stays_off_disk() {
         let dir = tmpdir("nonwriter");
         let mut store =
-            CheckpointStore::open(&dir, 1, FP, ResumePolicy::Auto, false).unwrap();
+            CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Auto, false).unwrap();
         store.put("unit_a", &record(1)).unwrap();
         // In-memory view sees the unit; the disk was never touched.
         assert_eq!(store.get::<u32>("unit_a").unwrap(), record(1));
         assert!(!dir.exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_records_origin_nranks_and_resume_ignores_mismatch() {
+        let dir = tmpdir("elastic");
+        let mut store = CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Auto, true).unwrap();
+        store.put("unit_a", &record(1)).unwrap();
+        assert_eq!(store.origin_nranks(), Some(4));
+
+        // Reopening at a different rank count is not an error — stored
+        // units are rank-count-independent — and the manifest keeps
+        // reporting the *original* writer's rank count.
+        let reopened = CheckpointStore::open(&dir, 1, FP, 9, ResumePolicy::Strict, true).unwrap();
+        assert_eq!(reopened.origin_nranks(), Some(4));
+        assert_eq!(reopened.get::<u32>("unit_a").unwrap(), record(1));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn version_1_manifest_without_nranks_still_loads() {
+        let dir = tmpdir("v1_compat");
+        let mut store = CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Auto, true).unwrap();
+        store.put("unit_a", &record(7)).unwrap();
+        // Rewrite the manifest as a version-1 writer would have: no
+        // `nranks` key at all.
+        let manifest = dir.join(MANIFEST_FILE);
+        let text = fs::read_to_string(&manifest).unwrap();
+        let v1 = text
+            .replace("\"version\": 2", "\"version\": 1")
+            .replace("\"nranks\": 4,", "");
+        assert!(!v1.contains("nranks"), "test setup left the field behind");
+        fs::write(&manifest, v1).unwrap();
+
+        let reopened = CheckpointStore::open(&dir, 1, FP, 8, ResumePolicy::Strict, true).unwrap();
+        assert_eq!(reopened.origin_nranks(), None);
+        assert_eq!(reopened.get::<u32>("unit_a").unwrap(), record(7));
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -298,6 +298,7 @@ pub fn learn_with_checkpoint_policy<E: ParEngine, P: AsRef<Path>>(
         dir,
         config.seed,
         data_fingerprint(data),
+        engine.nranks(),
         policy,
         engine.io_rank(),
     )?;

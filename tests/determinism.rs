@@ -74,11 +74,7 @@ fn identical_across_partition_strategies() {
     let c = config();
     let (baseline, _) = learn_module_network(&mut SerialEngine::new(), &d, &c);
     let expected = to_json(&baseline);
-    for strategy in [
-        PartitionStrategy::Block,
-        PartitionStrategy::SegmentOwner,
-        PartitionStrategy::SelfScheduling,
-    ] {
+    for strategy in PartitionStrategy::ALL {
         let mut engine = SimEngine::new(64).with_strategy(strategy);
         let (net, _) = learn_module_network(&mut engine, &d, &c);
         assert_eq!(to_json(&net), expected, "{strategy:?} diverged");

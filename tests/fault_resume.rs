@@ -349,6 +349,154 @@ fn kill_resume_equivalence_msg() {
     }
 }
 
+/// Recursive checkpoint-directory copy, so one killed run can seed two
+/// independent resumes (the replay-determinism half of the elastic
+/// contract).
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_dir(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}
+
+/// Elastic restart (DESIGN.md §14): a run checkpointed at `p` ranks is
+/// killed mid-task-3, then resumed at a *different* rank count `p′`.
+/// Checkpoint units are rank-count independent (per GaneSH run / per
+/// module tree), and the v2 manifest records the origin rank count as
+/// provenance only, so the resume must succeed and finish with the
+/// byte-identical network of an uninterrupted run — and two resumes
+/// from the same checkpoint must replay-match each other's
+/// deterministic flight record.
+fn elastic_resume<A: SweepEngine, B: ParEngine>(mk_resume: impl Fn() -> B, resume_label: &str) {
+    silence_injected_panics();
+    let (d, c) = setup();
+    let (ref_net, _) = monet::learn_module_network(&mut SerialEngine::new(), &d, &c);
+    let ref_json = to_json(&ref_net);
+
+    let (e1, e2, e3) = probe_task_boundaries::<A>(&d, &c);
+    assert!(e1 < e2 && e2 < e3, "degenerate task boundaries {e1}/{e2}/{e3}");
+    // Mid task 3: the checkpoint holds completed task-1 and task-2
+    // units plus a partial tree sweep when the kill lands.
+    let event = e2 + (e3 - e2).div_ceil(2);
+    let label = format!("{} kill@{event} → resume {resume_label}", A::LABEL);
+    let dir = tmpdir(&format!("elastic_{}_{resume_label}", A::LABEL));
+
+    let mut engine = A::with_plan(FaultPlan::new().kill(0, event));
+    let killed = catch_unwind(AssertUnwindSafe(|| {
+        learn_with_checkpoint(&mut engine, &d, &c, &dir)
+    }));
+    assert!(killed.is_err(), "{label}: fault did not fire");
+
+    // Duplicate the dead run's checkpoint so the second resume sees the
+    // same starting state (the first resume completes the store).
+    let dir_b = tmpdir(&format!("elastic_{}_{resume_label}_b", A::LABEL));
+    copy_dir(&dir, &dir_b);
+
+    let mut first = mk_resume();
+    let (net, _) = learn_with_checkpoint(&mut first, &d, &c, &dir)
+        .unwrap_or_else(|e| panic!("{label}: elastic resume failed: {e}"));
+    assert_eq!(to_json(&net), ref_json, "{label}: network diverged");
+    let det_first = first.obs().flight().det_events();
+
+    let mut second = mk_resume();
+    let (net2, _) = learn_with_checkpoint(&mut second, &d, &c, &dir_b)
+        .unwrap_or_else(|e| panic!("{label}: second elastic resume failed: {e}"));
+    assert_eq!(to_json(&net2), ref_json, "{label}: replayed network diverged");
+    if let Err(e) = det_overlap_matches(&det_first, &second.obs().flight().det_events()) {
+        panic!("{label}: elastic replay flight mismatch: {e}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
+
+#[test]
+fn elastic_resume_serial_to_two_ranks() {
+    // p = 1 → p′ = 2p: the serial checkpoint restarts on a parallel
+    // engine.
+    elastic_resume::<SerialEngine, _>(|| ThreadEngine::new(2), "threads:2");
+}
+
+#[test]
+fn elastic_resume_threads_shrink_and_grow() {
+    // p = 3 → p′ ∈ {p − 1, 2p}.
+    elastic_resume::<ThreadEngine, _>(|| ThreadEngine::new(2), "threads:2");
+    elastic_resume::<ThreadEngine, _>(|| ThreadEngine::new(6), "threads:6");
+}
+
+#[test]
+fn elastic_resume_sim_shrink_and_grow() {
+    // p = 4 → p′ ∈ {p − 1, 2p}.
+    elastic_resume::<SimEngine, _>(|| SimEngine::new(3), "sim:3");
+    elastic_resume::<SimEngine, _>(|| SimEngine::new(8), "sim:8");
+}
+
+#[test]
+fn elastic_resume_msg_shrink_and_grow() {
+    // The real fabric: checkpoint at p = 3 ranks, kill a non-writer
+    // rank mid-run, resume the surviving store at p′ ∈ {2, 6}. Every
+    // rank of the elastic resume must reproduce the uninterrupted
+    // reference, and a second resume from a copy of the checkpoint
+    // must replay-match the first's deterministic flight record.
+    silence_injected_panics();
+    let (d, c) = setup();
+    let p = 3;
+    let reference = mn_comm::spmd_run(p, |engine| {
+        let (net, _) = monet::learn_module_network(engine, &d, &c);
+        to_json(&net)
+    });
+    let ref_json = reference[0].clone();
+
+    let probe_dir = tmpdir("msg_elastic_probe");
+    let probe = mn_comm::spmd_run(p, |engine| {
+        learn_with_checkpoint(engine, &d, &c, &probe_dir).unwrap();
+        engine.endpoint().events()
+    });
+    std::fs::remove_dir_all(&probe_dir).ok();
+    let total = probe.iter().copied().min().unwrap();
+
+    for p_prime in [2usize, 6] {
+        let label = format!("msg:{p} → msg:{p_prime}");
+        let dir = tmpdir(&format!("msg_elastic_{p_prime}"));
+        let (outcomes, _) = mn_comm::spmd_run_faulty_recorded(
+            p,
+            FaultPlan::new().kill(1, total / 2),
+            None,
+            |engine| learn_with_checkpoint(engine, &d, &c, &dir).map(|_| ()),
+        );
+        assert!(outcomes[1].is_err(), "{label}: victim survived");
+
+        let dir_b = tmpdir(&format!("msg_elastic_{p_prime}_b"));
+        copy_dir(&dir, &dir_b);
+
+        let first = mn_comm::spmd_run(p_prime, |engine| {
+            let (net, report) = learn_with_checkpoint(engine, &d, &c, &dir)
+                .unwrap_or_else(|e| panic!("{label}: elastic resume failed: {e}"));
+            assert_eq!(report.nranks, p_prime, "{label}");
+            (to_json(&net), engine.obs().flight().det_events())
+        });
+        for (rank, (json, _)) in first.iter().enumerate() {
+            assert_eq!(json, &ref_json, "{label}: rank {rank} network diverged");
+        }
+        let second = mn_comm::spmd_run(p_prime, |engine| {
+            let (net, _) = learn_with_checkpoint(engine, &d, &c, &dir_b)
+                .unwrap_or_else(|e| panic!("{label}: second elastic resume failed: {e}"));
+            (to_json(&net), engine.obs().flight().det_events())
+        });
+        assert_eq!(second[0].0, ref_json, "{label}: replayed network diverged");
+        if let Err(e) = det_overlap_matches(&first[0].1, &second[0].1) {
+            panic!("{label}: elastic replay flight mismatch: {e}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+}
+
 #[test]
 fn fault_free_checkpointed_msg_run_matches_plain_run() {
     // The fault-free half of the contract on the real fabric: enabling

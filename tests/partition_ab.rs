@@ -1,0 +1,117 @@
+//! **Partition A/B suite** — the end-to-end invariance contract of the
+//! cost-model-guided partitioning subsystem (DESIGN.md §14): for every
+//! engine and every [`PartitionStrategy`], the full learner pipeline
+//! produces the byte-identical network and the bit-identical
+//! deterministic counters that the serial Block baseline produces.
+//! Strategies may only move work between ranks (and change simulated /
+//! measured time); they must never change a decision.
+//!
+//! The pipeline runs two GaneSH runs so the between-runs
+//! `partition_feedback` hook fires and the adaptive strategies actually
+//! re-plan mid-run.
+
+use mn_comm::{ParEngine, PartitionStrategy, SerialEngine, SimEngine, ThreadEngine};
+use mn_data::synthetic;
+use monet::{learn_module_network, to_json, LearnerConfig};
+use std::collections::BTreeMap;
+
+fn dataset() -> mn_data::Dataset {
+    synthetic::yeast_like(22, 16, 7).dataset
+}
+
+fn config() -> LearnerConfig {
+    let mut c = LearnerConfig::paper_minimum(31);
+    // Two runs so ganesh_ensemble's partition_feedback hook fires
+    // between them and adaptive strategies re-plan mid-pipeline.
+    c.ganesh_runs = 2;
+    c
+}
+
+/// Run the pipeline on `engine` under `strategy`; return the network
+/// JSON and the deterministic counters.
+fn run_on<E: ParEngine>(
+    mut engine: E,
+    strategy: PartitionStrategy,
+) -> (String, BTreeMap<String, u64>) {
+    engine.set_partition_strategy(strategy);
+    let d = dataset();
+    let c = config();
+    let (net, _) = learn_module_network(&mut engine, &d, &c);
+    let now = engine.now_s();
+    (to_json(&net), engine.obs().snapshot(now).counters)
+}
+
+#[test]
+fn serial_engine_is_strategy_invariant() {
+    let (expected_net, expected_counters) = run_on(SerialEngine::new(), PartitionStrategy::Block);
+    for strategy in PartitionStrategy::ALL {
+        let (net, counters) = run_on(SerialEngine::new(), strategy);
+        assert_eq!(net, expected_net, "serial {strategy} changed the network");
+        assert_eq!(
+            counters, expected_counters,
+            "serial {strategy} changed the counters"
+        );
+    }
+}
+
+#[test]
+fn thread_engine_is_strategy_invariant() {
+    let (expected_net, expected_counters) = run_on(ThreadEngine::new(3), PartitionStrategy::Block);
+    // The serial Block run is the global reference: the network must
+    // agree across engines too, not just across strategies.
+    let (serial_net, _) = run_on(SerialEngine::new(), PartitionStrategy::Block);
+    assert_eq!(expected_net, serial_net);
+    for strategy in PartitionStrategy::ALL {
+        let (net, counters) = run_on(ThreadEngine::new(3), strategy);
+        assert_eq!(net, expected_net, "threads:3 {strategy} changed the network");
+        assert_eq!(
+            counters, expected_counters,
+            "threads:3 {strategy} changed the counters"
+        );
+    }
+}
+
+#[test]
+fn sim_engine_is_strategy_invariant_across_rank_counts() {
+    let (serial_net, _) = run_on(SerialEngine::new(), PartitionStrategy::Block);
+    for p in [4usize, 16] {
+        let (expected_net, expected_counters) =
+            run_on(SimEngine::new(p), PartitionStrategy::Block);
+        assert_eq!(expected_net, serial_net, "sim:{p} Block diverged from serial");
+        for strategy in PartitionStrategy::ALL {
+            let (net, counters) = run_on(SimEngine::new(p), strategy);
+            assert_eq!(net, expected_net, "sim:{p} {strategy} changed the network");
+            assert_eq!(
+                counters, expected_counters,
+                "sim:{p} {strategy} changed the counters"
+            );
+        }
+    }
+}
+
+#[test]
+fn msg_engine_is_strategy_invariant_on_every_rank() {
+    let (serial_net, serial_counters) = run_on(SerialEngine::new(), PartitionStrategy::Block);
+    let d = dataset();
+    let c = config();
+    for strategy in PartitionStrategy::ALL {
+        let per_rank = mn_comm::spmd_run(3, |engine| {
+            engine.set_partition_strategy(strategy);
+            let (net, _) = learn_module_network(engine, &d, &c);
+            let now = engine.now_s();
+            (to_json(&net), engine.obs().snapshot(now).counters)
+        });
+        for (rank, (net, counters)) in per_rank.iter().enumerate() {
+            assert_eq!(
+                net, &serial_net,
+                "msg:3 rank {rank} {strategy} changed the network"
+            );
+            // Counters are replicated control flow (mn-obs contract),
+            // so every rank of every strategy matches serial Block.
+            assert_eq!(
+                counters, &serial_counters,
+                "msg:3 rank {rank} {strategy} changed the counters"
+            );
+        }
+    }
+}
