@@ -33,6 +33,18 @@ use std::ops::Range;
 /// A work item's result together with its cost in work units.
 pub type Costed<T> = (T, u64);
 
+/// The payload bound of everything an engine moves between ranks.
+///
+/// In-process engines only need `Send + Clone` (a result genuinely
+/// fans out to every rank), but the multi-process transport
+/// ([`crate::msg::proc`]) additionally has to serialize payloads onto
+/// a socket — so every distributed result type must also round-trip
+/// through serde. All result types in this workspace are plain data;
+/// the blanket impl makes the bound invisible at call sites.
+pub trait Wire: Send + Clone + serde::Serialize + serde::Deserialize + 'static {}
+
+impl<T: Send + Clone + serde::Serialize + serde::Deserialize + 'static> Wire for T {}
+
 /// A segment-batched kernel: called with `(segment, item range)` where
 /// the range is a sub-range of the segment's items (engines cut
 /// segments at block-partition boundaries), it must push exactly one
@@ -58,10 +70,11 @@ pub trait ParEngine {
     /// `f(i)` computes item `i`'s result and reports its cost in work
     /// units; `words_per_item` is the size of one result in 8-byte
     /// words for communication accounting of the implied all-gather.
-    /// The `Clone + 'static` bounds exist because on message-passing
-    /// engines a result value genuinely fans out to every rank; all
-    /// result types in this workspace are plain data.
-    fn dist_map<T: Send + Clone + 'static>(
+    /// The [`Wire`] bound exists because on message-passing engines a
+    /// result value genuinely fans out to every rank (and on the
+    /// multi-process transport it crosses a socket); all result types
+    /// in this workspace are plain data.
+    fn dist_map<T: Wire>(
         &mut self,
         n_items: usize,
         words_per_item: usize,
@@ -73,7 +86,7 @@ pub trait ParEngine {
     /// default ignores segments — the paper's block split deliberately
     /// cuts across segments; engines may use them for the ablation
     /// partitioning strategies.
-    fn dist_map_segmented<T: Send + Clone + 'static>(
+    fn dist_map_segmented<T: Wire>(
         &mut self,
         segments: &Segments,
         words_per_item: usize,
@@ -92,7 +105,7 @@ pub trait ParEngine {
     /// reported cost to the rank that owns the item. Results are
     /// returned in item order; determinism therefore matches the
     /// per-item map as long as the kernel's per-item results do.
-    fn dist_map_segmented_batch<T: Send + Clone + 'static>(
+    fn dist_map_segmented_batch<T: Wire>(
         &mut self,
         segments: &Segments,
         words_per_item: usize,

@@ -122,6 +122,49 @@ impl fmt::Display for CommError {
 
 impl std::error::Error for CommError {}
 
+impl CommError {
+    /// Map an [`std::io::ErrorKind`] from a socket operation onto the
+    /// typed error taxonomy — the single place where OS-level transport
+    /// failures become the same `CommError` variants the in-process
+    /// fabric produces, so every layer above the transport sees one
+    /// failure surface regardless of engine.
+    ///
+    /// * Connection teardown (`ConnectionReset`, `BrokenPipe`,
+    ///   `ConnectionAborted`, `NotConnected`, `UnexpectedEof`) is a
+    ///   dead peer: [`CommError::PeerDisconnected`].
+    /// * Time-bounded waits that elapsed (`TimedOut`, `WouldBlock` —
+    ///   the kind `read` returns under a socket read timeout on some
+    ///   platforms) are [`CommError::Timeout`].
+    /// * Everything else is also reported as a disconnection — on a
+    ///   stream transport any other socket error ends the connection.
+    ///
+    /// `peer` is the rank on the other end of the socket, `rank` the
+    /// observer, `event` the observer's fabric event number, and
+    /// `waited` the timeout in force (used only for the timeout
+    /// variants).
+    pub fn from_io_kind(
+        kind: std::io::ErrorKind,
+        peer: usize,
+        rank: usize,
+        event: u64,
+        waited: Duration,
+    ) -> CommError {
+        use std::io::ErrorKind;
+        match kind {
+            ErrorKind::TimedOut | ErrorKind::WouldBlock => CommError::Timeout {
+                src: peer,
+                dst: rank,
+                event,
+                waited,
+            },
+            // ConnectionReset | BrokenPipe | ConnectionAborted |
+            // NotConnected | UnexpectedEof and any other stream error:
+            // the peer is gone.
+            _ => CommError::PeerDisconnected { peer, rank, event },
+        }
+    }
+}
+
 /// What the plan does to a rank at a scheduled event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultAction {
@@ -137,6 +180,16 @@ pub enum FaultAction {
     /// receiver's matching `recv` then times out). No effect on
     /// receives.
     Drop,
+    /// The rank's whole OS process dies by a real `SIGKILL` — no
+    /// unwinding, no destructors, exactly the failure mode the
+    /// multi-process transport ([`crate::msg::proc`]) must detect and
+    /// survive. The fabric flushes the rank's flight-recorder ring
+    /// first (a kernel kill leaves no other trace), then raises the
+    /// signal on itself. On the in-process engines — where killing the
+    /// process would take the test harness with it — `Die` degrades to
+    /// [`FaultAction::Kill`] semantics (an injected unwind), so one
+    /// fault spec drives both substrates.
+    Die,
 }
 
 impl FaultAction {
@@ -146,6 +199,7 @@ impl FaultAction {
             FaultAction::Kill => "kill",
             FaultAction::Delay(_) => "delay",
             FaultAction::Drop => "drop",
+            FaultAction::Die => "sigkill",
         }
     }
 }
@@ -186,6 +240,13 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule `rank`'s OS process to die by real `SIGKILL` at its
+    /// `event`-th event (see [`FaultAction::Die`]).
+    pub fn sigkill(mut self, rank: usize, event: u64) -> Self {
+        self.actions.insert((rank, event), FaultAction::Die);
+        self
+    }
+
     /// Whether the plan schedules nothing.
     pub fn is_empty(&self) -> bool {
         self.actions.is_empty()
@@ -214,6 +275,7 @@ impl FaultPlan {
     ///
     /// ```text
     /// kill:<rank>@<event>
+    /// sigkill:<rank>@<event>   (real SIGKILL on proc workers)
     /// delay:<rank>@<event>:<millis>
     /// drop:<rank>@<event>
     /// seed:<n>            (expands via from_seed, max_event 10_000)
@@ -248,6 +310,12 @@ impl FaultPlan {
                         .map_err(|e| format!("bad fault event {tail:?}: {e}"))?;
                     plan = plan.kill(rank, event);
                 }
+                "sigkill" => {
+                    let event: u64 = tail
+                        .parse()
+                        .map_err(|e| format!("bad fault event {tail:?}: {e}"))?;
+                    plan = plan.sigkill(rank, event);
+                }
                 "drop" => {
                     let event: u64 = tail
                         .parse()
@@ -268,7 +336,7 @@ impl FaultPlan {
                 }
                 other => {
                     return Err(format!(
-                        "unknown fault kind {other:?}; expected kill | delay | drop | seed"
+                        "unknown fault kind {other:?}; expected kill | sigkill | delay | drop | seed"
                     ))
                 }
             }
@@ -281,8 +349,9 @@ impl FaultPlan {
 }
 
 /// SplitMix64 — the standard 64-bit finalizer-style mixer, used here
-/// so `mn-comm` needs no dependency on `mn-rand` for plan derivation.
-fn splitmix64(mut z: u64) -> u64 {
+/// so `mn-comm` needs no dependency on `mn-rand` for plan derivation
+/// (also jitters the proc transport's connect backoff).
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -430,6 +499,60 @@ mod tests {
         assert!(FaultPlan::parse("kill:1", 3).is_err());
         assert!(FaultPlan::parse("explode:1@2", 3).is_err());
         assert!(FaultPlan::parse("", 3).is_err());
+    }
+
+    #[test]
+    fn io_kinds_map_onto_the_typed_taxonomy() {
+        use std::io::ErrorKind;
+        let waited = Duration::from_millis(40);
+        // Connection teardown kinds are peer death.
+        for kind in [
+            ErrorKind::ConnectionReset,
+            ErrorKind::BrokenPipe,
+            ErrorKind::ConnectionAborted,
+            ErrorKind::NotConnected,
+            ErrorKind::UnexpectedEof,
+        ] {
+            assert_eq!(
+                CommError::from_io_kind(kind, 2, 0, 7, waited),
+                CommError::PeerDisconnected {
+                    peer: 2,
+                    rank: 0,
+                    event: 7
+                },
+                "{kind:?}"
+            );
+        }
+        // Elapsed waits are timeouts, with the receive coordinates.
+        for kind in [ErrorKind::TimedOut, ErrorKind::WouldBlock] {
+            assert_eq!(
+                CommError::from_io_kind(kind, 2, 0, 7, waited),
+                CommError::Timeout {
+                    src: 2,
+                    dst: 0,
+                    event: 7,
+                    waited
+                },
+                "{kind:?}"
+            );
+        }
+        // Anything else on a stream transport also ends the connection.
+        assert!(matches!(
+            CommError::from_io_kind(ErrorKind::Other, 1, 3, 9, waited),
+            CommError::PeerDisconnected {
+                peer: 1,
+                rank: 3,
+                event: 9
+            }
+        ));
+    }
+
+    #[test]
+    fn sigkill_specs_parse_and_label() {
+        let plan = FaultPlan::parse("sigkill:2@41", 4).unwrap();
+        assert_eq!(plan.action(2, 41), Some(FaultAction::Die));
+        assert_eq!(FaultAction::Die.label(), "sigkill");
+        assert!(FaultPlan::parse("sigkill:4@1", 4).is_err(), "rank range");
     }
 
     #[test]

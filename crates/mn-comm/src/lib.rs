@@ -38,6 +38,7 @@ pub mod partition;
 pub mod segments;
 pub mod serial;
 pub mod sim;
+pub mod sys;
 pub mod thread;
 
 pub use cost::{Collective, CostModel};
@@ -46,8 +47,10 @@ pub use fault::{
     silence_injected_panics, CommError, FaultAction, FaultAbort, FaultClock, FaultPlan,
     InjectedCrash,
 };
-pub use msg::{spmd_run, spmd_run_faulty, spmd_run_faulty_recorded, SpmdCapture, SpmdEngine};
-pub use engine::{with_phase, with_span, Costed, ParEngine, SegmentBatchFn};
+pub use msg::{
+    spmd_run, spmd_run_faulty, spmd_run_faulty_recorded, Fabric, SpmdCapture, SpmdEngine,
+};
+pub use engine::{with_phase, with_span, Costed, ParEngine, SegmentBatchFn, Wire};
 pub use metrics::{PhaseReport, RunReport};
 pub use mn_obs::{self as obs, ObsSnapshot, Recorder};
 pub use segments::Segments;
@@ -70,6 +73,8 @@ pub enum EngineSpec {
     Sim(usize),
     /// `msg:<p>` — true SPMD over the message fabric.
     Msg(usize),
+    /// `proc:<p>` — the msg fabric over real supervised OS processes.
+    Proc(usize),
 }
 
 impl std::str::FromStr for EngineSpec {
@@ -101,8 +106,15 @@ impl std::str::FromStr for EngineSpec {
             }
             return Ok(EngineSpec::Msg(p));
         }
+        if let Some(rest) = s.strip_prefix("proc:") {
+            let p: usize = rest.parse().map_err(|e| format!("bad rank count: {e}"))?;
+            if p == 0 {
+                return Err("rank count must be >= 1".into());
+            }
+            return Ok(EngineSpec::Proc(p));
+        }
         Err(format!(
-            "unknown engine {s:?}; expected serial | threads:<p> | sim:<p> | msg:<p>"
+            "unknown engine {s:?}; expected serial | threads:<p> | sim:<p> | msg:<p> | proc:<p>"
         ))
     }
 }
@@ -120,8 +132,10 @@ mod tests {
         );
         assert_eq!("sim:1024".parse::<EngineSpec>().unwrap(), EngineSpec::Sim(1024));
         assert_eq!("msg:4".parse::<EngineSpec>().unwrap(), EngineSpec::Msg(4));
+        assert_eq!("proc:4".parse::<EngineSpec>().unwrap(), EngineSpec::Proc(4));
         assert!("sim:0".parse::<EngineSpec>().is_err());
         assert!("msg:0".parse::<EngineSpec>().is_err());
+        assert!("proc:0".parse::<EngineSpec>().is_err());
         assert!("gpu".parse::<EngineSpec>().is_err());
     }
 }

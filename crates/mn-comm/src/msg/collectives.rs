@@ -27,8 +27,9 @@
 //! configured, even a silently dropped message resolves to
 //! [`CommError::Timeout`]).
 
+use crate::engine::Wire;
 use crate::fault::CommError;
-use crate::msg::fabric::Endpoint;
+use crate::msg::fabric::Fabric;
 use std::mem::size_of;
 
 /// Shallow wire size of one `Vec<T>` payload: `len * size_of::<T>()`.
@@ -41,8 +42,8 @@ fn vec_wire<T>(v: &[T]) -> u64 {
 }
 
 /// Binomial-tree broadcast of `value` from `root` to all ranks.
-pub fn bcast<T: Clone + Send + 'static>(
-    ep: &Endpoint,
+pub fn bcast<F: Fabric, T: Wire>(
+    ep: &F,
     root: usize,
     value: Option<T>,
 ) -> Result<T, CommError> {
@@ -52,8 +53,8 @@ pub fn bcast<T: Clone + Send + 'static>(
 /// [`bcast`] with a caller-supplied wire-size function, so payloads
 /// with heap storage (`Vec<T>`) report honest byte counts to the
 /// communication matrix.
-fn bcast_sized<T: Clone + Send + 'static>(
-    ep: &Endpoint,
+fn bcast_sized<F: Fabric, T: Wire>(
+    ep: &F,
     root: usize,
     value: Option<T>,
     wire: &dyn Fn(&T) -> u64,
@@ -95,8 +96,8 @@ fn bcast_sized<T: Clone + Send + 'static>(
 
 /// Binomial-tree reduction of per-rank `value`s to `root` with the
 /// associative combiner `op`. Non-root ranks return `Ok(None)`.
-pub fn reduce<T: Send + 'static>(
-    ep: &Endpoint,
+pub fn reduce<F: Fabric, T: Wire>(
+    ep: &F,
     root: usize,
     value: T,
     op: impl Fn(T, T) -> T,
@@ -127,8 +128,8 @@ pub fn reduce<T: Send + 'static>(
 }
 
 /// All-reduce: reduce to rank 0, broadcast the result.
-pub fn allreduce<T: Clone + Send + 'static>(
-    ep: &Endpoint,
+pub fn allreduce<F: Fabric, T: Wire>(
+    ep: &F,
     value: T,
     op: impl Fn(T, T) -> T,
 ) -> Result<T, CommError> {
@@ -139,8 +140,8 @@ pub fn allreduce<T: Clone + Send + 'static>(
 /// Variable-length all-gather: every rank contributes a `Vec<T>`; all
 /// ranks receive the rank-ordered concatenation (the semantics the
 /// split-selection phase of Alg. 5 needs).
-pub fn allgatherv<T: Clone + Send + 'static>(
-    ep: &Endpoint,
+pub fn allgatherv<F: Fabric, T: Wire>(
+    ep: &F,
     local: Vec<T>,
 ) -> Result<Vec<T>, CommError> {
     let p = ep.nranks();
@@ -158,14 +159,14 @@ pub fn allgatherv<T: Clone + Send + 'static>(
     } else {
         let bytes = vec_wire(&local);
         ep.send_to_sized(0, local, bytes)?;
-        bcast_sized::<Vec<T>>(ep, 0, None, &|v| vec_wire(v))
+        bcast_sized::<F, Vec<T>>(ep, 0, None, &|v| vec_wire(v))
     }
 }
 
 /// Exclusive prefix scan: rank r receives `op` folded over the values
 /// of ranks `0..r` (`identity` for rank 0).
-pub fn exscan<T: Clone + Send + 'static>(
-    ep: &Endpoint,
+pub fn exscan<F: Fabric, T: Wire>(
+    ep: &F,
     value: T,
     identity: T,
     op: impl Fn(T, T) -> T,
@@ -179,7 +180,7 @@ pub fn exscan<T: Clone + Send + 'static>(
 }
 
 /// Barrier: a unit all-reduce.
-pub fn barrier(ep: &Endpoint) -> Result<(), CommError> {
+pub fn barrier<F: Fabric>(ep: &F) -> Result<(), CommError> {
     allreduce(ep, (), |(), ()| ())
 }
 
@@ -187,7 +188,7 @@ pub fn barrier(ep: &Endpoint) -> Result<(), CommError> {
 mod tests {
     use super::*;
     use crate::fault::FaultPlan;
-    use crate::msg::fabric::{fabric, fabric_with_faults};
+    use crate::msg::fabric::{fabric, fabric_with_faults, Endpoint};
     use std::time::Duration;
 
     /// Run `f` as SPMD over p ranks, collecting each rank's result.

@@ -16,12 +16,12 @@
 
 use crate::cost::Collective;
 use crate::costmodel::{owner_runs, PartitionGovernor};
-use crate::engine::{Costed, ParEngine, SegmentBatchFn};
+use crate::engine::{Costed, ParEngine, SegmentBatchFn, Wire};
 use crate::fault::{CommError, FaultAbort, FaultPlan, InjectedCrash};
 use crate::hooks;
 use crate::metrics::{PhaseReport, RunReport};
 use crate::msg::collectives::{allgatherv, allreduce, barrier};
-use crate::msg::fabric::{fabric, fabric_with_faults, Endpoint};
+use crate::msg::fabric::{fabric, fabric_with_faults, Endpoint, Fabric};
 use crate::partition::{block_range, PartitionStrategy};
 use crate::segments::Segments;
 use mn_obs::{FlightEvent, FlightRec, Recorder, SnapshotStash};
@@ -43,9 +43,12 @@ fn ok_or_abort<T>(result: Result<T, CommError>) -> T {
     }
 }
 
-/// The per-rank engine handed to an SPMD program.
-pub struct SpmdEngine {
-    ep: Endpoint,
+/// The per-rank engine handed to an SPMD program. Generic over the
+/// transport: [`Endpoint`] for in-process rank-threads (the default),
+/// [`crate::msg::proc::ProcEndpoint`] for real OS-process workers —
+/// the engine's protocols are identical on both.
+pub struct SpmdEngine<F: Fabric = Endpoint> {
+    ep: F,
     phases: Vec<PhaseReport>,
     current: Option<(String, Instant)>,
     /// Compute seconds of this rank in the current phase (time inside
@@ -69,8 +72,8 @@ pub struct SpmdEngine {
     gov: PartitionGovernor,
 }
 
-impl SpmdEngine {
-    fn new(ep: Endpoint) -> Self {
+impl<F: Fabric> SpmdEngine<F> {
+    fn new(ep: F) -> Self {
         let flight = FlightRec::new(ep.nranks(), ep.rank());
         Self::with_capture(ep, flight, SnapshotStash::new())
     }
@@ -79,7 +82,7 @@ impl SpmdEngine {
     /// flight recorder is shared with the endpoint (so fabric traffic
     /// and injected faults land in it) and with whoever holds `flight`
     /// outside this rank's thread.
-    fn with_capture(ep: Endpoint, flight: FlightRec, stash: SnapshotStash) -> Self {
+    pub(crate) fn with_capture(ep: F, flight: FlightRec, stash: SnapshotStash) -> Self {
         let obs = Recorder::for_rank_with_flight(ep.nranks(), ep.rank(), flight.clone());
         ep.attach_obs(flight, obs.comm_matrix());
         Self {
@@ -106,7 +109,7 @@ impl SpmdEngine {
     }
 
     /// Direct access to the endpoint, for custom protocols.
-    pub fn endpoint(&self) -> &Endpoint {
+    pub fn endpoint(&self) -> &F {
         &self.ep
     }
 
@@ -151,7 +154,7 @@ impl SpmdEngine {
     /// evolves identically and the next plan agrees everywhere. The
     /// gathered rank blocks are then scattered back to item order via
     /// the owner vector.
-    fn map_owners<T: Send + Clone + 'static>(
+    fn map_owners<T: Wire>(
         &mut self,
         segments: &Segments,
         words_per_item: usize,
@@ -211,12 +214,12 @@ impl SpmdEngine {
     }
 }
 
-impl ParEngine for SpmdEngine {
+impl<F: Fabric> ParEngine for SpmdEngine<F> {
     fn nranks(&self) -> usize {
         self.ep.nranks()
     }
 
-    fn dist_map<T: Send + Clone + 'static>(
+    fn dist_map<T: Wire>(
         &mut self,
         n_items: usize,
         words_per_item: usize,
@@ -253,7 +256,7 @@ impl ParEngine for SpmdEngine {
         self.abort_on(gathered)
     }
 
-    fn dist_map_segmented<T: Send + Clone + 'static>(
+    fn dist_map_segmented<T: Wire>(
         &mut self,
         segments: &Segments,
         words_per_item: usize,
@@ -269,7 +272,7 @@ impl ParEngine for SpmdEngine {
         })
     }
 
-    fn dist_map_segmented_batch<T: Send + Clone + 'static>(
+    fn dist_map_segmented_batch<T: Wire>(
         &mut self,
         segments: &Segments,
         words_per_item: usize,
@@ -411,6 +414,22 @@ pub fn spmd_run<R: Send>(p: usize, program: impl Fn(&mut SpmdEngine) -> R + Sync
     })
 }
 
+/// Build the engine for ONE rank of an externally-launched SPMD
+/// program — the multi-process worker path, where each rank is its own
+/// OS process (`monet worker`) and there is no in-process launcher to
+/// hold the capture handles. Installs this thread's observability
+/// hooks exactly as [`spmd_run`] does for its rank threads and returns
+/// the rank's flight recorder and death stash so the worker can dump
+/// them on a fault (its process *is* the rank: nothing outlives it but
+/// what it writes to disk).
+pub fn spmd_worker_engine<F: Fabric>(ep: F) -> (SpmdEngine<F>, FlightRec, SnapshotStash) {
+    let flight = FlightRec::new(ep.nranks(), ep.rank());
+    let stash = SnapshotStash::new();
+    let engine = SpmdEngine::with_capture(ep, flight.clone(), stash.clone());
+    hooks::install_thread_hooks(engine.obs.flight());
+    (engine, flight, stash)
+}
+
 /// The per-rank capture handles a recorded SPMD run keeps *outside*
 /// the rank threads: flight recorders (every event up to each rank's
 /// death survives the unwind) and death stashes (the final
@@ -500,8 +519,8 @@ pub fn spmd_run_faulty_recorded<R: Send>(
 /// All-reduce helper for SPMD programs. Aborts the rank (unwinding
 /// with a fault payload) on a communication failure; run under
 /// [`spmd_run_faulty`] to observe the failure as a `Result`.
-pub fn spmd_allreduce<T: Clone + Send + 'static>(
-    engine: &SpmdEngine,
+pub fn spmd_allreduce<F: Fabric, T: Wire>(
+    engine: &SpmdEngine<F>,
     value: T,
     op: impl Fn(T, T) -> T,
 ) -> T {
@@ -510,7 +529,7 @@ pub fn spmd_allreduce<T: Clone + Send + 'static>(
 
 /// All-gather helper for SPMD programs. Aborts the rank on a
 /// communication failure, like [`spmd_allreduce`].
-pub fn spmd_allgatherv<T: Clone + Send + 'static>(engine: &SpmdEngine, local: Vec<T>) -> Vec<T> {
+pub fn spmd_allgatherv<F: Fabric, T: Wire>(engine: &SpmdEngine<F>, local: Vec<T>) -> Vec<T> {
     ok_or_abort(allgatherv(engine.endpoint(), local))
 }
 

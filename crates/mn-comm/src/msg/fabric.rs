@@ -23,6 +23,7 @@
 //! delay an operation, or drop an outgoing message at a
 //! deterministic, reproducible point.
 
+use crate::engine::Wire;
 use crate::fault::{CommError, FaultAction, FaultPlan};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use mn_obs::commatrix::CommMatrixHandle;
@@ -32,6 +33,58 @@ use std::mem::size_of;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
+
+/// The point-to-point transport contract shared by the in-process
+/// fabric ([`Endpoint`]) and the multi-process transport
+/// ([`crate::msg::proc::ProcEndpoint`]).
+///
+/// Everything above the transport — the log-depth collectives, the
+/// SPMD engine, the distributed sampling oracles — is generic over
+/// this trait, so the same deterministic protocols run unchanged
+/// whether "sending" moves a `Box` between threads or serde-framed
+/// bytes between OS processes. The [`Wire`] bound is the union of the
+/// two transports' needs; the in-process fabric simply ignores the
+/// serde half.
+///
+/// Implementations must provide the same failure taxonomy: a dead peer
+/// is [`CommError::PeerDisconnected`], a lost message under a receive
+/// timeout is [`CommError::Timeout`], a type-level protocol violation
+/// is [`CommError::ProtocolMismatch`], and an injected fault is
+/// [`CommError::Injected`] — so every layer above sees identical
+/// errors on both transports.
+pub trait Fabric {
+    /// This endpoint's rank.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the fabric.
+    fn nranks(&self) -> usize;
+
+    /// Fabric events (sends + receives) completed by this endpoint.
+    fn events(&self) -> u64;
+
+    /// Send `value` to rank `dst` with an explicit wire-byte size for
+    /// traffic accounting.
+    fn send_to_sized<T: Wire>(&self, dst: usize, value: T, wire_bytes: u64)
+        -> Result<(), CommError>;
+
+    /// Send `value` to rank `dst`, accounting its shallow `size_of` as
+    /// the wire size.
+    fn send_to<T: Wire>(&self, dst: usize, value: T) -> Result<(), CommError> {
+        self.send_to_sized(dst, value, size_of::<T>() as u64)
+    }
+
+    /// Receive the next message from rank `src`, waiting at most the
+    /// transport's configured receive timeout.
+    fn recv_from<T: Wire>(&self, src: usize) -> Result<T, CommError>;
+
+    /// Attach the owning rank's flight recorder and communication
+    /// matrix.
+    fn attach_obs(&self, flight: FlightRec, comm: CommMatrixHandle);
+
+    /// Suppress (or resume) observation, e.g. during checkpoint-I/O
+    /// barriers that are outside the deterministic accounting contract.
+    fn set_obs_muted(&self, muted: bool);
+}
 
 /// A payload plus the `type_name` and shallow wire-byte size recorded
 /// at the send site, so a receive-side downcast failure can report
@@ -53,12 +106,52 @@ fn env_recv_timeout() -> Option<Duration> {
 /// flight recorder (per-message send/recv/fault events) and
 /// communication matrix (sender-side traffic accounting). `muted`
 /// suppresses both during checkpoint-I/O barriers, which are outside
-/// the deterministic accounting contract.
+/// the deterministic accounting contract. Shared by the in-process
+/// [`Endpoint`] and the multi-process [`crate::msg::proc`] transport
+/// so both record identically.
 #[derive(Default)]
-struct ObsHooks {
-    flight: Option<FlightRec>,
+pub(crate) struct ObsHooks {
+    pub(crate) flight: Option<FlightRec>,
     comm: Option<CommMatrixHandle>,
     muted: bool,
+}
+
+impl ObsHooks {
+    /// Attach the owning rank's recorders.
+    pub(crate) fn attach(&mut self, flight: FlightRec, comm: CommMatrixHandle) {
+        self.flight = Some(flight);
+        self.comm = Some(comm);
+    }
+
+    /// Set (or clear) muting.
+    pub(crate) fn set_muted(&mut self, muted: bool) {
+        self.muted = muted;
+    }
+
+    /// Record a flight event. Fault injections are never muted: a kill
+    /// firing inside a muted checkpoint barrier must still leave its
+    /// mark in the dump.
+    pub(crate) fn note_flight(&self, event: FlightEvent) {
+        if self.muted && !matches!(event, FlightEvent::FaultInjected { .. }) {
+            return;
+        }
+        if let Some(flight) = &self.flight {
+            flight.record(event);
+        }
+    }
+
+    /// Record one delivered outgoing message (flight + matrix).
+    pub(crate) fn note_send(&self, rank: usize, dst: usize, bytes: u64) {
+        if self.muted {
+            return;
+        }
+        if let Some(flight) = &self.flight {
+            flight.record(FlightEvent::Send { peer: dst, bytes });
+        }
+        if let Some(comm) = &self.comm {
+            comm.record(rank, dst, bytes);
+        }
+    }
 }
 
 /// One rank's view of the fabric.
@@ -104,9 +197,7 @@ impl Endpoint {
     /// matrix: every subsequent send/recv/fault on this endpoint is
     /// recorded.
     pub fn attach_obs(&self, flight: FlightRec, comm: CommMatrixHandle) {
-        let mut obs = self.obs.lock().unwrap();
-        obs.flight = Some(flight);
-        obs.comm = Some(comm);
+        self.obs.lock().unwrap().attach(flight, comm);
     }
 
     /// Suppress (or resume) observation. Checkpoint-I/O barriers mute
@@ -114,43 +205,29 @@ impl Endpoint {
     /// accounting — the same contract that keeps those barriers out of
     /// the deterministic counters.
     pub fn set_obs_muted(&self, muted: bool) {
-        self.obs.lock().unwrap().muted = muted;
+        self.obs.lock().unwrap().set_muted(muted);
     }
 
-    /// Record a flight event through the attached observers. Fault
-    /// injections are never muted: a kill firing inside a muted
-    /// checkpoint barrier must still leave its mark in the dump.
+    /// Record a flight event through the attached observers.
     fn note_flight(&self, event: FlightEvent) {
-        let obs = self.obs.lock().unwrap();
-        if obs.muted && !matches!(event, FlightEvent::FaultInjected { .. }) {
-            return;
-        }
-        if let Some(flight) = &obs.flight {
-            flight.record(event);
-        }
+        self.obs.lock().unwrap().note_flight(event);
     }
 
     /// Record one delivered outgoing message (flight + matrix).
     fn note_send(&self, dst: usize, bytes: u64) {
-        let obs = self.obs.lock().unwrap();
-        if obs.muted {
-            return;
-        }
-        if let Some(flight) = &obs.flight {
-            flight.record(FlightEvent::Send { peer: dst, bytes });
-        }
-        if let Some(comm) = &obs.comm {
-            comm.record(self.rank, dst, bytes);
-        }
+        self.obs.lock().unwrap().note_send(self.rank, dst, bytes);
     }
 
     /// Count one fabric event and return any fault scheduled for it.
+    /// `Die` (a real process `SIGKILL` on the proc transport) degrades
+    /// to `Kill` semantics here: an in-process rank cannot kill its
+    /// OS process without taking every other rank with it.
     fn tick(&self) -> Result<Option<FaultAction>, CommError> {
         let event = self.events.fetch_add(1, Ordering::Relaxed) + 1;
         match self.faults.action(self.rank, event) {
-            Some(FaultAction::Kill) => {
+            Some(action @ (FaultAction::Kill | FaultAction::Die)) => {
                 self.note_flight(FlightEvent::FaultInjected {
-                    action: FaultAction::Kill.label().to_string(),
+                    action: action.label().to_string(),
                     event,
                 });
                 Err(CommError::Injected {
@@ -262,6 +339,44 @@ impl Endpoint {
                 dst: self.rank,
                 event,
             })
+    }
+}
+
+impl Fabric for Endpoint {
+    #[inline]
+    fn rank(&self) -> usize {
+        Endpoint::rank(self)
+    }
+
+    #[inline]
+    fn nranks(&self) -> usize {
+        Endpoint::nranks(self)
+    }
+
+    #[inline]
+    fn events(&self) -> u64 {
+        Endpoint::events(self)
+    }
+
+    fn send_to_sized<T: Wire>(
+        &self,
+        dst: usize,
+        value: T,
+        wire_bytes: u64,
+    ) -> Result<(), CommError> {
+        Endpoint::send_to_sized(self, dst, value, wire_bytes)
+    }
+
+    fn recv_from<T: Wire>(&self, src: usize) -> Result<T, CommError> {
+        Endpoint::recv_from(self, src)
+    }
+
+    fn attach_obs(&self, flight: FlightRec, comm: CommMatrixHandle) {
+        Endpoint::attach_obs(self, flight, comm)
+    }
+
+    fn set_obs_muted(&self, muted: bool) {
+        Endpoint::set_obs_muted(self, muted)
     }
 }
 

@@ -15,12 +15,14 @@
 pub mod collectives;
 pub mod engine;
 pub mod fabric;
+pub mod proc;
 pub mod sampling;
+pub mod wire;
 
 pub use collectives::{allgatherv, allreduce, barrier, bcast, exscan, reduce};
 pub use sampling::{select_unif_rand_dist, select_wtd_log_dist, select_wtd_rand_dist};
 pub use engine::{
     spmd_allgatherv, spmd_allreduce, spmd_run, spmd_run_faulty, spmd_run_faulty_recorded,
-    SpmdCapture, SpmdEngine,
+    spmd_worker_engine, SpmdCapture, SpmdEngine,
 };
-pub use fabric::{fabric, fabric_with_faults, Endpoint, RECV_TIMEOUT_ENV};
+pub use fabric::{fabric, fabric_with_faults, Endpoint, Fabric, RECV_TIMEOUT_ENV};

@@ -16,14 +16,14 @@
 
 use crate::fault::CommError;
 use crate::msg::collectives::{allreduce, exscan};
-use crate::msg::fabric::Endpoint;
+use crate::msg::fabric::Fabric;
 use mn_rand::Stream;
 
 /// Distributed `Select-Unif-Rand`: choose an element of the
 /// distributed list uniformly; every rank returns the chosen *global*
 /// index. `local_len` is this rank's block length.
-pub fn select_unif_rand_dist(
-    ep: &Endpoint,
+pub fn select_unif_rand_dist<F: Fabric>(
+    ep: &F,
     stream: &mut Stream,
     local_len: usize,
 ) -> Result<usize, CommError> {
@@ -39,8 +39,8 @@ pub fn select_unif_rand_dist(
 /// index. Consumes exactly one draw, and chooses exactly the element
 /// the shared-list oracle (`mn_rand::select_wtd_rand` over the
 /// concatenated weights) would choose.
-pub fn select_wtd_rand_dist(
-    ep: &Endpoint,
+pub fn select_wtd_rand_dist<F: Fabric>(
+    ep: &F,
     stream: &mut Stream,
     local_weights: &[f64],
 ) -> Result<usize, CommError> {
@@ -109,8 +109,8 @@ pub fn select_wtd_rand_dist(
 /// `local_log_weights` holds this rank's block of log-weights. The
 /// global max is found by all-reduce, the shifted weights are handled
 /// as in the linear form.
-pub fn select_wtd_log_dist(
-    ep: &Endpoint,
+pub fn select_wtd_log_dist<F: Fabric>(
+    ep: &F,
     stream: &mut Stream,
     local_log_weights: &[f64],
 ) -> Result<usize, CommError> {
@@ -133,7 +133,7 @@ pub fn select_wtd_log_dist(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::msg::fabric::fabric;
+    use crate::msg::fabric::{fabric, Endpoint};
     use crate::partition::block_range;
     use mn_rand::{select_wtd_log, select_wtd_rand, Domain, MasterRng};
 

@@ -1,0 +1,240 @@
+//! Binary serialization for the multi-process transport.
+//!
+//! Payloads cross process boundaries as a compact binary encoding of
+//! the serde value tree ([`serde::Content`]), **not** as JSON text:
+//! the JSON writer renders non-finite floats as `null` and round-trips
+//! doubles through decimal strings, either of which would break the
+//! byte-identity contract (log-score payloads legitimately carry
+//! `-inf`, and every bit of every `f64` must survive the wire). Here
+//! floats travel as raw IEEE-754 bit patterns and integers as
+//! fixed-width little-endian words, so `decode(encode(x)) == x`
+//! exactly, for every value the vendored serde can represent.
+//!
+//! Layout: one tag byte, then the payload —
+//!
+//! | tag | variant | payload |
+//! |-----|---------|---------|
+//! | 0 | `Null`  | — |
+//! | 1 | `Bool(false)` | — |
+//! | 2 | `Bool(true)`  | — |
+//! | 3 | `U64`   | 8 bytes LE |
+//! | 4 | `I64`   | 8 bytes LE |
+//! | 5 | `F64`   | 8 bytes LE (`to_bits`) |
+//! | 6 | `Str`   | u32 LE length + UTF-8 bytes |
+//! | 7 | `Seq`   | u32 LE count + encoded items |
+//! | 8 | `Map`   | u32 LE count + (u32 LE key length + key, value)* |
+
+use serde::{Content, Deserialize, Serialize};
+
+/// Encode `value`'s serde tree into `out` (appended).
+pub fn encode<T: Serialize + ?Sized>(value: &T, out: &mut Vec<u8>) {
+    encode_content(&value.serialize_value(), out);
+}
+
+/// Encode `value` into a fresh buffer.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode(value, &mut out);
+    out
+}
+
+/// Decode a value of type `T` from `bytes`; the buffer must contain
+/// exactly one encoded value.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, String> {
+    let mut cursor = 0usize;
+    let content = decode_content(bytes, &mut cursor)?;
+    if cursor != bytes.len() {
+        return Err(format!(
+            "trailing garbage: decoded {cursor} of {} bytes",
+            bytes.len()
+        ));
+    }
+    T::deserialize_value(&content).map_err(|e| e.to_string())
+}
+
+fn encode_content(content: &Content, out: &mut Vec<u8>) {
+    match content {
+        Content::Null => out.push(0),
+        Content::Bool(false) => out.push(1),
+        Content::Bool(true) => out.push(2),
+        Content::U64(u) => {
+            out.push(3);
+            out.extend_from_slice(&u.to_le_bytes());
+        }
+        Content::I64(i) => {
+            out.push(4);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Content::F64(f) => {
+            out.push(5);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Content::Str(s) => {
+            out.push(6);
+            encode_bytes(s.as_bytes(), out);
+        }
+        Content::Seq(items) => {
+            out.push(7);
+            encode_len(items.len(), out);
+            for item in items {
+                encode_content(item, out);
+            }
+        }
+        Content::Map(pairs) => {
+            out.push(8);
+            encode_len(pairs.len(), out);
+            for (key, value) in pairs {
+                encode_bytes(key.as_bytes(), out);
+                encode_content(value, out);
+            }
+        }
+    }
+}
+
+fn encode_len(len: usize, out: &mut Vec<u8>) {
+    let len = u32::try_from(len).expect("wire collection exceeds u32::MAX items");
+    out.extend_from_slice(&len.to_le_bytes());
+}
+
+fn encode_bytes(bytes: &[u8], out: &mut Vec<u8>) {
+    encode_len(bytes.len(), out);
+    out.extend_from_slice(bytes);
+}
+
+fn take<'a>(bytes: &'a [u8], cursor: &mut usize, n: usize) -> Result<&'a [u8], String> {
+    let end = cursor
+        .checked_add(n)
+        .filter(|&end| end <= bytes.len())
+        .ok_or_else(|| format!("truncated frame: wanted {n} bytes at offset {cursor}"))?;
+    let slice = &bytes[*cursor..end];
+    *cursor = end;
+    Ok(slice)
+}
+
+fn decode_u32(bytes: &[u8], cursor: &mut usize) -> Result<u32, String> {
+    let raw = take(bytes, cursor, 4)?;
+    Ok(u32::from_le_bytes(raw.try_into().unwrap()))
+}
+
+fn decode_u64(bytes: &[u8], cursor: &mut usize) -> Result<u64, String> {
+    let raw = take(bytes, cursor, 8)?;
+    Ok(u64::from_le_bytes(raw.try_into().unwrap()))
+}
+
+fn decode_string(bytes: &[u8], cursor: &mut usize) -> Result<String, String> {
+    let len = decode_u32(bytes, cursor)? as usize;
+    let raw = take(bytes, cursor, len)?;
+    String::from_utf8(raw.to_vec()).map_err(|e| format!("invalid UTF-8 on the wire: {e}"))
+}
+
+fn decode_content(bytes: &[u8], cursor: &mut usize) -> Result<Content, String> {
+    let tag = take(bytes, cursor, 1)?[0];
+    Ok(match tag {
+        0 => Content::Null,
+        1 => Content::Bool(false),
+        2 => Content::Bool(true),
+        3 => Content::U64(decode_u64(bytes, cursor)?),
+        4 => Content::I64(decode_u64(bytes, cursor)? as i64),
+        5 => Content::F64(f64::from_bits(decode_u64(bytes, cursor)?)),
+        6 => Content::Str(decode_string(bytes, cursor)?),
+        7 => {
+            let count = decode_u32(bytes, cursor)? as usize;
+            let mut items = Vec::with_capacity(count.min(bytes.len()));
+            for _ in 0..count {
+                items.push(decode_content(bytes, cursor)?);
+            }
+            Content::Seq(items)
+        }
+        8 => {
+            let count = decode_u32(bytes, cursor)? as usize;
+            let mut pairs = Vec::with_capacity(count.min(bytes.len()));
+            for _ in 0..count {
+                let key = decode_string(bytes, cursor)?;
+                let value = decode_content(bytes, cursor)?;
+                pairs.push((key, value));
+            }
+            Content::Map(pairs)
+        }
+        other => return Err(format!("unknown wire tag {other}")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = to_vec(&value);
+        let back: T = from_slice(&bytes).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(());
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(-1i64);
+        roundtrip(i64::MIN);
+        roundtrip(String::from("héllo wörld"));
+        roundtrip(String::new());
+    }
+
+    #[test]
+    fn floats_roundtrip_bit_exactly() {
+        // The whole reason this codec exists: JSON would lose these.
+        for f in [
+            0.0f64,
+            -0.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+            std::f64::consts::PI,
+            1e-300,
+            -1e300,
+        ] {
+            let bytes = to_vec(&f);
+            let back: f64 = from_slice(&bytes).unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "{f}");
+        }
+        // NaN: compare bits (NaN != NaN by value).
+        let nan_bits = f64::NAN.to_bits() | 0xdead;
+        let weird_nan = f64::from_bits(nan_bits);
+        let back: f64 = from_slice(&to_vec(&weird_nan)).unwrap();
+        assert_eq!(back.to_bits(), nan_bits);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(vec![vec![(3u32, -0.5f64)], vec![], vec![(9, f64::NEG_INFINITY)]]);
+        roundtrip((42usize, String::from("x"), vec![1.5f64]));
+        roundtrip(Some(7u32));
+        roundtrip(Option::<u32>::None);
+        let mut map = std::collections::BTreeMap::new();
+        map.insert(String::from("a"), 1u64);
+        map.insert(String::from("b"), 2u64);
+        roundtrip(map);
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_errors_not_panics() {
+        let bytes = to_vec(&vec![1u64, 2, 3]);
+        for cut in 0..bytes.len() {
+            assert!(from_slice::<Vec<u64>>(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(from_slice::<Vec<u64>>(&extended).is_err(), "trailing byte");
+        assert!(from_slice::<u64>(&[250]).is_err(), "unknown tag");
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let value = (vec![0.25f64, -7.5], String::from("k"), 3usize);
+        assert_eq!(to_vec(&value), to_vec(&value));
+    }
+}

@@ -7,7 +7,7 @@
 //! Figures 3–4.
 
 use crate::cost::Collective;
-use crate::engine::{Costed, ParEngine, SegmentBatchFn};
+use crate::engine::{Costed, ParEngine, SegmentBatchFn, Wire};
 use crate::fault::{FaultAction, FaultClock, FaultPlan, InjectedCrash};
 use crate::hooks;
 use crate::metrics::{PhaseReport, RunReport};
@@ -75,17 +75,18 @@ impl SerialEngine {
         self.work_units
     }
 
-    /// Tick the fault clock; on a scheduled `Kill`, record the
+    /// Tick the fault clock; on a scheduled `Kill` (or `Die`, which
+    /// degrades to `Kill` semantics off the proc transport), record the
     /// injection in the flight recorder, stash a final snapshot for
     /// post-mortems, and unwind with [`InjectedCrash`]. `Delay`/`Drop`
     /// have no engine-level meaning (there is no fabric) and are
     /// ignored, exactly as `tick_or_die` ignored them.
     fn tick_fault(&mut self) {
         match self.faults.tick() {
-            Some(FaultAction::Kill) => {
+            Some(action @ (FaultAction::Kill | FaultAction::Die)) => {
                 let event = self.faults.events();
                 self.obs.flight_event(FlightEvent::FaultInjected {
-                    action: "kill".to_string(),
+                    action: action.label().to_string(),
                     event,
                 });
                 self.stash.store(self.obs.snapshot(self.now_s()));
@@ -123,7 +124,7 @@ impl ParEngine for SerialEngine {
         1
     }
 
-    fn dist_map<T: Send + Clone + 'static>(
+    fn dist_map<T: Wire>(
         &mut self,
         n_items: usize,
         words_per_item: usize,
@@ -145,7 +146,7 @@ impl ParEngine for SerialEngine {
         out
     }
 
-    fn dist_map_segmented_batch<T: Send + Clone + 'static>(
+    fn dist_map_segmented_batch<T: Wire>(
         &mut self,
         segments: &Segments,
         words_per_item: usize,

@@ -26,7 +26,7 @@
 
 use crate::cost::{Collective, CostModel};
 use crate::costmodel::PartitionGovernor;
-use crate::engine::{Costed, ParEngine, SegmentBatchFn};
+use crate::engine::{Costed, ParEngine, SegmentBatchFn, Wire};
 use crate::fault::{FaultAction, FaultClock, FaultPlan, InjectedCrash};
 use crate::hooks;
 use crate::metrics::{PhaseReport, RunReport};
@@ -107,16 +107,17 @@ impl SimEngine {
         self.faults.events()
     }
 
-    /// Tick the fault clock; on a scheduled `Kill`, record the
+    /// Tick the fault clock; on a scheduled `Kill` (or `Die`, which
+    /// degrades to `Kill` semantics off the proc transport), record the
     /// injection, stash a final snapshot, and unwind with
     /// [`InjectedCrash`]. `Delay`/`Drop` are fabric-level actions the
     /// simulation has no channel to apply them to; they stay ignored.
     fn tick_fault(&mut self) {
         match self.faults.tick() {
-            Some(FaultAction::Kill) => {
+            Some(action @ (FaultAction::Kill | FaultAction::Die)) => {
                 let event = self.faults.events();
                 self.obs.flight_event(FlightEvent::FaultInjected {
-                    action: "kill".to_string(),
+                    action: action.label().to_string(),
                     event,
                 });
                 self.stash.store(self.obs.snapshot(self.sim_now));
@@ -298,7 +299,7 @@ impl ParEngine for SimEngine {
         self.p
     }
 
-    fn dist_map<T: Send + Clone + 'static>(
+    fn dist_map<T: Wire>(
         &mut self,
         n_items: usize,
         words_per_item: usize,
@@ -321,7 +322,7 @@ impl ParEngine for SimEngine {
         self.map_with_owners(None, n_items, words_per_item, f)
     }
 
-    fn dist_map_segmented<T: Send + Clone + 'static>(
+    fn dist_map_segmented<T: Wire>(
         &mut self,
         segments: &Segments,
         words_per_item: usize,
@@ -374,7 +375,7 @@ impl ParEngine for SimEngine {
         }
     }
 
-    fn dist_map_segmented_batch<T: Send + Clone + 'static>(
+    fn dist_map_segmented_batch<T: Wire>(
         &mut self,
         segments: &Segments,
         words_per_item: usize,

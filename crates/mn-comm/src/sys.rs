@@ -1,0 +1,118 @@
+//! Minimal OS shims for the multi-process transport.
+//!
+//! The workspace vendors no `libc` crate, so the handful of POSIX
+//! calls the proc engine needs — raising `SIGKILL` on the current
+//! process for real kill drills, signalling a child, and a
+//! self-pipe-based `SIGTERM` hook — are declared directly against the
+//! platform C library. Everything here is Unix-only, like the
+//! Unix-domain-socket transport it supports.
+
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
+
+/// `SIGKILL` — uncatchable process termination.
+pub const SIGKILL: i32 = 9;
+/// `SIGTERM` — the polite termination request [`on_sigterm`] hooks.
+pub const SIGTERM: i32 = 15;
+
+extern "C" {
+    fn kill(pid: i32, sig: i32) -> i32;
+    fn getpid() -> i32;
+    fn signal(signum: i32, handler: usize) -> usize;
+    fn pipe(fds: *mut i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+}
+
+/// The calling process's pid.
+pub fn current_pid() -> u32 {
+    // SAFETY: getpid has no failure modes or side effects.
+    (unsafe { getpid() }) as u32
+}
+
+/// Send `sig` to process `pid`. Returns false if the signal could not
+/// be delivered (e.g. the process is already gone).
+pub fn send_signal(pid: u32, sig: i32) -> bool {
+    // SAFETY: kill(2) with a valid signal number; an invalid or stale
+    // pid makes it return -1, which we surface as `false`.
+    (unsafe { kill(pid as i32, sig) }) == 0
+}
+
+/// Raise `SIGKILL` on the *current* process: the real, uncatchable
+/// death the `sigkill:` fault action injects on proc workers. Never
+/// returns — if (impossibly) the signal fails, the process exits
+/// abnormally anyway.
+pub fn raise_sigkill() -> ! {
+    // SAFETY: killing ourselves with SIGKILL; delivery is synchronous
+    // enough that the loop below is never observed in practice.
+    unsafe { kill(getpid(), SIGKILL) };
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
+/// Write end of the SIGTERM self-pipe; -1 until [`on_sigterm`] runs.
+static TERM_PIPE_WR: AtomicI32 = AtomicI32::new(-1);
+static TERM_HOOKED: AtomicBool = AtomicBool::new(false);
+
+/// The signal handler: async-signal-safe by construction — a single
+/// `write(2)` to the self-pipe, nothing else.
+extern "C" fn sigterm_handler(_sig: i32) {
+    let fd = TERM_PIPE_WR.load(Ordering::SeqCst);
+    if fd >= 0 {
+        let byte = b"t";
+        // SAFETY: write(2) on the pipe fd stored by `on_sigterm`.
+        unsafe { write(fd, byte.as_ptr(), 1) };
+    }
+}
+
+/// Install a process-wide `SIGTERM` hook (first call wins; later calls
+/// are ignored): when the signal arrives, `callback` runs on a
+/// dedicated watcher thread — free to allocate, lock, and do file I/O,
+/// unlike a real signal handler — and the process then exits with
+/// code 3 (the fault exit code: a terminated worker *is* a fault from
+/// the run's perspective). Uses the classic self-pipe trick so the
+/// handler itself stays async-signal-safe.
+pub fn on_sigterm(callback: impl FnOnce() + Send + 'static) {
+    if TERM_HOOKED.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let mut fds = [0i32; 2];
+    // SAFETY: pipe(2) into a 2-slot array.
+    if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+        return;
+    }
+    TERM_PIPE_WR.store(fds[1], Ordering::SeqCst);
+    // SAFETY: installing an async-signal-safe handler for SIGTERM.
+    unsafe { signal(SIGTERM, sigterm_handler as *const () as usize) };
+    let read_fd = fds[0];
+    std::thread::Builder::new()
+        .name("sigterm-watch".into())
+        .spawn(move || {
+            let mut buf = [0u8; 1];
+            // SAFETY: blocking read(2) on our pipe's read end.
+            let n = unsafe { read(read_fd, buf.as_mut_ptr(), 1) };
+            if n == 1 {
+                callback();
+                std::process::exit(3);
+            }
+        })
+        .expect("spawn sigterm watcher");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_is_stable_and_nonzero() {
+        let pid = current_pid();
+        assert!(pid > 0);
+        assert_eq!(pid, current_pid());
+    }
+
+    #[test]
+    fn signalling_a_stale_pid_reports_failure() {
+        // Signal 0 = existence probe; pid near i32::MAX is not ours.
+        assert!(!send_signal(0x7fff_fff0, 0));
+    }
+}

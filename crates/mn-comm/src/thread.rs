@@ -15,7 +15,7 @@
 
 use crate::cost::Collective;
 use crate::costmodel::{owner_runs, PartitionGovernor};
-use crate::engine::{Costed, ParEngine, SegmentBatchFn};
+use crate::engine::{Costed, ParEngine, SegmentBatchFn, Wire};
 use crate::fault::{FaultAction, FaultClock, FaultPlan, InjectedCrash};
 use crate::hooks;
 use crate::metrics::{PhaseReport, RunReport};
@@ -85,16 +85,17 @@ impl ThreadEngine {
         self.faults.events()
     }
 
-    /// Tick the fault clock; on a scheduled `Kill`, record the
+    /// Tick the fault clock; on a scheduled `Kill` (or `Die`, which
+    /// degrades to `Kill` semantics off the proc transport), record the
     /// injection, stash a final snapshot, and unwind with
     /// [`InjectedCrash`]. `Delay`/`Drop` are fabric-level actions with
     /// no shared-memory meaning and stay ignored.
     fn tick_fault(&mut self) {
         match self.faults.tick() {
-            Some(FaultAction::Kill) => {
+            Some(action @ (FaultAction::Kill | FaultAction::Die)) => {
                 let event = self.faults.events();
                 self.obs.flight_event(FlightEvent::FaultInjected {
-                    action: "kill".to_string(),
+                    action: action.label().to_string(),
                     event,
                 });
                 self.stash.store(self.obs.snapshot(self.now_s()));
@@ -130,7 +131,7 @@ impl ThreadEngine {
     /// Measured per-item units are fed back into the governor's cost
     /// model. Counters are charged exactly as the block path charges
     /// them — partitioning is invisible to the deterministic counters.
-    fn map_owners<T: Send + Clone + 'static>(
+    fn map_owners<T: Wire>(
         &mut self,
         segments: &Segments,
         words_per_item: usize,
@@ -222,7 +223,7 @@ impl ParEngine for ThreadEngine {
         self.p
     }
 
-    fn dist_map<T: Send + Clone + 'static>(
+    fn dist_map<T: Wire>(
         &mut self,
         n_items: usize,
         words_per_item: usize,
@@ -292,7 +293,7 @@ impl ParEngine for ThreadEngine {
         blocks.into_iter().flatten().collect()
     }
 
-    fn dist_map_segmented<T: Send + Clone + 'static>(
+    fn dist_map_segmented<T: Wire>(
         &mut self,
         segments: &Segments,
         words_per_item: usize,
@@ -308,7 +309,7 @@ impl ParEngine for ThreadEngine {
         })
     }
 
-    fn dist_map_segmented_batch<T: Send + Clone + 'static>(
+    fn dist_map_segmented_batch<T: Wire>(
         &mut self,
         segments: &Segments,
         words_per_item: usize,

@@ -1,7 +1,7 @@
 //! `monet` — command-line module-network learner.
 //!
 //! ```text
-//! monet --input expression.tsv [--engine serial|threads:<p>|sim:<p>|msg:<p>]
+//! monet --input expression.tsv [--engine serial|threads:<p>|sim:<p>|msg:<p>|proc:<p>]
 //!       [--partition block|segment-owner|self-scheduling|lpt|chunked|cost-guided]
 //!       [--seed N] [--ganesh-runs G] [--update-steps U]
 //!       [--init-clusters K0] [--trees R] [--splits-per-node J]
@@ -48,9 +48,25 @@
 //! injections, RNG jumps). A failed run dumps one
 //! `flightrec-rank<k>.jsonl` per rank into `--flightrec-dir` (default
 //! `.`); passing the flag explicitly also dumps after successful runs.
+//!
+//! `--engine proc:<p>` runs the msg fabric over `p` real supervised OS
+//! processes (DESIGN.md §15): this process becomes the supervisor, and
+//! each rank is a `monet worker` child connected over a Unix-domain
+//! socket (`MN_PROC_ADDR=tcp:host:port` switches to TCP loopback). The
+//! hidden `worker` subcommand is that child entrypoint — it takes
+//! `--proc-rank`/`--proc-nranks`/`--proc-socket` plus the forwarded run
+//! flags, and is not meant to be invoked by hand. A worker that dies —
+//! a real SIGKILL, a `sigkill:<r>@<k>` fault, or an injected kill — is
+//! detected by the supervisor (socket EOF, or heartbeat staleness for
+//! stalls), the survivors abort with `PeerDisconnected`, and the run
+//! exits 3 with per-rank flight-recorder dumps; results on the happy
+//! path are byte-identical to every other engine.
 
+use mn_comm::msg::proc::{
+    connect_worker, ProcAddr, Supervisor, WorkerConfig, DEFAULT_CONNECT_TIMEOUT,
+};
 use mn_comm::{
-    silence_injected_panics, spmd_run_faulty_recorded, CommError, EngineSpec, FaultAbort,
+    silence_injected_panics, spmd_run_faulty_recorded, CommError, EngineSpec, Fabric, FaultAbort,
     FaultPlan, InjectedCrash, ObsSnapshot, ParEngine, PartitionStrategy, RunReport, SerialEngine,
     SimEngine, ThreadEngine,
 };
@@ -95,12 +111,23 @@ struct Options {
     flightrec_dir: Option<String>,
     dag: bool,
     quiet: bool,
+    /// Set when invoked as the hidden `worker` subcommand: this process
+    /// is one rank of a `proc:<p>` run.
+    worker: Option<WorkerOpts>,
+}
+
+/// The `monet worker` coordinates: which rank this process is, how
+/// many ranks the fabric has, and where the supervisor listens.
+struct WorkerOpts {
+    rank: usize,
+    nranks: usize,
+    socket: String,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: monet --input <expression.tsv> | --synthetic <n,m>\n\
-         \x20      [--engine serial|threads:<p>|sim:<p>|msg:<p>] [--seed N]\n\
+         \x20      [--engine serial|threads:<p>|sim:<p>|msg:<p>|proc:<p>] [--seed N]\n\
          \x20      [--partition block|segment-owner|self-scheduling|lpt|chunked|cost-guided]\n\
          \x20      [--ganesh-runs G] [--update-steps U] [--init-clusters K0]\n\
          \x20      [--trees R] [--splits-per-node J] [--sampling-steps S]\n\
@@ -109,7 +136,7 @@ fn usage() -> ! {
          \x20      [--xml out.xml] [--json out.json]\n\
          \x20      [--trace trace.json] [--metrics-out metrics.json]\n\
          \x20      [--checkpoint-dir dir] [--resume] [--force-restart]\n\
-         \x20      [--fault kill:<r>@<k>|delay:<r>@<k>:<ms>|drop:<r>@<k>|seed:<n>]\n\
+         \x20      [--fault kill:<r>@<k>|sigkill:<r>@<k>|delay:<r>@<k>:<ms>|drop:<r>@<k>|seed:<n>]\n\
          \x20      [--comm-timeout-ms T]\n\
          \x20      [--telemetry-out path|-] [--telemetry-interval-ms T]\n\
          \x20      [--flightrec-dir dir]\n\
@@ -119,7 +146,17 @@ fn usage() -> ! {
 }
 
 fn parse_options() -> Options {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden subcommand: `monet worker --proc-rank k --proc-nranks p
+    // --proc-socket addr <forwarded run flags>` — the per-rank child
+    // entrypoint the proc-engine supervisor spawns.
+    let is_worker = args.first().map(String::as_str) == Some("worker");
+    if is_worker {
+        args.remove(0);
+    }
+    let mut proc_rank: Option<usize> = None;
+    let mut proc_nranks: Option<usize> = None;
+    let mut proc_socket: Option<String> = None;
     let mut opts = Options {
         input: None,
         synthetic: None,
@@ -151,6 +188,7 @@ fn parse_options() -> Options {
         flightrec_dir: None,
         dag: false,
         quiet: false,
+        worker: None,
     };
     let mut i = 0;
     let value = |args: &[String], i: &mut usize| -> String {
@@ -227,6 +265,13 @@ fn parse_options() -> Options {
             "--flightrec-dir" => opts.flightrec_dir = Some(value(&args, &mut i)),
             "--dag" => opts.dag = true,
             "--quiet" => opts.quiet = true,
+            "--proc-rank" if is_worker => {
+                proc_rank = Some(value(&args, &mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--proc-nranks" if is_worker => {
+                proc_nranks = Some(value(&args, &mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--proc-socket" if is_worker => proc_socket = Some(value(&args, &mut i)),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -242,6 +287,21 @@ fn parse_options() -> Options {
     if (opts.resume || opts.force_restart) && opts.checkpoint_dir.is_none() {
         eprintln!("--resume / --force-restart require --checkpoint-dir");
         usage();
+    }
+    if is_worker {
+        match (proc_rank, proc_nranks, proc_socket) {
+            (Some(rank), Some(nranks), Some(socket)) if rank < nranks && nranks >= 1 => {
+                opts.worker = Some(WorkerOpts {
+                    rank,
+                    nranks,
+                    socket,
+                });
+            }
+            _ => {
+                eprintln!("worker requires --proc-rank < --proc-nranks and --proc-socket");
+                usage();
+            }
+        }
     }
     opts
 }
@@ -429,7 +489,8 @@ fn run(
     let ckpt = checkpoint_request(opts);
     let nranks = match opts.engine {
         EngineSpec::Serial => 1,
-        EngineSpec::Threads(p) | EngineSpec::Sim(p) | EngineSpec::Msg(p) => p,
+        EngineSpec::Threads(p) | EngineSpec::Sim(p) | EngineSpec::Msg(p)
+        | EngineSpec::Proc(p) => p,
     };
     let plan = match &opts.fault {
         Some(spec) => FaultPlan::parse(spec, nranks).map_err(RunFailure::Error)?,
@@ -523,11 +584,35 @@ fn run(
             let (network, report, _) = results.swap_remove(0);
             Ok((network, report, merged))
         }
+        // Dispatched to run_supervisor/run_worker_entry before run()
+        // is ever reached; kept for match exhaustiveness.
+        EngineSpec::Proc(_) => Err(RunFailure::Error(
+            "proc engine must be launched from main".to_string(),
+        )),
+    }
+}
+
+/// Open the `--telemetry-out` sink, if requested.
+fn open_telemetry(opts: &Options) -> Result<Option<TelemetrySink>, String> {
+    match &opts.telemetry_out {
+        Some(path) => {
+            let interval = Duration::from_millis(opts.telemetry_interval_ms);
+            TelemetrySink::to_path(path, interval)
+                .map(Some)
+                .map_err(|e| format!("opening telemetry stream {path}: {e}"))
+        }
+        None => Ok(None),
     }
 }
 
 fn main() -> ExitCode {
     let opts = parse_options();
+    if let Some(worker) = &opts.worker {
+        return run_worker_entry(&opts, worker);
+    }
+    if let EngineSpec::Proc(p) = opts.engine {
+        return run_supervisor(&opts, p);
+    }
     if opts.quiet {
         mn_comm::obs::set_quiet(true);
     }
@@ -545,18 +630,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let sink = match &opts.telemetry_out {
-        Some(path) => {
-            let interval = Duration::from_millis(opts.telemetry_interval_ms);
-            match TelemetrySink::to_path(path, interval) {
-                Ok(sink) => Some(sink),
-                Err(e) => {
-                    eprintln!("error opening telemetry stream {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            }
+    let sink = match open_telemetry(&opts) {
+        Ok(sink) => sink,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
         }
-        None => None,
     };
     let handle = sink.as_ref().map(|s| s.handle());
     let mut capture = Capture::default();
@@ -608,6 +687,18 @@ fn main() -> ExitCode {
         }
     };
 
+    write_outputs(&opts, &network, &report, &snapshot)
+}
+
+/// Print the run summary and write every requested output artifact —
+/// the tail of a successful run, shared by the single-process engines
+/// (from `main`) and the rank-0 proc worker.
+fn write_outputs(
+    opts: &Options,
+    network: &ModuleNetwork,
+    report: &RunReport,
+    snapshot: &ObsSnapshot,
+) -> ExitCode {
     if !opts.quiet {
         let summary = network.summary();
         println!(
@@ -619,35 +710,381 @@ fn main() -> ExitCode {
         }
         println!("total: {:.4}s on {} rank(s)", report.total_s(), report.nranks);
         if opts.dag {
-            let dag = monet::acyclic::dag_edges(&network);
+            let dag = monet::acyclic::dag_edges(network);
             println!("acyclic module graph: {} edges", dag.len());
         }
     }
     if let Some(path) = &opts.xml {
-        if let Err(e) = monet::write_xml_file(&network, path) {
+        if let Err(e) = monet::write_xml_file(network, path) {
             eprintln!("error writing {path}: {e}");
             return ExitCode::FAILURE;
         }
     }
     if let Some(path) = &opts.json {
-        if let Err(e) = monet::write_json_file(&network, path) {
+        if let Err(e) = monet::write_json_file(network, path) {
             eprintln!("error writing {path}: {e}");
             return ExitCode::FAILURE;
         }
     }
     if let Some(path) = &opts.trace {
-        let trace = mn_comm::obs::chrome_trace_json(&snapshot);
+        let trace = mn_comm::obs::chrome_trace_json(snapshot);
         if let Err(e) = std::fs::write(path, trace) {
             eprintln!("error writing {path}: {e}");
             return ExitCode::FAILURE;
         }
     }
     if let Some(path) = &opts.metrics_out {
-        let metrics = RunMetrics::new(&report, &snapshot);
+        let metrics = RunMetrics::new(report, snapshot);
         if let Err(e) = metrics.write_file(path) {
             eprintln!("error writing {path}: {e}");
             return ExitCode::FAILURE;
         }
+    }
+    ExitCode::SUCCESS
+}
+
+/// One rank of a `proc:<p>` run: connect to the supervisor, learn the
+/// network over the proc fabric, and — on rank 0 — write every output
+/// the user asked for. This is the `monet worker` entrypoint; the
+/// supervisor spawns one per rank with the run flags forwarded
+/// verbatim, so data loading and configuration are replicated exactly.
+fn run_worker_entry(opts: &Options, w: &WorkerOpts) -> ExitCode {
+    // Only rank 0 speaks: the summary, telemetry stream, and output
+    // files all come from rank 0; the other ranks run silent.
+    let quiet = opts.quiet || w.rank != 0;
+    if quiet {
+        mn_comm::obs::set_quiet(true);
+    }
+    let data = match load_data(opts) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = match build_config(opts, &data) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let plan = match &opts.fault {
+        Some(spec) => match FaultPlan::parse(spec, w.nranks) {
+            Ok(plan) => plan,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => FaultPlan::new(),
+    };
+    if !plan.is_empty() {
+        silence_injected_panics();
+    }
+    let addr = match ProcAddr::parse(&w.socket) {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("error: --proc-socket: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let timeout = opts.comm_timeout_ms.map(Duration::from_millis);
+    let dump_dir = opts
+        .flightrec_dir
+        .clone()
+        .unwrap_or_else(|| ".".to_string());
+    // A supervisor that never appears (or never finishes the
+    // handshake) is a bounded, typed failure — the same exit code 3 a
+    // mid-run fault gets, since from this rank's perspective the
+    // fabric failed.
+    let ep = match connect_worker(WorkerConfig {
+        rank: w.rank,
+        nranks: w.nranks,
+        addr,
+        connect_timeout: timeout.unwrap_or(DEFAULT_CONNECT_TIMEOUT),
+        recv_timeout: timeout,
+        faults: plan,
+        dump_dir: dump_dir.clone().into(),
+    }) {
+        Ok(ep) => ep,
+        Err(e) => {
+            eprintln!("fault: rank {} handshake: {e}", w.rank);
+            return ExitCode::from(3);
+        }
+    };
+    let (mut engine, flight, stash) = mn_comm::msg::spmd_worker_engine(ep);
+    // A SIGTERMed or panicking worker still leaves its flight ring on
+    // disk — this process IS the rank; nothing else holds the handle.
+    {
+        let flight = flight.clone();
+        let dir = dump_dir.clone();
+        mn_comm::sys::on_sigterm(move || {
+            let _ = std::fs::create_dir_all(&dir);
+            let _ = flight.dump_to_dir(std::path::Path::new(&dir));
+        });
+    }
+    {
+        let flight = flight.clone();
+        let dir = dump_dir.clone();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let _ = std::fs::create_dir_all(&dir);
+            let _ = flight.dump_to_dir(std::path::Path::new(&dir));
+            prev(info);
+        }));
+    }
+    let sink = if w.rank == 0 {
+        match open_telemetry(opts) {
+            Ok(sink) => sink,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    let handle = sink.as_ref().map(|s| s.handle());
+    let ckpt = checkpoint_request(opts);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine.set_partition_strategy(opts.partition);
+        if let Some(handle) = &handle {
+            engine.obs_mut().set_telemetry(handle.clone());
+        }
+        let (network, report, snapshot) = run_on(&mut engine, &data, &config, ckpt.as_ref())?;
+        // Post-run snapshot gather so rank 0 can merge every rank's
+        // timeline, mirroring the in-process launcher's thread-join
+        // collection. Muted: post-run traffic is outside the
+        // deterministic accounting contract.
+        engine.endpoint().set_obs_muted(true);
+        let all = mn_comm::msg::allgatherv(engine.endpoint(), vec![snapshot])
+            .map_err(|e| RunFailure::Fault(format!("snapshot gather: {e}")))?;
+        engine.endpoint().set_obs_muted(false);
+        Ok((network, report, all))
+    }));
+    let result = match outcome {
+        Ok(result) => result,
+        Err(payload) => Err(fault_failure(payload)),
+    };
+    // Goodbye on every deliberate exit — success or diagnosed fault —
+    // so the supervisor's EOF-is-death detection only fires for ranks
+    // that really vanished (SIGKILL, crash). A survivor aborting on a
+    // peer's death reports it through exit code 3, not by looking dead
+    // itself.
+    engine.endpoint().goodbye();
+    drop(handle);
+    if let Some(sink) = sink {
+        if let Err(e) = sink.finish() {
+            eprintln!("warning: telemetry stream: {e}");
+        }
+    }
+    let dump_flight = |always: bool| {
+        if always || opts.flightrec_dir.is_some() {
+            let dir = std::path::Path::new(&dump_dir);
+            let _ = std::fs::create_dir_all(dir);
+            match flight.dump_to_dir(dir) {
+                Ok(path) => {
+                    if !quiet {
+                        eprintln!("flight recorder: {}", path.display());
+                    }
+                }
+                Err(e) => eprintln!("warning: flight recorder dump: {e}"),
+            }
+        }
+    };
+    match result {
+        Ok((network, report, snapshots)) => {
+            dump_flight(false);
+            if w.rank != 0 {
+                return ExitCode::SUCCESS;
+            }
+            let merged = match mn_comm::obs::merge_ranks(&snapshots) {
+                Ok(merged) => merged,
+                Err(e) => {
+                    eprintln!("error: rank merge failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            write_outputs(opts, &network, &report, &merged)
+        }
+        Err(failure) => {
+            dump_flight(true);
+            if w.rank == 0 {
+                if let Some(path) = &opts.trace {
+                    if let Some(snap) = stash.get() {
+                        let trace = mn_comm::obs::chrome_trace_json(&snap);
+                        if std::fs::write(path, trace).is_ok() && !quiet {
+                            eprintln!("post-mortem trace: {path}");
+                        }
+                    }
+                }
+            }
+            match failure {
+                RunFailure::Error(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+                RunFailure::Fault(e) => {
+                    eprintln!("fault: rank {}: {e}", w.rank);
+                    ExitCode::from(3)
+                }
+            }
+        }
+    }
+}
+
+/// The `--engine proc:<p>` parent: bind the socket, spawn one `monet
+/// worker` child per rank, route messages and watch liveness until
+/// every worker departs, then fold the children's exits into the run's
+/// exit code — 0 clean, 3 for any real or injected fault (with a
+/// one-line diagnosis naming the dead rank and its heartbeat age), 1
+/// for ordinary errors.
+fn run_supervisor(opts: &Options, p: usize) -> ExitCode {
+    // Validate everything cheap before spawning: a typo should fail in
+    // one process, not p+1.
+    let data = match load_data(opts) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = build_config(opts, &data) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    drop(data);
+    if let Some(spec) = &opts.fault {
+        if let Err(e) = FaultPlan::parse(spec, p) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let addr = match std::env::var("MN_PROC_ADDR") {
+        Ok(spec) => match ProcAddr::parse(&spec) {
+            Ok(addr) => addr,
+            Err(e) => {
+                eprintln!("error: MN_PROC_ADDR: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => ProcAddr::Unix(
+            std::env::temp_dir().join(format!("mn-proc-{}.sock", std::process::id())),
+        ),
+    };
+    let mut sup = match Supervisor::bind(&addr, p) {
+        Ok(sup) => sup,
+        Err(e) => {
+            eprintln!("error: binding {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let worker_addr = sup.addr().to_string();
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => {
+            eprintln!("error: resolving own executable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Forward the original command line verbatim (workers ignore
+    // --engine); each child re-loads data and re-derives the identical
+    // config, the SPMD way.
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
+    let mut children = Vec::with_capacity(p);
+    for rank in 0..p {
+        let spawned = std::process::Command::new(&exe)
+            .arg("worker")
+            .arg("--proc-rank")
+            .arg(rank.to_string())
+            .arg("--proc-nranks")
+            .arg(p.to_string())
+            .arg("--proc-socket")
+            .arg(&worker_addr)
+            .args(&forwarded)
+            .spawn();
+        match spawned {
+            Ok(child) => children.push(child),
+            Err(e) => {
+                eprintln!("error: spawning worker {rank}: {e}");
+                for child in &mut children {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let timeout = opts
+        .comm_timeout_ms
+        .map(Duration::from_millis)
+        .unwrap_or(DEFAULT_CONNECT_TIMEOUT);
+    if let Err(e) = sup.accept_workers(timeout) {
+        eprintln!("error: worker handshake: {e}");
+        for child in &mut children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        return ExitCode::FAILURE;
+    }
+    let pids = sup.pids();
+    let report = sup.route(|rank| {
+        // The stall monitor declared this rank dead; make it so, which
+        // turns the stall into an ordinary socket-EOF death.
+        let _ = mn_comm::sys::send_signal(pids[rank], mn_comm::sys::SIGKILL);
+    });
+    if let ProcAddr::Unix(path) = &addr {
+        let _ = std::fs::remove_file(path);
+    }
+    use std::os::unix::process::ExitStatusExt;
+    let mut fault: Option<String> = None;
+    let mut error: Option<String> = None;
+    for (rank, mut child) in children.into_iter().enumerate() {
+        let status = match child.wait() {
+            Ok(status) => status,
+            Err(e) => {
+                error.get_or_insert(format!("waiting on rank {rank}: {e}"));
+                continue;
+            }
+        };
+        if let Some(sig) = status.signal() {
+            fault.get_or_insert(format!("rank {rank} killed by signal {sig}"));
+        } else {
+            match status.code() {
+                Some(0) | None => {}
+                Some(3) => {
+                    fault.get_or_insert(format!(
+                        "rank {rank} aborted on a fault (diagnosis on its stderr above)"
+                    ));
+                }
+                Some(code) => {
+                    error.get_or_insert(format!("rank {rank} exited with code {code}"));
+                }
+            }
+        }
+    }
+    // A routed death carries the most precise diagnosis: which rank
+    // vanished, how it was detected, and how stale its heartbeat was.
+    if let Some((rank, age, stalled)) = report.first_death() {
+        let how = if stalled {
+            "stalled (heartbeat timeout)"
+        } else {
+            "died (socket closed)"
+        };
+        eprintln!(
+            "fault: rank {rank} {how}; last heartbeat {} ms before detection",
+            age.as_millis()
+        );
+        return ExitCode::from(3);
+    }
+    if let Some(msg) = fault {
+        eprintln!("fault: {msg}");
+        return ExitCode::from(3);
+    }
+    if let Some(msg) = error {
+        eprintln!("error: {msg}");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -190,6 +190,22 @@ impl Deserialize for Content {
     }
 }
 
+impl Serialize for () {
+    fn serialize_value(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize_value(value: &Content) -> Result<Self, DeError> {
+        if value.is_null() {
+            Ok(())
+        } else {
+            Err(DeError::msg("expected null"))
+        }
+    }
+}
+
 impl Serialize for bool {
     fn serialize_value(&self) -> Content {
         Content::Bool(*self)
