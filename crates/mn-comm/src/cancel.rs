@@ -1,0 +1,155 @@
+//! Cooperative cancellation for long-lived runs.
+//!
+//! A one-shot batch run only ever ends by finishing or dying; a
+//! serving process (ROADMAP item 1) must additionally be able to stop
+//! a learn job *on request* — either discarding it (cancel) or parking
+//! it for a later elastic resume (suspend). Both reuse the engines'
+//! fault unwinding: the engine observes the token at its next engine
+//! event (every `dist_map*`/`collective`/`replicated` call — the same
+//! clock fault injection ticks) and unwinds with the typed payload
+//! [`JobCancelled`], which the job runner catches with `catch_unwind`.
+//!
+//! Because cancellation lands *between* engine events, every
+//! checkpoint unit completed before the unwind is already on disk;
+//! resuming a suspended job therefore replays the finished units and
+//! recomputes only the interrupted one — the same argument that makes
+//! the kill/resume sweeps byte-identical applies unchanged, including
+//! for an elastic resume at a different rank count.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// What the requester wants done with the job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelKind {
+    /// Stop and discard: the job is over.
+    Cancel,
+    /// Stop but keep the checkpoint directory: the job will be
+    /// resumed later, possibly on a different engine or rank count.
+    Suspend,
+}
+
+impl CancelKind {
+    /// Short label for logs and protocol payloads.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CancelKind::Cancel => "cancel",
+            CancelKind::Suspend => "suspend",
+        }
+    }
+}
+
+const RUN: u8 = 0;
+const CANCEL: u8 = 1;
+const SUSPEND: u8 = 2;
+
+/// Shared cancellation flag: cloned into an engine via
+/// [`crate::ParEngine::set_cancel_token`] and flipped from any thread.
+///
+/// The token is level-triggered and one-way: once requested, it stays
+/// requested (a later `suspend` does not downgrade a `cancel`).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicU8>,
+}
+
+impl CancelToken {
+    /// A fresh, unrequested token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation (discard the job). Overrides a pending
+    /// suspend: cancel is the stronger request.
+    pub fn cancel(&self) {
+        self.flag.store(CANCEL, Ordering::SeqCst);
+    }
+
+    /// Request suspension (keep the checkpoint for a later resume).
+    /// Does not downgrade an already-requested cancel.
+    pub fn suspend(&self) {
+        let _ = self
+            .flag
+            .compare_exchange(RUN, SUSPEND, Ordering::SeqCst, Ordering::SeqCst);
+    }
+
+    /// The pending request, if any.
+    pub fn requested(&self) -> Option<CancelKind> {
+        match self.flag.load(Ordering::SeqCst) {
+            CANCEL => Some(CancelKind::Cancel),
+            SUSPEND => Some(CancelKind::Suspend),
+            _ => None,
+        }
+    }
+
+    /// Whether any stop has been requested.
+    pub fn is_requested(&self) -> bool {
+        self.requested().is_some()
+    }
+}
+
+/// Panic payload of an engine unwinding at a cancellation point.
+/// Caught (via `catch_unwind`) by whoever started the run; the fault
+/// exit path treats it like the other typed payloads
+/// ([`crate::fault::InjectedCrash`], [`crate::fault::FaultAbort`]) —
+/// see [`crate::fault::silence_injected_panics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobCancelled {
+    /// Whether the job was cancelled or suspended.
+    pub kind: CancelKind,
+    /// The engine event number at which the request was observed.
+    pub event: u64,
+}
+
+/// Engine helper: observe `token` at engine event `event` and unwind
+/// with [`JobCancelled`] if a stop has been requested. Engines call
+/// this from the same site that ticks their fault clock, so the set of
+/// cancellation points is exactly the set of fault-injection points.
+pub fn check_cancel(token: Option<&CancelToken>, event: u64) {
+    if let Some(kind) = token.and_then(CancelToken::requested) {
+        std::panic::panic_any(JobCancelled { kind, event });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_starts_unrequested_and_latches() {
+        let t = CancelToken::new();
+        assert!(!t.is_requested());
+        t.suspend();
+        assert_eq!(t.requested(), Some(CancelKind::Suspend));
+        // Cancel upgrades a pending suspend...
+        t.cancel();
+        assert_eq!(t.requested(), Some(CancelKind::Cancel));
+        // ...but suspend never downgrades a cancel.
+        t.suspend();
+        assert_eq!(t.requested(), Some(CancelKind::Cancel));
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let seen_by_engine = t.clone();
+        t.cancel();
+        assert!(seen_by_engine.is_requested());
+    }
+
+    #[test]
+    fn check_cancel_unwinds_with_the_typed_payload() {
+        let t = CancelToken::new();
+        check_cancel(Some(&t), 1); // no request: no unwind
+        t.suspend();
+        let payload = std::panic::catch_unwind(|| check_cancel(Some(&t), 7)).unwrap_err();
+        let payload = payload.downcast::<JobCancelled>().expect("typed payload");
+        assert_eq!(
+            *payload,
+            JobCancelled {
+                kind: CancelKind::Suspend,
+                event: 7
+            }
+        );
+    }
+}

@@ -204,6 +204,17 @@ pub trait ParEngine {
     /// per-rank time accounting.
     fn partition_feedback(&mut self) {}
 
+    /// Attach a cooperative cancellation token (see
+    /// [`crate::cancel`]): the engine observes it at every engine
+    /// event — the same clock fault injection ticks — and unwinds with
+    /// the typed payload [`crate::cancel::JobCancelled`] once a stop
+    /// has been requested. The default ignores the token (engines that
+    /// cannot be interrupted simply run to completion); the in-process
+    /// engines honor it, which is what `monet-serve` schedules jobs on.
+    fn set_cancel_token(&mut self, token: crate::cancel::CancelToken) {
+        let _ = token;
+    }
+
     /// Synchronize all ranks *without* touching the deterministic
     /// counters or the cost model — unlike [`ParEngine::collective`],
     /// which is part of the accounted algorithm. Checkpointed

@@ -426,17 +426,22 @@ impl FaultClock {
 }
 
 /// Install (once) a panic hook that suppresses the default "thread
-/// panicked" report for the *expected* unwinds of fault injection —
-/// [`InjectedCrash`] and [`FaultAbort`] payloads — while delegating
-/// every other panic to the previously installed hook. Test harnesses
-/// call this so a 12-point kill sweep doesn't print 12 backtraces.
+/// panicked" report for the *expected* unwinds of fault injection and
+/// cancellation — [`InjectedCrash`], [`FaultAbort`], and
+/// [`crate::cancel::JobCancelled`] payloads — while delegating every
+/// other panic to the previously installed hook. Test harnesses call
+/// this so a 12-point kill sweep doesn't print 12 backtraces, and the
+/// serving process calls it so routine job cancellation stays quiet.
 pub fn silence_injected_panics() {
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
             let payload = info.payload();
-            if payload.is::<InjectedCrash>() || payload.is::<FaultAbort>() {
+            if payload.is::<InjectedCrash>()
+                || payload.is::<FaultAbort>()
+                || payload.is::<crate::cancel::JobCancelled>()
+            {
                 return;
             }
             previous(info);

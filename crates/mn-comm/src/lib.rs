@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod cost;
 pub mod costmodel;
 pub mod engine;
@@ -41,6 +42,7 @@ pub mod sim;
 pub mod sys;
 pub mod thread;
 
+pub use cancel::{CancelKind, CancelToken, JobCancelled};
 pub use cost::{Collective, CostModel};
 pub use costmodel::{owner_runs, ItemCostModel, PartitionGovernor, ENGAGE_THRESHOLD};
 pub use fault::{
@@ -75,6 +77,18 @@ pub enum EngineSpec {
     Msg(usize),
     /// `proc:<p>` — the msg fabric over real supervised OS processes.
     Proc(usize),
+}
+
+impl std::fmt::Display for EngineSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineSpec::Serial => write!(f, "serial"),
+            EngineSpec::Threads(p) => write!(f, "threads:{p}"),
+            EngineSpec::Sim(p) => write!(f, "sim:{p}"),
+            EngineSpec::Msg(p) => write!(f, "msg:{p}"),
+            EngineSpec::Proc(p) => write!(f, "proc:{p}"),
+        }
+    }
 }
 
 impl std::str::FromStr for EngineSpec {

@@ -197,7 +197,7 @@ impl Endpoint {
     /// matrix: every subsequent send/recv/fault on this endpoint is
     /// recorded.
     pub fn attach_obs(&self, flight: FlightRec, comm: CommMatrixHandle) {
-        self.obs.lock().unwrap().attach(flight, comm);
+        self.obs.lock().unwrap_or_else(std::sync::PoisonError::into_inner).attach(flight, comm);
     }
 
     /// Suppress (or resume) observation. Checkpoint-I/O barriers mute
@@ -205,17 +205,17 @@ impl Endpoint {
     /// accounting — the same contract that keeps those barriers out of
     /// the deterministic counters.
     pub fn set_obs_muted(&self, muted: bool) {
-        self.obs.lock().unwrap().set_muted(muted);
+        self.obs.lock().unwrap_or_else(std::sync::PoisonError::into_inner).set_muted(muted);
     }
 
     /// Record a flight event through the attached observers.
     fn note_flight(&self, event: FlightEvent) {
-        self.obs.lock().unwrap().note_flight(event);
+        self.obs.lock().unwrap_or_else(std::sync::PoisonError::into_inner).note_flight(event);
     }
 
     /// Record one delivered outgoing message (flight + matrix).
     fn note_send(&self, dst: usize, bytes: u64) {
-        self.obs.lock().unwrap().note_send(self.rank, dst, bytes);
+        self.obs.lock().unwrap_or_else(std::sync::PoisonError::into_inner).note_send(self.rank, dst, bytes);
     }
 
     /// Count one fabric event and return any fault scheduled for it.

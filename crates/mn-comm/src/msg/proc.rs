@@ -585,7 +585,7 @@ pub fn connect_worker(cfg: WorkerConfig) -> Result<ProcEndpoint, CommError> {
                     }
                 }
             })
-            .expect("spawn proc reader");
+            .map_err(io_err)?;
 
         // Heartbeat thread: independent of compute, so a worker stuck
         // in a long dist_map block still beats.
@@ -603,12 +603,12 @@ pub fn connect_worker(cfg: WorkerConfig) -> Result<ProcEndpoint, CommError> {
                     if hb_stop.load(Ordering::Relaxed) {
                         return;
                     }
-                    let mut w = writer.lock().unwrap();
+                    let mut w = writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                     if write_frame(&mut w, &Frame::Heartbeat { rank }).is_err() {
                         return; // supervisor gone; the reader notices too
                     }
                 })
-                .expect("spawn proc heartbeat");
+                .map_err(io_err)?;
         }
 
         Ok(ProcEndpoint {
@@ -650,7 +650,7 @@ impl ProcEndpoint {
                     event,
                 });
                 // Flush the ring first — SIGKILL leaves no other trace.
-                if let Some(flight) = &self.obs.lock().unwrap().flight {
+                if let Some(flight) = &self.obs.lock().unwrap_or_else(std::sync::PoisonError::into_inner).flight {
                     let _ = std::fs::create_dir_all(&self.dump_dir);
                     let _ = flight.dump_to_dir(&self.dump_dir);
                 }
@@ -669,13 +669,13 @@ impl ProcEndpoint {
     }
 
     fn note_flight(&self, event: FlightEvent) {
-        self.obs.lock().unwrap().note_flight(event);
+        self.obs.lock().unwrap_or_else(std::sync::PoisonError::into_inner).note_flight(event);
     }
 
     /// Announce a clean shutdown to the supervisor, so the EOF that
     /// follows this endpoint's drop is not reported as a death.
     pub fn goodbye(&self) {
-        let mut writer = self.writer.lock().unwrap();
+        let mut writer = self.writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let _ = write_frame(
             &mut writer,
             &Frame::Goodbye {
@@ -688,7 +688,7 @@ impl ProcEndpoint {
 impl Drop for ProcEndpoint {
     fn drop(&mut self) {
         self.hb_stop.store(true, Ordering::Relaxed);
-        self.writer.lock().unwrap().shutdown();
+        self.writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner).shutdown();
     }
 }
 
@@ -727,7 +727,7 @@ impl Fabric for ProcEndpoint {
             body: wire::to_vec(&value),
         };
         {
-            let mut writer = self.writer.lock().unwrap();
+            let mut writer = self.writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             write_frame(&mut writer, &frame).map_err(|e| {
                 CommError::from_io_kind(
                     e.kind(),
@@ -738,7 +738,7 @@ impl Fabric for ProcEndpoint {
                 )
             })?;
         }
-        self.obs.lock().unwrap().note_send(self.rank, dst, wire_bytes);
+        self.obs.lock().unwrap_or_else(std::sync::PoisonError::into_inner).note_send(self.rank, dst, wire_bytes);
         Ok(())
     }
 
@@ -791,11 +791,11 @@ impl Fabric for ProcEndpoint {
     }
 
     fn attach_obs(&self, flight: FlightRec, comm: CommMatrixHandle) {
-        self.obs.lock().unwrap().attach(flight, comm);
+        self.obs.lock().unwrap_or_else(std::sync::PoisonError::into_inner).attach(flight, comm);
     }
 
     fn set_obs_muted(&self, muted: bool) {
-        self.obs.lock().unwrap().set_muted(muted);
+        self.obs.lock().unwrap_or_else(std::sync::PoisonError::into_inner).set_muted(muted);
     }
 }
 
@@ -985,7 +985,7 @@ impl Supervisor {
         // All in: welcome everyone with the fabric geometry.
         let heartbeat_ms = heartbeat_interval().as_millis() as u32;
         for link in self.links.iter().flatten() {
-            let mut writer = link.writer.lock().unwrap();
+            let mut writer = link.writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             write_frame(
                 &mut writer,
                 &Frame::Welcome {
@@ -1048,7 +1048,7 @@ impl Supervisor {
                 if rank == dead {
                     continue;
                 }
-                let mut w = writer.lock().unwrap();
+                let mut w = writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                 let _ = write_frame(&mut w, &frame);
             }
         };
@@ -1064,18 +1064,18 @@ impl Supervisor {
                 scope.spawn(move || loop {
                     match read_frame(&mut reader) {
                         Ok(Frame::Heartbeat { .. }) => {
-                            states[rank].lock().unwrap().last_hb = Instant::now();
+                            states[rank].lock().unwrap_or_else(std::sync::PoisonError::into_inner).last_hb = Instant::now();
                         }
                         Ok(frame @ Frame::Data { .. }) => {
                             // Data also proves liveness — a rank deep in
                             // a send burst may beat less promptly.
-                            states[rank].lock().unwrap().last_hb = Instant::now();
+                            states[rank].lock().unwrap_or_else(std::sync::PoisonError::into_inner).last_hb = Instant::now();
                             let dst = match &frame {
                                 Frame::Data { dst, .. } => *dst as usize,
                                 _ => unreachable!(),
                             };
                             if dst < nranks {
-                                let mut w = writers[dst].lock().unwrap();
+                                let mut w = writers[dst].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                                 // Delivery failure to a dead dst is not
                                 // this rank's problem: dst's own reader
                                 // reports the death.
@@ -1083,12 +1083,12 @@ impl Supervisor {
                             }
                         }
                         Ok(Frame::Goodbye { .. }) => {
-                            states[rank].lock().unwrap().clean = true;
+                            states[rank].lock().unwrap_or_else(std::sync::PoisonError::into_inner).clean = true;
                         }
                         Ok(_) => {}
                         Err(_) => {
                             // EOF or error: the worker is gone.
-                            let mut st = states[rank].lock().unwrap();
+                            let mut st = states[rank].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                             if st.gone {
                                 return; // stall monitor got here first
                             }
@@ -1105,7 +1105,7 @@ impl Supervisor {
                             });
                             drop(st);
                             if !clean {
-                                deaths_ref.lock().unwrap().push((rank, age, false));
+                                deaths_ref.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push((rank, age, false));
                             }
                             // Clean or not, the rank is gone: tell the
                             // survivors so a receive still waiting on it
@@ -1131,7 +1131,7 @@ impl Supervisor {
                     std::thread::sleep(poll);
                     let mut all_gone = true;
                     for (rank, state) in states.iter().enumerate() {
-                        let mut st = state.lock().unwrap();
+                        let mut st = state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                         if st.gone {
                             continue;
                         }
@@ -1144,12 +1144,12 @@ impl Supervisor {
                                 stalled: true,
                             });
                             drop(st);
-                            deaths_ref.lock().unwrap().push((rank, age, true));
+                            deaths_ref.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push((rank, age, true));
                             broadcast_death(rank, age);
                             on_stall(rank);
                             // Unblock the reader even if the kill
                             // failed (e.g. already a zombie).
-                            writers[rank].lock().unwrap().shutdown();
+                            writers[rank].lock().unwrap_or_else(std::sync::PoisonError::into_inner).shutdown();
                         }
                     }
                     if all_gone {
@@ -1163,7 +1163,7 @@ impl Supervisor {
             .iter()
             .map(|s| {
                 s.lock()
-                    .unwrap()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .departure
                     .clone()
                     .unwrap_or(Departure::Clean)
@@ -1172,7 +1172,134 @@ impl Supervisor {
         RouteReport {
             departures,
             pids,
-            deaths: deaths.into_inner().unwrap(),
+            deaths: deaths
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Service transport (monet-serve)
+// ---------------------------------------------------------------------
+
+/// A plain byte-stream listener over the proc transport's address
+/// space (`unix:<path>` / `tcp:<host:port>`), for long-lived services
+/// that speak their own protocol on top — `monet serve` uses it for
+/// line-delimited JSON. Unlike [`Supervisor`], it carries no frame
+/// protocol, no rank geometry, and accepts any number of connections.
+pub struct ServiceListener {
+    listener: ProcListener,
+    addr: ProcAddr,
+}
+
+impl ServiceListener {
+    /// Bind the listening socket. For `tcp:host:0` the actual
+    /// (ephemeral) port is resolved into [`ServiceListener::addr`]; a
+    /// stale Unix socket file from a crashed service is removed first.
+    pub fn bind(addr: &ProcAddr) -> io::Result<ServiceListener> {
+        let (listener, addr) = match addr {
+            ProcAddr::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                if let Some(parent) = path.parent() {
+                    std::fs::create_dir_all(parent)?;
+                }
+                (
+                    ProcListener::Unix(UnixListener::bind(path)?),
+                    ProcAddr::Unix(path.clone()),
+                )
+            }
+            ProcAddr::Tcp(spec) => {
+                let listener = TcpListener::bind(spec)?;
+                let actual = listener.local_addr()?.to_string();
+                (ProcListener::Tcp(listener), ProcAddr::Tcp(actual))
+            }
+        };
+        Ok(ServiceListener { listener, addr })
+    }
+
+    /// The bound address clients must connect to.
+    pub fn addr(&self) -> &ProcAddr {
+        &self.addr
+    }
+
+    /// Block until the next client connects.
+    pub fn accept(&self) -> io::Result<ServiceStream> {
+        self.listener.accept().map(ServiceStream)
+    }
+}
+
+impl Drop for ServiceListener {
+    fn drop(&mut self) {
+        if let ProcAddr::Unix(path) = &self.addr {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// One connected service byte stream (UDS or TCP): `Read + Write`,
+/// clonable into separate read/write halves, with an interruptible
+/// shutdown for serve-side cancellation of blocked readers.
+pub struct ServiceStream(ProcStream);
+
+impl ServiceStream {
+    /// A second handle onto the same socket (shared file offset —
+    /// use one half for reading and one for writing).
+    pub fn try_clone(&self) -> io::Result<ServiceStream> {
+        self.0.try_clone().map(ServiceStream)
+    }
+
+    /// Bound every read by `timeout` (`None` blocks forever).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.0.set_read_timeout(timeout)
+    }
+
+    /// Shut both directions down; a peer blocked in `read` sees EOF.
+    pub fn shutdown(&self) {
+        self.0.shutdown();
+    }
+}
+
+impl Read for ServiceStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.0.read(buf)
+    }
+}
+
+impl Write for ServiceStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()
+    }
+}
+
+/// Connect to a [`ServiceListener`] with retry + jittered backoff
+/// until `timeout` elapses — the same bounded-connect discipline as
+/// [`connect_worker`], minus the handshake.
+pub fn service_connect(addr: &ProcAddr, timeout: Duration) -> io::Result<ServiceStream> {
+    let deadline = Instant::now() + timeout;
+    let mut attempt: u64 = 0;
+    loop {
+        let result = match addr {
+            ProcAddr::Unix(path) => UnixStream::connect(path).map(ProcStream::Unix),
+            ProcAddr::Tcp(spec) => TcpStream::connect(spec).map(ProcStream::Tcp),
+        };
+        match result {
+            Ok(stream) => return Ok(ServiceStream(stream)),
+            Err(e) if Instant::now() >= deadline => return Err(e),
+            Err(_) => {
+                let base =
+                    Duration::from_millis(1 << attempt.min(7)).min(Duration::from_millis(100));
+                let jitter_seed = splitmix64(0xC0FFEE ^ attempt);
+                let jittered = base.mul_f64(0.5 + (jitter_seed % 1000) as f64 / 1000.0);
+                std::thread::sleep(
+                    jittered.min(deadline.saturating_duration_since(Instant::now())),
+                );
+                attempt += 1;
+            }
         }
     }
 }

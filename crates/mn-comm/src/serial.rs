@@ -6,6 +6,7 @@
 //! T₁ in all the cases", §5.3) and the engine behind Table 1 and
 //! Figures 3–4.
 
+use crate::cancel::{check_cancel, CancelToken};
 use crate::cost::Collective;
 use crate::engine::{Costed, ParEngine, SegmentBatchFn, Wire};
 use crate::fault::{FaultAction, FaultClock, FaultPlan, InjectedCrash};
@@ -39,6 +40,8 @@ pub struct SerialEngine {
     /// recorded for introspection (and so replicated programs can set
     /// it unconditionally) but never changes execution.
     strategy: PartitionStrategy,
+    /// Cooperative cancellation token, observed at every engine event.
+    cancel: Option<CancelToken>,
 }
 
 impl SerialEngine {
@@ -53,6 +56,7 @@ impl SerialEngine {
             faults: FaultClock::new(FaultPlan::new(), 0),
             stash: SnapshotStash::new(),
             strategy: PartitionStrategy::Block,
+            cancel: None,
         }
     }
 
@@ -82,6 +86,7 @@ impl SerialEngine {
     /// have no engine-level meaning (there is no fabric) and are
     /// ignored, exactly as `tick_or_die` ignored them.
     fn tick_fault(&mut self) {
+        check_cancel(self.cancel.as_ref(), self.faults.events());
         match self.faults.tick() {
             Some(action @ (FaultAction::Kill | FaultAction::Die)) => {
                 let event = self.faults.events();
@@ -229,6 +234,10 @@ impl ParEngine for SerialEngine {
 
     fn partition_strategy(&self) -> PartitionStrategy {
         self.strategy
+    }
+
+    fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
     }
 }
 

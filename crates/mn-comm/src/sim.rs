@@ -27,6 +27,7 @@
 use crate::cost::{Collective, CostModel};
 use crate::costmodel::PartitionGovernor;
 use crate::engine::{Costed, ParEngine, SegmentBatchFn, Wire};
+use crate::cancel::{check_cancel, CancelToken};
 use crate::fault::{FaultAction, FaultClock, FaultPlan, InjectedCrash};
 use crate::hooks;
 use crate::metrics::{PhaseReport, RunReport};
@@ -66,6 +67,8 @@ pub struct SimEngine {
     /// Last-snapshot stash filled just before an injected crash (the
     /// handle is an `Arc`: clone it before `catch_unwind`).
     stash: SnapshotStash,
+    /// Cooperative cancellation token, observed at every engine event.
+    cancel: Option<CancelToken>,
 }
 
 impl SimEngine {
@@ -91,6 +94,7 @@ impl SimEngine {
             sim_now: 0.0,
             faults: FaultClock::new(FaultPlan::new(), 0),
             stash: SnapshotStash::new(),
+            cancel: None,
         }
     }
 
@@ -113,6 +117,7 @@ impl SimEngine {
     /// [`InjectedCrash`]. `Delay`/`Drop` are fabric-level actions the
     /// simulation has no channel to apply them to; they stay ignored.
     fn tick_fault(&mut self) {
+        check_cancel(self.cancel.as_ref(), self.faults.events());
         match self.faults.tick() {
             Some(action @ (FaultAction::Kill | FaultAction::Die)) => {
                 let event = self.faults.events();
@@ -533,6 +538,10 @@ impl ParEngine for SimEngine {
             None
         };
         self.gov.feedback(measured);
+    }
+
+    fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
     }
 }
 

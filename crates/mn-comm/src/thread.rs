@@ -13,6 +13,7 @@
 //! same report shape as the other engines, so the bench harness can
 //! drive any engine uniformly.
 
+use crate::cancel::{check_cancel, CancelToken};
 use crate::cost::Collective;
 use crate::costmodel::{owner_runs, PartitionGovernor};
 use crate::engine::{Costed, ParEngine, SegmentBatchFn, Wire};
@@ -47,6 +48,8 @@ pub struct ThreadEngine {
     /// unchanged fast paths below; any other strategy routes through
     /// [`ThreadEngine::map_owners`].
     gov: PartitionGovernor,
+    /// Cooperative cancellation token, observed at every engine event.
+    cancel: Option<CancelToken>,
 }
 
 impl ThreadEngine {
@@ -63,6 +66,7 @@ impl ThreadEngine {
             faults: FaultClock::new(FaultPlan::new(), 0),
             stash: SnapshotStash::new(),
             gov: PartitionGovernor::new(PartitionStrategy::Block),
+            cancel: None,
         }
     }
 
@@ -91,6 +95,7 @@ impl ThreadEngine {
     /// [`InjectedCrash`]. `Delay`/`Drop` are fabric-level actions with
     /// no shared-memory meaning and stay ignored.
     fn tick_fault(&mut self) {
+        check_cancel(self.cancel.as_ref(), self.faults.events());
         match self.faults.tick() {
             Some(action @ (FaultAction::Kill | FaultAction::Die)) => {
                 let event = self.faults.events();
@@ -449,6 +454,10 @@ impl ParEngine for ThreadEngine {
             None
         };
         self.gov.feedback(measured);
+    }
+
+    fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
     }
 }
 

@@ -166,7 +166,7 @@ impl CommMatrixHandle {
     /// Open a new phase instance (append-always, mirroring the span
     /// recorder: a second phase with the same name is a new instance).
     pub fn begin_phase(&self, name: &str) {
-        let mut state = self.inner.lock().unwrap();
+        let mut state = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let p = state.mat.nranks;
         state.mat.phases.push(PhaseTraffic::new(name, p));
         state.current = state.mat.phases.len() - 1;
@@ -175,7 +175,7 @@ impl CommMatrixHandle {
     /// Record one `src → dst` message of `bytes` shallow wire bytes
     /// into the current phase.
     pub fn record(&self, src: usize, dst: usize, bytes: u64) {
-        let mut state = self.inner.lock().unwrap();
+        let mut state = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let p = state.mat.nranks;
         debug_assert!(src < p && dst < p, "rank out of range: {src}->{dst} of {p}");
         let current = state.current;
@@ -217,12 +217,12 @@ impl CommMatrixHandle {
 
     /// The matrix dimension.
     pub fn nranks(&self) -> usize {
-        self.inner.lock().unwrap().mat.nranks
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).mat.nranks
     }
 
     /// A snapshot of the accumulated matrix.
     pub fn snapshot(&self) -> CommMatrix {
-        self.inner.lock().unwrap().mat.clone()
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).mat.clone()
     }
 }
 

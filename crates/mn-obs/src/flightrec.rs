@@ -325,18 +325,18 @@ impl FlightRec {
 
     /// The owning rank.
     pub fn rank(&self) -> usize {
-        self.inner.lock().unwrap().rank
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).rank
     }
 
     /// Enable or disable recording (the recorder is always-on by
     /// default; the bench harness disables it to measure overhead).
     pub fn set_enabled(&self, enabled: bool) {
-        self.inner.lock().unwrap().enabled = enabled;
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).enabled = enabled;
     }
 
     /// Record one event into its class ring.
     pub fn record(&self, event: FlightEvent) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if !inner.enabled {
             return;
         }
@@ -350,7 +350,7 @@ impl FlightRec {
 
     /// The retained deterministic-class records, oldest first.
     pub fn det_events(&self) -> Vec<FlightRecord> {
-        self.inner.lock().unwrap().det.buf.iter().cloned().collect()
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).det.buf.iter().cloned().collect()
     }
 
     /// The retained local-class records, oldest first.
@@ -367,14 +367,14 @@ impl FlightRec {
 
     /// Deterministic-class events ever recorded (including evicted).
     pub fn det_recorded(&self) -> u64 {
-        self.inner.lock().unwrap().det.next_seq
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).det.next_seq
     }
 
     /// Serialize the black box as JSONL: one header object, then every
     /// retained record (deterministic ring first, then local), one
     /// JSON object per line.
     pub fn dump_jsonl(&self) -> String {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let header = Content::Map(vec![
             (
                 "schema_version".into(),

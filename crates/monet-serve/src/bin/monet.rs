@@ -15,6 +15,9 @@
 //!       [--flightrec-dir dir]
 //!       [--dag] [--quiet]
 //! monet --synthetic n,m [--engine ...]   # demo without an input file
+//! monet serve --listen unix:<path>|tcp:<host:port> [--state-dir dir]
+//!       [--workers N] [--max-queue N] [--telemetry-interval-ms T]
+//! monet client --connect <addr> <op> [flags]   # talk to a server
 //! ```
 //!
 //! The defaults reproduce the paper's minimum-runtime configuration
@@ -61,6 +64,17 @@
 //! stalls), the survivors abort with `PeerDisconnected`, and the run
 //! exits 3 with per-rank flight-recorder dumps; results on the happy
 //! path are byte-identical to every other engine.
+//!
+//! `monet serve` runs the learner as a long-lived multi-tenant service
+//! (DESIGN.md §16): line-delimited JSON over a Unix or TCP socket,
+//! a fixed worker pool with fair per-tenant scheduling and bounded
+//! admission, live telemetry via `watch`, cooperative cancel/suspend,
+//! and per-job checkpointing with elastic resume. `monet client` is
+//! the matching command-line client (ops: `ping`, `register`,
+//! `submit`, `status`, `watch`, `result`, `cancel`, `suspend`,
+//! `resume`, `accounting`, `jobs`, `shutdown`, `raw`); a served job's
+//! result is byte-identical to this binary's batch `--json` output for
+//! the same dataset, seed, and config.
 
 use mn_comm::msg::proc::{
     connect_worker, ProcAddr, Supervisor, WorkerConfig, DEFAULT_CONNECT_TIMEOUT,
@@ -116,6 +130,47 @@ struct Options {
     worker: Option<WorkerOpts>,
 }
 
+impl Options {
+    /// Flag defaults — shared by the batch parser and the `client
+    /// submit` learn-flag parser, so a served job's config defaults
+    /// match the batch CLI's exactly.
+    fn defaults() -> Options {
+        Options {
+            input: None,
+            synthetic: None,
+            engine: EngineSpec::Serial,
+            partition: PartitionStrategy::Block,
+            seed: 0,
+            ganesh_runs: 1,
+            update_steps: 1,
+            init_clusters: None,
+            trees: 1,
+            splits_per_node: 2,
+            sampling_steps: 8,
+            threshold: 0.0,
+            reference: false,
+            gibbs_naive: false,
+            consensus_dense: false,
+            candidates: None,
+            xml: None,
+            json: None,
+            trace: None,
+            metrics_out: None,
+            checkpoint_dir: None,
+            resume: false,
+            force_restart: false,
+            fault: None,
+            comm_timeout_ms: None,
+            telemetry_out: None,
+            telemetry_interval_ms: 1000,
+            flightrec_dir: None,
+            dag: false,
+            quiet: false,
+            worker: None,
+        }
+    }
+}
+
 /// The `monet worker` coordinates: which rank this process is, how
 /// many ranks the fabric has, and where the supervisor listens.
 struct WorkerOpts {
@@ -140,7 +195,9 @@ fn usage() -> ! {
          \x20      [--comm-timeout-ms T]\n\
          \x20      [--telemetry-out path|-] [--telemetry-interval-ms T]\n\
          \x20      [--flightrec-dir dir]\n\
-         \x20      [--dag] [--quiet]"
+         \x20      [--dag] [--quiet]\n\
+         \x20apart from batch runs: monet serve --listen <addr> [...]\n\
+         \x20                       monet client --connect <addr> <op> [...]"
     );
     std::process::exit(2)
 }
@@ -157,39 +214,7 @@ fn parse_options() -> Options {
     let mut proc_rank: Option<usize> = None;
     let mut proc_nranks: Option<usize> = None;
     let mut proc_socket: Option<String> = None;
-    let mut opts = Options {
-        input: None,
-        synthetic: None,
-        engine: EngineSpec::Serial,
-        partition: PartitionStrategy::Block,
-        seed: 0,
-        ganesh_runs: 1,
-        update_steps: 1,
-        init_clusters: None,
-        trees: 1,
-        splits_per_node: 2,
-        sampling_steps: 8,
-        threshold: 0.0,
-        reference: false,
-        gibbs_naive: false,
-        consensus_dense: false,
-        candidates: None,
-        xml: None,
-        json: None,
-        trace: None,
-        metrics_out: None,
-        checkpoint_dir: None,
-        resume: false,
-        force_restart: false,
-        fault: None,
-        comm_timeout_ms: None,
-        telemetry_out: None,
-        telemetry_interval_ms: 1000,
-        flightrec_dir: None,
-        dag: false,
-        quiet: false,
-        worker: None,
-    };
+    let mut opts = Options::defaults();
     let mut i = 0;
     let value = |args: &[String], i: &mut usize| -> String {
         *i += 1;
@@ -314,7 +339,11 @@ fn load_data(opts: &Options) -> Result<Dataset, String> {
     Ok(mn_data::synthetic::yeast_like(n, m, opts.seed).dataset)
 }
 
-fn build_config(opts: &Options, data: &Dataset) -> Result<LearnerConfig, String> {
+/// The data-independent part of [`build_config`]: everything except
+/// candidate-regulator resolution. `client submit` uses it directly,
+/// which is what makes a served job's config byte-identical to the
+/// batch CLI's for the same flags.
+fn base_config(opts: &Options) -> LearnerConfig {
     let mut config = LearnerConfig::paper_minimum(opts.seed);
     config.ganesh_runs = opts.ganesh_runs;
     config.ganesh.update_steps = opts.update_steps;
@@ -339,6 +368,11 @@ fn build_config(opts: &Options, data: &Dataset) -> Result<LearnerConfig, String>
         // only the wall-clock differs.
         config = config.with_candidate_scoring(CandidateScoring::Naive);
     }
+    config
+}
+
+fn build_config(opts: &Options, data: &Dataset) -> Result<LearnerConfig, String> {
+    let mut config = base_config(opts);
     if let Some(path) = &opts.candidates {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -606,6 +640,14 @@ fn open_telemetry(opts: &Options) -> Result<Option<TelemetrySink>, String> {
 }
 
 fn main() -> ExitCode {
+    // Service subcommands dispatch before the batch flag parser (the
+    // same pattern as the hidden `worker` subcommand).
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => return serve_main(&args[1..]),
+        Some("client") => return client_main(&args[1..]),
+        _ => {}
+    }
     let opts = parse_options();
     if let Some(worker) = &opts.worker {
         return run_worker_entry(&opts, worker);
@@ -1087,4 +1129,334 @@ fn run_supervisor(opts: &Options, p: usize) -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------
+// `monet serve` / `monet client` — the long-lived service (DESIGN.md
+// §16)
+// ---------------------------------------------------------------------
+
+fn serve_usage() -> ! {
+    eprintln!(
+        "usage: monet serve --listen unix:<path>|tcp:<host:port>\n\
+         \x20      [--state-dir dir] [--workers N] [--max-queue N]\n\
+         \x20      [--telemetry-interval-ms T]"
+    );
+    std::process::exit(2)
+}
+
+fn serve_main(args: &[String]) -> ExitCode {
+    use monet_serve::{ServeConfig, Server};
+    let mut listen: Option<String> = None;
+    let mut state_dir = "monet-serve-state".to_string();
+    let mut workers = 2usize;
+    let mut max_queue = 64usize;
+    let mut interval_ms = 50u64;
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| serve_usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => listen = Some(value(args, &mut i)),
+            "--state-dir" => state_dir = value(args, &mut i),
+            "--workers" => workers = value(args, &mut i).parse().unwrap_or_else(|_| serve_usage()),
+            "--max-queue" => {
+                max_queue = value(args, &mut i).parse().unwrap_or_else(|_| serve_usage())
+            }
+            "--telemetry-interval-ms" => {
+                interval_ms = value(args, &mut i).parse().unwrap_or_else(|_| serve_usage())
+            }
+            _ => serve_usage(),
+        }
+        i += 1;
+    }
+    let Some(listen) = listen else { serve_usage() };
+    let addr = match ProcAddr::parse(&listen) {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("error: --listen {listen}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut cfg = ServeConfig::new(addr, state_dir.into());
+    cfg.workers = workers.max(1);
+    cfg.max_queue = max_queue.max(1);
+    cfg.telemetry_interval = Duration::from_millis(interval_ms.max(1));
+    let server = match Server::bind(cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: binding listener: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Scripts (CI, tests) wait for this exact line before connecting.
+    println!("listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: serving: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn client_usage() -> ! {
+    eprintln!(
+        "usage: monet client --connect <addr> <op> [flags]\n\
+         ops:\n\
+         \x20 ping\n\
+         \x20 register --tenant T --dataset D (--synthetic n,m [--seed s] | --tsv path)\n\
+         \x20 submit --tenant T --dataset D [--engine serial|threads:<p>|sim:<p>]\n\
+         \x20        [--seed N] [--ganesh-runs G] [--update-steps U] [--init-clusters K0]\n\
+         \x20        [--trees R] [--splits-per-node J] [--sampling-steps S] [--threshold T]\n\
+         \x20        [--reference] [--gibbs-naive] [--consensus-dense]\n\
+         \x20 status --job J | watch --job J [--from N] | result --job J [--json path]\n\
+         \x20 cancel --job J | suspend --job J | resume --job J [--engine E]\n\
+         \x20 accounting [--tenant T] | jobs [--tenant T] | shutdown | raw <line>"
+    );
+    std::process::exit(2)
+}
+
+/// Flat `--flag value` parser for one client op. Boolean flags map to
+/// `"true"`.
+fn client_flags(args: &[String], bools: &[&str]) -> std::collections::BTreeMap<String, String> {
+    let mut flags = std::collections::BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let name = match args[i].strip_prefix("--") {
+            Some(name) => name.to_string(),
+            None => client_usage(),
+        };
+        if bools.contains(&name.as_str()) {
+            flags.insert(name, "true".to_string());
+        } else {
+            i += 1;
+            let Some(v) = args.get(i) else { client_usage() };
+            flags.insert(name, v.clone());
+        }
+        i += 1;
+    }
+    flags
+}
+
+fn client_main(args: &[String]) -> ExitCode {
+    use monet_serve::client::Reply;
+    use monet_serve::Client;
+
+    // `--connect` may appear before or after the op token.
+    let mut connect: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--connect" {
+            i += 1;
+            connect = Some(args.get(i).cloned().unwrap_or_else(|| client_usage()));
+        } else {
+            rest.push(args[i].clone());
+        }
+        i += 1;
+    }
+    let Some(connect) = connect else {
+        client_usage()
+    };
+    if rest.is_empty() {
+        client_usage();
+    }
+    let op = rest.remove(0);
+    let addr = match ProcAddr::parse(&connect) {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("error: --connect {connect}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut client = match Client::connect(&addr, Duration::from_secs(10)) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("error: connecting to {connect}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Each op prints the server's response line on stdout; a typed
+    // refusal prints it and exits 1 (except `raw`, which only reports
+    // transport failures — CI asserts on its output with jq).
+    let finish = |reply: std::io::Result<Reply>| -> ExitCode {
+        match reply {
+            Ok(Reply::Ok(value)) => {
+                println!("{}", serde_json::to_string(&value).expect("response reserializes"));
+                ExitCode::SUCCESS
+            }
+            Ok(Reply::Err(err)) => {
+                println!("{}", monet_serve::proto::err_line(&err));
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    };
+
+    match op.as_str() {
+        "ping" => finish(client.ping()),
+        "register" => {
+            let flags = client_flags(&rest, &[]);
+            let (Some(tenant), Some(dataset)) = (flags.get("tenant"), flags.get("dataset"))
+            else {
+                client_usage()
+            };
+            if let Some(tsv) = flags.get("tsv") {
+                return finish(client.register_tsv(tenant, dataset, tsv));
+            }
+            let Some(synth) = flags.get("synthetic") else {
+                client_usage()
+            };
+            let parts: Vec<&str> = synth.split(',').collect();
+            if parts.len() != 2 {
+                client_usage();
+            }
+            let n: usize = parts[0].parse().unwrap_or_else(|_| client_usage());
+            let m: usize = parts[1].parse().unwrap_or_else(|_| client_usage());
+            let seed: u64 = flags
+                .get("seed")
+                .map(|s| s.parse().unwrap_or_else(|_| client_usage()))
+                .unwrap_or(0);
+            finish(client.register_synthetic(tenant, dataset, n, m, seed))
+        }
+        "submit" => {
+            let flags = client_flags(&rest, &["reference", "gibbs-naive", "consensus-dense"]);
+            let (Some(tenant), Some(dataset)) = (flags.get("tenant"), flags.get("dataset"))
+            else {
+                client_usage()
+            };
+            let engine = flags.get("engine").map(String::as_str).unwrap_or("serial");
+            // Learn flags land in the same Options the batch parser
+            // fills, then go through the same config builder.
+            let mut opts = Options::defaults();
+            let parse = |flags: &std::collections::BTreeMap<String, String>,
+                         name: &str,
+                         default: usize|
+             -> usize {
+                flags
+                    .get(name)
+                    .map(|v| v.parse().unwrap_or_else(|_| client_usage()))
+                    .unwrap_or(default)
+            };
+            opts.seed = flags
+                .get("seed")
+                .map(|v| v.parse().unwrap_or_else(|_| client_usage()))
+                .unwrap_or(0);
+            opts.ganesh_runs = parse(&flags, "ganesh-runs", opts.ganesh_runs);
+            opts.update_steps = parse(&flags, "update-steps", opts.update_steps);
+            opts.init_clusters = flags
+                .get("init-clusters")
+                .map(|v| v.parse().unwrap_or_else(|_| client_usage()));
+            opts.trees = parse(&flags, "trees", opts.trees);
+            opts.splits_per_node = parse(&flags, "splits-per-node", opts.splits_per_node);
+            opts.sampling_steps = parse(&flags, "sampling-steps", opts.sampling_steps);
+            opts.threshold = flags
+                .get("threshold")
+                .map(|v| v.parse().unwrap_or_else(|_| client_usage()))
+                .unwrap_or(0.0);
+            opts.reference = flags.contains_key("reference");
+            opts.gibbs_naive = flags.contains_key("gibbs-naive");
+            opts.consensus_dense = flags.contains_key("consensus-dense");
+            let config = match base_config(&opts).validated() {
+                Ok(config) => config,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            finish(client.submit(tenant, dataset, engine, &config))
+        }
+        "status" | "result" | "cancel" | "suspend" | "resume" | "watch" => {
+            let flags = client_flags(&rest, &[]);
+            let Some(job) = flags.get("job") else {
+                client_usage()
+            };
+            match op.as_str() {
+                "status" => finish(client.status(job)),
+                "cancel" => finish(client.cancel(job)),
+                "suspend" => finish(client.suspend(job)),
+                "resume" => finish(client.resume(job, flags.get("engine").map(String::as_str))),
+                "watch" => {
+                    let from: usize = flags
+                        .get("from")
+                        .map(|v| v.parse().unwrap_or_else(|_| client_usage()))
+                        .unwrap_or(0);
+                    match client.watch(job, from, |line| println!("{line}")) {
+                        Ok(done) => {
+                            println!(
+                                "{}",
+                                serde_json::to_string(&done).expect("response reserializes")
+                            );
+                            ExitCode::SUCCESS
+                        }
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            ExitCode::FAILURE
+                        }
+                    }
+                }
+                "result" => match client.result_of(job) {
+                    Ok(monet_serve::client::Reply::Ok(value)) => {
+                        let Some(network_json) = value["network_json"].as_str() else {
+                            eprintln!("error: response carried no network_json");
+                            return ExitCode::FAILURE;
+                        };
+                        if let Some(path) = flags.get("json") {
+                            // The exact batch-CLI `--json` bytes.
+                            if let Err(e) = std::fs::write(path, network_json) {
+                                eprintln!("error: writing {path}: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        } else {
+                            println!("{network_json}");
+                        }
+                        ExitCode::SUCCESS
+                    }
+                    other => finish(other),
+                },
+                _ => unreachable!(),
+            }
+        }
+        "accounting" => {
+            let flags = client_flags(&rest, &[]);
+            finish(client.accounting(flags.get("tenant").map(String::as_str)))
+        }
+        "jobs" => {
+            let flags = client_flags(&rest, &[]);
+            finish(client.jobs(flags.get("tenant").map(String::as_str)))
+        }
+        "shutdown" => finish(client.shutdown()),
+        "raw" => {
+            // Send one arbitrary line and print whatever comes back —
+            // the hostile-input drill hook. Exit 0 iff a response line
+            // arrived; content assertions belong to the caller (jq).
+            if rest.is_empty() {
+                client_usage();
+            }
+            let line = rest.join(" ");
+            match client.raw(&line) {
+                Ok(value) => {
+                    println!(
+                        "{}",
+                        serde_json::to_string(&value).expect("response reserializes")
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => client_usage(),
+    }
 }

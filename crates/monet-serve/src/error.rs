@@ -1,0 +1,88 @@
+//! Typed service errors, each with a stable wire `kind` string.
+
+use std::fmt;
+
+/// Everything the service can refuse to do, typed. Every variant maps
+/// to a stable `kind` string carried in the error response, so clients
+/// branch on `kind`, not on message prose.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The admission queue is full; resubmit later.
+    Backpressure {
+        /// Jobs currently queued.
+        queued: usize,
+        /// The configured admission limit.
+        limit: usize,
+    },
+    /// No job with this id.
+    UnknownJob(String),
+    /// No dataset registered under this (tenant, name).
+    UnknownDataset(String),
+    /// The request was structurally or semantically invalid.
+    BadRequest(String),
+    /// The request is valid but the job is in the wrong state for it
+    /// (e.g. `result` before completion, `resume` of a running job).
+    Conflict(String),
+    /// The server is shutting down and accepts no new work.
+    ShuttingDown,
+    /// An internal failure the client did not cause.
+    Internal(String),
+}
+
+impl ServeError {
+    /// The stable wire discriminator for this error.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Backpressure { .. } => "backpressure",
+            ServeError::UnknownJob(_) => "unknown-job",
+            ServeError::UnknownDataset(_) => "unknown-dataset",
+            ServeError::BadRequest(_) => "bad-request",
+            ServeError::Conflict(_) => "conflict",
+            ServeError::ShuttingDown => "shutting-down",
+            ServeError::Internal(_) => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Backpressure { queued, limit } => write!(
+                f,
+                "admission queue full ({queued}/{limit} jobs queued); resubmit later"
+            ),
+            ServeError::UnknownJob(id) => write!(f, "unknown job {id:?}"),
+            ServeError::UnknownDataset(name) => write!(f, "unknown dataset {name:?}"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Conflict(msg) => write!(f, "conflict: {msg}"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable_and_display_is_informative() {
+        let e = ServeError::Backpressure {
+            queued: 64,
+            limit: 64,
+        };
+        assert_eq!(e.kind(), "backpressure");
+        assert!(e.to_string().contains("64/64"));
+        assert_eq!(ServeError::UnknownJob("j".into()).kind(), "unknown-job");
+        assert_eq!(
+            ServeError::UnknownDataset("d".into()).kind(),
+            "unknown-dataset"
+        );
+        assert_eq!(ServeError::BadRequest("x".into()).kind(), "bad-request");
+        assert_eq!(ServeError::Conflict("x".into()).kind(), "conflict");
+        assert_eq!(ServeError::ShuttingDown.kind(), "shutting-down");
+        assert_eq!(ServeError::Internal("x".into()).kind(), "internal");
+    }
+}

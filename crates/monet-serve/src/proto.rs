@@ -1,0 +1,429 @@
+//! The wire protocol: line-delimited JSON requests and responses.
+//!
+//! One request per line; every response is one line of JSON with an
+//! `"ok"` boolean — `{"ok":true,...}` on success,
+//! `{"ok":false,"error":{"kind":...,"msg":...}}` on a typed refusal.
+//! `watch` is the one streaming op: the server emits the job's event
+//! lines verbatim (each itself a JSON object), then a final
+//! `{"ok":true,"done":true,...}` line.
+//!
+//! Hostile-input discipline mirrors the hardened `mn-comm` wire codec:
+//! request lines are length-bounded *before* buffering ([`MAX_LINE`]),
+//! a line that is not valid JSON gets a typed `bad-request` response
+//! (never a panic), and a client that dies mid-line simply drops its
+//! connection without disturbing the service.
+
+use crate::error::ServeError;
+use mn_comm::EngineSpec;
+use monet::LearnerConfig;
+use serde::{Content, Deserialize, Serialize};
+use std::io::{self, BufRead};
+
+/// Upper bound on one request line, bytes (newline included). A
+/// protocol line is control-plane metadata plus one serialized
+/// `LearnerConfig`; 1 MiB is orders of magnitude above any legitimate
+/// request, and bounding *before* buffering means a hostile client
+/// cannot balloon server memory with an endless unterminated line.
+pub const MAX_LINE: usize = 1 << 20;
+
+/// Read one `\n`-terminated line of at most [`MAX_LINE`] bytes.
+///
+/// * `Ok(Some(line))` — a complete line (terminator stripped);
+/// * `Ok(None)` — clean EOF at a line boundary (client hung up);
+/// * `Err(InvalidData)` — the line exceeded [`MAX_LINE`];
+/// * any other `Err` — transport failure, including EOF mid-line (the
+///   kill-the-client-mid-frame case surfaces as `UnexpectedEof`).
+pub fn read_line_bounded<R: BufRead>(reader: &mut R) -> io::Result<Option<String>> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return if line.is_empty() {
+                Ok(None)
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-line",
+                ))
+            };
+        }
+        let (chunk, done) = match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => (pos + 1, true),
+            None => (buf.len(), false),
+        };
+        if line.len() + chunk > MAX_LINE {
+            // Consume nothing further; the caller drops the connection
+            // (there is no way to resynchronize an unbounded line).
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("request line exceeds {MAX_LINE} bytes"),
+            ));
+        }
+        line.extend_from_slice(&buf[..chunk]);
+        reader.consume(chunk);
+        if done {
+            while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map(Some)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e));
+        }
+    }
+}
+
+/// How a dataset is materialized server-side.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataSpec {
+    /// The deterministic synthetic generator: `yeast_like(n, m, seed)`
+    /// — identical to the batch CLI's `--synthetic n,m --seed s`.
+    Synthetic {
+        /// Number of variables (genes).
+        n: usize,
+        /// Number of observations.
+        m: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// A TSV expression matrix readable from the server's filesystem.
+    TsvPath(String),
+}
+
+/// One parsed protocol request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Register a dataset under `(tenant, dataset)`.
+    Register {
+        /// Owning tenant.
+        tenant: String,
+        /// Dataset name, unique per tenant.
+        dataset: String,
+        /// Where the data comes from.
+        data: DataSpec,
+    },
+    /// Submit a learn job.
+    Submit {
+        /// Owning tenant (also the fairness domain).
+        tenant: String,
+        /// A dataset previously registered by this tenant.
+        dataset: String,
+        /// Engine to learn on.
+        engine: EngineSpec,
+        /// The complete learner configuration — serialized in full so
+        /// a serve job is byte-identical to a batch run of the same
+        /// config. Boxed: it dwarfs every other variant.
+        config: Box<LearnerConfig>,
+    },
+    /// One-line job status.
+    Status {
+        /// Job id.
+        job: String,
+    },
+    /// Stream the job's event log from an offset, then a `done` line.
+    Watch {
+        /// Job id.
+        job: String,
+        /// First event index to deliver (0 replays everything).
+        from: usize,
+    },
+    /// Fetch the final network of a completed job.
+    ResultOf {
+        /// Job id.
+        job: String,
+    },
+    /// Cancel a queued, running, or suspended job (terminal).
+    Cancel {
+        /// Job id.
+        job: String,
+    },
+    /// Suspend a queued or running job after its current engine event;
+    /// completed checkpoint units persist.
+    Suspend {
+        /// Job id.
+        job: String,
+    },
+    /// Re-queue a suspended job, optionally on a different engine
+    /// (elastic restart: the checkpoint is rank-count-independent).
+    Resume {
+        /// Job id.
+        job: String,
+        /// New engine, or `None` to keep the previous one.
+        engine: Option<EngineSpec>,
+    },
+    /// Per-tenant accounting totals.
+    Accounting {
+        /// Restrict to one tenant, or all when `None`.
+        tenant: Option<String>,
+    },
+    /// List jobs (optionally one tenant's).
+    Jobs {
+        /// Restrict to one tenant, or all when `None`.
+        tenant: Option<String>,
+    },
+    /// Stop accepting work, cancel queued/running jobs, exit.
+    Shutdown,
+}
+
+fn str_field(value: &Content, name: &str) -> Result<String, ServeError> {
+    value
+        .get(name)
+        .and_then(Content::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ServeError::BadRequest(format!("missing string field {name:?}")))
+}
+
+fn opt_str_field(value: &Content, name: &str) -> Result<Option<String>, ServeError> {
+    match value.get(name) {
+        None | Some(Content::Null) => Ok(None),
+        Some(c) => c
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| ServeError::BadRequest(format!("field {name:?} must be a string"))),
+    }
+}
+
+fn usize_field(value: &Content, name: &str) -> Result<usize, ServeError> {
+    value
+        .get(name)
+        .and_then(Content::as_u64)
+        .map(|v| v as usize)
+        .ok_or_else(|| ServeError::BadRequest(format!("missing integer field {name:?}")))
+}
+
+/// Engines the worker pool can host in-process. The msg/proc engines
+/// own the process-global fabric/supervisor machinery and are not
+/// shareable across concurrent jobs.
+fn serveable_engine(spec: &str) -> Result<EngineSpec, ServeError> {
+    let engine: EngineSpec = spec
+        .parse()
+        .map_err(|e: String| ServeError::BadRequest(e))?;
+    match engine {
+        EngineSpec::Serial | EngineSpec::Threads(_) | EngineSpec::Sim(_) => Ok(engine),
+        EngineSpec::Msg(_) | EngineSpec::Proc(_) => Err(ServeError::BadRequest(format!(
+            "engine {spec:?} is not serveable; use serial | threads:<p> | sim:<p>"
+        ))),
+    }
+}
+
+impl Request {
+    /// Parse one request line's JSON value. Every malformation is a
+    /// typed `bad-request`.
+    pub fn parse(value: &Content) -> Result<Request, ServeError> {
+        let op = str_field(value, "op")?;
+        match op.as_str() {
+            "ping" => Ok(Request::Ping),
+            "register" => {
+                let tenant = str_field(value, "tenant")?;
+                let dataset = str_field(value, "dataset")?;
+                let data = if let Some(synth) = value.get("synthetic") {
+                    DataSpec::Synthetic {
+                        n: usize_field(synth, "n")?,
+                        m: usize_field(synth, "m")?,
+                        seed: synth.get("seed").and_then(Content::as_u64).unwrap_or(0),
+                    }
+                } else if let Some(path) = value.get("tsv_path").and_then(Content::as_str) {
+                    DataSpec::TsvPath(path.to_string())
+                } else {
+                    return Err(ServeError::BadRequest(
+                        "register needs \"synthetic\":{n,m,seed} or \"tsv_path\"".into(),
+                    ));
+                };
+                Ok(Request::Register {
+                    tenant,
+                    dataset,
+                    data,
+                })
+            }
+            "submit" => {
+                let tenant = str_field(value, "tenant")?;
+                let dataset = str_field(value, "dataset")?;
+                let engine = serveable_engine(
+                    value
+                        .get("engine")
+                        .and_then(Content::as_str)
+                        .unwrap_or("serial"),
+                )?;
+                let config_value = value
+                    .get("config")
+                    .ok_or_else(|| ServeError::BadRequest("missing \"config\"".into()))?;
+                let config: LearnerConfig = Deserialize::deserialize_value(config_value)
+                    .map_err(|e| ServeError::BadRequest(format!("config: {e}")))?;
+                let config = config.validated().map_err(ServeError::BadRequest)?;
+                Ok(Request::Submit {
+                    tenant,
+                    dataset,
+                    engine,
+                    config: Box::new(config),
+                })
+            }
+            "status" => Ok(Request::Status {
+                job: str_field(value, "job")?,
+            }),
+            "watch" => Ok(Request::Watch {
+                job: str_field(value, "job")?,
+                from: value.get("from").and_then(Content::as_u64).unwrap_or(0) as usize,
+            }),
+            "result" => Ok(Request::ResultOf {
+                job: str_field(value, "job")?,
+            }),
+            "cancel" => Ok(Request::Cancel {
+                job: str_field(value, "job")?,
+            }),
+            "suspend" => Ok(Request::Suspend {
+                job: str_field(value, "job")?,
+            }),
+            "resume" => {
+                let engine = match opt_str_field(value, "engine")? {
+                    Some(spec) => Some(serveable_engine(&spec)?),
+                    None => None,
+                };
+                Ok(Request::Resume {
+                    job: str_field(value, "job")?,
+                    engine,
+                })
+            }
+            "accounting" => Ok(Request::Accounting {
+                tenant: opt_str_field(value, "tenant")?,
+            }),
+            "jobs" => Ok(Request::Jobs {
+                tenant: opt_str_field(value, "tenant")?,
+            }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ServeError::BadRequest(format!("unknown op {other:?}"))),
+        }
+    }
+}
+
+/// Build a success response line from extra fields (after `"ok":true`).
+pub fn ok_line(fields: Vec<(String, Content)>) -> String {
+    let mut pairs = vec![("ok".to_string(), Content::Bool(true))];
+    pairs.extend(fields);
+    serde_json::to_string(&Content::Map(pairs)).expect("response serializes")
+}
+
+/// Build the typed error response line.
+pub fn err_line(err: &ServeError) -> String {
+    let mut pairs = vec![
+        ("kind".into(), Content::Str(err.kind().into())),
+        ("msg".into(), Content::Str(err.to_string())),
+    ];
+    // Backpressure is the one error clients react to programmatically
+    // (back off and resubmit), so it carries structured fields too.
+    if let ServeError::Backpressure { queued, limit } = err {
+        pairs.push(("queued".into(), Content::U64(*queued as u64)));
+        pairs.push(("limit".into(), Content::U64(*limit as u64)));
+    }
+    let body = Content::Map(pairs);
+    serde_json::to_string(&Content::Map(vec![
+        ("ok".into(), Content::Bool(false)),
+        ("error".into(), body),
+    ]))
+    .expect("error response serializes")
+}
+
+/// Serialize a submit request for `(tenant, dataset, engine, config)`
+/// — the client-side inverse of [`Request::parse`].
+pub fn submit_line(
+    tenant: &str,
+    dataset: &str,
+    engine: &str,
+    config: &LearnerConfig,
+) -> String {
+    let req = Content::Map(vec![
+        ("op".into(), Content::Str("submit".into())),
+        ("tenant".into(), Content::Str(tenant.into())),
+        ("dataset".into(), Content::Str(dataset.into())),
+        ("engine".into(), Content::Str(engine.into())),
+        ("config".into(), config.serialize_value()),
+    ]);
+    serde_json::to_string(&req).expect("request serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn bounded_reader_handles_eof_lines_and_bombs() {
+        // Clean lines, then clean EOF.
+        let mut r = BufReader::new(&b"a\nbb\r\n"[..]);
+        assert_eq!(read_line_bounded(&mut r).unwrap(), Some("a".into()));
+        assert_eq!(read_line_bounded(&mut r).unwrap(), Some("bb".into()));
+        assert_eq!(read_line_bounded(&mut r).unwrap(), None);
+
+        // Mid-line death: typed UnexpectedEof, not a hang or panic.
+        let mut r = BufReader::new(&b"{\"op\":\"pi"[..]);
+        let err = read_line_bounded(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+
+        // An unterminated line larger than MAX_LINE is rejected with
+        // bounded memory, long before the payload is fully buffered.
+        struct Endless;
+        impl io::Read for Endless {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                buf.fill(b'x');
+                Ok(buf.len())
+            }
+        }
+        let mut r = BufReader::new(Endless);
+        let err = read_line_bounded(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn submit_roundtrips_the_full_config() {
+        let config = LearnerConfig::paper_minimum(41);
+        let line = submit_line("t1", "d1", "threads:2", &config);
+        let value: Content = serde_json::from_str(&line).unwrap();
+        let req = Request::parse(&value).unwrap();
+        match req {
+            Request::Submit {
+                tenant,
+                dataset,
+                engine,
+                config: parsed,
+            } => {
+                assert_eq!((tenant.as_str(), dataset.as_str()), ("t1", "d1"));
+                assert_eq!(engine, EngineSpec::Threads(2));
+                assert_eq!(
+                    serde_json::to_string(&*parsed).unwrap(),
+                    serde_json::to_string(&config).unwrap(),
+                    "config must survive the protocol byte-exactly"
+                );
+            }
+            other => panic!("unexpected request {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_bad_requests() {
+        for line in [
+            "{}",
+            "{\"op\":\"nope\"}",
+            "{\"op\":\"submit\",\"tenant\":\"t\"}",
+            "{\"op\":\"register\",\"tenant\":\"t\",\"dataset\":\"d\"}",
+            "{\"op\":\"submit\",\"tenant\":\"t\",\"dataset\":\"d\",\"engine\":\"msg:2\",\"config\":{}}",
+        ] {
+            let value: Content = serde_json::from_str(line).unwrap();
+            let err = Request::parse(&value).unwrap_err();
+            assert_eq!(err.kind(), "bad-request", "{line} -> {err}");
+        }
+    }
+
+    #[test]
+    fn response_lines_have_the_ok_discriminator() {
+        let ok = ok_line(vec![("job".into(), Content::Str("job-1".into()))]);
+        let v: Content = serde_json::from_str(&ok).unwrap();
+        assert_eq!(v["ok"].as_bool(), Some(true));
+        assert_eq!(v["job"].as_str(), Some("job-1"));
+
+        let err = err_line(&ServeError::UnknownJob("j9".into()));
+        let v: Content = serde_json::from_str(&err).unwrap();
+        assert_eq!(v["ok"].as_bool(), Some(false));
+        assert_eq!(v["error"]["kind"].as_str(), Some("unknown-job"));
+        assert!(v["error"]["msg"].as_str().unwrap().contains("j9"));
+    }
+}

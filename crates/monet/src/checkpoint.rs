@@ -27,11 +27,12 @@
 
 use mn_data::Dataset;
 use serde::{Content, DeError, Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
 
 /// Manifest format version; bumped on incompatible layout changes.
 /// Version 2 added rank-count provenance (`nranks`); version-1
@@ -40,6 +41,11 @@ pub const MANIFEST_VERSION: u32 = 2;
 
 /// File name of the manifest inside a checkpoint directory.
 pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// File name of the writer lock inside a checkpoint directory.
+/// Deliberately not `*.json`: `ForceRestart`'s wipe must leave the
+/// held lock alone.
+pub const LOCK_FILE: &str = "ckpt.lock";
 
 /// FNV-1a 64-bit hash — the unit-file content checksum. Not
 /// cryptographic; it guards against truncation and bit rot, not
@@ -113,6 +119,15 @@ pub enum CheckpointError {
         /// The checkpoint directory that was searched.
         dir: PathBuf,
     },
+    /// Another live writer holds this checkpoint directory. Two
+    /// concurrent writers would interleave manifest rewrites, so the
+    /// second opener is refused instead of corrupting the first.
+    Locked {
+        /// The contested checkpoint directory.
+        dir: PathBuf,
+        /// Pid recorded in the lock file (0 if unreadable).
+        holder: u32,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -133,6 +148,12 @@ impl fmt::Display for CheckpointError {
             CheckpointError::NothingToResume { dir } => write!(
                 f,
                 "--resume: no checkpoint manifest in {}",
+                dir.display()
+            ),
+            CheckpointError::Locked { dir, holder } => write!(
+                f,
+                "checkpoint dir {} is locked by a live writer (pid {holder}); \
+                 two concurrent writers would corrupt the manifest",
                 dir.display()
             ),
         }
@@ -239,6 +260,103 @@ impl Manifest {
     }
 }
 
+/// Checkpoint dirs locked by *this* process. The on-disk lock file
+/// carries only a pid, which cannot tell two threads of one process
+/// apart (the serve worker pool runs many jobs in one pid); this set
+/// is the in-process authority, keyed by canonical path.
+fn locked_dirs() -> &'static Mutex<BTreeSet<PathBuf>> {
+    static DIRS: OnceLock<Mutex<BTreeSet<PathBuf>>> = OnceLock::new();
+    DIRS.get_or_init(|| Mutex::new(BTreeSet::new()))
+}
+
+/// Exclusive writer lock on a checkpoint directory: an entry in the
+/// in-process registry plus an on-disk [`LOCK_FILE`] holding the
+/// owner pid, created with `create_new` so two processes cannot both
+/// win. Held for the lifetime of the writer-rank store and released
+/// on drop. A lock file whose pid no longer designates a live process
+/// is stale — the writer was SIGKILLed or exited without unwinding —
+/// and is stolen, so kill-resume drills still resume.
+#[derive(Debug)]
+struct DirLock {
+    dir: PathBuf,
+    path: PathBuf,
+}
+
+impl DirLock {
+    fn acquire(dir: &Path) -> Result<DirLock, CheckpointError> {
+        fs::create_dir_all(dir)?;
+        let canon = fs::canonicalize(dir)?;
+        {
+            let mut held = locked_dirs()
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if !held.insert(canon.clone()) {
+                return Err(CheckpointError::Locked {
+                    dir: canon,
+                    holder: mn_comm::sys::current_pid(),
+                });
+            }
+        }
+        let path = canon.join(LOCK_FILE);
+        let me = mn_comm::sys::current_pid();
+        // Two attempts: the second runs only after removing a stale file.
+        for _ in 0..2 {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    use io::Write;
+                    let _ = write!(f, "{me}");
+                    return Ok(DirLock { dir: canon, path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let holder = fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok())
+                        .unwrap_or(0);
+                    // The registry above is authoritative for our own
+                    // pid: a same-pid file with a free registry slot is
+                    // a leftover from a previous store, not a holder.
+                    // Signal 0 probes existence without delivering.
+                    let live =
+                        holder != 0 && holder != me && mn_comm::sys::send_signal(holder, 0);
+                    if live {
+                        Self::release_registry(&canon);
+                        return Err(CheckpointError::Locked { dir: canon, holder });
+                    }
+                    let _ = fs::remove_file(&path);
+                }
+                Err(e) => {
+                    Self::release_registry(&canon);
+                    return Err(e.into());
+                }
+            }
+        }
+        // Lost the create_new race twice in a row: someone else is live.
+        Self::release_registry(&canon);
+        Err(CheckpointError::Locked {
+            dir: canon,
+            holder: 0,
+        })
+    }
+
+    fn release_registry(dir: &Path) {
+        locked_dirs()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(dir);
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+        Self::release_registry(&self.dir);
+    }
+}
+
 /// A checkpoint directory opened for a specific `(seed, data)` run.
 ///
 /// Completed units live both on disk and in an in-memory cache of
@@ -246,12 +364,18 @@ impl Manifest {
 /// cache, so resume decisions are identical on every SPMD rank
 /// regardless of how far the writer rank has raced ahead (all ranks
 /// load before anyone writes — the engine's `io_barrier` orders this).
+///
+/// The writer rank additionally holds a [`DirLock`] for the store's
+/// lifetime: a second concurrent writer on the same directory gets a
+/// typed [`CheckpointError::Locked`] instead of silently interleaving
+/// manifest rewrites with the first.
 #[derive(Debug)]
 pub struct CheckpointStore {
     dir: PathBuf,
     write_enabled: bool,
     manifest: Manifest,
     units: BTreeMap<String, Vec<u8>>,
+    _lock: Option<DirLock>,
 }
 
 impl CheckpointStore {
@@ -272,11 +396,20 @@ impl CheckpointStore {
         write_enabled: bool,
     ) -> Result<Self, CheckpointError> {
         let dir = dir.as_ref().to_path_buf();
+        // The writer rank takes the exclusive lock before reading or
+        // wiping anything; non-writer ranks never touch the disk. The
+        // lock travels inside the store and releases on drop.
+        let lock = if write_enabled {
+            Some(DirLock::acquire(&dir)?)
+        } else {
+            None
+        };
         let fresh = Self {
             manifest: Manifest::fresh(seed, fingerprint, nranks),
             units: BTreeMap::new(),
             write_enabled,
             dir: dir.clone(),
+            _lock: lock,
         };
 
         if policy == ResumePolicy::ForceRestart {
@@ -290,8 +423,7 @@ impl CheckpointStore {
             Ok(Some((manifest, units))) => Ok(Self {
                 manifest,
                 units,
-                write_enabled,
-                dir,
+                ..fresh
             }),
             Ok(None) => {
                 if policy == ResumePolicy::Strict {
@@ -511,6 +643,7 @@ mod tests {
         assert!(store.is_empty());
         store.put("unit_a", &record(42)).unwrap();
         store.put("unit_b", &record(43)).unwrap();
+        drop(store); // release the writer lock before reopening
 
         let reopened =
             CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Strict, true).unwrap();
@@ -530,6 +663,7 @@ mod tests {
         let manifest = dir.join(MANIFEST_FILE);
         let full = fs::read(&manifest).unwrap();
         fs::write(&manifest, &full[..full.len() / 2]).unwrap();
+        drop(store);
 
         let err = CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Strict, true).unwrap_err();
         match &err {
@@ -556,6 +690,7 @@ mod tests {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x01;
         fs::write(&unit, &bytes).unwrap();
+        drop(store);
 
         let err = CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Strict, true).unwrap_err();
         match &err {
@@ -574,6 +709,7 @@ mod tests {
         let mut store =
             CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Auto, true).unwrap();
         store.put("unit_a", &record(5)).unwrap();
+        drop(store);
 
         let err = CheckpointStore::open(&dir, 2, FP, 4, ResumePolicy::Strict, true).unwrap_err();
         assert!(matches!(err, CheckpointError::Mismatch { .. }), "{err:?}");
@@ -598,6 +734,7 @@ mod tests {
         let manifest = dir.join(MANIFEST_FILE);
         let text = fs::read_to_string(&manifest).unwrap();
         fs::write(&manifest, text.replace("\"version\": 2", "\"version\": 99")).unwrap();
+        drop(store);
 
         let err = CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Strict, true).unwrap_err();
         match err {
@@ -619,6 +756,7 @@ mod tests {
             CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Auto, true).unwrap();
         store.put("unit_a", &record(1)).unwrap();
         fs::write(dir.join("unit_b.json.tmp"), b"{\"torn\":").unwrap();
+        drop(store);
 
         let reopened =
             CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Strict, true).unwrap();
@@ -638,6 +776,7 @@ mod tests {
         store.put("unit_a", &record(1)).unwrap();
         let orphan = serde_json::to_string(&record(2)).unwrap();
         fs::write(dir.join("unit_b.json"), orphan.as_bytes()).unwrap();
+        drop(store);
 
         let reopened =
             CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Strict, true).unwrap();
@@ -653,6 +792,7 @@ mod tests {
             CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Auto, true).unwrap();
         store.put("unit_a", &record(1)).unwrap();
         fs::remove_file(dir.join("unit_a.json")).unwrap();
+        drop(store);
         let err = CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Strict, true).unwrap_err();
         assert!(matches!(err, CheckpointError::Corrupt { .. }), "{err:?}");
         fs::remove_dir_all(&dir).ok();
@@ -666,11 +806,13 @@ mod tests {
         store.put("unit_a", &record(1)).unwrap();
         // Corrupt the manifest; ForceRestart must recover anyway.
         fs::write(dir.join(MANIFEST_FILE), b"garbage").unwrap();
+        drop(store);
 
         let store =
             CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::ForceRestart, true).unwrap();
         assert!(store.is_empty());
         assert!(!dir.join("unit_a.json").exists());
+        drop(store);
         // A fresh store is published immediately: the wiped directory
         // holds a valid empty manifest, so a crash straight after the
         // restart still resumes cleanly.
@@ -710,6 +852,7 @@ mod tests {
         let mut store = CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Auto, true).unwrap();
         store.put("unit_a", &record(1)).unwrap();
         assert_eq!(store.origin_nranks(), Some(4));
+        drop(store);
 
         // Reopening at a different rank count is not an error — stored
         // units are rank-count-independent — and the manifest keeps
@@ -734,10 +877,102 @@ mod tests {
             .replace("\"nranks\": 4,", "");
         assert!(!v1.contains("nranks"), "test setup left the field behind");
         fs::write(&manifest, v1).unwrap();
+        drop(store);
 
         let reopened = CheckpointStore::open(&dir, 1, FP, 8, ResumePolicy::Strict, true).unwrap();
         assert_eq!(reopened.origin_nranks(), None);
         assert_eq!(reopened.get::<u32>("unit_a").unwrap(), record(7));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_writers_get_typed_locked_error() {
+        let dir = tmpdir("locked");
+        let first = CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Auto, true).unwrap();
+        assert!(dir.join(LOCK_FILE).exists());
+
+        // Same thread: the second writer is refused, typed, no panic.
+        let err = CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Auto, true).unwrap_err();
+        match &err {
+            CheckpointError::Locked { holder, .. } => {
+                assert_eq!(*holder, mn_comm::sys::current_pid());
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.to_string().contains("locked by a live writer"));
+
+        // Another thread racing on the same dir loses the same way.
+        let race_dir = dir.clone();
+        let racer = std::thread::spawn(move || {
+            CheckpointStore::open(&race_dir, 1, FP, 4, ResumePolicy::Auto, true)
+                .err()
+                .map(|e| matches!(e, CheckpointError::Locked { .. }))
+        });
+        assert_eq!(racer.join().unwrap(), Some(true));
+
+        // The first writer never saw the contenders: its state is intact.
+        drop(first);
+        assert!(!dir.join(LOCK_FILE).exists(), "drop releases the lock");
+        let reopened = CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Auto, true).unwrap();
+        drop(reopened);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_lock_from_dead_pid_is_stolen() {
+        // A SIGKILLed writer leaves its lock file behind; the pid in it
+        // no longer designates a live process, so resume steals it.
+        let dir = tmpdir("stale_lock");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(LOCK_FILE), b"999999999").unwrap();
+
+        let store = CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Auto, true).unwrap();
+        let holder = fs::read_to_string(dir.join(LOCK_FILE)).unwrap();
+        assert_eq!(
+            holder.trim().parse::<u32>().unwrap(),
+            mn_comm::sys::current_pid(),
+            "stolen lock must be re-stamped with the new writer's pid"
+        );
+        drop(store);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unreadable_lock_file_counts_as_stale() {
+        let dir = tmpdir("garbled_lock");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(LOCK_FILE), b"not a pid").unwrap();
+        let store = CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Auto, true).unwrap();
+        drop(store);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn readers_are_not_blocked_by_the_writer_lock() {
+        // Non-writer ranks mirror state in memory only — they take no
+        // lock and coexist with a live writer on the same directory.
+        let dir = tmpdir("reader_coexist");
+        let writer = CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Auto, true).unwrap();
+        let reader = CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Auto, false).unwrap();
+        drop(reader);
+        drop(writer);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn force_restart_wipe_leaves_the_held_lock_alone() {
+        let dir = tmpdir("wipe_keeps_lock");
+        let mut store = CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::Auto, true).unwrap();
+        store.put("unit_a", &record(1)).unwrap();
+        drop(store);
+
+        // ForceRestart wipes *.json / *.json.tmp but must keep the
+        // opener's own freshly-acquired lock file.
+        let store =
+            CheckpointStore::open(&dir, 1, FP, 4, ResumePolicy::ForceRestart, true).unwrap();
+        assert!(!dir.join("unit_a.json").exists());
+        assert!(dir.join(LOCK_FILE).exists());
+        drop(store);
         fs::remove_dir_all(&dir).ok();
     }
 
